@@ -1,0 +1,47 @@
+//! Ablation: the MTS route-checking period (the paper recommends 2–4 s,
+//! matched to the channel coherence time).  Shorter periods switch routes
+//! more often (better confidentiality) at the cost of more control traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_experiments::runner::run_scenario;
+use manet_experiments::{Protocol, Scenario};
+use mts_core::MtsConfig;
+use std::hint::black_box;
+
+fn run_with_period(period: f64, duration: f64) -> manet_experiments::RunMetrics {
+    let mut scenario = Scenario::paper(Protocol::Mts, 10.0, 1)
+        .with_mts_config(MtsConfig::with_check_period(period));
+    scenario.sim.duration = manet_netsim::Duration::from_secs(duration);
+    run_scenario(&scenario)
+}
+
+fn bench(c: &mut Criterion) {
+    eprintln!("# MTS check_period ablation (20 s runs, max speed 10 m/s)");
+    eprintln!(
+        "{:>12} {:>14} {:>14} {:>16} {:>14}",
+        "period (s)", "participants", "highest Ri", "ctrl overhead", "throughput"
+    );
+    for period in [0.5, 1.0, 2.0, 3.0, 4.0, 8.0] {
+        let m = run_with_period(period, 20.0);
+        eprintln!(
+            "{:>12.1} {:>14} {:>14.4} {:>16} {:>14}",
+            period,
+            m.participating_nodes,
+            m.highest_interception_ratio,
+            m.control_overhead,
+            m.throughput_packets
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_check_period");
+    group.sample_size(10);
+    for period in [1.0, 4.0] {
+        group.bench_function(format!("check_period_{period}s"), |b| {
+            b.iter(|| black_box(run_with_period(period, 10.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

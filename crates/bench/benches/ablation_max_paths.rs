@@ -1,0 +1,42 @@
+//! Ablation: how the number of disjoint paths MTS keeps at the destination
+//! (the paper fixes five) affects security and overhead.
+//!
+//! Prints participating-node counts and control overhead for each path budget
+//! and benchmarks a single run per budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_experiments::runner::run_scenario;
+use manet_experiments::{Protocol, Scenario};
+use mts_core::MtsConfig;
+use std::hint::black_box;
+
+fn run_with_budget(max_paths: usize, duration: f64) -> manet_experiments::RunMetrics {
+    let mut scenario = Scenario::paper(Protocol::Mts, 10.0, 1)
+        .with_mts_config(MtsConfig::with_max_paths(max_paths));
+    scenario.sim.duration = manet_netsim::Duration::from_secs(duration);
+    run_scenario(&scenario)
+}
+
+fn bench(c: &mut Criterion) {
+    eprintln!("# MTS max_paths ablation (20 s runs, max speed 10 m/s)");
+    eprintln!("{:>10} {:>14} {:>14} {:>16}", "max_paths", "participants", "highest Ri", "ctrl overhead");
+    for budget in [1usize, 2, 3, 5, 8] {
+        let m = run_with_budget(budget, 20.0);
+        eprintln!(
+            "{:>10} {:>14} {:>14.4} {:>16}",
+            budget, m.participating_nodes, m.highest_interception_ratio, m.control_overhead
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_max_paths");
+    group.sample_size(10);
+    for budget in [1usize, 5] {
+        group.bench_function(format!("max_paths_{budget}"), |b| {
+            b.iter(|| black_box(run_with_budget(budget, 10.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: SMR-like concurrent multipath striping versus MTS's single best
+//! route.  The related work the paper cites reports that striping TCP over
+//! several paths concurrently hurts throughput because out-of-order arrivals
+//! trigger spurious congestion control; this bench reproduces that comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_experiments::runner::run_scenario;
+use manet_experiments::{Protocol, Scenario};
+use mts_core::MtsConfig;
+use std::hint::black_box;
+
+fn run(striping: bool, duration: f64) -> manet_experiments::RunMetrics {
+    let mts = MtsConfig { concurrent_striping: striping, ..MtsConfig::default() };
+    let mut scenario = Scenario::paper(Protocol::Mts, 10.0, 1).with_mts_config(mts);
+    scenario.sim.duration = manet_netsim::Duration::from_secs(duration);
+    run_scenario(&scenario)
+}
+
+fn bench(c: &mut Criterion) {
+    eprintln!("# MTS single-best-route vs. SMR-like concurrent striping (20 s runs)");
+    eprintln!(
+        "{:>16} {:>12} {:>14} {:>14} {:>12}",
+        "mode", "throughput", "out-of-order", "retransmits", "delay (s)"
+    );
+    for (label, striping) in [("best-route", false), ("striping", true)] {
+        let m = run(striping, 20.0);
+        eprintln!(
+            "{:>16} {:>12} {:>14} {:>14} {:>12.4}",
+            label, m.throughput_packets, m.tcp_out_of_order, m.tcp_retransmissions, m.mean_delay
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_striping");
+    group.sample_size(10);
+    group.bench_function("best_route", |b| b.iter(|| black_box(run(false, 10.0))));
+    group.bench_function("striping", |b| b.iter(|| black_box(run(true, 10.0))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

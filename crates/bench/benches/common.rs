@@ -1,0 +1,55 @@
+//! Shared helpers for the figure benches.
+//!
+//! Each figure bench does two things:
+//!
+//! 1. run the scaled-down sweep once, render the paper figure it regenerates
+//!    and print it to stderr (so `cargo bench` output doubles as a quick
+//!    reproduction), and
+//! 2. benchmark the cost of producing one figure point (a single 10-second
+//!    paper-scenario run) for each protocol, which is the building block the
+//!    full reproduction scales up from.
+
+use criterion::Criterion;
+use manet_experiments::figures::FigureId;
+use manet_experiments::report::render_figure;
+use manet_experiments::runner::{run_scenario, sweep, SweepSpec};
+use manet_experiments::{Protocol, Scenario};
+use std::hint::black_box;
+
+/// Duration of the per-iteration benchmark run, simulated seconds.
+pub const BENCH_RUN_SECS: f64 = 10.0;
+
+/// Run the scaled-down sweep and print the regenerated figure.
+pub fn print_figure(figure: FigureId) {
+    let spec = SweepSpec::quick(20.0, 2);
+    eprintln!(
+        "# regenerating {} from a scaled-down sweep ({} runs, {} s each)",
+        figure.title(),
+        spec.total_runs(),
+        spec.duration
+    );
+    let outcome = sweep(&spec);
+    eprintln!("{}", render_figure(figure, &outcome));
+}
+
+/// Benchmark one paper-scenario run per protocol under the given group name.
+pub fn bench_single_runs(c: &mut Criterion, group_name: &str) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for protocol in Protocol::ALL {
+        group.bench_function(protocol.name(), |b| {
+            b.iter(|| {
+                let mut scenario = Scenario::paper(protocol, 10.0, 1);
+                scenario.sim.duration = manet_netsim::Duration::from_secs(BENCH_RUN_SECS);
+                black_box(run_scenario(&scenario))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Standard body shared by the per-figure benches.
+pub fn figure_bench(c: &mut Criterion, figure: FigureId, group_name: &str) {
+    print_figure(figure);
+    bench_single_runs(c, group_name);
+}

@@ -1,0 +1,49 @@
+//! Raw simulator performance: events per second of the discrete-event engine
+//! under the paper scenario, and the cost of the MAC/mobility substrate with
+//! no traffic at all.  Useful for spotting regressions in the simulator
+//! itself, independent of any protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_experiments::runner::run_scenario;
+use manet_experiments::{Protocol, Scenario};
+use manet_netsim::mobility::RandomWaypoint;
+use manet_netsim::{Ctx, Duration, NodeStack, SimConfig, Simulator, TimerToken};
+use manet_wire::{NetPacket, NodeId};
+use std::hint::black_box;
+
+/// A stack that does nothing: measures mobility + engine overhead only.
+struct Idle;
+
+impl NodeStack for Idle {
+    fn start(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
+    fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: NetPacket) {}
+    fn on_link_failure(&mut self, _ctx: &mut Ctx<'_>, _next_hop: NodeId, _packet: NetPacket) {}
+}
+
+fn idle_run(duration: f64) {
+    let mut config = SimConfig::default();
+    config.duration = Duration::from_secs(duration);
+    config.mobility.max_speed = 20.0;
+    let mobility = RandomWaypoint::new(config.field_width, config.field_height, config.mobility);
+    let stacks: Vec<Box<dyn NodeStack>> = (0..config.num_nodes).map(|_| Box::new(Idle) as _).collect();
+    let sim = Simulator::new(config, Box::new(mobility), stacks);
+    black_box(sim.run());
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    group.bench_function("mobility_only_50_nodes_60s", |b| b.iter(|| idle_run(60.0)));
+    group.bench_function("paper_scenario_mts_10s", |b| {
+        b.iter(|| {
+            let mut scenario = Scenario::paper(Protocol::Mts, 20.0, 1);
+            scenario.sim.duration = Duration::from_secs(10.0);
+            black_box(run_scenario(&scenario))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

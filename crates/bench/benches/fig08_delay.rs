@@ -1,0 +1,15 @@
+//! Regenerates the paper figure named in the group label below and measures
+//! the cost of producing one figure point (a single paper-scenario run) for
+//! each protocol.  See `benches/common.rs` for the shared machinery.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_experiments::figures::FigureId;
+
+fn bench(c: &mut Criterion) {
+    common::figure_bench(c, FigureId::Fig8Delay, "fig08_delay");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

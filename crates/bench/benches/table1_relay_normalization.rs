@@ -1,0 +1,24 @@
+//! Regenerates Table I (the per-node relay normalization worked example for a
+//! DSR run) and measures the cost of producing it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_experiments::figures::table1_relay_table;
+use manet_experiments::report::render_relay_table;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated table once (scaled-down duration).
+    let table = table1_relay_table(10.0, 1, 30.0);
+    eprintln!("# regenerating Table I from a 30 s DSR run");
+    eprintln!("{}", render_relay_table(&table));
+
+    let mut group = c.benchmark_group("table1_relay_normalization");
+    group.sample_size(10);
+    group.bench_function("dsr_run_plus_table", |b| {
+        b.iter(|| black_box(table1_relay_table(10.0, 1, 10.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Regenerate every figure and table of the paper's evaluation section.
+//!
+//! ```text
+//! reproduce [--duration SECS] [--seeds N] [--figure N | --table 1 | --all]
+//! ```
+//!
+//! By default the full paper-scale sweep is run (200 simulated seconds, five
+//! seeds, 3 protocols × 5 speeds = 75 runs) and every figure plus Table I is
+//! printed.  Use `--duration` / `--seeds` for a faster, scaled-down pass; the
+//! qualitative ordering of the protocols is preserved.
+
+use manet_experiments::figures::{table1_relay_table, FigureId};
+use manet_experiments::report::{render_figure, render_relay_table};
+use manet_experiments::runner::{sweep, SweepSpec};
+
+#[derive(Debug)]
+struct Args {
+    duration: f64,
+    seeds: u64,
+    figure: Option<u32>,
+    table: Option<u32>,
+    all: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { duration: 200.0, seeds: 5, figure: None, table: None, all: true };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--duration" => {
+                args.duration = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--duration needs a number of seconds"));
+            }
+            "--seeds" => {
+                args.seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seeds needs a count"));
+            }
+            "--figure" => {
+                args.figure = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--figure needs a number 5..=11")),
+                );
+                args.all = false;
+            }
+            "--table" => {
+                args.table = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--table needs the value 1")),
+                );
+                args.all = false;
+            }
+            "--all" => args.all = true,
+            "--help" | "-h" => {
+                usage("");
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: reproduce [--duration SECS] [--seeds N] [--figure 5..11 | --table 1 | --all]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+fn figure_by_number(n: u32) -> Option<FigureId> {
+    match n {
+        5 => Some(FigureId::Fig5ParticipatingNodes),
+        6 => Some(FigureId::Fig6RelayStdDev),
+        7 => Some(FigureId::Fig7HighestInterception),
+        8 => Some(FigureId::Fig8Delay),
+        9 => Some(FigureId::Fig9Throughput),
+        10 => Some(FigureId::Fig10DeliveryRate),
+        11 => Some(FigureId::Fig11ControlOverhead),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = SweepSpec {
+        duration: args.duration,
+        seeds: (1..=args.seeds).collect(),
+        ..SweepSpec::paper()
+    };
+    let wants_sweep = args.all || args.figure.is_some();
+    let wants_table = args.all || args.table == Some(1);
+
+    eprintln!(
+        "# MTS reproduction: {} runs ({} protocols x {} speeds x {} seeds), {} simulated seconds each",
+        spec.total_runs(),
+        spec.protocols.len(),
+        spec.speeds.len(),
+        spec.seeds.len(),
+        spec.duration
+    );
+
+    if wants_sweep {
+        let outcome = sweep(&spec);
+        match args.figure {
+            Some(n) => {
+                let fig = figure_by_number(n).unwrap_or_else(|| usage("figure must be 5..=11"));
+                println!("{}", render_figure(fig, &outcome));
+            }
+            None => {
+                for fig in FigureId::ALL {
+                    if fig == FigureId::Table1RelayTable {
+                        continue;
+                    }
+                    println!("{}", render_figure(fig, &outcome));
+                }
+            }
+        }
+    }
+    if wants_table {
+        // Table I is a worked example from a single DSR run at moderate speed.
+        let table = table1_relay_table(10.0, 1, args.duration);
+        println!("{}", render_relay_table(&table));
+    }
+}

@@ -1,0 +1,45 @@
+//! # manet-bench
+//!
+//! Benchmark harness for the MTS reproduction.
+//!
+//! * One Criterion bench per paper figure/table (`benches/fig05_*` …
+//!   `benches/table1_*`).  Each bench runs a scaled-down sweep (shorter
+//!   simulated duration, fewer seeds) so `cargo bench --workspace` completes
+//!   in reasonable time on one core, prints the regenerated table to stderr,
+//!   and reports the wall-clock cost of producing one figure point.
+//! * Ablation benches for the design knobs called out in DESIGN.md
+//!   (`max_paths`, `check_period`, concurrent striping) plus a raw engine
+//!   throughput bench.
+//! * The `reproduce` binary runs the *full* paper-scale sweep (200 s, five
+//!   seeds) and prints every figure and Table I; use it to regenerate
+//!   EXPERIMENTS.md numbers.
+//!
+//! This library exposes the small shared helpers used by both.
+
+use manet_experiments::runner::{sweep, SweepOutcome, SweepSpec};
+
+/// The scaled-down sweep used by the Criterion benches.
+///
+/// 20 simulated seconds and two seeds per point keep one full figure under a
+/// couple of minutes of wall clock while preserving the qualitative ordering
+/// of the protocols.
+pub fn quick_sweep() -> SweepOutcome {
+    sweep(&SweepSpec::quick(20.0, 2))
+}
+
+/// An even smaller sweep for smoke-testing the bench plumbing.
+pub fn smoke_sweep() -> SweepOutcome {
+    sweep(&SweepSpec { duration: 8.0, seeds: vec![1], ..SweepSpec::quick(8.0, 1) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_covers_the_grid() {
+        let outcome = smoke_sweep();
+        // 3 protocols x 5 speeds.
+        assert_eq!(outcome.points.len(), 15);
+    }
+}

@@ -1,0 +1,117 @@
+//! MTS protocol configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning parameters for the MTS protocol.
+///
+/// Defaults follow the paper: at most five disjoint paths stored at the
+/// destination, a route-checking period of three seconds (the paper says
+/// "two to four seconds is acceptable", sized from the channel coherence
+/// time), and AODV-like discovery retry behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MtsConfig {
+    /// Maximum number of disjoint paths kept at the destination (paper: 5).
+    pub max_paths: usize,
+    /// Period between route-checking rounds emitted by the destination, s.
+    pub check_period: f64,
+    /// Random jitter added to each checking round, s (avoids synchronising
+    /// the checking packets of several sessions).
+    pub check_jitter: f64,
+    /// Lifetime of a forward/reverse routing entry, s.
+    pub route_lifetime: f64,
+    /// How long the source waits for a RREP before retrying a discovery, s.
+    pub discovery_timeout: f64,
+    /// Maximum discovery attempts per destination.
+    pub discovery_retries: u32,
+    /// Capacity of the awaiting-route packet buffer (per destination).
+    pub buffer_capacity: usize,
+    /// Maximum age of a buffered packet, s.
+    pub buffer_max_age: f64,
+    /// Ablation switch: stripe data packets round-robin over every fresh path
+    /// instead of using only the best one (SMR-like concurrent multipath,
+    /// which the related work shows hurts TCP).
+    pub concurrent_striping: bool,
+}
+
+impl Default for MtsConfig {
+    fn default() -> Self {
+        MtsConfig {
+            max_paths: 5,
+            check_period: 3.0,
+            check_jitter: 0.2,
+            route_lifetime: 10.0,
+            discovery_timeout: 1.0,
+            discovery_retries: 3,
+            buffer_capacity: 64,
+            buffer_max_age: 8.0,
+            concurrent_striping: false,
+        }
+    }
+}
+
+impl MtsConfig {
+    /// Validate invariants.  Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_paths == 0 {
+            return Err("max_paths must be at least 1".into());
+        }
+        if self.check_period <= 0.0 {
+            return Err("check_period must be positive".into());
+        }
+        if self.check_jitter < 0.0 {
+            return Err("check_jitter must be non-negative".into());
+        }
+        if self.route_lifetime <= 0.0 {
+            return Err("route_lifetime must be positive".into());
+        }
+        if self.discovery_retries == 0 {
+            return Err("discovery_retries must be at least 1".into());
+        }
+        if self.buffer_capacity == 0 {
+            return Err("buffer_capacity must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// The paper's configuration with a custom checking period (used by the
+    /// checking-period ablation bench).
+    pub fn with_check_period(period: f64) -> Self {
+        MtsConfig { check_period: period, ..Self::default() }
+    }
+
+    /// The paper's configuration with a custom path budget (used by the
+    /// max-paths ablation bench).
+    pub fn with_max_paths(max_paths: usize) -> Self {
+        MtsConfig { max_paths, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = MtsConfig::default();
+        assert_eq!(c.max_paths, 5);
+        assert!((2.0..=4.0).contains(&c.check_period));
+        assert!(!c.concurrent_striping);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        assert_eq!(MtsConfig::with_check_period(0.5).check_period, 0.5);
+        assert_eq!(MtsConfig::with_max_paths(8).max_paths, 8);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(MtsConfig { max_paths: 0, ..Default::default() }.validate().is_err());
+        assert!(MtsConfig { check_period: 0.0, ..Default::default() }.validate().is_err());
+        assert!(MtsConfig { check_jitter: -1.0, ..Default::default() }.validate().is_err());
+        assert!(MtsConfig { route_lifetime: 0.0, ..Default::default() }.validate().is_err());
+        assert!(MtsConfig { discovery_retries: 0, ..Default::default() }.validate().is_err());
+        assert!(MtsConfig { buffer_capacity: 0, ..Default::default() }.validate().is_err());
+    }
+}

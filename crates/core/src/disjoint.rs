@@ -1,0 +1,137 @@
+//! Disjoint-path checks.
+//!
+//! The destination keeps only mutually disjoint paths.  Because intermediate
+//! nodes relay only the first copy of each RREQ, the portions of two request
+//! paths *before* the destination already form a tree; the remaining ambiguity
+//! is resolved at the destination with the rule the paper adopts from AOMDV
+//! (Marina & Das): accept a candidate path only if it differs from every
+//! stored path in its **next hop** (the source's first hop) and its **last
+//! hop** (the destination's neighbour).  A full node-disjointness predicate is
+//! also provided for tests, diagnostics and the property-based suite.
+
+use manet_wire::NodeId;
+use std::collections::HashSet;
+
+/// First hop of a source→destination path expressed as the full node list
+/// `source, i1, ..., ik, destination`.  `None` for degenerate paths.
+pub fn first_hop(path: &[NodeId]) -> Option<NodeId> {
+    if path.len() < 2 {
+        None
+    } else {
+        Some(path[1])
+    }
+}
+
+/// Last hop (destination's neighbour) of a full path.
+pub fn last_hop(path: &[NodeId]) -> Option<NodeId> {
+    if path.len() < 2 {
+        None
+    } else {
+        Some(path[path.len() - 2])
+    }
+}
+
+/// The next-hop / last-hop disjointness rule used by the destination.
+///
+/// Both arguments are full paths (`source, ..., destination`).  Returns true
+/// when the two paths differ in their first hop *and* in their last hop —
+/// the acceptance condition for adding a candidate to the stored set.
+///
+/// Single-hop paths (source adjacent to destination) are a special case: the
+/// first hop *is* the destination and the last hop *is* the source, so two
+/// single-hop paths are never disjoint, and a single-hop path is disjoint from
+/// a multi-hop path that does not start or end with the same neighbours.
+pub fn first_last_hop_disjoint(a: &[NodeId], b: &[NodeId]) -> bool {
+    match (first_hop(a), last_hop(a), first_hop(b), last_hop(b)) {
+        (Some(fa), Some(la), Some(fb), Some(lb)) => fa != fb && la != lb,
+        _ => false,
+    }
+}
+
+/// Full node-disjointness: the two paths share no intermediate node.  The
+/// endpoints (source and destination) are naturally shared and are excluded.
+pub fn node_disjoint(a: &[NodeId], b: &[NodeId]) -> bool {
+    if a.len() < 2 || b.len() < 2 {
+        return false;
+    }
+    let inner_a: HashSet<NodeId> = a[1..a.len() - 1].iter().copied().collect();
+    b[1..b.len() - 1].iter().all(|n| !inner_a.contains(n))
+}
+
+/// Does the path visit any node twice?  (Loop detection for incoming RREQ
+/// node lists — a loopy path is never stored.)
+pub fn has_loop(path: &[NodeId]) -> bool {
+    let mut seen = HashSet::with_capacity(path.len());
+    path.iter().any(|n| !seen.insert(*n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u16) -> NodeId {
+        NodeId(v)
+    }
+
+    fn p(v: &[u16]) -> Vec<NodeId> {
+        v.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    #[test]
+    fn first_and_last_hop_extraction() {
+        let path = p(&[0, 1, 2, 9]);
+        assert_eq!(first_hop(&path), Some(n(1)));
+        assert_eq!(last_hop(&path), Some(n(2)));
+        assert_eq!(first_hop(&[n(0)]), None);
+        assert_eq!(last_hop(&[]), None);
+        // Single-hop path: first hop is the destination, last hop the source.
+        let one = p(&[0, 9]);
+        assert_eq!(first_hop(&one), Some(n(9)));
+        assert_eq!(last_hop(&one), Some(n(0)));
+    }
+
+    #[test]
+    fn paper_figure3_example() {
+        // Paper Fig. 3: S-a-b-D and S-a-b-c-D are NOT disjoint (same first hop
+        // `a`), while the paths ending at b and at c are disjoint when they
+        // also enter through different first hops.
+        let s = 0;
+        let (a, b, c, d) = (1, 2, 3, 9);
+        let p1 = p(&[s, a, b, d]);
+        let p2 = p(&[s, a, b, c, d]);
+        assert!(!first_last_hop_disjoint(&p1, &p2));
+        // A genuinely different branch is accepted.
+        let p3 = p(&[s, 4, c, d]);
+        assert!(first_last_hop_disjoint(&p1, &p3));
+    }
+
+    #[test]
+    fn shared_first_hop_rejected() {
+        assert!(!first_last_hop_disjoint(&p(&[0, 1, 2, 9]), &p(&[0, 1, 3, 9])));
+    }
+
+    #[test]
+    fn shared_last_hop_rejected() {
+        assert!(!first_last_hop_disjoint(&p(&[0, 1, 2, 9]), &p(&[0, 3, 2, 9])));
+    }
+
+    #[test]
+    fn fully_distinct_paths_accepted() {
+        assert!(first_last_hop_disjoint(&p(&[0, 1, 2, 9]), &p(&[0, 3, 4, 9])));
+    }
+
+    #[test]
+    fn node_disjointness_ignores_endpoints() {
+        assert!(node_disjoint(&p(&[0, 1, 2, 9]), &p(&[0, 3, 4, 9])));
+        assert!(!node_disjoint(&p(&[0, 1, 2, 9]), &p(&[0, 3, 2, 9])));
+        // Single-hop paths share no intermediates with anything.
+        assert!(node_disjoint(&p(&[0, 9]), &p(&[0, 3, 4, 9])));
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(!has_loop(&p(&[0, 1, 2, 9])));
+        assert!(has_loop(&p(&[0, 1, 2, 1, 9])));
+        assert!(!has_loop(&[]));
+    }
+}

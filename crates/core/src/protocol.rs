@@ -1,0 +1,718 @@
+//! The MTS routing agent.
+//!
+//! Implements the protocol of Section III of the paper as a
+//! [`manet_routing::RoutingAgent`], so it is interchangeable with the DSR and
+//! AODV baselines in the experiment harness.
+//!
+//! Roles a node can play simultaneously:
+//!
+//! * **source** of a session — buffers data until a route exists, floods
+//!   RREQs on demand, switches its current route to whichever stored path's
+//!   checking packet arrives first in each round;
+//! * **destination** of a session — replies to the first RREQ immediately,
+//!   stores up to five disjoint paths from later copies, emits periodic
+//!   checking packets along each, deletes paths that produce checking errors,
+//!   and flushes the set when a newer RREQ arrives;
+//! * **intermediate** node — relays only the first copy of each RREQ, builds
+//!   reverse routes from RREQs and forward routes from RREPs and checking
+//!   packets, forwards data hop-by-hop, and reports broken links upstream.
+
+use crate::config::MtsConfig;
+use crate::path_set::PathSet;
+use crate::source_state::{CheckArrival, SourceRouteState};
+use manet_netsim::{Ctx, Duration, SimTime, TimerToken};
+use manet_routing::agent::{RoutingAgent, RoutingStats, TimerClass};
+use manet_routing::common::{PacketBuffer, SeenTable};
+use manet_routing::table::RoutingTable;
+use manet_wire::{
+    BroadcastId, CheckError, CheckId, DataPacket, NetPacket, NodeId, RouteCheck, RouteError,
+    RouteReply, RouteRequest, SeqNo,
+};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Destination-side session state (per source that talks to this node).
+#[derive(Debug)]
+struct DestinationSession {
+    paths: PathSet,
+    next_check_id: CheckId,
+    /// Generation guard for the periodic checking timer.
+    timer_generation: u64,
+    /// Checking is running for this session.
+    checking_active: bool,
+}
+
+/// Source-side discovery state (per destination this node talks to).
+#[derive(Debug, Clone)]
+struct PendingDiscovery {
+    attempts: u32,
+    generation: u64,
+}
+
+/// One node's MTS agent.
+pub struct Mts {
+    me: NodeId,
+    config: MtsConfig,
+    /// Hop-by-hop routes: forward entries towards destinations (from RREPs and
+    /// checking packets) and reverse entries towards sources (from RREQs).
+    table: RoutingTable,
+    seen: SeenTable,
+    buffer: PacketBuffer,
+    own_seqno: SeqNo,
+    next_broadcast_id: BroadcastId,
+    /// Source-side adaptive route state, per destination.
+    sources: HashMap<NodeId, SourceRouteState>,
+    /// Destination-side sessions, per talking source.
+    sessions: HashMap<NodeId, DestinationSession>,
+    pending: HashMap<NodeId, PendingDiscovery>,
+    /// Per-destination hold-down after a failed discovery (exponential-backoff
+    /// style damping, as real DSR/AODV implementations apply): no new flood is
+    /// started for the destination before this time.
+    holddown: HashMap<NodeId, manet_netsim::SimTime>,
+    timer_generation: u64,
+    stats: RoutingStats,
+}
+
+impl Mts {
+    /// Create the agent for node `me`.
+    pub fn new(me: NodeId, config: MtsConfig) -> Self {
+        config.validate().expect("invalid MTS configuration");
+        Mts {
+            me,
+            buffer: PacketBuffer::new(config.buffer_capacity, config.buffer_max_age),
+            config,
+            table: RoutingTable::new(),
+            seen: SeenTable::default(),
+            own_seqno: SeqNo(0),
+            next_broadcast_id: BroadcastId(0),
+            sources: HashMap::new(),
+            sessions: HashMap::new(),
+            pending: HashMap::new(),
+            holddown: HashMap::new(),
+            timer_generation: 0,
+            stats: RoutingStats::default(),
+        }
+    }
+
+    /// The node this agent runs on.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &MtsConfig {
+        &self.config
+    }
+
+    /// Source-side route state towards `dest` (tests / diagnostics).
+    pub fn source_state(&self, dest: NodeId) -> Option<&SourceRouteState> {
+        self.sources.get(&dest)
+    }
+
+    /// Number of disjoint paths currently stored for traffic coming from
+    /// `source` (only meaningful at a destination node).
+    pub fn stored_paths_for(&self, source: NodeId) -> usize {
+        self.sessions.get(&source).map_or(0, |s| s.paths.len())
+    }
+
+    /// Total number of route switches performed as a source.
+    pub fn route_switches(&self) -> u64 {
+        self.sources.values().map(|s| s.switches()).sum()
+    }
+
+    // ---- source side -----------------------------------------------------------
+
+    fn start_discovery(&mut self, ctx: &mut Ctx<'_>, dest: NodeId) {
+        if self.pending.contains_key(&dest) {
+            return;
+        }
+        if let Some(&until) = self.holddown.get(&dest) {
+            if ctx.now() < until {
+                return; // recent discovery failed; damp the flood rate
+            }
+        }
+        self.timer_generation += 1;
+        let generation = self.timer_generation;
+        self.pending.insert(dest, PendingDiscovery { attempts: 1, generation });
+        self.emit_rreq(ctx, dest);
+        ctx.schedule_timer(
+            Duration::from_secs(self.config.discovery_timeout),
+            TimerClass::Routing.token(generation),
+        );
+    }
+
+    fn emit_rreq(&mut self, ctx: &mut Ctx<'_>, dest: NodeId) {
+        self.own_seqno.bump();
+        let bid = self.next_broadcast_id;
+        self.next_broadcast_id = bid.next();
+        let rreq = RouteRequest {
+            source: self.me,
+            destination: dest,
+            broadcast_id: bid,
+            hop_count: 0,
+            route: Vec::new(),
+            dest_seqno: self.table.entry(dest).map(|e| e.dest_seqno).unwrap_or(SeqNo(0)),
+            source_seqno: self.own_seqno,
+        };
+        let now = ctx.now();
+        self.seen.first_time(self.me, dest, bid, now);
+        self.stats.discoveries += 1;
+        self.stats.rreq_tx += 1;
+        ctx.send_broadcast(NetPacket::Rreq(rreq));
+    }
+
+    /// Route a data packet we originate: current best route, striped route
+    /// (ablation), fall back to the routing table, or buffer + discover.
+    fn originate_data(&mut self, ctx: &mut Ctx<'_>, mut packet: DataPacket) {
+        let now = ctx.now();
+        let dst = packet.dst;
+        let next = {
+            let state = self.sources.entry(dst).or_default();
+            if self.config.concurrent_striping {
+                state.striped_next_hop()
+            } else {
+                state.next_hop()
+            }
+        }
+        .or_else(|| self.table.lookup(dst, now).map(|e| e.next_hop));
+        match next {
+            Some(next_hop) => {
+                packet.hop_count += 1;
+                self.table.refresh(dst, self.config.route_lifetime, now);
+                ctx.send_unicast(next_hop, NetPacket::Data(packet));
+            }
+            None => {
+                self.buffer.push(dst, packet, now);
+                self.start_discovery(ctx, dst);
+            }
+        }
+    }
+
+    fn flush_buffered(&mut self, ctx: &mut Ctx<'_>, dest: NodeId) {
+        let now = ctx.now();
+        let packets = self.buffer.drain(dest, now);
+        for p in packets {
+            self.originate_data(ctx, p);
+        }
+    }
+
+    // ---- intermediate forwarding -------------------------------------------------
+
+    fn forward_data(&mut self, ctx: &mut Ctx<'_>, mut packet: DataPacket, _from: NodeId) {
+        let now = ctx.now();
+        match self.table.lookup(packet.dst, now) {
+            Some(entry) => {
+                let next = entry.next_hop;
+                self.table.refresh(packet.dst, self.config.route_lifetime, now);
+                packet.hop_count += 1;
+                self.stats.data_forwarded += 1;
+                ctx.send_unicast(next, NetPacket::Data(packet));
+            }
+            None => {
+                // No forward route: report towards the source so it can
+                // rediscover (paper §III-E).
+                self.stats.data_dropped_no_route += 1;
+                self.send_rerr_towards_source(ctx, packet.src, packet.dst);
+            }
+        }
+    }
+
+    fn send_rerr_towards_source(&mut self, ctx: &mut Ctx<'_>, source: NodeId, dest: NodeId) {
+        let now = ctx.now();
+        let rerr = RouteError {
+            reporter: self.me,
+            broken_next_hop: dest,
+            unreachable: vec![dest],
+            dest_seqnos: vec![self.table.entry(dest).map(|e| e.dest_seqno).unwrap_or(SeqNo(0))],
+        };
+        self.stats.rerr_tx += 1;
+        if source == self.me {
+            return;
+        }
+        if let Some(entry) = self.table.lookup(source, now) {
+            ctx.send_unicast(entry.next_hop, NetPacket::Rerr(rerr));
+        } else {
+            ctx.send_broadcast(NetPacket::Rerr(rerr));
+        }
+    }
+
+    // ---- RREQ / RREP handling ------------------------------------------------------
+
+    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, from: NodeId, mut rreq: RouteRequest) {
+        let now = ctx.now();
+        if rreq.source == self.me {
+            return; // our own flood echoed back
+        }
+        let first_copy = self.seen.first_time(rreq.source, rreq.destination, rreq.broadcast_id, now);
+
+        // Reverse route to the source through `from` (built from every copy —
+        // the paper stresses that copies are not simply discarded, so the
+        // destination and the intermediates can construct reverse paths).
+        self.table.update(
+            rreq.source,
+            from,
+            rreq.hop_count + 1,
+            rreq.source_seqno,
+            self.config.route_lifetime,
+            now,
+        );
+
+        if rreq.destination == self.me {
+            // Destination role: every copy is considered for the disjoint set.
+            self.handle_rreq_as_destination(ctx, from, &rreq, first_copy);
+            return;
+        }
+        if !first_copy {
+            return; // intermediate nodes relay only the first copy
+        }
+        // Intermediate: never reply from cache (paper §II: intermediate nodes
+        // are not allowed to send RREPs) — just relay.
+        rreq.hop_count += 1;
+        rreq.route.push(self.me);
+        self.stats.rreq_tx += 1;
+        ctx.send_broadcast(NetPacket::Rreq(rreq));
+    }
+
+    fn handle_rreq_as_destination(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        rreq: &RouteRequest,
+        first_copy: bool,
+    ) {
+        let now = ctx.now();
+        let source = rreq.source;
+        let full_path = {
+            let mut p = rreq.path_from_source();
+            p.push(self.me);
+            p
+        };
+        let max_paths = self.config.max_paths;
+        let session = self.sessions.entry(source).or_insert_with(|| DestinationSession {
+            paths: PathSet::new(max_paths),
+            next_check_id: CheckId(0),
+            timer_generation: 0,
+            checking_active: false,
+        });
+        // Newer floods flush the stored set inside `offer`; every copy is a
+        // candidate for the disjoint set.
+        let stored = session.paths.offer(rreq.broadcast_id, full_path, now);
+        let _ = stored;
+
+        if first_copy {
+            // Reply immediately to the first copy (paper §III-B).
+            self.own_seqno.bump();
+            let rrep = RouteReply {
+                source,
+                destination: self.me,
+                reply_id: rreq.broadcast_id,
+                hop_count: 0,
+                route: rreq.route.clone(),
+                dest_seqno: self.own_seqno,
+            };
+            self.stats.rrep_tx += 1;
+            ctx.send_unicast(from, NetPacket::Rrep(rrep));
+            // Make sure periodic route checking runs for this session.
+            self.ensure_checking_timer(ctx, source);
+        }
+    }
+
+    fn handle_rrep(&mut self, ctx: &mut Ctx<'_>, from: NodeId, mut rrep: RouteReply) {
+        let now = ctx.now();
+        // Forward route to the destination through `from`.
+        self.table.update(
+            rrep.destination,
+            from,
+            rrep.hop_count + 1,
+            rrep.dest_seqno,
+            self.config.route_lifetime,
+            now,
+        );
+        if rrep.source == self.me {
+            // Initial route for this session.
+            self.pending.remove(&rrep.destination);
+            self.holddown.remove(&rrep.destination);
+            let state = self.sources.entry(rrep.destination).or_default();
+            state.install_initial(from, rrep.full_path());
+            self.stats.route_switches += 1;
+            self.flush_buffered(ctx, rrep.destination);
+            return;
+        }
+        // Forward towards the source along the reverse route.
+        if let Some(entry) = self.table.lookup(rrep.source, now) {
+            let next = entry.next_hop;
+            rrep.hop_count += 1;
+            self.stats.rrep_tx += 1;
+            ctx.send_unicast(next, NetPacket::Rrep(rrep));
+        }
+    }
+
+    // ---- route checking (destination -> source) -------------------------------------
+
+    fn ensure_checking_timer(&mut self, ctx: &mut Ctx<'_>, source: NodeId) {
+        let Some(session) = self.sessions.get_mut(&source) else { return };
+        if session.checking_active {
+            return;
+        }
+        session.checking_active = true;
+        self.timer_generation += 1;
+        session.timer_generation = self.timer_generation;
+        let jitter = if self.config.check_jitter > 0.0 {
+            ctx.rng().gen_range(0.0..self.config.check_jitter)
+        } else {
+            0.0
+        };
+        let delay = Duration::from_secs(self.config.check_period + jitter);
+        ctx.schedule_timer(delay, TimerClass::RoutingAux.token(session.timer_generation));
+    }
+
+    /// Emit one round of checking packets for the session with `source`.
+    fn run_check_round(&mut self, ctx: &mut Ctx<'_>, source: NodeId) {
+        let now = ctx.now();
+        let Some(session) = self.sessions.get_mut(&source) else { return };
+        let check_id = session.next_check_id;
+        session.next_check_id = check_id.next();
+        // Collect (path_index, neighbour, intermediates) for each stored path.
+        let mut to_send = Vec::new();
+        for (idx, stored) in session.paths.paths().iter().enumerate() {
+            let full = &stored.full_path;
+            // The neighbour of the destination on this path (previous node).
+            let neighbour = if full.len() >= 2 { full[full.len() - 2] } else { continue };
+            let intermediates: Vec<NodeId> = stored.intermediates().to_vec();
+            to_send.push((idx as u8, neighbour, intermediates));
+        }
+        for (path_index, neighbour, intermediates) in to_send {
+            let check = RouteCheck {
+                source,
+                destination: self.me,
+                check_id,
+                hop_count: 0,
+                path: intermediates,
+                path_index,
+            };
+            self.stats.check_tx += 1;
+            if neighbour == source {
+                // Single-hop path: the checking packet goes straight to the source.
+                ctx.send_unicast(source, NetPacket::Check(check));
+            } else {
+                ctx.send_unicast(neighbour, NetPacket::Check(check));
+            }
+        }
+        // Re-arm the periodic timer.
+        let Some(session) = self.sessions.get_mut(&source) else { return };
+        self.timer_generation += 1;
+        session.timer_generation = self.timer_generation;
+        let jitter = if self.config.check_jitter > 0.0 {
+            ctx.rng().gen_range(0.0..self.config.check_jitter)
+        } else {
+            0.0
+        };
+        let delay = Duration::from_secs(self.config.check_period + jitter);
+        ctx.schedule_timer(delay, TimerClass::RoutingAux.token(session.timer_generation));
+        let _ = now;
+    }
+
+    fn handle_check(&mut self, ctx: &mut Ctx<'_>, from: NodeId, mut check: RouteCheck) {
+        let now = ctx.now();
+        // Cache the checking id as the entry id of the forward route towards
+        // the destination (paper §III-D): `from` is one hop closer to the
+        // destination, so it becomes our next hop for data.
+        self.table.update(
+            check.destination,
+            from,
+            check.hop_count + 1,
+            SeqNo(check.check_id.0),
+            self.config.route_lifetime,
+            now,
+        );
+        if check.source == self.me {
+            // We are the session source: first arrival of a round wins.
+            let state = self.sources.entry(check.destination).or_default();
+            let mut full_path = vec![check.source];
+            full_path.extend_from_slice(&check.path);
+            full_path.push(check.destination);
+            let switched = state.on_check_arrival(CheckArrival {
+                round: check.check_id,
+                next_hop: from,
+                path: full_path,
+                at: now,
+            });
+            if switched {
+                self.stats.route_switches += 1;
+            }
+            // Any traffic waiting for a route can go now.
+            self.flush_buffered(ctx, check.destination);
+            return;
+        }
+        // Intermediate node on the checked path: forward towards the source.
+        // The node list excludes the endpoints and is ordered source -> dest;
+        // the next hop towards the source is the previous entry (or the source
+        // itself if we are the first intermediate).
+        let next_towards_source = match check.path.iter().position(|&n| n == self.me) {
+            Some(0) => Some(check.source),
+            Some(i) => Some(check.path[i - 1]),
+            None => None,
+        };
+        match next_towards_source {
+            Some(next) => {
+                check.hop_count += 1;
+                self.stats.check_tx += 1;
+                ctx.send_unicast(next, NetPacket::Check(check));
+            }
+            None => {
+                // We are not on the listed path (stale list); report the path
+                // as broken so the destination can drop it.
+                self.send_check_error(ctx, &check);
+            }
+        }
+    }
+
+    fn send_check_error(&mut self, ctx: &mut Ctx<'_>, check: &RouteCheck) {
+        let now = ctx.now();
+        let err = CheckError {
+            reporter: self.me,
+            destination: check.destination,
+            source: check.source,
+            check_id: check.check_id,
+            path_index: check.path_index,
+        };
+        self.stats.check_err_tx += 1;
+        if let Some(entry) = self.table.lookup(check.destination, now) {
+            ctx.send_unicast(entry.next_hop, NetPacket::CheckErr(err));
+        } else {
+            ctx.send_broadcast(NetPacket::CheckErr(err));
+        }
+    }
+
+    fn handle_check_error(&mut self, ctx: &mut Ctx<'_>, err: CheckError) {
+        let now = ctx.now();
+        if err.destination == self.me {
+            // Delete the failed path (paper §III-D) and, if any path remains,
+            // keep checking; otherwise the next RREQ will rebuild the set.
+            if let Some(session) = self.sessions.get_mut(&err.source) {
+                let idx = err.path_index as usize;
+                if session.paths.remove(idx).is_none() {
+                    // Index no longer valid (set already changed); nothing to do.
+                }
+            }
+            return;
+        }
+        // Forward towards the destination.
+        if let Some(entry) = self.table.lookup(err.destination, now) {
+            self.stats.check_err_tx += 1;
+            ctx.send_unicast(entry.next_hop, NetPacket::CheckErr(err));
+        }
+    }
+
+    // ---- errors / link failures -------------------------------------------------------
+
+    fn handle_rerr(&mut self, ctx: &mut Ctx<'_>, from: NodeId, rerr: RouteError) {
+        let now = ctx.now();
+        let mut lost_any = false;
+        for (dest, seqno) in rerr.unreachable.iter().zip(rerr.dest_seqnos.iter()) {
+            if self.table.invalidate_dest_via(*dest, from, *seqno) {
+                lost_any = true;
+            }
+            // A source whose current route went through `from` must rediscover.
+            if let Some(state) = self.sources.get_mut(dest) {
+                if state.invalidate_via(from) {
+                    self.stats.route_switches += 1;
+                    self.start_discovery(ctx, *dest);
+                }
+            }
+        }
+        if lost_any {
+            // Keep propagating towards any affected sources we route for.
+            let rerr_fwd = RouteError { reporter: self.me, ..rerr };
+            self.stats.rerr_tx += 1;
+            ctx.send_broadcast(NetPacket::Rerr(rerr_fwd));
+        }
+        let _ = now;
+    }
+}
+
+impl RoutingAgent for Mts {
+    fn name(&self) -> &'static str {
+        "MTS"
+    }
+
+    fn start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn send_data(&mut self, ctx: &mut Ctx<'_>, packet: DataPacket) {
+        self.originate_data(ctx, packet);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) -> Vec<DataPacket> {
+        match packet {
+            NetPacket::Rreq(r) => {
+                self.handle_rreq(ctx, from, r);
+                Vec::new()
+            }
+            NetPacket::Rrep(r) => {
+                self.handle_rrep(ctx, from, r);
+                Vec::new()
+            }
+            NetPacket::Rerr(r) => {
+                self.handle_rerr(ctx, from, r);
+                Vec::new()
+            }
+            NetPacket::Check(c) => {
+                self.handle_check(ctx, from, c);
+                Vec::new()
+            }
+            NetPacket::CheckErr(e) => {
+                self.handle_check_error(ctx, e);
+                Vec::new()
+            }
+            NetPacket::Data(d) => {
+                if d.dst == self.me {
+                    vec![d]
+                } else if d.src == self.me {
+                    // Our own packet bounced back (rare, stale routes): re-route.
+                    self.originate_data(ctx, d);
+                    Vec::new()
+                } else {
+                    self.forward_data(ctx, d, from);
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if TimerClass::RoutingAux.owns(token) {
+            // Periodic checking timer: find the session it belongs to.
+            let generation = token.payload();
+            let source = self
+                .sessions
+                .iter()
+                .find(|(_, s)| s.timer_generation == generation && s.checking_active)
+                .map(|(src, _)| *src);
+            if let Some(source) = source {
+                self.run_check_round(ctx, source);
+            }
+            return;
+        }
+        if !TimerClass::Routing.owns(token) {
+            return;
+        }
+        // Discovery retry timer.
+        let generation = token.payload();
+        let now = ctx.now();
+        let dest = self
+            .pending
+            .iter()
+            .find(|(_, p)| p.generation == generation)
+            .map(|(d, _)| *d);
+        let Some(dest) = dest else { return };
+        let have_route = self
+            .sources
+            .get(&dest)
+            .and_then(|s| s.next_hop())
+            .is_some()
+            || self.table.lookup(dest, now).is_some();
+        if have_route {
+            self.pending.remove(&dest);
+            self.flush_buffered(ctx, dest);
+            return;
+        }
+        let attempts = self.pending.get(&dest).map(|p| p.attempts).unwrap_or(0);
+        if attempts >= self.config.discovery_retries {
+            self.pending.remove(&dest);
+            self.holddown
+                .insert(dest, now + Duration::from_secs(5.0));
+            let dropped = self.buffer.discard(dest);
+            self.stats.data_dropped_no_route += dropped as u64;
+            return;
+        }
+        self.timer_generation += 1;
+        let generation = self.timer_generation;
+        if let Some(p) = self.pending.get_mut(&dest) {
+            p.attempts += 1;
+            p.generation = generation;
+        }
+        self.emit_rreq(ctx, dest);
+        ctx.schedule_timer(
+            Duration::from_secs(self.config.discovery_timeout),
+            TimerClass::Routing.token(generation),
+        );
+    }
+
+    fn on_link_failure(&mut self, ctx: &mut Ctx<'_>, next_hop: NodeId, packet: NetPacket) {
+        let now = ctx.now();
+        // MAC feedback: the downstream node is gone (paper §III-E).
+        let broken = self.table.invalidate_via(next_hop);
+        match packet {
+            NetPacket::Data(d) => {
+                if d.src == self.me {
+                    // We are the session source: forget the broken route,
+                    // buffer the packet and rediscover.
+                    if let Some(state) = self.sources.get_mut(&d.dst) {
+                        state.invalidate_via(next_hop);
+                    }
+                    let dst = d.dst;
+                    self.buffer.push(dst, d, now);
+                    self.start_discovery(ctx, dst);
+                } else {
+                    // Intermediate: notify upstream towards the source.
+                    self.send_rerr_towards_source(ctx, d.src, d.dst);
+                }
+            }
+            NetPacket::Check(c) => {
+                // A checking packet could not be forwarded: tell the
+                // destination so it deletes the path (paper §III-D).
+                self.send_check_error(ctx, &c);
+            }
+            NetPacket::Rrep(_) | NetPacket::Rerr(_) | NetPacket::CheckErr(_) | NetPacket::Rreq(_) => {
+                // Control packet lost; rely on retries / the next round.
+            }
+        }
+        if !broken.is_empty() {
+            let rerr = RouteError {
+                reporter: self.me,
+                broken_next_hop: next_hop,
+                unreachable: broken.iter().map(|(d, _)| *d).collect(),
+                dest_seqnos: broken.iter().map(|(_, s)| *s).collect(),
+            };
+            self.stats.rerr_tx += 1;
+            ctx.send_broadcast(NetPacket::Rerr(rerr));
+        }
+    }
+
+    fn stats(&self) -> RoutingStats {
+        self.stats
+    }
+}
+
+/// Convenience constructor used by the experiment harness and examples.
+pub fn mts_with_defaults(me: NodeId) -> Mts {
+    Mts::new(me, MtsConfig::default())
+}
+
+/// Internal helper: current time shorthand for doc-tests of this module.
+#[allow(dead_code)]
+fn _doc_now() -> SimTime {
+    SimTime::ZERO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_config() {
+        let m = Mts::new(NodeId(1), MtsConfig::default());
+        assert_eq!(m.name(), "MTS");
+        assert_eq!(m.me(), NodeId(1));
+        assert_eq!(m.config().max_paths, 5);
+        assert_eq!(m.route_switches(), 0);
+        assert_eq!(m.stored_paths_for(NodeId(0)), 0);
+        assert!(m.source_state(NodeId(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MTS configuration")]
+    fn invalid_config_panics() {
+        let _ = Mts::new(NodeId(0), MtsConfig { max_paths: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the MTS core data structures: the disjointness
+//! rule and the destination's path set.
+
+use manet_netsim::SimTime;
+use manet_wire::{BroadcastId, NodeId};
+use mts_core::disjoint::{first_last_hop_disjoint, has_loop, node_disjoint};
+use mts_core::PathSet;
+use proptest::prelude::*;
+
+/// A random loop-free path from node 0 (source) to node 999 (destination)
+/// through distinct intermediates drawn from 1..=200.
+fn arb_path() -> impl Strategy<Value = Vec<NodeId>> {
+    proptest::collection::btree_set(1u16..=200, 1..8).prop_map(|set| {
+        let mut p = vec![NodeId(0)];
+        p.extend(set.into_iter().map(NodeId));
+        p.push(NodeId(999));
+        p
+    })
+}
+
+proptest! {
+    /// The first/last-hop rule is symmetric.
+    #[test]
+    fn disjoint_rule_is_symmetric(a in arb_path(), b in arb_path()) {
+        prop_assert_eq!(first_last_hop_disjoint(&a, &b), first_last_hop_disjoint(&b, &a));
+    }
+
+    /// A path is never disjoint from itself.
+    #[test]
+    fn path_is_not_disjoint_from_itself(a in arb_path()) {
+        prop_assert!(!first_last_hop_disjoint(&a, &a));
+    }
+
+    /// Node-disjoint paths (no shared intermediates) always pass the
+    /// first/last-hop rule too.
+    #[test]
+    fn node_disjoint_implies_first_last_hop_disjoint(a in arb_path(), b in arb_path()) {
+        if node_disjoint(&a, &b) && a.len() > 2 && b.len() > 2 {
+            prop_assert!(first_last_hop_disjoint(&a, &b));
+        }
+    }
+
+    /// Paths built from a set of distinct intermediates never contain loops.
+    #[test]
+    fn generated_paths_are_loop_free(a in arb_path()) {
+        prop_assert!(!has_loop(&a));
+    }
+
+    /// The path set never exceeds its capacity, never stores duplicates, and
+    /// every stored pair is mutually disjoint under the first/last-hop rule.
+    #[test]
+    fn path_set_invariants(
+        paths in proptest::collection::vec(arb_path(), 1..30),
+        max_paths in 1usize..6,
+    ) {
+        let mut set = PathSet::new(max_paths);
+        for (i, p) in paths.iter().enumerate() {
+            let _ = set.offer(BroadcastId(1), p.clone(), SimTime::from_secs(i as f64));
+        }
+        prop_assert!(set.len() <= max_paths);
+        let stored = set.paths();
+        for i in 0..stored.len() {
+            for j in (i + 1)..stored.len() {
+                prop_assert!(
+                    first_last_hop_disjoint(&stored[i].full_path, &stored[j].full_path),
+                    "stored paths {i} and {j} are not disjoint"
+                );
+                prop_assert_ne!(&stored[i].full_path, &stored[j].full_path);
+            }
+        }
+    }
+
+    /// A newer flood always flushes the stored set: afterwards every stored
+    /// path belongs to the newest broadcast id offered.
+    #[test]
+    fn newer_flood_flushes(
+        old_paths in proptest::collection::vec(arb_path(), 1..6),
+        new_path in arb_path(),
+    ) {
+        let mut set = PathSet::new(5);
+        for p in &old_paths {
+            let _ = set.offer(BroadcastId(1), p.clone(), SimTime::ZERO);
+        }
+        let stored_before = set.len();
+        prop_assert!(stored_before >= 1);
+        let accepted = set.offer(BroadcastId(2), new_path.clone(), SimTime::from_secs(1.0));
+        prop_assert!(accepted);
+        prop_assert_eq!(set.len(), 1);
+        prop_assert_eq!(set.flood(), Some(BroadcastId(2)));
+        prop_assert_eq!(&set.paths()[0].full_path, &new_path);
+    }
+}

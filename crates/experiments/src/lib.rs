@@ -1,0 +1,32 @@
+//! # manet-experiments
+//!
+//! The experiment harness that reproduces the paper's evaluation (Section IV):
+//!
+//! * [`protocol`] — the protocol selector (DSR / AODV / MTS) and agent factory.
+//! * [`stack`] — the per-node protocol stack gluing a routing agent to the
+//!   TCP Reno endpoints and to the recorder.
+//! * [`scenario`] — scenario construction: the paper's environment (50 nodes,
+//!   1000 m × 1000 m, 250 m range, random waypoint with 1 s pause, one bulk
+//!   TCP flow, one random eavesdropper, 200 s), plus custom scenarios for the
+//!   examples and tests.
+//! * [`metrics`] — per-run metric extraction: the security metrics (Figs. 5–7,
+//!   Table I) and the TCP metrics (Figs. 8–11).
+//! * [`runner`] — single-run execution and the rayon-parallel sweep over
+//!   protocol × speed × seed.
+//! * [`figures`] — one generator per paper figure/table, returning the same
+//!   rows/series the paper plots.
+//! * [`report`] — plain-text rendering of figures and sweep results.
+
+pub mod figures;
+pub mod metrics;
+pub mod protocol;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod stack;
+
+pub use figures::{FigureId, FigurePoint, FigureSeries};
+pub use metrics::RunMetrics;
+pub use protocol::Protocol;
+pub use runner::{run_scenario, sweep, AggregatedPoint, SweepOutcome, SweepSpec};
+pub use scenario::{Scenario, TrafficFlow};

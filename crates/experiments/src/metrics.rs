@@ -1,0 +1,188 @@
+//! Per-run metric extraction.
+//!
+//! Combines the simulator's recorder, the security metrics and the TCP
+//! statistics into one [`RunMetrics`] value covering every quantity the
+//! paper's figures plot.
+
+use crate::scenario::Scenario;
+use crate::stack::TcpRunStats;
+use manet_netsim::Recorder;
+use manet_security::{
+    interception::summarize, participating_nodes, relay_distribution, RelayDistribution,
+};
+use serde::{Deserialize, Serialize};
+
+/// Every metric the paper's evaluation reports, for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunMetrics {
+    // --- security (Figs. 5-7, Table I) -----------------------------------------
+    /// Number of intermediate nodes that relayed at least one data packet (Fig. 5).
+    pub participating_nodes: usize,
+    /// Standard deviation of the normalized relay shares (Fig. 6).
+    pub relay_std_dev: f64,
+    /// Interception ratio of the designated (random) eavesdropper (Eq. 1).
+    pub interception_ratio: f64,
+    /// Highest interception ratio over all candidate nodes (Fig. 7).
+    pub highest_interception_ratio: f64,
+
+    // --- TCP performance (Figs. 8-11) -------------------------------------------
+    /// Mean end-to-end delay of delivered data packets, seconds (Fig. 8).
+    pub mean_delay: f64,
+    /// Throughput: unique data packets delivered to the destination (Fig. 9).
+    pub throughput_packets: u64,
+    /// Throughput in application payload bytes per second of simulated time.
+    pub throughput_bytes_per_sec: f64,
+    /// Delivery rate: delivered / generated data packets (Fig. 10).
+    pub delivery_rate: f64,
+    /// Control overhead: routing packets transmitted, all hops counted (Fig. 11).
+    pub control_overhead: u64,
+
+    // --- supporting detail -------------------------------------------------------
+    /// Data packets generated at the source (including TCP retransmissions).
+    pub data_packets_generated: u64,
+    /// Bytes acknowledged end-to-end by TCP.
+    pub tcp_bytes_acked: u64,
+    /// TCP retransmissions.
+    pub tcp_retransmissions: u64,
+    /// TCP retransmission timeouts.
+    pub tcp_timeouts: u64,
+    /// Out-of-order arrivals at the TCP sink.
+    pub tcp_out_of_order: u64,
+    /// Route switches performed by the sender's routing agent.
+    pub route_switches: u64,
+    /// MAC-level collisions observed.
+    pub mac_collisions: u64,
+    /// MAC-level link failures (retry limit exhausted).
+    pub link_failures: u64,
+}
+
+impl RunMetrics {
+    /// Extract the metrics of a finished run.
+    pub fn extract(scenario: &Scenario, recorder: &Recorder, tcp: &TcpRunStats) -> Self {
+        let endpoints = scenario.endpoints();
+        let interception = summarize(
+            recorder,
+            scenario.sim.num_nodes,
+            &endpoints,
+            scenario.eavesdropper,
+        );
+        let distribution = relay_distribution(recorder);
+        let duration = scenario.sim.duration.as_secs();
+        let generated = recorder.originated_data_packets();
+        let delivered = recorder.delivered_data_packets();
+        RunMetrics {
+            participating_nodes: participating_nodes(recorder),
+            relay_std_dev: distribution.std_dev,
+            interception_ratio: interception.designated_ratio,
+            highest_interception_ratio: interception.highest_ratio,
+            mean_delay: recorder.mean_delay_secs(),
+            throughput_packets: delivered,
+            throughput_bytes_per_sec: if duration > 0.0 {
+                recorder.delivered_payload_bytes() as f64 / duration
+            } else {
+                0.0
+            },
+            delivery_rate: if generated == 0 { 0.0 } else { delivered as f64 / generated as f64 },
+            control_overhead: recorder.control_transmissions(),
+            data_packets_generated: generated,
+            tcp_bytes_acked: tcp.bytes_acked,
+            tcp_retransmissions: tcp.retransmissions,
+            tcp_timeouts: tcp.timeouts,
+            tcp_out_of_order: tcp.out_of_order,
+            route_switches: tcp.route_switches,
+            mac_collisions: recorder.collisions(),
+            link_failures: recorder.link_failures(),
+        }
+    }
+
+    /// The full relay-share table (Table I) for a finished run.
+    pub fn relay_table(recorder: &Recorder) -> RelayDistribution {
+        relay_distribution(recorder)
+    }
+
+    /// Average several runs' metrics component-wise (the paper averages five
+    /// repetitions per point).
+    pub fn average(runs: &[RunMetrics]) -> RunMetrics {
+        if runs.is_empty() {
+            return RunMetrics::default();
+        }
+        let n = runs.len() as f64;
+        let avg_u = |f: &dyn Fn(&RunMetrics) -> u64| -> u64 {
+            (runs.iter().map(|r| f(r) as f64).sum::<f64>() / n).round() as u64
+        };
+        let avg_f = |f: &dyn Fn(&RunMetrics) -> f64| -> f64 { runs.iter().map(f).sum::<f64>() / n };
+        RunMetrics {
+            participating_nodes: (runs.iter().map(|r| r.participating_nodes as f64).sum::<f64>() / n)
+                .round() as usize,
+            relay_std_dev: avg_f(&|r| r.relay_std_dev),
+            interception_ratio: avg_f(&|r| r.interception_ratio),
+            highest_interception_ratio: avg_f(&|r| r.highest_interception_ratio),
+            mean_delay: avg_f(&|r| r.mean_delay),
+            throughput_packets: avg_u(&|r| r.throughput_packets),
+            throughput_bytes_per_sec: avg_f(&|r| r.throughput_bytes_per_sec),
+            delivery_rate: avg_f(&|r| r.delivery_rate),
+            control_overhead: avg_u(&|r| r.control_overhead),
+            data_packets_generated: avg_u(&|r| r.data_packets_generated),
+            tcp_bytes_acked: avg_u(&|r| r.tcp_bytes_acked),
+            tcp_retransmissions: avg_u(&|r| r.tcp_retransmissions),
+            tcp_timeouts: avg_u(&|r| r.tcp_timeouts),
+            tcp_out_of_order: avg_u(&|r| r.tcp_out_of_order),
+            route_switches: avg_u(&|r| r.route_switches),
+            mac_collisions: avg_u(&|r| r.mac_collisions),
+            link_failures: avg_u(&|r| r.link_failures),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+    use manet_netsim::{SimConfig, SimTime};
+    use manet_wire::{NodeId, PacketId};
+
+    fn small_scenario() -> Scenario {
+        let mut sim = SimConfig::default();
+        sim.num_nodes = 10;
+        Scenario::from_sim(Protocol::Mts, sim)
+    }
+
+    fn recorder_with_traffic() -> Recorder {
+        let mut rec = Recorder::new();
+        for id in 0..10u64 {
+            rec.record_originated(PacketId(id), true, SimTime::ZERO);
+        }
+        for id in 0..8u64 {
+            rec.record_relay(NodeId(3), PacketId(id), true);
+            rec.record_delivered(NodeId(9), PacketId(id), true, 1000, SimTime::from_secs(1.0 + id as f64 * 0.01));
+        }
+        rec.record_tx(NodeId(0), "RREQ", true, 44, SimTime::ZERO);
+        rec
+    }
+
+    #[test]
+    fn extraction_computes_paper_metrics() {
+        let scenario = small_scenario();
+        let rec = recorder_with_traffic();
+        let tcp = TcpRunStats { bytes_acked: 8000, ..Default::default() };
+        let m = RunMetrics::extract(&scenario, &rec, &tcp);
+        assert_eq!(m.participating_nodes, 1);
+        assert_eq!(m.throughput_packets, 8);
+        assert!((m.delivery_rate - 0.8).abs() < 1e-12);
+        assert_eq!(m.control_overhead, 1);
+        assert!(m.mean_delay > 0.9);
+        assert_eq!(m.tcp_bytes_acked, 8000);
+        assert!(m.throughput_bytes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn averaging_is_componentwise() {
+        let a = RunMetrics { participating_nodes: 4, delivery_rate: 0.5, control_overhead: 100, ..Default::default() };
+        let b = RunMetrics { participating_nodes: 8, delivery_rate: 1.0, control_overhead: 300, ..Default::default() };
+        let avg = RunMetrics::average(&[a, b]);
+        assert_eq!(avg.participating_nodes, 6);
+        assert!((avg.delivery_rate - 0.75).abs() < 1e-12);
+        assert_eq!(avg.control_overhead, 200);
+        assert_eq!(RunMetrics::average(&[]), RunMetrics::default());
+    }
+}

@@ -1,0 +1,71 @@
+//! Protocol selection.
+
+use manet_routing::{Aodv, AodvConfig, Dsr, DsrConfig, RoutingAgent};
+use manet_wire::NodeId;
+use mts_core::{Mts, MtsConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The routing protocol a run uses (the paper compares all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Dynamic Source Routing (baseline).
+    Dsr,
+    /// Ad hoc On-demand Distance Vector (baseline).
+    Aodv,
+    /// Multipath TCP Security (the paper's contribution).
+    Mts,
+}
+
+impl Protocol {
+    /// All protocols, in the order the paper lists them.
+    pub const ALL: [Protocol; 3] = [Protocol::Dsr, Protocol::Aodv, Protocol::Mts];
+
+    /// Human-readable name (matches the paper's figure legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Dsr => "DSR",
+            Protocol::Aodv => "AODV",
+            Protocol::Mts => "MTS",
+        }
+    }
+
+    /// Build a routing agent of this protocol for node `me`.
+    ///
+    /// `mts_config` only affects [`Protocol::Mts`]; the baselines use their
+    /// defaults.
+    pub fn build_agent(self, me: NodeId, mts_config: MtsConfig) -> Box<dyn RoutingAgent> {
+        match self {
+            Protocol::Dsr => Box::new(Dsr::new(me, DsrConfig::default())),
+            Protocol::Aodv => Box::new(Aodv::new(me, AodvConfig::default())),
+            Protocol::Mts => Box::new(Mts::new(me, mts_config)),
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(Protocol::Dsr.name(), "DSR");
+        assert_eq!(Protocol::Aodv.name(), "AODV");
+        assert_eq!(Protocol::Mts.name(), "MTS");
+        assert_eq!(Protocol::ALL.len(), 3);
+    }
+
+    #[test]
+    fn factory_builds_matching_agents() {
+        for p in Protocol::ALL {
+            let agent = p.build_agent(NodeId(1), MtsConfig::default());
+            assert_eq!(agent.name(), p.name());
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Run execution and parameter sweeps.
+//!
+//! [`run_scenario`] executes one scenario inside the discrete-event simulator
+//! and extracts its [`RunMetrics`].  [`sweep`] runs the paper's full grid —
+//! protocol × maximum speed × seed — in parallel with rayon (the runs are
+//! independent, so the sweep scales linearly with cores) and averages the
+//! seeds per point, exactly as the paper averages its five repetitions.
+
+use crate::metrics::RunMetrics;
+use crate::protocol::Protocol;
+use crate::scenario::Scenario;
+use crate::stack::{ManetStack, SharedTcpStats, TcpRunStats};
+use manet_netsim::mobility::RandomWaypoint;
+use manet_netsim::{NodeStack, Recorder, Simulator};
+use manet_tcp::TcpConfig;
+use manet_wire::NodeId;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Execute one scenario and return its metrics together with the raw
+/// recorder (the recorder is needed for Table I style relay tables).
+pub fn run_scenario_with_recorder(scenario: &Scenario) -> (RunMetrics, Recorder) {
+    scenario.validate().expect("invalid scenario");
+    let stats: SharedTcpStats = Arc::new(Mutex::new(TcpRunStats::default()));
+    let tcp_config: TcpConfig = scenario.tcp;
+    let stacks: Vec<Box<dyn NodeStack>> = (0..scenario.sim.num_nodes)
+        .map(|i| {
+            let me = NodeId(i);
+            let agent = scenario.protocol.build_agent(me, scenario.mts);
+            let sender_to = scenario.flows.iter().find(|f| f.src == me).map(|f| f.dst);
+            let receiver_from = scenario.flows.iter().find(|f| f.dst == me).map(|f| f.src);
+            Box::new(ManetStack::new(
+                me,
+                agent,
+                sender_to,
+                receiver_from,
+                tcp_config,
+                Arc::clone(&stats),
+            )) as Box<dyn NodeStack>
+        })
+        .collect();
+    let mobility = RandomWaypoint::new(
+        scenario.sim.field_width,
+        scenario.sim.field_height,
+        scenario.sim.mobility,
+    );
+    let sim = Simulator::new(scenario.sim.clone(), Box::new(mobility), stacks);
+    let recorder = sim.run();
+    let tcp_stats = *stats.lock();
+    let metrics = RunMetrics::extract(scenario, &recorder, &tcp_stats);
+    (metrics, recorder)
+}
+
+/// Execute one scenario and return its metrics.
+pub fn run_scenario(scenario: &Scenario) -> RunMetrics {
+    run_scenario_with_recorder(scenario).0
+}
+
+/// Specification of a sweep over the paper's parameter grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Protocols to compare (the paper uses all three).
+    pub protocols: Vec<Protocol>,
+    /// Maximum node speeds, m/s (the paper uses 2, 5, 10, 15, 20).
+    pub speeds: Vec<f64>,
+    /// Seeds (the paper repeats each point five times).
+    pub seeds: Vec<u64>,
+    /// Simulated duration per run, seconds (the paper uses 200 s).
+    pub duration: f64,
+}
+
+impl SweepSpec {
+    /// The paper's full grid: 3 protocols × 5 speeds × 5 seeds × 200 s.
+    pub fn paper() -> Self {
+        SweepSpec {
+            protocols: Protocol::ALL.to_vec(),
+            speeds: vec![2.0, 5.0, 10.0, 15.0, 20.0],
+            seeds: vec![1, 2, 3, 4, 5],
+            duration: 200.0,
+        }
+    }
+
+    /// A scaled-down grid for quick runs (CI, Criterion benches): the same
+    /// protocols and speeds, fewer seeds and a shorter duration.
+    pub fn quick(duration: f64, seeds: u64) -> Self {
+        SweepSpec {
+            protocols: Protocol::ALL.to_vec(),
+            speeds: vec![2.0, 5.0, 10.0, 15.0, 20.0],
+            seeds: (1..=seeds).collect(),
+            duration,
+        }
+    }
+
+    /// Total number of runs in the grid.
+    pub fn total_runs(&self) -> usize {
+        self.protocols.len() * self.speeds.len() * self.seeds.len()
+    }
+}
+
+/// The averaged metrics of one (protocol, speed) grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregatedPoint {
+    /// Routing protocol of this point.
+    pub protocol: Protocol,
+    /// Maximum node speed, m/s.
+    pub max_speed: f64,
+    /// Metrics averaged over the seeds.
+    pub metrics: RunMetrics,
+    /// Per-seed metrics (kept for variance inspection).
+    pub per_seed: Vec<RunMetrics>,
+}
+
+/// Result of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SweepOutcome {
+    /// One aggregated point per (protocol, speed) pair, ordered by protocol
+    /// then speed.
+    pub points: Vec<AggregatedPoint>,
+}
+
+impl SweepOutcome {
+    /// The aggregated point for a (protocol, speed) pair, if present.
+    pub fn point(&self, protocol: Protocol, speed: f64) -> Option<&AggregatedPoint> {
+        self.points
+            .iter()
+            .find(|p| p.protocol == protocol && (p.max_speed - speed).abs() < 1e-9)
+    }
+
+    /// All speeds present, sorted ascending.
+    pub fn speeds(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = Vec::new();
+        for p in &self.points {
+            if !v.iter().any(|s| (s - p.max_speed).abs() < 1e-9) {
+                v.push(p.max_speed);
+            }
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+}
+
+/// Run the sweep, parallelising across independent runs with rayon.
+///
+/// `customize` lets ablation studies adjust each scenario (e.g. a different
+/// MTS checking period) after it is built; pass `|s| s` for the plain paper
+/// configuration.
+pub fn sweep_with<F>(spec: &SweepSpec, customize: F) -> SweepOutcome
+where
+    F: Fn(Scenario) -> Scenario + Sync,
+{
+    // Build the full run list first so rayon can schedule it freely.
+    let mut runs: Vec<(Protocol, f64, u64)> = Vec::with_capacity(spec.total_runs());
+    for &protocol in &spec.protocols {
+        for &speed in &spec.speeds {
+            for &seed in &spec.seeds {
+                runs.push((protocol, speed, seed));
+            }
+        }
+    }
+    let results: Vec<((Protocol, f64), RunMetrics)> = runs
+        .par_iter()
+        .map(|&(protocol, speed, seed)| {
+            let mut scenario = Scenario::paper(protocol, speed, seed);
+            scenario.sim.duration = manet_netsim::Duration::from_secs(spec.duration);
+            let scenario = customize(scenario);
+            let metrics = run_scenario(&scenario);
+            ((protocol, speed), metrics)
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for &protocol in &spec.protocols {
+        for &speed in &spec.speeds {
+            let per_seed: Vec<RunMetrics> = results
+                .iter()
+                .filter(|((p, s), _)| *p == protocol && (*s - speed).abs() < 1e-9)
+                .map(|(_, m)| m.clone())
+                .collect();
+            if per_seed.is_empty() {
+                continue;
+            }
+            points.push(AggregatedPoint {
+                protocol,
+                max_speed: speed,
+                metrics: RunMetrics::average(&per_seed),
+                per_seed,
+            });
+        }
+    }
+    SweepOutcome { points }
+}
+
+/// Run the paper's sweep without customization.
+pub fn sweep(spec: &SweepSpec) -> SweepOutcome {
+    sweep_with(spec, |s| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grids_have_expected_sizes() {
+        assert_eq!(SweepSpec::paper().total_runs(), 3 * 5 * 5);
+        assert_eq!(SweepSpec::quick(20.0, 2).total_runs(), 3 * 5 * 2);
+    }
+
+    #[test]
+    fn single_paper_run_produces_traffic_and_metrics() {
+        // One short MTS run of the full 50-node paper scenario.
+        let mut scenario = Scenario::paper(Protocol::Mts, 5.0, 1);
+        scenario.sim.duration = manet_netsim::Duration::from_secs(15.0);
+        let m = run_scenario(&scenario);
+        assert!(m.data_packets_generated > 0, "the TCP source must generate traffic");
+        assert!(m.control_overhead > 0, "route discovery must produce control packets");
+    }
+
+    #[test]
+    fn tiny_sweep_aggregates_every_grid_point() {
+        let spec = SweepSpec {
+            protocols: vec![Protocol::Aodv, Protocol::Mts],
+            speeds: vec![2.0, 10.0],
+            seeds: vec![1, 2],
+            duration: 10.0,
+        };
+        let outcome = sweep(&spec);
+        assert_eq!(outcome.points.len(), 4);
+        for p in &outcome.points {
+            assert_eq!(p.per_seed.len(), 2);
+        }
+        assert!(outcome.point(Protocol::Mts, 10.0).is_some());
+        assert!(outcome.point(Protocol::Dsr, 10.0).is_none());
+        assert_eq!(outcome.speeds(), vec![2.0, 10.0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Scenario construction.
+//!
+//! A [`Scenario`] bundles everything one simulation run needs: the simulator
+//! configuration (field, mobility, MAC), the routing protocol, the TCP
+//! parameters, the traffic flows and the eavesdropper choice.  The
+//! [`Scenario::paper`] constructor reproduces the environment of Section IV-A.
+
+use crate::protocol::Protocol;
+use manet_netsim::rng::RngStreams;
+use manet_netsim::SimConfig;
+use manet_security::select_eavesdropper;
+use manet_tcp::TcpConfig;
+use manet_wire::NodeId;
+use mts_core::MtsConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One bulk TCP flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficFlow {
+    /// TCP sender node.
+    pub src: NodeId,
+    /// TCP receiver node.
+    pub dst: NodeId,
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Simulator configuration (nodes, field, MAC, mobility, duration, seed).
+    pub sim: SimConfig,
+    /// Routing protocol under test.
+    pub protocol: Protocol,
+    /// MTS parameters (ignored by the baselines).
+    pub mts: MtsConfig,
+    /// TCP Reno parameters.
+    pub tcp: TcpConfig,
+    /// Bulk TCP flows (the paper uses a single flow).
+    pub flows: Vec<TrafficFlow>,
+    /// The designated eavesdropping node (never a traffic endpoint).
+    pub eavesdropper: Option<NodeId>,
+}
+
+impl Scenario {
+    /// The paper's environment: 50 nodes, 1000 m × 1000 m, 250 m range,
+    /// random waypoint (0..max_speed, 1 s pause), one bulk TCP-Reno flow
+    /// between a random source/destination pair, one random intermediate node
+    /// acting as the eavesdropper, 200 s of simulated time.
+    ///
+    /// The traffic endpoints and the eavesdropper are drawn from the
+    /// scenario's own random stream, so two protocols run with the same
+    /// `seed` see the same endpoints and eavesdropper — the paired comparison
+    /// the paper's figures rely on.
+    pub fn paper(protocol: Protocol, max_speed: f64, seed: u64) -> Self {
+        let sim = SimConfig::paper_environment(max_speed, seed);
+        Self::from_sim(protocol, sim)
+    }
+
+    /// Build a scenario from an explicit simulator configuration, drawing the
+    /// endpoints and the eavesdropper from the configuration's seed.
+    pub fn from_sim(protocol: Protocol, sim: SimConfig) -> Self {
+        let mut rngs = RngStreams::new(sim.seed);
+        let scen_rng = rngs.scenario();
+        let n = sim.num_nodes;
+        let src = NodeId(scen_rng.gen_range(0..n));
+        let dst = loop {
+            let d = NodeId(scen_rng.gen_range(0..n));
+            if d != src {
+                break d;
+            }
+        };
+        let eavesdropper = select_eavesdropper(n, &[src, dst], scen_rng);
+        Scenario {
+            sim,
+            protocol,
+            mts: MtsConfig::default(),
+            tcp: TcpConfig::default(),
+            flows: vec![TrafficFlow { src, dst }],
+            eavesdropper,
+        }
+    }
+
+    /// Scenario with explicit flows and no designated eavesdropper (examples,
+    /// tests).
+    pub fn custom(protocol: Protocol, sim: SimConfig, flows: Vec<TrafficFlow>) -> Self {
+        Scenario {
+            sim,
+            protocol,
+            mts: MtsConfig::default(),
+            tcp: TcpConfig::default(),
+            flows,
+            eavesdropper: None,
+        }
+    }
+
+    /// Every node that terminates a TCP flow (excluded from eavesdropping).
+    pub fn endpoints(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.flows.len() * 2);
+        for f in &self.flows {
+            if !v.contains(&f.src) {
+                v.push(f.src);
+            }
+            if !v.contains(&f.dst) {
+                v.push(f.dst);
+            }
+        }
+        v
+    }
+
+    /// Override the MTS configuration (ablation studies).
+    pub fn with_mts_config(mut self, mts: MtsConfig) -> Self {
+        self.mts = mts;
+        self
+    }
+
+    /// Validate the scenario.
+    pub fn validate(&self) -> Result<(), String> {
+        self.sim.validate()?;
+        self.mts.validate()?;
+        self.tcp.validate()?;
+        if self.flows.is_empty() {
+            return Err("scenario needs at least one traffic flow".into());
+        }
+        for f in &self.flows {
+            if f.src == f.dst {
+                return Err(format!("flow endpoints must differ (got {} -> {})", f.src, f.dst));
+            }
+            if f.src.0 >= self.sim.num_nodes || f.dst.0 >= self.sim.num_nodes {
+                return Err("flow endpoints must be valid node ids".into());
+            }
+        }
+        if let Some(e) = self.eavesdropper {
+            if e.0 >= self.sim.num_nodes {
+                return Err("eavesdropper must be a valid node id".into());
+            }
+            if self.endpoints().contains(&e) {
+                return Err("eavesdropper must not be a traffic endpoint".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_matches_section_iv() {
+        let s = Scenario::paper(Protocol::Mts, 10.0, 1);
+        s.validate().unwrap();
+        assert_eq!(s.sim.num_nodes, 50);
+        assert_eq!(s.sim.field_width, 1000.0);
+        assert_eq!(s.sim.radio.range_m, 250.0);
+        assert_eq!(s.sim.mobility.max_speed, 10.0);
+        assert_eq!(s.flows.len(), 1);
+        assert!(s.eavesdropper.is_some());
+        // The eavesdropper is never a traffic endpoint.
+        assert!(!s.endpoints().contains(&s.eavesdropper.unwrap()));
+    }
+
+    #[test]
+    fn same_seed_gives_same_endpoints_across_protocols() {
+        let a = Scenario::paper(Protocol::Dsr, 5.0, 42);
+        let b = Scenario::paper(Protocol::Mts, 5.0, 42);
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.eavesdropper, b.eavesdropper);
+        // Different seed changes the draw (with overwhelming probability).
+        let c = Scenario::paper(Protocol::Mts, 5.0, 43);
+        assert!(c.flows != a.flows || c.eavesdropper != a.eavesdropper);
+    }
+
+    #[test]
+    fn validation_catches_bad_flows() {
+        let mut s = Scenario::paper(Protocol::Aodv, 5.0, 1);
+        s.flows = vec![];
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper(Protocol::Aodv, 5.0, 1);
+        s.flows = vec![TrafficFlow { src: NodeId(1), dst: NodeId(1) }];
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper(Protocol::Aodv, 5.0, 1);
+        s.flows = vec![TrafficFlow { src: NodeId(0), dst: NodeId(200) }];
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper(Protocol::Aodv, 5.0, 1);
+        s.eavesdropper = Some(s.flows[0].src);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn ablation_override_applies() {
+        let s = Scenario::paper(Protocol::Mts, 5.0, 1)
+            .with_mts_config(MtsConfig::with_max_paths(2));
+        assert_eq!(s.mts.max_paths, 2);
+        s.validate().unwrap();
+    }
+}

@@ -1,0 +1,285 @@
+//! The per-node protocol stack used by the paper reproduction runs.
+//!
+//! A [`ManetStack`] glues together, for one node:
+//!
+//! * a routing agent (DSR, AODV or MTS) that moves network packets,
+//! * optionally one TCP Reno sender (if the node is a flow source) and/or
+//!   receiver (if it is a flow destination),
+//! * the per-run recorder (data-packet originations are registered here so
+//!   the delivery-rate metric sees packets even if routing drops them).
+//!
+//! Timer multiplexing uses the [`TimerClass`] namespaces: routing timers go to
+//! the agent, transport timers to the TCP sender.
+
+use manet_netsim::{Ctx, NodeStack, TimerToken};
+use manet_routing::agent::{RoutingAgent, RoutingStats, TimerClass};
+use manet_tcp::{TcpConfig, TcpOutcome, TcpReceiver, TcpSender};
+use manet_wire::{ConnectionId, DataPacket, Frame, NetPacket, NodeId, PacketId, TcpSegment};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Final TCP statistics of one run, filled in by the stacks at run end.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct TcpRunStats {
+    /// Bytes acknowledged end-to-end (sender side).
+    pub bytes_acked: u64,
+    /// Data segments transmitted by the sender (including retransmissions).
+    pub segments_sent: u64,
+    /// Retransmitted segments.
+    pub retransmissions: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Fast retransmits.
+    pub fast_retransmits: u64,
+    /// Data segments received at the sink (including out-of-order duplicates).
+    pub segments_received: u64,
+    /// Distinct in-order bytes delivered to the receiving application.
+    pub bytes_delivered: u64,
+    /// Out-of-order arrivals at the sink.
+    pub out_of_order: u64,
+    /// Route switches performed by the routing layer at the sender.
+    pub route_switches: u64,
+}
+
+/// Shared, thread-safe handle to the run's TCP statistics.
+pub type SharedTcpStats = Arc<Mutex<TcpRunStats>>;
+
+/// Role of a node in the TCP traffic pattern.
+enum TcpRole {
+    /// Bulk sender towards `peer`.
+    Sender { peer: NodeId, sender: Box<TcpSender> },
+    /// Receiving sink; ACKs go back to `peer`.
+    Receiver { peer: NodeId, receiver: Box<TcpReceiver> },
+    /// Pure router.
+    None,
+}
+
+/// The full protocol stack of one node.
+pub struct ManetStack {
+    me: NodeId,
+    agent: Box<dyn RoutingAgent>,
+    role: TcpRole,
+    /// Monotonic counter for globally unique data-packet ids.
+    next_packet: u64,
+    stats: SharedTcpStats,
+}
+
+impl ManetStack {
+    /// Build the stack for node `me`.
+    ///
+    /// `sender_to` / `receiver_from` configure the TCP role; `stats` is the
+    /// shared sink for end-of-run TCP statistics.
+    pub fn new(
+        me: NodeId,
+        agent: Box<dyn RoutingAgent>,
+        sender_to: Option<NodeId>,
+        receiver_from: Option<NodeId>,
+        tcp: TcpConfig,
+        stats: SharedTcpStats,
+    ) -> Self {
+        let conn = ConnectionId(0);
+        let role = match (sender_to, receiver_from) {
+            (Some(peer), _) => TcpRole::Sender { peer, sender: Box::new(TcpSender::new(conn, tcp)) },
+            (None, Some(peer)) => {
+                TcpRole::Receiver { peer, receiver: Box::new(TcpReceiver::new(conn)) }
+            }
+            (None, None) => TcpRole::None,
+        };
+        ManetStack { me, agent, role, next_packet: 0, stats }
+    }
+
+    /// The routing agent's statistics (for tests and reports).
+    pub fn routing_stats(&self) -> RoutingStats {
+        self.agent.stats()
+    }
+
+    fn fresh_packet_id(&mut self) -> PacketId {
+        let id = PacketId((u64::from(self.me.0) << 40) | self.next_packet);
+        self.next_packet += 1;
+        id
+    }
+
+    /// Wrap a TCP segment into a data packet and hand it to the routing agent.
+    fn send_segment(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, segment: TcpSegment) {
+        let id = self.fresh_packet_id();
+        let packet = DataPacket::new(id, self.me, dst, segment);
+        let now = ctx.now();
+        ctx.recorder().record_originated(id, packet.carries_data(), now);
+        self.agent.send_data(ctx, packet);
+    }
+
+    /// Apply a [`TcpOutcome`]: transmit segments and arm the retransmission
+    /// timer.
+    fn apply_outcome(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, outcome: TcpOutcome) {
+        for seg in outcome.segments {
+            self.send_segment(ctx, dst, seg);
+        }
+        if let Some(timer) = outcome.timer {
+            ctx.schedule_timer(timer.delay, TimerClass::Transport.token(timer.generation));
+        }
+    }
+
+    /// Process data packets the routing layer says terminate at this node.
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, packets: Vec<DataPacket>) {
+        for packet in packets {
+            match &mut self.role {
+                TcpRole::Receiver { peer, receiver } => {
+                    if packet.segment.carries_data() {
+                        let ack = receiver.on_segment(&packet.segment);
+                        let peer = *peer;
+                        self.send_segment(ctx, peer, ack);
+                    }
+                    // Pure ACKs arriving at the receiver (e.g. reflected) are ignored.
+                }
+                TcpRole::Sender { peer, sender } => {
+                    if packet.segment.flags.ack && !packet.segment.carries_data() {
+                        let now = ctx.now();
+                        let outcome = sender.on_ack(&packet.segment, now);
+                        let peer = *peer;
+                        self.apply_outcome(ctx, peer, outcome);
+                    }
+                }
+                TcpRole::None => {
+                    // A data packet terminated at a node with no TCP endpoint;
+                    // nothing to do (it still counted as delivered in the
+                    // recorder).
+                }
+            }
+        }
+    }
+}
+
+impl NodeStack for ManetStack {
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.agent.start(ctx);
+        if let TcpRole::Sender { peer, sender } = &mut self.role {
+            let now = ctx.now();
+            let outcome = sender.pump(now);
+            let peer = *peer;
+            self.apply_outcome(ctx, peer, outcome);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if TimerClass::Transport.owns(token) {
+            if let TcpRole::Sender { peer, sender } = &mut self.role {
+                let now = ctx.now();
+                let outcome = sender.on_timer(token.payload(), now);
+                let peer = *peer;
+                self.apply_outcome(ctx, peer, outcome);
+            }
+            return;
+        }
+        // Routing (and RoutingAux) timers go to the agent; unknown classes are
+        // ignored.
+        self.agent.on_timer(ctx, token);
+    }
+
+    fn on_receive(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) {
+        let delivered = self.agent.on_packet(ctx, from, packet);
+        if !delivered.is_empty() {
+            self.deliver(ctx, delivered);
+        }
+    }
+
+    fn on_promiscuous(&mut self, _ctx: &mut Ctx<'_>, _frame: &Frame) {
+        // Promiscuous captures are accounted by the engine's recorder; the
+        // eavesdropper needs no protocol behaviour of its own.
+    }
+
+    fn on_link_failure(&mut self, ctx: &mut Ctx<'_>, next_hop: NodeId, packet: NetPacket) {
+        self.agent.on_link_failure(ctx, next_hop, packet);
+    }
+
+    fn on_run_end(&mut self, _ctx: &mut Ctx<'_>) {
+        let mut stats = self.stats.lock();
+        match &self.role {
+            TcpRole::Sender { sender, .. } => {
+                stats.bytes_acked += sender.bytes_acked();
+                stats.segments_sent += sender.segments_sent();
+                stats.retransmissions += sender.retransmissions();
+                stats.timeouts += sender.timeouts();
+                stats.fast_retransmits += sender.fast_retransmits();
+                stats.route_switches += self.agent.stats().route_switches;
+            }
+            TcpRole::Receiver { receiver, .. } => {
+                let r = receiver.stats();
+                stats.segments_received += r.segments_received;
+                stats.bytes_delivered += r.bytes_delivered;
+                stats.out_of_order += r.out_of_order;
+            }
+            TcpRole::None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+    use manet_netsim::mobility::StaticPlacement;
+    use manet_netsim::{Duration, SimConfig, Simulator};
+    use mts_core::MtsConfig;
+
+    /// Build a 4-node chain with a TCP flow 0 -> 3 under the given protocol
+    /// and return (recorder, tcp stats).
+    fn run_chain(protocol: Protocol, secs: f64) -> (manet_netsim::Recorder, TcpRunStats) {
+        let n = 4u16;
+        let mut sim_cfg = SimConfig::default();
+        sim_cfg.num_nodes = n;
+        sim_cfg.duration = Duration::from_secs(secs);
+        let stats: SharedTcpStats = Arc::new(Mutex::new(TcpRunStats::default()));
+        let stacks: Vec<Box<dyn NodeStack>> = (0..n)
+            .map(|i| {
+                let me = NodeId(i);
+                let agent = protocol.build_agent(me, MtsConfig::default());
+                let sender_to = (i == 0).then_some(NodeId(n - 1));
+                let receiver_from = (i == n - 1).then_some(NodeId(0));
+                Box::new(ManetStack::new(
+                    me,
+                    agent,
+                    sender_to,
+                    receiver_from,
+                    TcpConfig::default(),
+                    Arc::clone(&stats),
+                )) as Box<dyn NodeStack>
+            })
+            .collect();
+        let sim = Simulator::new(sim_cfg, Box::new(StaticPlacement::chain(n as usize, 200.0)), stacks);
+        let recorder = sim.run();
+        let s = *stats.lock();
+        (recorder, s)
+    }
+
+    #[test]
+    fn tcp_over_aodv_transfers_data_on_a_chain() {
+        let (recorder, stats) = run_chain(Protocol::Aodv, 30.0);
+        assert!(stats.bytes_acked > 50_000, "bytes_acked={}", stats.bytes_acked);
+        assert!(stats.bytes_delivered >= stats.bytes_acked / 2);
+        assert!(recorder.delivered_data_packets() > 50);
+        assert!(recorder.mean_delay_secs() > 0.0);
+    }
+
+    #[test]
+    fn tcp_over_dsr_transfers_data_on_a_chain() {
+        let (_recorder, stats) = run_chain(Protocol::Dsr, 30.0);
+        assert!(stats.bytes_acked > 50_000, "bytes_acked={}", stats.bytes_acked);
+    }
+
+    #[test]
+    fn tcp_over_mts_transfers_data_on_a_chain() {
+        let (recorder, stats) = run_chain(Protocol::Mts, 30.0);
+        assert!(stats.bytes_acked > 50_000, "bytes_acked={}", stats.bytes_acked);
+        // MTS keeps checking the route, so control traffic includes CHECK packets.
+        assert!(recorder.control_by_kind().get("CHECK").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn intermediate_nodes_relay_and_are_recorded() {
+        let (recorder, _) = run_chain(Protocol::Aodv, 20.0);
+        // Nodes 1 and 2 are the only possible relays on the chain.
+        let relays = recorder.relay_counts();
+        assert!(relays.keys().all(|n| n.0 == 1 || n.0 == 2));
+        assert!(!relays.is_empty());
+    }
+}

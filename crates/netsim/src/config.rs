@@ -1,0 +1,218 @@
+//! Simulation parameters.
+//!
+//! The defaults reproduce the paper's environment (Section IV-A): 50 nodes on
+//! a 1000 m × 1000 m field, 250 m radio range, IEEE 802.11b MAC, random
+//! waypoint mobility with a 1 s pause, 200 s per run.
+
+use crate::radio::{ChannelModel, RadioConfig};
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// MAC-layer timing and behaviour parameters (simplified 802.11 DCF).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacConfig {
+    /// Link rate for unicast data frames, bits per second (802.11b: 11 Mbit/s).
+    pub data_rate_bps: f64,
+    /// Basic rate used for broadcast frames, bits per second (2 Mbit/s).
+    pub basic_rate_bps: f64,
+    /// Fixed per-frame physical-layer overhead (preamble + PLCP header), seconds.
+    pub phy_overhead: Duration,
+    /// Slot time for the contention backoff, seconds (20 µs for 802.11b).
+    pub slot_time: Duration,
+    /// DIFS inter-frame space, seconds (50 µs for 802.11b).
+    pub difs: Duration,
+    /// SIFS inter-frame space plus ACK airtime charged to successful unicast
+    /// frames, seconds.
+    pub ack_overhead: Duration,
+    /// Minimum contention window, in slots.
+    pub cw_min: u32,
+    /// Maximum contention window, in slots.
+    pub cw_max: u32,
+    /// Number of transmission attempts for a unicast frame before the MAC
+    /// reports a link failure to the network layer.
+    pub retry_limit: u32,
+    /// Capacity of the per-node interface queue, in frames (drop-tail).
+    pub queue_capacity: usize,
+    /// Probability that an otherwise-successful unicast reception is lost
+    /// anyway (models residual channel error). 0 disables it.
+    pub random_loss: f64,
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig {
+            data_rate_bps: 11.0e6,
+            basic_rate_bps: 2.0e6,
+            phy_overhead: Duration::from_micros(192.0),
+            slot_time: Duration::from_micros(20.0),
+            difs: Duration::from_micros(50.0),
+            ack_overhead: Duration::from_micros(10.0 + 112.0),
+            cw_min: 31,
+            cw_max: 1023,
+            retry_limit: 5,
+            queue_capacity: 64,
+            random_loss: 0.0,
+        }
+    }
+}
+
+/// Mobility parameters for the random waypoint model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilityConfig {
+    /// Minimum node speed, m/s.
+    pub min_speed: f64,
+    /// Maximum node speed, m/s (the paper sweeps 2, 5, 10, 15, 20).
+    pub max_speed: f64,
+    /// Pause time at each waypoint, seconds (paper: 1 s).
+    pub pause: Duration,
+}
+
+impl Default for MobilityConfig {
+    fn default() -> Self {
+        MobilityConfig { min_speed: 0.0, max_speed: 10.0, pause: Duration::from_secs(1.0) }
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of nodes (paper: 50).
+    pub num_nodes: u16,
+    /// Field width, metres (paper: 1000).
+    pub field_width: f64,
+    /// Field height, metres (paper: 1000).
+    pub field_height: f64,
+    /// Radio / channel parameters (paper: 250 m transmission range).
+    pub radio: RadioConfig,
+    /// MAC parameters.
+    pub mac: MacConfig,
+    /// Mobility parameters.
+    pub mobility: MobilityConfig,
+    /// Simulated duration of the run, seconds (paper: 200 s).
+    pub duration: Duration,
+    /// Run seed; together with the configuration it fully determines the run.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_nodes: 50,
+            field_width: 1000.0,
+            field_height: 1000.0,
+            radio: RadioConfig::default(),
+            mac: MacConfig::default(),
+            mobility: MobilityConfig::default(),
+            duration: Duration::from_secs(200.0),
+            seed: 1,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validate invariants that the engine relies on.
+    ///
+    /// Returns a human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_nodes == 0 {
+            return Err("num_nodes must be at least 1".into());
+        }
+        if !(self.field_width > 0.0 && self.field_height > 0.0) {
+            return Err("field dimensions must be positive".into());
+        }
+        if self.radio.range_m <= 0.0 {
+            return Err("radio range must be positive".into());
+        }
+        if self.mobility.max_speed < self.mobility.min_speed {
+            return Err("max_speed must be >= min_speed".into());
+        }
+        if self.mobility.min_speed < 0.0 {
+            return Err("min_speed must be non-negative".into());
+        }
+        if self.mac.data_rate_bps <= 0.0 || self.mac.basic_rate_bps <= 0.0 {
+            return Err("MAC rates must be positive".into());
+        }
+        if self.mac.cw_min == 0 || self.mac.cw_max < self.mac.cw_min {
+            return Err("contention window must satisfy 0 < cw_min <= cw_max".into());
+        }
+        if self.mac.retry_limit == 0 {
+            return Err("retry_limit must be at least 1".into());
+        }
+        if self.mac.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".into());
+        }
+        if !(0.0..1.0).contains(&self.mac.random_loss) {
+            return Err("random_loss must be in [0, 1)".into());
+        }
+        if self.duration.as_secs() <= 0.0 {
+            return Err("duration must be positive".into());
+        }
+        if let ChannelModel::Shadowed { good_to_bad, bad_to_good, .. } = self.radio.channel {
+            if !(good_to_bad >= 0.0 && bad_to_good >= 0.0) {
+                return Err("shadowing transition rates must be non-negative".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: the paper's environment at a given maximum speed and seed.
+    pub fn paper_environment(max_speed: f64, seed: u64) -> Self {
+        SimConfig {
+            mobility: MobilityConfig {
+                min_speed: 0.0,
+                max_speed,
+                pause: Duration::from_secs(1.0),
+            },
+            seed,
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_matches_paper() {
+        let c = SimConfig::default();
+        c.validate().expect("default config must be valid");
+        assert_eq!(c.num_nodes, 50);
+        assert_eq!(c.field_width, 1000.0);
+        assert_eq!(c.field_height, 1000.0);
+        assert_eq!(c.radio.range_m, 250.0);
+        assert_eq!(c.duration, Duration::from_secs(200.0));
+    }
+
+    #[test]
+    fn paper_environment_sets_speed_and_seed() {
+        let c = SimConfig::paper_environment(15.0, 3);
+        assert_eq!(c.mobility.max_speed, 15.0);
+        assert_eq!(c.seed, 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = SimConfig::default();
+        c.num_nodes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.mobility.max_speed = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.mac.cw_max = 1;
+        c.mac.cw_min = 8;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.mac.random_loss = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.duration = Duration::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

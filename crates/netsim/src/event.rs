@@ -1,0 +1,199 @@
+//! Pending-event queue.
+//!
+//! A classic discrete-event simulator core: events are ordered by time, with
+//! a monotonically increasing sequence number breaking ties so that events
+//! scheduled earlier at the same instant fire first (stable FIFO order keeps
+//! runs deterministic).
+
+use crate::node::TimerToken;
+use crate::time::SimTime;
+use manet_wire::{Frame, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of one ongoing MAC transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxId(pub u64);
+
+/// The kinds of events the engine processes.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Deliver a protocol timer to a node's stack.
+    Timer {
+        /// Node whose stack receives the timer.
+        node: NodeId,
+        /// Opaque token the stack passed when scheduling the timer.
+        token: TimerToken,
+    },
+    /// The MAC of `node` should try to start transmitting the head-of-queue
+    /// frame (fires after DIFS + backoff or when the medium frees up).
+    MacAttempt {
+        /// Node whose MAC should attempt a transmission.
+        node: NodeId,
+    },
+    /// An in-flight transmission ends; receptions are resolved.
+    TxEnd {
+        /// Transmitting node.
+        node: NodeId,
+        /// Identifier of the transmission (guards against stale events).
+        tx: TxId,
+    },
+    /// A node reached its current waypoint and must choose the next one.
+    WaypointReached {
+        /// The node that arrived.
+        node: NodeId,
+        /// Waypoint epoch the event belongs to (guards against stale events).
+        epoch: u64,
+    },
+    /// Re-evaluate a shadowed link's fading state.
+    ChannelTick,
+    /// End of the simulated run.
+    Stop,
+}
+
+/// An event bound to its firing time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent {
+    /// When the event fires.
+    pub time: SimTime,
+    /// FIFO tie-breaker.
+    pub seq: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `event` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, event });
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostic).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// A frame waiting in, or moving through, the MAC.  Public because the engine
+/// and MAC share it.
+#[derive(Debug, Clone)]
+pub struct QueuedFrame {
+    /// The frame to transmit.
+    pub frame: Frame,
+    /// Transmission attempts made so far.
+    pub attempts: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), Event::Stop);
+        q.schedule(t(1.0), Event::ChannelTick);
+        q.schedule(t(2.0), Event::Stop);
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_secs()).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_fifo_order() {
+        let mut q = EventQueue::new();
+        let now = t(5.0);
+        q.schedule(now, Event::Timer { node: NodeId(1), token: TimerToken(10) });
+        q.schedule(now, Event::Timer { node: NodeId(2), token: TimerToken(20) });
+        q.schedule(now, Event::Timer { node: NodeId(3), token: TimerToken(30) });
+        let order: Vec<u16> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.event {
+                Event::Timer { node, .. } => node.0,
+                _ => panic!("unexpected event"),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(t(2.0), Event::Stop);
+        q.schedule(t(1.0), Event::Stop);
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn scheduled_total_counts_all_insertions() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(i as f64) + Duration::ZERO, Event::Stop);
+        }
+        let _ = q.pop();
+        assert_eq!(q.scheduled_total(), 10);
+    }
+}

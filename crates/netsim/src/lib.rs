@@ -1,0 +1,49 @@
+//! # manet-netsim
+//!
+//! A deterministic discrete-event simulator for mobile ad hoc wireless
+//! networks.  It replaces the ns-2 + CMU Monarch substrate the paper used:
+//!
+//! * [`time`] — simulation clock ([`SimTime`]) and durations.
+//! * [`event`] — the pending-event queue with stable FIFO tie-breaking.
+//! * [`geometry`] — 2-D positions and vectors.
+//! * [`mobility`] — the random-waypoint mobility model (and fixed placements).
+//! * [`radio`] — propagation / channel models (unit disk, shadowed links).
+//! * [`mac`] — a simplified IEEE 802.11 DCF MAC: carrier sense, slotted
+//!   binary-exponential backoff, receiver-side collisions, airtime accounting,
+//!   unicast retry limit with link-failure feedback.
+//! * [`node`] — the [`NodeStack`] trait implemented by protocol stacks and the
+//!   [`Ctx`] handle they use to talk to the simulator.
+//! * [`engine`] — the [`Simulator`] that owns the world and runs the event loop.
+//! * [`recorder`] — per-run transmission/delivery trace used by the metrics.
+//! * [`rng`] — deterministic, purpose-split random number streams.
+//! * [`config`] — simulation parameters (field size, ranges, MAC timing).
+//!
+//! The simulator is single-threaded and fully deterministic for a given
+//! [`config::SimConfig`] and seed; experiment sweeps parallelise across
+//! independent runs (see `manet-experiments`).
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod geometry;
+pub mod mac;
+pub mod mobility;
+pub mod node;
+pub mod radio;
+pub mod recorder;
+pub mod rng;
+pub mod time;
+pub mod topology;
+
+pub use config::SimConfig;
+pub use engine::Simulator;
+pub use event::{Event, EventQueue, ScheduledEvent};
+pub use geometry::{Position, Vector2};
+pub use mobility::{MobilityModel, RandomWaypoint, Waypoint};
+pub use node::{Ctx, NodeStack, TimerToken};
+pub use radio::{ChannelModel, RadioConfig};
+pub use recorder::{Recorder, TraceEvent};
+pub use rng::RngStreams;
+pub use time::{Duration, SimTime};
+
+pub use manet_wire as wire;

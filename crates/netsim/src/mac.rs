@@ -1,0 +1,270 @@
+//! Per-node MAC state for the simplified IEEE 802.11 DCF.
+//!
+//! The MAC models the behaviour the paper's results depend on:
+//!
+//! * a finite drop-tail interface queue per node,
+//! * carrier sense — a node defers while any transmission is audible within
+//!   its carrier-sense range,
+//! * slotted binary-exponential backoff (CWmin..CWmax),
+//! * receiver-side collisions — two transmissions overlapping at a receiver
+//!   corrupt each other,
+//! * airtime charged per byte at the data rate (unicast) or basic rate
+//!   (broadcast) plus PHY and ACK overheads,
+//! * a unicast retry limit; exhaustion surfaces as a link-failure callback to
+//!   the network layer (the "MAC feedback" MTS, AODV and DSR rely on).
+//!
+//! The state lives here; the event-driven logic that needs access to the
+//! whole world (positions, other nodes' MACs, the recorder) lives in
+//! [`crate::engine`].
+
+use crate::config::MacConfig;
+use crate::event::{QueuedFrame, TxId};
+use crate::time::{Duration, SimTime};
+use manet_wire::{Frame, MacDest};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A transmission currently on the air from this node.
+#[derive(Debug, Clone)]
+pub struct InFlight {
+    /// Identifier of the transmission.
+    pub tx: TxId,
+    /// The frame being transmitted.
+    pub frame: QueuedFrame,
+    /// When the transmission started.
+    pub start: SimTime,
+    /// When the transmission ends.
+    pub end: SimTime,
+    /// Nodes that were within transmission range when the frame left.
+    pub receivers: Vec<manet_wire::NodeId>,
+}
+
+/// A reception interval registered at a receiver (used to detect collisions).
+#[derive(Debug, Clone, Copy)]
+pub struct RxInterval {
+    /// Which transmission this interval belongs to.
+    pub tx: TxId,
+    /// Start of the reception.
+    pub start: SimTime,
+    /// End of the reception.
+    pub end: SimTime,
+}
+
+/// Per-node MAC state.
+#[derive(Debug, Default)]
+pub struct MacState {
+    /// Interface queue (head is next to transmit).
+    pub queue: VecDeque<QueuedFrame>,
+    /// The transmission currently on the air from this node, if any.
+    pub transmitting: Option<InFlight>,
+    /// True when a `MacAttempt` event is already pending for this node.
+    pub attempt_pending: bool,
+    /// The medium is sensed busy until this time.
+    pub busy_until: SimTime,
+    /// Receptions currently (or recently) overlapping this node.
+    pub rx_intervals: Vec<RxInterval>,
+    /// Intervals during which this node itself was transmitting (a
+    /// transmitting node is deaf — half duplex).
+    pub tx_intervals: Vec<(SimTime, SimTime)>,
+    /// Current backoff stage (doubles the contention window per retry).
+    pub backoff_stage: u32,
+    /// Frames dropped because the queue was full.
+    pub queue_drops: u64,
+    /// Frames dropped after exhausting the retry limit.
+    pub retry_drops: u64,
+    /// Frames successfully transmitted (unicast acknowledged or broadcast sent).
+    pub tx_ok: u64,
+}
+
+impl MacState {
+    /// Fresh MAC state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to enqueue a frame; returns false (and counts a drop) if the
+    /// interface queue is full.
+    pub fn enqueue(&mut self, frame: Frame, capacity: usize) -> bool {
+        if self.queue.len() >= capacity {
+            self.queue_drops += 1;
+            return false;
+        }
+        self.queue.push_back(QueuedFrame { frame, attempts: 0 });
+        true
+    }
+
+    /// Put a frame back at the head of the queue for a retry.
+    pub fn requeue_front(&mut self, frame: QueuedFrame) {
+        self.queue.push_front(frame);
+    }
+
+    /// Contention window (in slots) for the current backoff stage.
+    pub fn contention_window(&self, cfg: &MacConfig) -> u32 {
+        let cw = (cfg.cw_min + 1)
+            .saturating_mul(1u32.checked_shl(self.backoff_stage).unwrap_or(u32::MAX))
+            .saturating_sub(1);
+        cw.min(cfg.cw_max)
+    }
+
+    /// Draw a random backoff delay (DIFS + uniformly chosen slots).
+    pub fn draw_backoff(&self, cfg: &MacConfig, rng: &mut impl Rng) -> Duration {
+        let cw = self.contention_window(cfg);
+        let slots = rng.gen_range(0..=cw);
+        cfg.difs + cfg.slot_time.scaled(slots as f64)
+    }
+
+    /// Move to the next backoff stage after a failed attempt.
+    pub fn escalate_backoff(&mut self) {
+        self.backoff_stage = (self.backoff_stage + 1).min(10);
+    }
+
+    /// Reset the backoff stage after a successful transmission.
+    pub fn reset_backoff(&mut self) {
+        self.backoff_stage = 0;
+    }
+
+    /// Drop reception/transmission interval bookkeeping that ended before `now`.
+    pub fn gc_intervals(&mut self, now: SimTime) {
+        self.rx_intervals.retain(|i| i.end > now);
+        self.tx_intervals.retain(|&(_, end)| end > now);
+    }
+
+    /// Was this node transmitting at any point during `[start, end)`?
+    pub fn was_transmitting_during(&self, start: SimTime, end: SimTime) -> bool {
+        self.tx_intervals.iter().any(|&(s, e)| s < end && start < e)
+            || self
+                .transmitting
+                .as_ref()
+                .map(|t| t.start < end && start < t.end)
+                .unwrap_or(false)
+    }
+
+    /// Did any *other* reception overlap `[start, end)` at this node?
+    pub fn reception_collided(&self, tx: TxId, start: SimTime, end: SimTime) -> bool {
+        self.rx_intervals
+            .iter()
+            .any(|i| i.tx != tx && i.start < end && start < i.end)
+    }
+}
+
+/// Airtime of a frame of `bytes` bytes under `cfg`, including PHY overhead and
+/// (for unicast) the SIFS+ACK exchange.
+pub fn airtime(bytes: u32, dest: MacDest, cfg: &MacConfig) -> Duration {
+    let rate = match dest {
+        MacDest::Broadcast => cfg.basic_rate_bps,
+        MacDest::Unicast(_) => cfg.data_rate_bps,
+    };
+    let payload_time = Duration::from_secs(f64::from(bytes) * 8.0 / rate);
+    let ack = match dest {
+        MacDest::Broadcast => Duration::ZERO,
+        MacDest::Unicast(_) => cfg.ack_overhead,
+    };
+    cfg.phy_overhead + payload_time + ack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_wire::{ConnectionId, DataPacket, NetPacket, NodeId, PacketId, TcpSegment};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn frame() -> Frame {
+        Frame::unicast(
+            NodeId(0),
+            NodeId(1),
+            NetPacket::Data(DataPacket::new(
+                PacketId(0),
+                NodeId(0),
+                NodeId(1),
+                TcpSegment::data(ConnectionId(0), 0, 0, 1000),
+            )),
+        )
+    }
+
+    #[test]
+    fn queue_respects_capacity() {
+        let mut m = MacState::new();
+        assert!(m.enqueue(frame(), 2));
+        assert!(m.enqueue(frame(), 2));
+        assert!(!m.enqueue(frame(), 2));
+        assert_eq!(m.queue.len(), 2);
+        assert_eq!(m.queue_drops, 1);
+    }
+
+    #[test]
+    fn requeue_front_preserves_retry_order() {
+        let mut m = MacState::new();
+        m.enqueue(frame(), 10);
+        let mut head = m.queue.pop_front().unwrap();
+        head.attempts = 3;
+        m.enqueue(frame(), 10);
+        m.requeue_front(head);
+        assert_eq!(m.queue.front().unwrap().attempts, 3);
+    }
+
+    #[test]
+    fn contention_window_doubles_and_saturates() {
+        let cfg = MacConfig::default();
+        let mut m = MacState::new();
+        assert_eq!(m.contention_window(&cfg), 31);
+        m.escalate_backoff();
+        assert_eq!(m.contention_window(&cfg), 63);
+        for _ in 0..20 {
+            m.escalate_backoff();
+        }
+        assert_eq!(m.contention_window(&cfg), cfg.cw_max);
+        m.reset_backoff();
+        assert_eq!(m.contention_window(&cfg), 31);
+    }
+
+    #[test]
+    fn backoff_includes_difs_and_is_bounded() {
+        let cfg = MacConfig::default();
+        let m = MacState::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let b = m.draw_backoff(&cfg, &mut rng);
+            assert!(b >= cfg.difs);
+            assert!(b <= cfg.difs + cfg.slot_time.scaled(f64::from(cfg.cw_min)));
+        }
+    }
+
+    #[test]
+    fn airtime_unicast_faster_rate_but_has_ack() {
+        let cfg = MacConfig::default();
+        let uni = airtime(1000, MacDest::Unicast(NodeId(1)), &cfg);
+        let bc = airtime(1000, MacDest::Broadcast, &cfg);
+        // Broadcast is sent at the 2 Mbit/s basic rate, so it takes longer
+        // even though unicast pays the ACK overhead.
+        assert!(bc > uni);
+        // Both include at least the PHY overhead.
+        assert!(uni > cfg.phy_overhead);
+    }
+
+    #[test]
+    fn collision_detection_overlap_semantics() {
+        let mut m = MacState::new();
+        let t = |s: f64| SimTime::from_secs(s);
+        m.rx_intervals.push(RxInterval { tx: TxId(1), start: t(1.0), end: t(2.0) });
+        // Overlapping interval from a different transmission collides.
+        assert!(m.reception_collided(TxId(2), t(1.5), t(2.5)));
+        // The same transmission does not collide with itself.
+        assert!(!m.reception_collided(TxId(1), t(1.5), t(2.5)));
+        // Back-to-back (touching) intervals do not collide.
+        assert!(!m.reception_collided(TxId(2), t(2.0), t(3.0)));
+        m.gc_intervals(t(2.5));
+        assert!(m.rx_intervals.is_empty());
+    }
+
+    #[test]
+    fn half_duplex_detection() {
+        let mut m = MacState::new();
+        let t = |s: f64| SimTime::from_secs(s);
+        m.tx_intervals.push((t(0.0), t(1.0)));
+        assert!(m.was_transmitting_during(t(0.5), t(1.5)));
+        assert!(!m.was_transmitting_during(t(1.0), t(2.0)));
+        m.gc_intervals(t(5.0));
+        assert!(m.tx_intervals.is_empty());
+    }
+}

@@ -1,0 +1,356 @@
+//! Per-run trace recorder.
+//!
+//! The engine and the protocol stacks record every observable the paper's
+//! metrics need: data-packet originations, per-hop relays, deliveries with
+//! latencies, promiscuous overhearing (for the eavesdropper), routing control
+//! transmissions (for the overhead metric) and MAC-level drops.  The
+//! `manet-security` and `manet-experiments` crates turn this raw record into
+//! the figures.
+
+use crate::time::{Duration, SimTime};
+use manet_wire::{NodeId, PacketId};
+use std::collections::{HashMap, HashSet};
+
+/// Reasons the MAC can drop a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The interface queue was full.
+    QueueOverflow,
+    /// The unicast retry limit was exhausted.
+    RetryLimit,
+}
+
+/// A single trace entry (kept optionally, for debugging and the trace example).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A frame started transmission.
+    TxStart {
+        /// Transmitting node.
+        node: NodeId,
+        /// Packet kind label (RREQ, DATA, ...).
+        kind: &'static str,
+        /// On-air size in bytes.
+        bytes: u32,
+        /// Time the transmission started.
+        at: SimTime,
+    },
+    /// A data packet was delivered to its final destination.
+    Delivered {
+        /// Destination node.
+        node: NodeId,
+        /// Packet id.
+        packet: PacketId,
+        /// Delivery time.
+        at: SimTime,
+    },
+    /// A unicast frame exhausted its retries.
+    LinkFailure {
+        /// Transmitting node.
+        node: NodeId,
+        /// Intended next hop.
+        next_hop: NodeId,
+        /// Time of the failure.
+        at: SimTime,
+    },
+}
+
+/// Everything recorded about one simulation run.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// Keep a human-readable event trace (costs memory; off by default).
+    pub keep_trace: bool,
+    trace: Vec<TraceEvent>,
+
+    // --- data-plane accounting -------------------------------------------------
+    originated: HashMap<PacketId, SimTime>,
+    originated_data: u64,
+    delivered: HashMap<PacketId, SimTime>,
+    delivered_data: u64,
+    delivered_bytes: u64,
+    delays: Vec<Duration>,
+    /// (time, payload bytes) of each delivered data packet, for throughput curves.
+    delivery_series: Vec<(SimTime, u32)>,
+
+    // --- per-node participation / eavesdropping --------------------------------
+    relays: HashMap<NodeId, u64>,
+    heard: HashMap<NodeId, HashSet<PacketId>>,
+
+    // --- control plane ----------------------------------------------------------
+    control_tx: u64,
+    control_tx_bytes: u64,
+    control_tx_by_kind: HashMap<&'static str, u64>,
+    data_tx: u64,
+
+    // --- MAC level --------------------------------------------------------------
+    mac_drops: HashMap<DropReason, u64>,
+    link_failures: u64,
+    collisions: u64,
+}
+
+impl Recorder {
+    /// New, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New recorder that also keeps the human-readable trace.
+    pub fn with_trace() -> Self {
+        Recorder { keep_trace: true, ..Self::default() }
+    }
+
+    // ---- recording (called by the engine and by protocol stacks) -------------
+
+    /// A data packet was handed to the routing layer at its origin.
+    pub fn record_originated(&mut self, packet: PacketId, carries_data: bool, at: SimTime) {
+        self.originated.entry(packet).or_insert(at);
+        if carries_data {
+            self.originated_data += 1;
+        }
+    }
+
+    /// A data packet reached its final destination.
+    pub fn record_delivered(
+        &mut self,
+        node: NodeId,
+        packet: PacketId,
+        carries_data: bool,
+        payload_bytes: u32,
+        at: SimTime,
+    ) {
+        if self.delivered.contains_key(&packet) {
+            // Duplicate delivery (e.g. a retransmission raced the original);
+            // the paper's metrics count unique packets.
+            return;
+        }
+        self.delivered.insert(packet, at);
+        if carries_data {
+            self.delivered_data += 1;
+            self.delivered_bytes += u64::from(payload_bytes);
+            self.delivery_series.push((at, payload_bytes));
+            if let Some(&sent) = self.originated.get(&packet) {
+                self.delays.push(at.saturating_since(sent));
+            }
+        }
+        if self.keep_trace {
+            self.trace.push(TraceEvent::Delivered { node, packet, at });
+        }
+    }
+
+    /// A node that is not the packet's final destination received a data
+    /// packet to forward ("relayed" / "received" in the paper's Table I).
+    pub fn record_relay(&mut self, node: NodeId, packet: PacketId, carries_data: bool) {
+        if carries_data {
+            *self.relays.entry(node).or_insert(0) += 1;
+            self.heard.entry(node).or_default().insert(packet);
+        }
+    }
+
+    /// A node overheard a data packet it was not the MAC destination of.
+    pub fn record_overheard(&mut self, node: NodeId, packet: PacketId, carries_data: bool) {
+        if carries_data {
+            self.heard.entry(node).or_default().insert(packet);
+        }
+    }
+
+    /// A frame started transmission (the engine calls this for every frame).
+    pub fn record_tx(&mut self, node: NodeId, kind: &'static str, is_control: bool, bytes: u32, at: SimTime) {
+        if is_control {
+            self.control_tx += 1;
+            self.control_tx_bytes += u64::from(bytes);
+            *self.control_tx_by_kind.entry(kind).or_insert(0) += 1;
+        } else {
+            self.data_tx += 1;
+        }
+        if self.keep_trace {
+            self.trace.push(TraceEvent::TxStart { node, kind, bytes, at });
+        }
+    }
+
+    /// The MAC dropped a frame.
+    pub fn record_mac_drop(&mut self, reason: DropReason) {
+        *self.mac_drops.entry(reason).or_insert(0) += 1;
+    }
+
+    /// A unicast frame exhausted its retry budget.
+    pub fn record_link_failure(&mut self, node: NodeId, next_hop: NodeId, at: SimTime) {
+        self.link_failures += 1;
+        if self.keep_trace {
+            self.trace.push(TraceEvent::LinkFailure { node, next_hop, at });
+        }
+    }
+
+    /// A reception was corrupted by a collision.
+    pub fn record_collision(&mut self) {
+        self.collisions += 1;
+    }
+
+    // ---- queries (used by the metrics layer) ----------------------------------
+
+    /// Number of data-carrying packets handed to the routing layer at sources.
+    pub fn originated_data_packets(&self) -> u64 {
+        self.originated_data
+    }
+
+    /// Number of unique data-carrying packets delivered to their destination.
+    pub fn delivered_data_packets(&self) -> u64 {
+        self.delivered_data
+    }
+
+    /// Total TCP payload bytes delivered.
+    pub fn delivered_payload_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// End-to-end delays of delivered data packets.
+    pub fn delays(&self) -> &[Duration] {
+        &self.delays
+    }
+
+    /// Mean end-to-end delay in seconds (0 if nothing was delivered).
+    pub fn mean_delay_secs(&self) -> f64 {
+        if self.delays.is_empty() {
+            return 0.0;
+        }
+        self.delays.iter().map(|d| d.as_secs()).sum::<f64>() / self.delays.len() as f64
+    }
+
+    /// `(time, payload_bytes)` series of deliveries, in delivery order.
+    pub fn delivery_series(&self) -> &[(SimTime, u32)] {
+        &self.delivery_series
+    }
+
+    /// Per-node relay counts (β_i in the paper's Table I).
+    pub fn relay_counts(&self) -> &HashMap<NodeId, u64> {
+        &self.relays
+    }
+
+    /// Unique data packets heard (relayed or overheard) by `node` — the
+    /// eavesdropper's haul Pe when that node is the eavesdropper.
+    pub fn heard_count(&self, node: NodeId) -> u64 {
+        self.heard.get(&node).map_or(0, |s| s.len() as u64)
+    }
+
+    /// All nodes with at least one heard packet, with their unique counts.
+    pub fn heard_counts(&self) -> HashMap<NodeId, u64> {
+        self.heard.iter().map(|(n, s)| (*n, s.len() as u64)).collect()
+    }
+
+    /// Number of routing control packet transmissions (every hop counts), the
+    /// paper's control-overhead metric.
+    pub fn control_transmissions(&self) -> u64 {
+        self.control_tx
+    }
+
+    /// Control transmissions broken down by packet kind.
+    pub fn control_by_kind(&self) -> &HashMap<&'static str, u64> {
+        &self.control_tx_by_kind
+    }
+
+    /// Bytes of control traffic transmitted.
+    pub fn control_bytes(&self) -> u64 {
+        self.control_tx_bytes
+    }
+
+    /// Number of data frame transmissions (all hops).
+    pub fn data_transmissions(&self) -> u64 {
+        self.data_tx
+    }
+
+    /// MAC drops by reason.
+    pub fn mac_drops(&self, reason: DropReason) -> u64 {
+        self.mac_drops.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Unicast retry-limit link failures observed.
+    pub fn link_failures(&self) -> u64 {
+        self.link_failures
+    }
+
+    /// Corrupted receptions observed.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// The kept trace (empty unless `keep_trace`).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn delivery_rate_inputs_count_unique_packets() {
+        let mut r = Recorder::new();
+        r.record_originated(PacketId(1), true, t(0.0));
+        r.record_originated(PacketId(1), true, t(0.1)); // retransmission of same id keeps first time
+        r.record_originated(PacketId(2), true, t(0.2));
+        r.record_delivered(NodeId(9), PacketId(1), true, 1000, t(1.0));
+        r.record_delivered(NodeId(9), PacketId(1), true, 1000, t(1.5)); // duplicate ignored
+        assert_eq!(r.originated_data_packets(), 3); // each handoff counted
+        assert_eq!(r.delivered_data_packets(), 1);
+        assert_eq!(r.delivered_payload_bytes(), 1000);
+        assert_eq!(r.delays().len(), 1);
+        assert!((r.mean_delay_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relays_and_heard_sets_are_tracked_per_node() {
+        let mut r = Recorder::new();
+        r.record_relay(NodeId(3), PacketId(10), true);
+        r.record_relay(NodeId(3), PacketId(11), true);
+        r.record_relay(NodeId(3), PacketId(10), true); // second relay of same packet still counts a relay
+        r.record_overheard(NodeId(4), PacketId(10), true);
+        r.record_overheard(NodeId(4), PacketId(10), true); // unique set
+        r.record_overheard(NodeId(4), PacketId(12), false); // pure ACK ignored
+        assert_eq!(r.relay_counts()[&NodeId(3)], 3);
+        assert_eq!(r.heard_count(NodeId(3)), 2);
+        assert_eq!(r.heard_count(NodeId(4)), 1);
+        assert_eq!(r.heard_count(NodeId(5)), 0);
+    }
+
+    #[test]
+    fn control_and_data_transmissions_split() {
+        let mut r = Recorder::new();
+        r.record_tx(NodeId(0), "RREQ", true, 44, t(0.0));
+        r.record_tx(NodeId(1), "RREQ", true, 48, t(0.1));
+        r.record_tx(NodeId(0), "DATA", false, 1040, t(0.2));
+        assert_eq!(r.control_transmissions(), 2);
+        assert_eq!(r.data_transmissions(), 1);
+        assert_eq!(r.control_bytes(), 92);
+        assert_eq!(r.control_by_kind()["RREQ"], 2);
+    }
+
+    #[test]
+    fn mac_level_counters() {
+        let mut r = Recorder::new();
+        r.record_mac_drop(DropReason::QueueOverflow);
+        r.record_mac_drop(DropReason::RetryLimit);
+        r.record_mac_drop(DropReason::RetryLimit);
+        r.record_link_failure(NodeId(1), NodeId(2), t(3.0));
+        r.record_collision();
+        assert_eq!(r.mac_drops(DropReason::QueueOverflow), 1);
+        assert_eq!(r.mac_drops(DropReason::RetryLimit), 2);
+        assert_eq!(r.link_failures(), 1);
+        assert_eq!(r.collisions(), 1);
+    }
+
+    #[test]
+    fn trace_kept_only_when_enabled() {
+        let mut silent = Recorder::new();
+        silent.record_tx(NodeId(0), "DATA", false, 100, t(0.0));
+        assert!(silent.trace().is_empty());
+
+        let mut loud = Recorder::with_trace();
+        loud.record_tx(NodeId(0), "DATA", false, 100, t(0.0));
+        loud.record_delivered(NodeId(1), PacketId(1), true, 100, t(0.5));
+        loud.record_link_failure(NodeId(0), NodeId(1), t(0.7));
+        assert_eq!(loud.trace().len(), 3);
+    }
+}

@@ -1,0 +1,183 @@
+//! Connectivity-graph analysis.
+//!
+//! Utility views over a set of node positions under a fixed radio range:
+//! adjacency, BFS hop distances, reachability and partition detection.
+//! The experiment harness and the tests use these to understand *why* a run
+//! behaved as it did (e.g. the TCP endpoints were partitioned for part of the
+//! run), and the examples use them to build meaningful static topologies.
+
+use crate::geometry::Position;
+use manet_wire::NodeId;
+use std::collections::VecDeque;
+
+/// A snapshot of network connectivity: which node pairs are within range.
+#[derive(Debug, Clone)]
+pub struct ConnectivityGraph {
+    n: usize,
+    /// Adjacency lists, indexed by node.
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl ConnectivityGraph {
+    /// Build the graph for `positions` under transmission range `range_m`.
+    pub fn from_positions(positions: &[Position], range_m: f64) -> Self {
+        let n = positions.len();
+        let range_sq = range_m * range_m;
+        let mut adjacency = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if positions[i].distance_sq(positions[j]) <= range_sq {
+                    adjacency[i].push(NodeId(j as u16));
+                    adjacency[j].push(NodeId(i as u16));
+                }
+            }
+        }
+        ConnectivityGraph { n, adjacency }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Neighbours of `node`.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.index()]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Total number of (undirected) links.
+    pub fn link_count(&self) -> usize {
+        self.adjacency.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// BFS hop distances from `source`; `None` for unreachable nodes.
+    pub fn hop_distances(&self, source: NodeId) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.n];
+        if source.index() >= self.n {
+            return dist;
+        }
+        let mut queue = VecDeque::new();
+        dist[source.index()] = Some(0);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].expect("queued nodes have distances");
+            for &v in &self.adjacency[u.index()] {
+                if dist[v.index()].is_none() {
+                    dist[v.index()] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distance between two nodes, if connected.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        self.hop_distances(a).get(b.index()).copied().flatten()
+    }
+
+    /// Are the two nodes in the same connected component?
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.hop_distance(a, b).is_some()
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        let mut seen = vec![false; self.n];
+        let mut components = 0;
+        for start in 0..self.n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            let mut queue = VecDeque::new();
+            seen[start] = true;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.adjacency[u] {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        queue.push_back(v.index());
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Mean node degree (a quick density indicator for scenario sanity checks).
+    pub fn mean_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.link_count() as f64 / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize, spacing: f64) -> Vec<Position> {
+        (0..n).map(|i| Position::new(i as f64 * spacing, 0.0)).collect()
+    }
+
+    #[test]
+    fn chain_connectivity_and_distances() {
+        let g = ConnectivityGraph::from_positions(&chain(5, 200.0), 250.0);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.link_count(), 4);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+        assert_eq!(g.hop_distance(NodeId(0), NodeId(4)), Some(4));
+        assert!(g.connected(NodeId(0), NodeId(4)));
+        assert_eq!(g.component_count(), 1);
+        assert!((g.mean_degree() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_nodes_partition_the_graph() {
+        let mut positions = chain(3, 200.0);
+        positions.push(Position::new(5000.0, 5000.0));
+        let g = ConnectivityGraph::from_positions(&positions, 250.0);
+        assert_eq!(g.component_count(), 2);
+        assert!(!g.connected(NodeId(0), NodeId(3)));
+        assert_eq!(g.hop_distance(NodeId(0), NodeId(3)), None);
+        assert_eq!(g.degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn dense_cluster_is_fully_connected() {
+        let positions: Vec<Position> =
+            (0..6).map(|i| Position::new(f64::from(i) * 10.0, 0.0)).collect();
+        let g = ConnectivityGraph::from_positions(&positions, 250.0);
+        assert_eq!(g.link_count(), 15);
+        assert_eq!(g.hop_distance(NodeId(0), NodeId(5)), Some(1));
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = ConnectivityGraph::from_positions(&[], 250.0);
+        assert!(g.is_empty());
+        assert_eq!(g.component_count(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn distances_from_invalid_source_are_all_none() {
+        let g = ConnectivityGraph::from_positions(&chain(3, 100.0), 250.0);
+        let d = g.hop_distances(NodeId(10));
+        assert!(d.iter().all(|x| x.is_none()));
+    }
+}

@@ -1,0 +1,134 @@
+//! The routing-agent interface shared by DSR, AODV and MTS.
+
+use manet_netsim::{Ctx, TimerToken};
+use manet_wire::{DataPacket, NetPacket, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Timer-token class namespaces used across the stack.
+///
+/// The combined node stack (`manet-experiments`) multiplexes all timers of a
+/// node through one `on_timer` callback; the class stored in the token's high
+/// bits identifies the owning layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerClass {
+    /// Routing-protocol timers (discovery retries, periodic checks, purges).
+    Routing = 0x10,
+    /// A second routing timer class for protocols that need two independent
+    /// periodic activities (e.g. MTS route checking vs. discovery retry).
+    RoutingAux = 0x11,
+    /// Transport (TCP) timers.
+    Transport = 0x20,
+    /// Application / traffic-generator timers.
+    Application = 0x30,
+}
+
+impl TimerClass {
+    /// Build a token in this class with the given payload.
+    pub fn token(self, payload: u64) -> TimerToken {
+        TimerToken::compose(self as u16, payload)
+    }
+
+    /// Does `token` belong to this class?
+    pub fn owns(self, token: TimerToken) -> bool {
+        token.class() == self as u16
+    }
+}
+
+/// Counters every routing agent maintains; used by tests and by the
+/// experiment reports (the paper's Fig. 11 control-overhead metric is counted
+/// at the MAC by the recorder, so these are complementary diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingStats {
+    /// Route discoveries initiated (RREQ floods started at this node).
+    pub discoveries: u64,
+    /// RREQ packets transmitted (originated or forwarded).
+    pub rreq_tx: u64,
+    /// RREP packets transmitted (originated or forwarded).
+    pub rrep_tx: u64,
+    /// RERR packets transmitted.
+    pub rerr_tx: u64,
+    /// MTS checking packets transmitted (zero for DSR/AODV).
+    pub check_tx: u64,
+    /// MTS checking-error packets transmitted (zero for DSR/AODV).
+    pub check_err_tx: u64,
+    /// Data packets forwarded on behalf of other nodes.
+    pub data_forwarded: u64,
+    /// Data packets dropped for lack of a route.
+    pub data_dropped_no_route: u64,
+    /// Times the node switched its active route to a destination
+    /// (MTS adaptive switching; DSR/AODV count route replacements).
+    pub route_switches: u64,
+}
+
+impl RoutingStats {
+    /// Total routing control packets transmitted by this node.
+    pub fn control_tx(&self) -> u64 {
+        self.rreq_tx + self.rrep_tx + self.rerr_tx + self.check_tx + self.check_err_tx
+    }
+}
+
+/// A routing protocol instance running on one node.
+///
+/// The agent is driven by the node's combined stack: data packets to
+/// originate come in through [`RoutingAgent::send_data`], packets from the
+/// MAC through [`RoutingAgent::on_packet`], timers through
+/// [`RoutingAgent::on_timer`] (only tokens in the `Routing`/`RoutingAux`
+/// classes), and MAC-level delivery failures through
+/// [`RoutingAgent::on_link_failure`].
+///
+/// `on_packet` returns the data packets that terminated at this node so the
+/// caller can hand them to the transport layer.
+pub trait RoutingAgent {
+    /// Protocol name ("DSR", "AODV", "MTS").
+    fn name(&self) -> &'static str;
+
+    /// Called once at simulation start.
+    fn start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Originate a data packet at this node (route it, or buffer it and start
+    /// a discovery).
+    fn send_data(&mut self, ctx: &mut Ctx<'_>, packet: DataPacket);
+
+    /// Handle a network packet received from neighbour `from`.  Returns the
+    /// data packets destined to this node.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) -> Vec<DataPacket>;
+
+    /// Handle a routing-class timer.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken);
+
+    /// The MAC failed to deliver `packet` to `next_hop` after its retries.
+    fn on_link_failure(&mut self, ctx: &mut Ctx<'_>, next_hop: NodeId, packet: NetPacket);
+
+    /// Per-node protocol statistics.
+    fn stats(&self) -> RoutingStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_classes_partition_tokens() {
+        let r = TimerClass::Routing.token(42);
+        let t = TimerClass::Transport.token(42);
+        assert!(TimerClass::Routing.owns(r));
+        assert!(!TimerClass::Routing.owns(t));
+        assert!(TimerClass::Transport.owns(t));
+        assert_eq!(r.payload(), 42);
+        assert_eq!(t.payload(), 42);
+        assert_ne!(r, t);
+    }
+
+    #[test]
+    fn stats_control_total_sums_all_kinds() {
+        let s = RoutingStats {
+            rreq_tx: 1,
+            rrep_tx: 2,
+            rerr_tx: 3,
+            check_tx: 4,
+            check_err_tx: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.control_tx(), 15);
+    }
+}

@@ -1,0 +1,216 @@
+//! DSR-style route cache: full source routes per destination.
+//!
+//! The cache is the mechanism behind DSR's behaviour in the paper's results:
+//! cached routes make discovery cheap and delay low at low speed, but become
+//! stale as mobility increases, which is what drags DSR's delivery rate down
+//! in Fig. 10.
+
+use manet_netsim::SimTime;
+use manet_wire::NodeId;
+use std::collections::HashMap;
+
+/// A cached source route, stored as the full node sequence from this node to
+/// the destination (both inclusive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedRoute {
+    /// Node sequence `self, ..., destination`.
+    pub path: Vec<NodeId>,
+    /// When the route was learned.
+    pub learned_at: SimTime,
+}
+
+impl CachedRoute {
+    /// Number of hops (edges) in the route.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// Does the route traverse the directed link `a -> b` (in either
+    /// direction, since links are bidirectional in the simulated MAC)?
+    pub fn uses_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.path.windows(2).any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+    }
+
+    /// Does the route pass through `node`?
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.path.contains(&node)
+    }
+}
+
+/// Per-node DSR route cache.
+#[derive(Debug)]
+pub struct RouteCache {
+    max_routes_per_dest: usize,
+    max_age_secs: f64,
+    routes: HashMap<NodeId, Vec<CachedRoute>>,
+}
+
+impl RouteCache {
+    /// Cache holding at most `max_routes_per_dest` routes per destination,
+    /// each valid for at most `max_age_secs` seconds.
+    pub fn new(max_routes_per_dest: usize, max_age_secs: f64) -> Self {
+        RouteCache { max_routes_per_dest, max_age_secs, routes: HashMap::new() }
+    }
+
+    /// Insert a route to `dest` (the last element of `path` must be `dest`).
+    /// Duplicate paths refresh their timestamp instead of being stored twice.
+    pub fn insert(&mut self, dest: NodeId, path: Vec<NodeId>, now: SimTime) {
+        debug_assert_eq!(path.last().copied(), Some(dest), "path must end at the destination");
+        let routes = self.routes.entry(dest).or_default();
+        if let Some(existing) = routes.iter_mut().find(|r| r.path == path) {
+            existing.learned_at = now;
+            return;
+        }
+        routes.push(CachedRoute { path, learned_at: now });
+        // Keep the best (shortest, freshest) routes if over capacity.
+        if routes.len() > self.max_routes_per_dest {
+            routes.sort_by_key(|r| (r.hops(), std::cmp::Reverse((r.learned_at.as_secs() * 1e6) as u64)));
+            routes.truncate(self.max_routes_per_dest);
+        }
+    }
+
+    /// Best (shortest, unexpired) route to `dest`, if any.
+    pub fn best_route(&self, dest: NodeId, now: SimTime) -> Option<&CachedRoute> {
+        let max_age = self.max_age_secs;
+        self.routes.get(&dest).and_then(|routes| {
+            routes
+                .iter()
+                .filter(|r| now.saturating_since(r.learned_at).as_secs() <= max_age)
+                .min_by_key(|r| r.hops())
+        })
+    }
+
+    /// All unexpired routes to `dest`, shortest first.
+    pub fn routes_to(&self, dest: NodeId, now: SimTime) -> Vec<&CachedRoute> {
+        let max_age = self.max_age_secs;
+        let mut out: Vec<&CachedRoute> = self
+            .routes
+            .get(&dest)
+            .map(|rs| {
+                rs.iter()
+                    .filter(|r| now.saturating_since(r.learned_at).as_secs() <= max_age)
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort_by_key(|r| r.hops());
+        out
+    }
+
+    /// Remove every cached route (to any destination) that uses the link
+    /// `a`–`b`.  Returns how many routes were removed.  This is the cache
+    /// reaction to a DSR route error.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) -> usize {
+        let mut removed = 0;
+        for routes in self.routes.values_mut() {
+            let before = routes.len();
+            routes.retain(|r| !r.uses_link(a, b));
+            removed += before - routes.len();
+        }
+        self.routes.retain(|_, rs| !rs.is_empty());
+        removed
+    }
+
+    /// Remove a specific cached route to `dest`.
+    pub fn remove_route(&mut self, dest: NodeId, path: &[NodeId]) {
+        if let Some(routes) = self.routes.get_mut(&dest) {
+            routes.retain(|r| r.path != path);
+            if routes.is_empty() {
+                self.routes.remove(&dest);
+            }
+        }
+    }
+
+    /// Number of cached routes across all destinations (expired included).
+    pub fn len(&self) -> usize {
+        self.routes.values().map(|r| r.len()).sum()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for RouteCache {
+    fn default() -> Self {
+        RouteCache::new(4, 30.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn n(v: u16) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn best_route_is_shortest_unexpired() {
+        let mut c = RouteCache::new(4, 10.0);
+        c.insert(n(9), vec![n(0), n(1), n(2), n(9)], t(0.0));
+        c.insert(n(9), vec![n(0), n(3), n(9)], t(1.0));
+        assert_eq!(c.best_route(n(9), t(2.0)).unwrap().hops(), 2);
+        // After expiry nothing is returned.
+        assert!(c.best_route(n(9), t(20.0)).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes_timestamp() {
+        let mut c = RouteCache::new(4, 10.0);
+        let path = vec![n(0), n(1), n(9)];
+        c.insert(n(9), path.clone(), t(0.0));
+        c.insert(n(9), path.clone(), t(8.0));
+        assert_eq!(c.len(), 1);
+        // Still valid at t=15 because the refresh moved the clock.
+        assert!(c.best_route(n(9), t(15.0)).is_some());
+    }
+
+    #[test]
+    fn capacity_keeps_shortest_routes() {
+        let mut c = RouteCache::new(2, 100.0);
+        c.insert(n(9), vec![n(0), n(1), n(2), n(3), n(9)], t(0.0));
+        c.insert(n(9), vec![n(0), n(4), n(9)], t(0.1));
+        c.insert(n(9), vec![n(0), n(5), n(6), n(9)], t(0.2));
+        assert_eq!(c.routes_to(n(9), t(1.0)).len(), 2);
+        assert_eq!(c.best_route(n(9), t(1.0)).unwrap().hops(), 2);
+    }
+
+    #[test]
+    fn removing_a_link_purges_routes_that_use_it() {
+        let mut c = RouteCache::new(4, 100.0);
+        c.insert(n(9), vec![n(0), n(1), n(2), n(9)], t(0.0));
+        c.insert(n(9), vec![n(0), n(3), n(9)], t(0.0));
+        c.insert(n(8), vec![n(0), n(1), n(2), n(8)], t(0.0));
+        // Link 1-2 breaks (in either orientation).
+        let removed = c.remove_link(n(2), n(1));
+        assert_eq!(removed, 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.best_route(n(9), t(1.0)).is_some());
+        assert!(c.best_route(n(8), t(1.0)).is_none());
+    }
+
+    #[test]
+    fn remove_specific_route() {
+        let mut c = RouteCache::new(4, 100.0);
+        let p = vec![n(0), n(1), n(9)];
+        c.insert(n(9), p.clone(), t(0.0));
+        c.remove_route(n(9), &p);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cached_route_link_and_node_membership() {
+        let r = CachedRoute { path: vec![n(0), n(1), n(2)], learned_at: t(0.0) };
+        assert!(r.uses_link(n(0), n(1)));
+        assert!(r.uses_link(n(2), n(1)));
+        assert!(!r.uses_link(n(0), n(2)));
+        assert!(r.contains(n(1)));
+        assert!(!r.contains(n(7)));
+        assert_eq!(r.hops(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Shared routing building blocks.
+
+use manet_netsim::SimTime;
+use manet_wire::{BroadcastId, DataPacket, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// Duplicate-suppression table for flooded packets.
+///
+/// A route request is uniquely identified by `(source, destination,
+/// broadcast_id)` (paper §III-B).  Entries expire after `ttl` so the table
+/// stays small over a long run.
+#[derive(Debug)]
+pub struct SeenTable {
+    ttl_secs: f64,
+    entries: HashMap<(NodeId, NodeId, BroadcastId), SimTime>,
+}
+
+impl SeenTable {
+    /// Table whose entries live for `ttl_secs` seconds.
+    pub fn new(ttl_secs: f64) -> Self {
+        SeenTable { ttl_secs, entries: HashMap::new() }
+    }
+
+    /// Record the flood identified by the triple; returns `true` if it was
+    /// seen for the first time (i.e. the caller should process/forward it).
+    pub fn first_time(
+        &mut self,
+        source: NodeId,
+        destination: NodeId,
+        id: BroadcastId,
+        now: SimTime,
+    ) -> bool {
+        self.gc(now);
+        match self.entries.insert((source, destination, id), now) {
+            None => true,
+            Some(_) => false,
+        }
+    }
+
+    /// Has the flood been seen already? (does not record it)
+    pub fn contains(&self, source: NodeId, destination: NodeId, id: BroadcastId) -> bool {
+        self.entries.contains_key(&(source, destination, id))
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn gc(&mut self, now: SimTime) {
+        let ttl = self.ttl_secs;
+        self.entries.retain(|_, &mut seen| now.saturating_since(seen).as_secs() < ttl);
+    }
+}
+
+impl Default for SeenTable {
+    fn default() -> Self {
+        // RREQ floods are over well within 30 s of network traversal.
+        SeenTable::new(30.0)
+    }
+}
+
+/// Per-destination buffer of data packets awaiting a route.
+///
+/// On-demand protocols queue packets while a discovery is in flight; the
+/// buffer is bounded (drop-oldest) and entries expire so that stale TCP
+/// segments are not injected long after the transport has given up on them.
+#[derive(Debug)]
+pub struct PacketBuffer {
+    capacity_per_dest: usize,
+    max_age_secs: f64,
+    queues: HashMap<NodeId, VecDeque<(DataPacket, SimTime)>>,
+    dropped: u64,
+}
+
+impl PacketBuffer {
+    /// Buffer holding at most `capacity_per_dest` packets per destination,
+    /// each for at most `max_age_secs` seconds.
+    pub fn new(capacity_per_dest: usize, max_age_secs: f64) -> Self {
+        PacketBuffer { capacity_per_dest, max_age_secs, queues: HashMap::new(), dropped: 0 }
+    }
+
+    /// Queue a packet for `dest`.
+    pub fn push(&mut self, dest: NodeId, packet: DataPacket, now: SimTime) {
+        let q = self.queues.entry(dest).or_default();
+        if q.len() >= self.capacity_per_dest {
+            q.pop_front();
+            self.dropped += 1;
+        }
+        q.push_back((packet, now));
+    }
+
+    /// Take every still-fresh packet buffered for `dest`.
+    pub fn drain(&mut self, dest: NodeId, now: SimTime) -> Vec<DataPacket> {
+        let max_age = self.max_age_secs;
+        match self.queues.remove(&dest) {
+            None => Vec::new(),
+            Some(q) => q
+                .into_iter()
+                .filter(|(_, queued_at)| now.saturating_since(*queued_at).as_secs() <= max_age)
+                .map(|(p, _)| p)
+                .collect(),
+        }
+    }
+
+    /// Discard everything buffered for `dest`, returning how many packets were
+    /// dropped.
+    pub fn discard(&mut self, dest: NodeId) -> usize {
+        let n = self.queues.remove(&dest).map_or(0, |q| q.len());
+        self.dropped += n as u64;
+        n
+    }
+
+    /// Number of packets currently buffered for `dest`.
+    pub fn len_for(&self, dest: NodeId) -> usize {
+        self.queues.get(&dest).map_or(0, |q| q.len())
+    }
+
+    /// Total packets dropped from the buffer (overflow or discard).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// True if a discovery is already worthwhile (anything buffered).
+    pub fn has_packets_for(&self, dest: NodeId) -> bool {
+        self.len_for(dest) > 0
+    }
+}
+
+impl Default for PacketBuffer {
+    fn default() -> Self {
+        PacketBuffer::new(64, 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_wire::{ConnectionId, PacketId, TcpSegment};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn pkt(id: u64) -> DataPacket {
+        DataPacket::new(
+            PacketId(id),
+            NodeId(0),
+            NodeId(9),
+            TcpSegment::data(ConnectionId(0), 0, 0, 100),
+        )
+    }
+
+    #[test]
+    fn seen_table_suppresses_duplicates() {
+        let mut s = SeenTable::new(10.0);
+        assert!(s.first_time(NodeId(1), NodeId(2), BroadcastId(5), t(0.0)));
+        assert!(!s.first_time(NodeId(1), NodeId(2), BroadcastId(5), t(1.0)));
+        assert!(s.first_time(NodeId(1), NodeId(2), BroadcastId(6), t(1.0)));
+        assert!(s.contains(NodeId(1), NodeId(2), BroadcastId(5)));
+        assert!(!s.contains(NodeId(3), NodeId(2), BroadcastId(5)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn seen_table_entries_expire() {
+        let mut s = SeenTable::new(5.0);
+        assert!(s.first_time(NodeId(1), NodeId(2), BroadcastId(1), t(0.0)));
+        // After the TTL, the same triple counts as new again.
+        assert!(s.first_time(NodeId(1), NodeId(2), BroadcastId(1), t(6.0)));
+    }
+
+    #[test]
+    fn buffer_drains_fresh_packets_only() {
+        let mut b = PacketBuffer::new(10, 2.0);
+        b.push(NodeId(9), pkt(1), t(0.0));
+        b.push(NodeId(9), pkt(2), t(3.0));
+        let out = b.drain(NodeId(9), t(4.0));
+        // Packet 1 is 4 s old (> 2 s max age) and is discarded; packet 2 survives.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, PacketId(2));
+        assert_eq!(b.len_for(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn buffer_bounds_capacity_drop_oldest() {
+        let mut b = PacketBuffer::new(2, 100.0);
+        b.push(NodeId(9), pkt(1), t(0.0));
+        b.push(NodeId(9), pkt(2), t(0.1));
+        b.push(NodeId(9), pkt(3), t(0.2));
+        assert_eq!(b.len_for(NodeId(9)), 2);
+        assert_eq!(b.dropped(), 1);
+        let out = b.drain(NodeId(9), t(0.3));
+        assert_eq!(out.iter().map(|p| p.id.0).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn buffer_discard_counts_drops() {
+        let mut b = PacketBuffer::default();
+        b.push(NodeId(4), pkt(1), t(0.0));
+        b.push(NodeId(4), pkt(2), t(0.0));
+        assert!(b.has_packets_for(NodeId(4)));
+        assert_eq!(b.discard(NodeId(4)), 2);
+        assert_eq!(b.dropped(), 2);
+        assert!(!b.has_packets_for(NodeId(4)));
+    }
+}

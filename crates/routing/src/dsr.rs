@@ -1,0 +1,465 @@
+//! DSR baseline: Dynamic Source Routing.
+//!
+//! Key behaviours of the baseline the paper compares against:
+//!
+//! * on-demand discovery where the RREQ accumulates the traversed node list,
+//! * a route cache at the source (and at intermediate nodes) holding whole
+//!   source routes, with optional replies-from-cache,
+//! * source-routed data: every data packet carries its full route,
+//! * route errors that name the broken link so caches can purge every route
+//!   using it.
+//!
+//! The cache is exactly what makes DSR fast at low speed and fragile at high
+//! speed (stale routes), which is the behaviour behind Figs. 8–10.
+
+use crate::agent::{RoutingAgent, RoutingStats, TimerClass};
+use crate::cache::RouteCache;
+use crate::common::{PacketBuffer, SeenTable};
+use manet_netsim::{Ctx, Duration, TimerToken};
+use manet_wire::{
+    BroadcastId, DataPacket, NetPacket, NodeId, RouteError, RouteReply, RouteRequest, SeqNo,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// DSR tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DsrConfig {
+    /// Maximum routes cached per destination.
+    pub cache_routes_per_dest: usize,
+    /// Maximum age of a cached route, seconds.
+    pub cache_max_age: f64,
+    /// Let intermediate nodes answer RREQs from their caches.
+    pub reply_from_cache: bool,
+    /// How long the source waits for a RREP before retrying the discovery.
+    pub discovery_timeout: f64,
+    /// Maximum number of discovery attempts per destination.
+    pub discovery_retries: u32,
+    /// Capacity of the awaiting-route packet buffer (per destination).
+    pub buffer_capacity: usize,
+    /// Maximum age of a buffered packet, seconds.
+    pub buffer_max_age: f64,
+}
+
+impl Default for DsrConfig {
+    fn default() -> Self {
+        DsrConfig {
+            cache_routes_per_dest: 4,
+            cache_max_age: 30.0,
+            reply_from_cache: true,
+            discovery_timeout: 1.0,
+            discovery_retries: 3,
+            buffer_capacity: 64,
+            buffer_max_age: 8.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingDiscovery {
+    attempts: u32,
+    generation: u64,
+}
+
+/// One node's DSR agent.
+pub struct Dsr {
+    me: NodeId,
+    config: DsrConfig,
+    cache: RouteCache,
+    seen: SeenTable,
+    buffer: PacketBuffer,
+    next_broadcast_id: BroadcastId,
+    pending: HashMap<NodeId, PendingDiscovery>,
+    /// Per-destination hold-down after a failed discovery (exponential-backoff
+    /// style damping, as real DSR/AODV implementations apply): no new flood is
+    /// started for the destination before this time.
+    holddown: HashMap<NodeId, manet_netsim::SimTime>,
+    timer_generation: u64,
+    stats: RoutingStats,
+}
+
+impl Dsr {
+    /// Create the agent for node `me`.
+    pub fn new(me: NodeId, config: DsrConfig) -> Self {
+        Dsr {
+            me,
+            cache: RouteCache::new(config.cache_routes_per_dest, config.cache_max_age),
+            seen: SeenTable::default(),
+            buffer: PacketBuffer::new(config.buffer_capacity, config.buffer_max_age),
+            config,
+            next_broadcast_id: BroadcastId(0),
+            pending: HashMap::new(),
+            holddown: HashMap::new(),
+            timer_generation: 0,
+            stats: RoutingStats::default(),
+        }
+    }
+
+    /// Read access to the route cache (tests, diagnostics).
+    pub fn cache(&self) -> &RouteCache {
+        &self.cache
+    }
+
+    /// The node this agent runs on.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn start_discovery(&mut self, ctx: &mut Ctx<'_>, dest: NodeId) {
+        if self.pending.contains_key(&dest) {
+            return;
+        }
+        if let Some(&until) = self.holddown.get(&dest) {
+            if ctx.now() < until {
+                return; // recent discovery failed; damp the flood rate
+            }
+        }
+        self.timer_generation += 1;
+        let generation = self.timer_generation;
+        self.pending.insert(dest, PendingDiscovery { attempts: 1, generation });
+        self.emit_rreq(ctx, dest);
+        ctx.schedule_timer(
+            Duration::from_secs(self.config.discovery_timeout),
+            TimerClass::Routing.token(generation),
+        );
+    }
+
+    fn emit_rreq(&mut self, ctx: &mut Ctx<'_>, dest: NodeId) {
+        let bid = self.next_broadcast_id;
+        self.next_broadcast_id = bid.next();
+        let rreq = RouteRequest {
+            source: self.me,
+            destination: dest,
+            broadcast_id: bid,
+            hop_count: 0,
+            route: Vec::new(),
+            dest_seqno: SeqNo(0),
+            source_seqno: SeqNo(0),
+        };
+        let now = ctx.now();
+        self.seen.first_time(self.me, dest, bid, now);
+        self.stats.discoveries += 1;
+        self.stats.rreq_tx += 1;
+        ctx.send_broadcast(NetPacket::Rreq(rreq));
+    }
+
+    /// Route a data packet we originate: attach the best cached source route
+    /// or buffer the packet and start a discovery.
+    fn originate_data(&mut self, ctx: &mut Ctx<'_>, packet: DataPacket) {
+        let now = ctx.now();
+        let dst = packet.dst;
+        if let Some(route) = self.cache.best_route(dst, now).cloned() {
+            let mut routed = DataPacket::with_source_route(
+                packet.id,
+                packet.src,
+                packet.dst,
+                packet.segment,
+                route.path.clone(),
+            );
+            routed.hop_count = packet.hop_count;
+            self.forward_source_routed(ctx, routed);
+        } else {
+            self.buffer.push(dst, packet, now);
+            self.start_discovery(ctx, dst);
+        }
+    }
+
+    /// Forward a source-routed data packet one hop along its embedded route.
+    fn forward_source_routed(&mut self, ctx: &mut Ctx<'_>, mut packet: DataPacket) {
+        let Some(sr) = packet.source_route.as_mut() else {
+            // A DSR node received a packet without a source route (foreign
+            // protocol); drop it.
+            self.stats.data_dropped_no_route += 1;
+            return;
+        };
+        // Position the cursor at this node (robust to duplicate receptions).
+        if let Some(pos) = sr.route.iter().position(|&n| n == self.me) {
+            sr.cursor = pos;
+        }
+        match sr.next_hop() {
+            Some(next) => {
+                packet.hop_count += 1;
+                if packet.src != self.me {
+                    self.stats.data_forwarded += 1;
+                }
+                ctx.send_unicast(next, NetPacket::Data(packet));
+            }
+            None => {
+                // Malformed route (we are listed last but are not the
+                // destination); drop.
+                self.stats.data_dropped_no_route += 1;
+            }
+        }
+    }
+
+    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, mut rreq: RouteRequest) {
+        let now = ctx.now();
+        if !self.seen.first_time(rreq.source, rreq.destination, rreq.broadcast_id, now) {
+            return;
+        }
+        // Learn the backward route to the originator from the accumulated list.
+        let mut back_path: Vec<NodeId> = rreq.route.clone();
+        back_path.reverse();
+        back_path.insert(0, self.me);
+        back_path.push(rreq.source);
+        // `back_path` = me, ...reversed intermediates..., source
+        self.cache.insert(rreq.source, back_path, now);
+
+        if rreq.destination == self.me {
+            // Reply with the full discovered route.
+            let rrep = RouteReply {
+                source: rreq.source,
+                destination: self.me,
+                reply_id: rreq.broadcast_id,
+                hop_count: rreq.hop_count,
+                route: rreq.route.clone(),
+                dest_seqno: SeqNo(0),
+            };
+            self.send_rrep(ctx, rrep);
+            return;
+        }
+        if self.config.reply_from_cache {
+            if let Some(cached) = self.cache.best_route(rreq.destination, now) {
+                // Splice: source -> ...rreq.route... -> me -> ...cached tail... -> dest.
+                // Only use the cached tail if it does not revisit nodes already
+                // on the request path (avoids loops).
+                let tail: Vec<NodeId> = cached.path.iter().copied().skip(1).collect();
+                let no_overlap = tail
+                    .iter()
+                    .all(|n| *n != rreq.source && !rreq.route.contains(n) && *n != self.me);
+                if no_overlap {
+                    let mut full_route = rreq.route.clone();
+                    full_route.push(self.me);
+                    // tail ends at the destination; route field excludes endpoints.
+                    let mut spliced = full_route;
+                    spliced.extend(tail.iter().copied().take(tail.len().saturating_sub(1)));
+                    let rrep = RouteReply {
+                        source: rreq.source,
+                        destination: rreq.destination,
+                        reply_id: rreq.broadcast_id,
+                        hop_count: spliced.len() as u32 + 1,
+                        route: spliced,
+                        dest_seqno: SeqNo(0),
+                    };
+                    self.send_rrep(ctx, rrep);
+                    return;
+                }
+            }
+        }
+        // Forward the flood with ourselves appended.
+        rreq.hop_count += 1;
+        rreq.route.push(self.me);
+        self.stats.rreq_tx += 1;
+        ctx.send_broadcast(NetPacket::Rreq(rreq));
+    }
+
+    /// Send (or forward) a RREP back towards the request originator along the
+    /// reverse of the discovered route.
+    fn send_rrep(&mut self, ctx: &mut Ctx<'_>, rrep: RouteReply) {
+        let full = rrep.full_path();
+        // Find our own position on the path; the next hop towards the source
+        // is the previous node on the path.
+        let Some(pos) = full.iter().position(|&n| n == self.me) else {
+            return;
+        };
+        if pos == 0 {
+            return; // we are the source; nothing to send
+        }
+        let next = full[pos - 1];
+        self.stats.rrep_tx += 1;
+        ctx.send_unicast(next, NetPacket::Rrep(rrep));
+    }
+
+    fn handle_rrep(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, rrep: RouteReply) {
+        let now = ctx.now();
+        let full = rrep.full_path();
+        if rrep.source == self.me {
+            // Cache the forward route source..=destination and flush traffic.
+            self.cache.insert(rrep.destination, full, now);
+            self.pending.remove(&rrep.destination);
+            self.holddown.remove(&rrep.destination);
+            self.stats.route_switches += 1;
+            let packets = self.buffer.drain(rrep.destination, now);
+            for p in packets {
+                self.originate_data(ctx, p);
+            }
+            return;
+        }
+        // Intermediate node: learn the sub-route from us to the destination,
+        // then keep forwarding the RREP towards the source.
+        if let Some(pos) = full.iter().position(|&n| n == self.me) {
+            let sub: Vec<NodeId> = full[pos..].to_vec();
+            if sub.len() >= 2 {
+                self.cache.insert(rrep.destination, sub, now);
+            }
+        }
+        self.send_rrep(ctx, rrep);
+    }
+
+    fn handle_rerr(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, rerr: RouteError) {
+        let now = ctx.now();
+        let removed = self.cache.remove_link(rerr.reporter, rerr.broken_next_hop);
+        if removed > 0 {
+            self.stats.route_switches += 1;
+        }
+        // If we have traffic buffered (we were mid-discovery or the error
+        // raced a send), try again with whatever routes remain.
+        let dests: Vec<NodeId> = rerr.unreachable.clone();
+        for dest in dests {
+            let packets = self.buffer.drain(dest, now);
+            for p in packets {
+                self.originate_data(ctx, p);
+            }
+        }
+    }
+
+    /// Propagate a route error for the broken link back to the source of the
+    /// packet that failed, using the reversed prefix of its source route.
+    fn report_broken_link(&mut self, ctx: &mut Ctx<'_>, broken_next: NodeId, packet: &DataPacket) {
+        let rerr = RouteError {
+            reporter: self.me,
+            broken_next_hop: broken_next,
+            unreachable: vec![packet.dst],
+            dest_seqnos: vec![SeqNo(0)],
+        };
+        // Route the error back towards the packet source along the reverse of
+        // the packet's source route, if we are on it; otherwise broadcast so
+        // nearby caches still learn about the broken link.
+        if let Some(sr) = &packet.source_route {
+            if let Some(pos) = sr.route.iter().position(|&n| n == self.me) {
+                if pos > 0 {
+                    let next = sr.route[pos - 1];
+                    self.stats.rerr_tx += 1;
+                    ctx.send_unicast(next, NetPacket::Rerr(rerr));
+                    return;
+                }
+            }
+        }
+        self.stats.rerr_tx += 1;
+        ctx.send_broadcast(NetPacket::Rerr(rerr));
+    }
+}
+
+impl RoutingAgent for Dsr {
+    fn name(&self) -> &'static str {
+        "DSR"
+    }
+
+    fn start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn send_data(&mut self, ctx: &mut Ctx<'_>, packet: DataPacket) {
+        self.originate_data(ctx, packet);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) -> Vec<DataPacket> {
+        match packet {
+            NetPacket::Rreq(r) => {
+                self.handle_rreq(ctx, from, r);
+                Vec::new()
+            }
+            NetPacket::Rrep(r) => {
+                self.handle_rrep(ctx, from, r);
+                Vec::new()
+            }
+            NetPacket::Rerr(r) => {
+                self.handle_rerr(ctx, from, r);
+                Vec::new()
+            }
+            NetPacket::Data(d) => {
+                if d.dst == self.me {
+                    vec![d]
+                } else {
+                    self.forward_source_routed(ctx, d);
+                    Vec::new()
+                }
+            }
+            NetPacket::Check(_) | NetPacket::CheckErr(_) => Vec::new(),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if !TimerClass::Routing.owns(token) {
+            return;
+        }
+        let generation = token.payload();
+        let now = ctx.now();
+        let dest = self
+            .pending
+            .iter()
+            .find(|(_, p)| p.generation == generation)
+            .map(|(d, _)| *d);
+        let Some(dest) = dest else { return };
+        if self.cache.best_route(dest, now).is_some() {
+            self.pending.remove(&dest);
+            return;
+        }
+        let attempts = self.pending.get(&dest).map(|p| p.attempts).unwrap_or(0);
+        if attempts >= self.config.discovery_retries {
+            self.pending.remove(&dest);
+            self.holddown
+                .insert(dest, now + Duration::from_secs(5.0));
+            let dropped = self.buffer.discard(dest);
+            self.stats.data_dropped_no_route += dropped as u64;
+            return;
+        }
+        self.timer_generation += 1;
+        let generation = self.timer_generation;
+        if let Some(p) = self.pending.get_mut(&dest) {
+            p.attempts += 1;
+            p.generation = generation;
+        }
+        self.emit_rreq(ctx, dest);
+        ctx.schedule_timer(
+            Duration::from_secs(self.config.discovery_timeout),
+            TimerClass::Routing.token(generation),
+        );
+    }
+
+    fn on_link_failure(&mut self, ctx: &mut Ctx<'_>, next_hop: NodeId, packet: NetPacket) {
+        let now = ctx.now();
+        // Purge every cached route using the broken link.
+        self.cache.remove_link(self.me, next_hop);
+        if let NetPacket::Data(d) = packet {
+            // Tell the packet's source about the broken link.
+            self.report_broken_link(ctx, next_hop, &d);
+            if d.src == self.me {
+                // Salvage locally: strip the stale source route and retry
+                // (possibly triggering a fresh discovery).
+                let plain = DataPacket::new(d.id, d.src, d.dst, d.segment);
+                self.buffer.push(plain.dst, plain, now);
+                if self.cache.best_route(d.dst, now).is_some() {
+                    let packets = self.buffer.drain(d.dst, now);
+                    for p in packets {
+                        self.originate_data(ctx, p);
+                    }
+                } else {
+                    self.start_discovery(ctx, d.dst);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> RoutingStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_enables_cache_replies() {
+        let c = DsrConfig::default();
+        assert!(c.reply_from_cache);
+        assert!(c.cache_max_age > 0.0);
+    }
+
+    #[test]
+    fn agent_reports_name() {
+        let d = Dsr::new(NodeId(1), DsrConfig::default());
+        assert_eq!(d.name(), "DSR");
+        assert_eq!(d.me(), NodeId(1));
+        assert!(d.cache().is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # manet-routing
+//!
+//! Routing substrate for the MTS reproduction:
+//!
+//! * [`agent`] — the [`RoutingAgent`] trait every protocol implements, plus
+//!   per-protocol statistics and the timer-token namespace convention.
+//! * [`common`] — shared building blocks: duplicate-RREQ suppression, the
+//!   per-destination packet buffer used while a discovery is in flight.
+//! * [`table`] — AODV/MTS-style hop-by-hop routing table with destination
+//!   sequence numbers and lifetimes.
+//! * [`cache`] — DSR-style route cache holding full source routes.
+//! * [`aodv`] — the AODV baseline (Perkins/Royer/Das draft semantics).
+//! * [`dsr`] — the DSR baseline (Johnson/Maltz source routing).
+//! * [`testkit`] — a harness that runs a routing agent inside the simulator
+//!   with simple datagram traffic, used by unit/integration tests of this
+//!   crate and of `mts-core`.
+//!
+//! The MTS protocol itself — the paper's contribution — lives in the
+//! `mts-core` crate and implements the same [`RoutingAgent`] trait.
+
+pub mod agent;
+pub mod aodv;
+pub mod cache;
+pub mod common;
+pub mod dsr;
+pub mod table;
+pub mod testkit;
+
+pub use agent::{RoutingAgent, RoutingStats, TimerClass};
+pub use aodv::{Aodv, AodvConfig};
+pub use cache::RouteCache;
+pub use common::{PacketBuffer, SeenTable};
+pub use dsr::{Dsr, DsrConfig};
+pub use table::{RouteEntry, RoutingTable};

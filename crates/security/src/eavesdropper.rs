@@ -1,0 +1,118 @@
+//! Eavesdropper selection and reporting.
+//!
+//! The paper designates one randomly selected intermediate node as the
+//! eavesdropper: it behaves exactly like every other node (it relays packets
+//! normally) but also records all data it can hear within its radio range.
+//! Because the simulator's recorder already tracks, for every node, the set of
+//! unique data packets it relayed or overheard, the "eavesdropper" is purely
+//! an analysis-time choice: any node that is not a traffic endpoint can be
+//! evaluated as the eavesdropper, and the worst case over all nodes gives the
+//! highest interception ratio of Fig. 7.
+
+use manet_netsim::Recorder;
+use manet_wire::NodeId;
+use rand::Rng;
+
+/// Pick the eavesdropping node uniformly at random among nodes that are not
+/// traffic endpoints.
+///
+/// Returns `None` when every node is an endpoint (degenerate two-node setups).
+pub fn select_eavesdropper(
+    num_nodes: u16,
+    endpoints: &[NodeId],
+    rng: &mut impl Rng,
+) -> Option<NodeId> {
+    let candidates: Vec<NodeId> = (0..num_nodes)
+        .map(NodeId)
+        .filter(|n| !endpoints.contains(n))
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+/// What a specific eavesdropping node captured during a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EavesdropperReport {
+    /// The eavesdropping node.
+    pub node: NodeId,
+    /// Unique data packets it heard (relayed or overheard): `Pe` in Eq. 1.
+    pub packets_heard: u64,
+    /// Unique data packets delivered to the destination: `Pr` in Eq. 1.
+    pub packets_delivered: u64,
+}
+
+impl EavesdropperReport {
+    /// Build the report for `node` from a finished run's recorder.
+    pub fn from_recorder(recorder: &Recorder, node: NodeId) -> Self {
+        EavesdropperReport {
+            node,
+            packets_heard: recorder.heard_count(node),
+            packets_delivered: recorder.delivered_data_packets(),
+        }
+    }
+
+    /// The interception ratio `Ri = Pe / Pr` (0 when nothing was delivered).
+    pub fn interception_ratio(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            0.0
+        } else {
+            self.packets_heard as f64 / self.packets_delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_netsim::SimTime;
+    use manet_wire::PacketId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selection_excludes_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let endpoints = [NodeId(0), NodeId(9)];
+        for _ in 0..100 {
+            let e = select_eavesdropper(10, &endpoints, &mut rng).unwrap();
+            assert!(!endpoints.contains(&e));
+            assert!(e.0 < 10);
+        }
+    }
+
+    #[test]
+    fn selection_fails_when_everyone_is_an_endpoint() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(select_eavesdropper(2, &[NodeId(0), NodeId(1)], &mut rng).is_none());
+    }
+
+    #[test]
+    fn report_computes_ratio_from_recorder() {
+        let mut rec = Recorder::new();
+        let t = SimTime::from_secs(1.0);
+        // 4 packets delivered to node 9; node 3 heard 2 of them.
+        for id in 0..4u64 {
+            rec.record_originated(PacketId(id), true, SimTime::ZERO);
+            rec.record_delivered(NodeId(9), PacketId(id), true, 1000, t);
+        }
+        rec.record_overheard(NodeId(3), PacketId(0), true);
+        rec.record_relay(NodeId(3), PacketId(1), true);
+        let report = EavesdropperReport::from_recorder(&rec, NodeId(3));
+        assert_eq!(report.packets_heard, 2);
+        assert_eq!(report.packets_delivered, 4);
+        assert!((report.interception_ratio() - 0.5).abs() < 1e-12);
+        // A node that heard nothing has ratio 0.
+        let silent = EavesdropperReport::from_recorder(&rec, NodeId(7));
+        assert_eq!(silent.interception_ratio(), 0.0);
+    }
+
+    #[test]
+    fn zero_deliveries_yield_zero_ratio() {
+        let rec = Recorder::new();
+        let r = EavesdropperReport::from_recorder(&rec, NodeId(1));
+        assert_eq!(r.interception_ratio(), 0.0);
+    }
+}

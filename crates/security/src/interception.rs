@@ -1,0 +1,151 @@
+//! Interception-ratio metrics (paper Eq. 1 and Fig. 7).
+
+use crate::eavesdropper::EavesdropperReport;
+use manet_netsim::Recorder;
+use manet_wire::NodeId;
+
+/// Summary of interception exposure for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InterceptionSummary {
+    /// Interception ratio of the designated (random) eavesdropper.
+    pub designated_ratio: f64,
+    /// Worst-case ratio over every candidate node (the paper's "highest
+    /// interception ratio", Fig. 7).
+    pub highest_ratio: f64,
+    /// Node achieving the worst case, if any traffic flowed.
+    pub worst_node: Option<NodeId>,
+    /// Mean ratio over all candidate nodes that heard at least one packet.
+    pub mean_ratio: f64,
+}
+
+/// Interception ratio `Ri = Pe / Pr` for a specific eavesdropping node.
+pub fn interception_ratio(recorder: &Recorder, eavesdropper: NodeId) -> f64 {
+    EavesdropperReport::from_recorder(recorder, eavesdropper).interception_ratio()
+}
+
+/// The highest interception ratio over all candidate nodes (everyone except
+/// the traffic endpoints), together with the node that achieves it.
+///
+/// The paper defines this worst case as "the most dependent node is the
+/// eavesdropper": `Pe` is the largest number of packets *received to relay*
+/// by any single intermediate node (the β of Table I), not its promiscuous
+/// captures.  A protocol that concentrates its traffic on one relay therefore
+/// scores close to 1, while a protocol that keeps moving the path across
+/// disjoint routes scores lower (Fig. 7).
+pub fn highest_interception_ratio(
+    recorder: &Recorder,
+    num_nodes: u16,
+    endpoints: &[NodeId],
+) -> (f64, Option<NodeId>) {
+    let delivered = recorder.delivered_data_packets();
+    if delivered == 0 {
+        return (0.0, None);
+    }
+    let mut best = (0.0f64, None);
+    for i in 0..num_nodes {
+        let node = NodeId(i);
+        if endpoints.contains(&node) {
+            continue;
+        }
+        let relayed = recorder.relay_counts().get(&node).copied().unwrap_or(0);
+        let r = relayed as f64 / delivered as f64;
+        if r > best.0 {
+            best = (r, Some(node));
+        }
+    }
+    best
+}
+
+/// Full interception summary for one run.
+pub fn summarize(
+    recorder: &Recorder,
+    num_nodes: u16,
+    endpoints: &[NodeId],
+    designated: Option<NodeId>,
+) -> InterceptionSummary {
+    let designated_ratio = designated.map_or(0.0, |e| interception_ratio(recorder, e));
+    let (highest_ratio, worst_node) = highest_interception_ratio(recorder, num_nodes, endpoints);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..num_nodes {
+        let node = NodeId(i);
+        if endpoints.contains(&node) {
+            continue;
+        }
+        let r = interception_ratio(recorder, node);
+        if r > 0.0 {
+            sum += r;
+            count += 1;
+        }
+    }
+    let mean_ratio = if count == 0 { 0.0 } else { sum / count as f64 };
+    InterceptionSummary { designated_ratio, highest_ratio, worst_node, mean_ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_netsim::SimTime;
+    use manet_wire::PacketId;
+
+    /// Build a recorder where node 9 receives `delivered` packets and each
+    /// `(node, n)` pair relays (and therefore also hears) `n` unique packets.
+    fn recorder_with(delivered: u64, relayed: &[(u16, u64)]) -> Recorder {
+        let mut rec = Recorder::new();
+        for id in 0..delivered {
+            rec.record_originated(PacketId(id), true, SimTime::ZERO);
+            rec.record_delivered(NodeId(9), PacketId(id), true, 1000, SimTime::from_secs(1.0));
+        }
+        for &(node, n) in relayed {
+            for id in 0..n {
+                rec.record_relay(NodeId(node), PacketId(id), true);
+            }
+        }
+        rec
+    }
+
+    #[test]
+    fn ratio_matches_equation_one() {
+        let rec = recorder_with(10, &[(3, 4)]);
+        assert!((interception_ratio(&rec, NodeId(3)) - 0.4).abs() < 1e-12);
+        assert_eq!(interception_ratio(&rec, NodeId(5)), 0.0);
+    }
+
+    #[test]
+    fn highest_ratio_finds_the_most_exposed_node() {
+        let rec = recorder_with(10, &[(3, 4), (4, 9), (5, 1)]);
+        let (r, node) = highest_interception_ratio(&rec, 10, &[NodeId(0), NodeId(9)]);
+        assert!((r - 0.9).abs() < 1e-12);
+        assert_eq!(node, Some(NodeId(4)));
+    }
+
+    #[test]
+    fn endpoints_are_excluded_from_the_worst_case() {
+        // Node 9 is the destination; even though it "hears" everything it is
+        // not an eavesdropping candidate.
+        let rec = recorder_with(10, &[(9, 10), (2, 3)]);
+        let (r, node) = highest_interception_ratio(&rec, 10, &[NodeId(0), NodeId(9)]);
+        assert!((r - 0.3).abs() < 1e-12);
+        assert_eq!(node, Some(NodeId(2)));
+    }
+
+    #[test]
+    fn summary_reports_designated_and_mean() {
+        let rec = recorder_with(10, &[(2, 2), (3, 6)]);
+        let s = summarize(&rec, 10, &[NodeId(0), NodeId(9)], Some(NodeId(2)));
+        assert!((s.designated_ratio - 0.2).abs() < 1e-12);
+        assert!((s.highest_ratio - 0.6).abs() < 1e-12);
+        assert_eq!(s.worst_node, Some(NodeId(3)));
+        assert!((s.mean_ratio - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_produces_zeroes() {
+        let rec = Recorder::new();
+        let s = summarize(&rec, 5, &[NodeId(0), NodeId(4)], Some(NodeId(2)));
+        assert_eq!(s.designated_ratio, 0.0);
+        assert_eq!(s.highest_ratio, 0.0);
+        assert_eq!(s.worst_node, None);
+        assert_eq!(s.mean_ratio, 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # manet-security
+//!
+//! The passive-attack model and the confidentiality metrics of the paper's
+//! evaluation (Section IV-B):
+//!
+//! * [`eavesdropper`] — selection of the eavesdropping node: a randomly
+//!   chosen node that is neither the TCP source nor the destination, relaying
+//!   packets like any legitimate node while recording everything it hears in
+//!   promiscuous mode.
+//! * [`interception`] — the interception ratio `Ri = Pe / Pr` (Eq. 1) and the
+//!   *highest* interception ratio (the worst-case node, Fig. 7).
+//! * [`participation`] — the participating-node count (Fig. 5) and the
+//!   normalized relay-share distribution with its standard deviation
+//!   (Eqs. 2–4, Table I, Fig. 6).
+//!
+//! All metrics are computed from the simulator's [`manet_netsim::Recorder`],
+//! so they apply uniformly to DSR, AODV and MTS runs.
+
+pub mod eavesdropper;
+pub mod interception;
+pub mod participation;
+
+pub use eavesdropper::{select_eavesdropper, EavesdropperReport};
+pub use interception::{highest_interception_ratio, interception_ratio, InterceptionSummary};
+pub use participation::{participating_nodes, relay_distribution, RelayDistribution, RelayTableRow};

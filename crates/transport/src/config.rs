@@ -1,0 +1,93 @@
+//! Transport-layer parameters.
+
+use manet_wire::sizes::DEFAULT_MSS;
+use serde::{Deserialize, Serialize};
+
+/// TCP Reno parameters.
+///
+/// Defaults follow the classic ns-2 era Reno configuration the paper used:
+/// 1000-byte segments, an initial congestion window of one segment, a 64
+/// segment receive window, a 1 s minimum / 64 s maximum retransmission
+/// timeout and three duplicate ACKs triggering fast retransmit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: u32,
+    /// Initial congestion window, in segments.
+    pub initial_cwnd: f64,
+    /// Initial slow-start threshold, in segments.
+    pub initial_ssthresh: f64,
+    /// Receiver window, in segments (caps the usable window).
+    pub receiver_window: f64,
+    /// Minimum retransmission timeout, seconds.
+    pub min_rto: f64,
+    /// Maximum retransmission timeout, seconds.
+    pub max_rto: f64,
+    /// Number of duplicate ACKs that triggers a fast retransmit.
+    pub dupack_threshold: u32,
+    /// Maximum number of consecutive RTO expirations before the connection is
+    /// considered (temporarily) dead; the sender keeps backing off but caps
+    /// the exponent here.
+    pub max_backoff_exponent: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: DEFAULT_MSS,
+            initial_cwnd: 1.0,
+            initial_ssthresh: 32.0,
+            receiver_window: 64.0,
+            min_rto: 1.0,
+            max_rto: 64.0,
+            dupack_threshold: 3,
+            max_backoff_exponent: 6,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mss == 0 {
+            return Err("mss must be positive".into());
+        }
+        if self.initial_cwnd < 1.0 {
+            return Err("initial_cwnd must be at least one segment".into());
+        }
+        if self.receiver_window < 1.0 {
+            return Err("receiver_window must be at least one segment".into());
+        }
+        if self.min_rto <= 0.0 || self.max_rto < self.min_rto {
+            return Err("RTO bounds must satisfy 0 < min_rto <= max_rto".into());
+        }
+        if self.dupack_threshold == 0 {
+            return Err("dupack_threshold must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_reno_setup() {
+        let c = TcpConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.mss, DEFAULT_MSS);
+        assert_eq!(c.dupack_threshold, 3);
+        assert!(c.min_rto >= 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(TcpConfig { mss: 0, ..Default::default() }.validate().is_err());
+        assert!(TcpConfig { initial_cwnd: 0.0, ..Default::default() }.validate().is_err());
+        assert!(TcpConfig { receiver_window: 0.0, ..Default::default() }.validate().is_err());
+        assert!(TcpConfig { min_rto: 0.0, ..Default::default() }.validate().is_err());
+        assert!(TcpConfig { max_rto: 0.5, min_rto: 1.0, ..Default::default() }.validate().is_err());
+        assert!(TcpConfig { dupack_threshold: 0, ..Default::default() }.validate().is_err());
+    }
+}

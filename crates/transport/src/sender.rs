@@ -1,0 +1,411 @@
+//! The TCP Reno sending endpoint.
+//!
+//! The sender is *sans-io*: the node stack calls it with events (`open the
+//! window`, `an ACK arrived`, `the retransmission timer fired`) and the sender
+//! answers with a [`TcpOutcome`] listing the segments to hand to the routing
+//! layer plus the retransmission deadline to (re)arm.  The traffic model is
+//! the paper's FTP-like bulk transfer: an unbounded backlog of application
+//! data.
+
+use crate::config::TcpConfig;
+use crate::reno::{CongestionState, RenoController};
+use crate::rto::RtoEstimator;
+use manet_netsim::{Duration, SimTime};
+use manet_wire::{ConnectionId, TcpSegment};
+use std::collections::BTreeMap;
+
+/// Identifies the retransmission timer the stack should arm.
+///
+/// The sender bumps the generation every time the timer must be re-armed;
+/// stale timer firings (older generations) are ignored, which matches the
+/// simulator's non-cancellable timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle {
+    /// Generation of the timer; echo it back in `on_timer`.
+    pub generation: u64,
+    /// Delay after which the timer should fire.
+    pub delay: Duration,
+}
+
+/// What the stack must do after driving the sender.
+#[derive(Debug, Default)]
+pub struct TcpOutcome {
+    /// Segments to transmit, in order.
+    pub segments: Vec<TcpSegment>,
+    /// Retransmission timer to arm (if any).
+    pub timer: Option<TimerHandle>,
+}
+
+/// Book-keeping for one in-flight segment.
+#[derive(Debug, Clone, Copy)]
+struct InFlightSegment {
+    len: u32,
+    sent_at: SimTime,
+    retransmitted: bool,
+}
+
+/// The sending half of one TCP Reno connection.
+#[derive(Debug)]
+pub struct TcpSender {
+    conn: ConnectionId,
+    config: TcpConfig,
+    reno: RenoController,
+    rto: RtoEstimator,
+    /// Next sequence number to send (bytes).
+    snd_nxt: u64,
+    /// Oldest unacknowledged byte.
+    snd_una: u64,
+    /// In-flight segments keyed by their starting sequence number.
+    in_flight: BTreeMap<u64, InFlightSegment>,
+    /// Duplicate-ACK counter for the current `snd_una`.
+    dupacks: u32,
+    /// Highest sequence outstanding when fast recovery started (new ACKs above
+    /// this end recovery).
+    recovery_point: u64,
+    /// Current retransmission-timer generation.
+    timer_generation: u64,
+    /// Whether a timer is conceptually armed.
+    timer_armed: bool,
+    // --- statistics -------------------------------------------------------
+    segments_sent: u64,
+    retransmissions: u64,
+    bytes_acked: u64,
+}
+
+impl TcpSender {
+    /// New bulk-transfer sender for connection `conn`.
+    pub fn new(conn: ConnectionId, config: TcpConfig) -> Self {
+        config.validate().expect("invalid TCP configuration");
+        TcpSender {
+            conn,
+            reno: RenoController::new(
+                config.initial_cwnd,
+                config.initial_ssthresh,
+                config.receiver_window,
+            ),
+            rto: RtoEstimator::new(config.min_rto, config.max_rto, config.max_backoff_exponent),
+            config,
+            snd_nxt: 0,
+            snd_una: 0,
+            in_flight: BTreeMap::new(),
+            dupacks: 0,
+            recovery_point: 0,
+            timer_generation: 0,
+            timer_armed: false,
+            segments_sent: 0,
+            retransmissions: 0,
+            bytes_acked: 0,
+        }
+    }
+
+    /// The connection this sender belongs to.
+    pub fn connection(&self) -> ConnectionId {
+        self.conn
+    }
+
+    /// Bytes acknowledged end-to-end so far.
+    pub fn bytes_acked(&self) -> u64 {
+        self.bytes_acked
+    }
+
+    /// Data segments transmitted (including retransmissions).
+    pub fn segments_sent(&self) -> u64 {
+        self.segments_sent
+    }
+
+    /// Retransmitted segments.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Retransmission timeouts taken.
+    pub fn timeouts(&self) -> u64 {
+        self.reno.timeouts()
+    }
+
+    /// Fast retransmits performed.
+    pub fn fast_retransmits(&self) -> u64 {
+        self.reno.fast_retransmits()
+    }
+
+    /// Current congestion window (segments).
+    pub fn cwnd(&self) -> f64 {
+        self.reno.cwnd()
+    }
+
+    /// Current congestion-control phase.
+    pub fn state(&self) -> CongestionState {
+        self.reno.state()
+    }
+
+    /// Smoothed RTT estimate, if available (seconds).
+    pub fn srtt(&self) -> Option<f64> {
+        self.rto.srtt()
+    }
+
+    /// Outstanding (sent but unacknowledged) bytes.
+    pub fn flight_bytes(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    fn flight_segments(&self) -> f64 {
+        self.flight_bytes() as f64 / f64::from(self.config.mss)
+    }
+
+    fn arm_timer(&mut self) -> Option<TimerHandle> {
+        self.timer_generation += 1;
+        self.timer_armed = true;
+        Some(TimerHandle { generation: self.timer_generation, delay: self.rto.rto() })
+    }
+
+    /// Fill the window with new data segments (bulk source: data never runs
+    /// out).  Call at connection start and whenever the window may have
+    /// opened.
+    pub fn pump(&mut self, now: SimTime) -> TcpOutcome {
+        let mut out = TcpOutcome::default();
+        let window_bytes = self.reno.usable_window() * u64::from(self.config.mss);
+        while self.flight_bytes() + u64::from(self.config.mss) <= window_bytes {
+            let seq = self.snd_nxt;
+            let len = self.config.mss;
+            let seg = TcpSegment::data(self.conn, seq, 0, len);
+            self.in_flight.insert(seq, InFlightSegment { len, sent_at: now, retransmitted: false });
+            self.snd_nxt += u64::from(len);
+            self.segments_sent += 1;
+            out.segments.push(seg);
+        }
+        if !out.segments.is_empty() && !self.timer_armed {
+            out.timer = self.arm_timer();
+        }
+        out
+    }
+
+    /// Process an incoming (cumulative) acknowledgement.
+    pub fn on_ack(&mut self, segment: &TcpSegment, now: SimTime) -> TcpOutcome {
+        debug_assert_eq!(segment.conn, self.conn);
+        let mut out = TcpOutcome::default();
+        if !segment.flags.ack {
+            return out;
+        }
+        let ack = segment.ack;
+        if ack > self.snd_una {
+            // New data acknowledged.
+            let newly_acked = ack - self.snd_una;
+            self.bytes_acked += newly_acked;
+            // RTT sample from the oldest segment this ACK covers, if it was
+            // never retransmitted (Karn's rule).
+            let covered: Vec<u64> = self
+                .in_flight
+                .range(..ack)
+                .map(|(&seq, _)| seq)
+                .collect();
+            let mut sampled = false;
+            for seq in covered {
+                if let Some(info) = self.in_flight.remove(&seq) {
+                    if !sampled && !info.retransmitted {
+                        self.rto.sample(now.saturating_since(info.sent_at).as_secs());
+                        sampled = true;
+                    }
+                }
+            }
+            self.snd_una = ack;
+            self.dupacks = 0;
+            if self.reno.state() == CongestionState::FastRecovery && ack < self.recovery_point {
+                // Partial ACK during recovery: retransmit the next missing
+                // segment straight away (NewReno-style partial-ACK handling
+                // keeps Reno from stalling on multiple losses in one window).
+                out.segments.push(self.retransmit_front(now));
+            } else {
+                self.reno.on_new_ack();
+            }
+            // Grow / refill the window.
+            let mut pumped = self.pump(now);
+            out.segments.append(&mut pumped.segments);
+            // Re-arm the timer for remaining in-flight data.
+            if self.flight_bytes() > 0 {
+                out.timer = self.arm_timer();
+            } else {
+                self.timer_armed = false;
+            }
+        } else if ack == self.snd_una && self.flight_bytes() > 0 {
+            // Duplicate ACK.
+            self.dupacks += 1;
+            if self.dupacks == self.config.dupack_threshold {
+                self.recovery_point = self.snd_nxt;
+                self.reno.on_fast_retransmit(self.flight_segments());
+                out.segments.push(self.retransmit_front(now));
+                out.timer = self.arm_timer();
+            } else if self.dupacks > self.config.dupack_threshold {
+                self.reno.on_extra_dupack();
+                let mut pumped = self.pump(now);
+                out.segments.append(&mut pumped.segments);
+            }
+        }
+        out
+    }
+
+    /// Retransmit the oldest unacknowledged segment.
+    fn retransmit_front(&mut self, now: SimTime) -> TcpSegment {
+        let seq = self.snd_una;
+        let len = self
+            .in_flight
+            .get(&seq)
+            .map(|i| i.len)
+            .unwrap_or(self.config.mss);
+        self.in_flight.insert(seq, InFlightSegment { len, sent_at: now, retransmitted: true });
+        self.segments_sent += 1;
+        self.retransmissions += 1;
+        TcpSegment::data(self.conn, seq, 0, len)
+    }
+
+    /// The retransmission timer with `generation` fired.
+    pub fn on_timer(&mut self, generation: u64, now: SimTime) -> TcpOutcome {
+        let mut out = TcpOutcome::default();
+        if generation != self.timer_generation || !self.timer_armed {
+            return out; // stale timer
+        }
+        if self.flight_bytes() == 0 {
+            self.timer_armed = false;
+            return out;
+        }
+        // Timeout: collapse the window, back off the RTO, retransmit the
+        // oldest segment, and mark everything in flight as retransmitted so
+        // Karn's rule skips their RTT samples.
+        self.reno.on_timeout(self.flight_segments());
+        self.rto.back_off();
+        self.dupacks = 0;
+        for info in self.in_flight.values_mut() {
+            info.retransmitted = true;
+        }
+        out.segments.push(self.retransmit_front(now));
+        out.timer = self.arm_timer();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CONN: ConnectionId = ConnectionId(1);
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn ack(n: u64) -> TcpSegment {
+        TcpSegment::pure_ack(CONN, n)
+    }
+
+    fn sender() -> TcpSender {
+        TcpSender::new(CONN, TcpConfig::default())
+    }
+
+    #[test]
+    fn initial_pump_sends_one_window() {
+        let mut s = sender();
+        let out = s.pump(t(0.0));
+        // Initial cwnd is one segment.
+        assert_eq!(out.segments.len(), 1);
+        assert!(out.timer.is_some());
+        assert_eq!(s.flight_bytes(), u64::from(TcpConfig::default().mss));
+        // A second pump with a full window sends nothing.
+        assert!(s.pump(t(0.1)).segments.is_empty());
+    }
+
+    #[test]
+    fn acks_open_the_window_exponentially() {
+        let mut s = sender();
+        let mss = u64::from(TcpConfig::default().mss);
+        let _ = s.pump(t(0.0));
+        let out = s.on_ack(&ack(mss), t(0.2));
+        // Slow start: cwnd 1 -> 2, so two new segments go out.
+        assert_eq!(out.segments.len(), 2);
+        assert!(s.cwnd() >= 2.0);
+        assert_eq!(s.bytes_acked(), mss);
+        assert!(s.srtt().is_some());
+    }
+
+    #[test]
+    fn three_dupacks_trigger_fast_retransmit() {
+        let mut s = sender();
+        let mss = u64::from(TcpConfig::default().mss);
+        // Grow the window a bit first.
+        let _ = s.pump(t(0.0));
+        let _ = s.on_ack(&ack(mss), t(0.1));
+        let _ = s.on_ack(&ack(2 * mss), t(0.2));
+        let _ = s.on_ack(&ack(3 * mss), t(0.3));
+        assert!(s.flight_bytes() >= 3 * mss, "need at least 3 segments in flight");
+        // Now the receiver keeps acking 3*mss (segment 3 was lost).
+        let _ = s.on_ack(&ack(3 * mss), t(0.4));
+        let _ = s.on_ack(&ack(3 * mss), t(0.45));
+        let out = s.on_ack(&ack(3 * mss), t(0.5));
+        assert_eq!(s.fast_retransmits(), 1);
+        assert_eq!(s.retransmissions(), 1);
+        // The retransmission resends the missing segment at snd_una = 3*mss.
+        assert_eq!(out.segments[0].seq, 3 * mss);
+        assert_eq!(s.state(), CongestionState::FastRecovery);
+    }
+
+    #[test]
+    fn timeout_retransmits_and_collapses_window() {
+        let mut s = sender();
+        let mss = u64::from(TcpConfig::default().mss);
+        let first = s.pump(t(0.0));
+        let generation = first.timer.unwrap().generation;
+        let out = s.on_timer(generation, t(2.0));
+        assert_eq!(out.segments.len(), 1);
+        assert_eq!(out.segments[0].seq, 0);
+        assert_eq!(s.timeouts(), 1);
+        assert!((s.cwnd() - 1.0).abs() < 1e-9);
+        // The ACK that finally arrives does not take an RTT sample from the
+        // retransmitted segment (Karn) but still advances the window.
+        let out = s.on_ack(&ack(mss), t(3.0));
+        assert!(!out.segments.is_empty());
+        assert_eq!(s.bytes_acked(), mss);
+    }
+
+    #[test]
+    fn stale_timer_generations_are_ignored() {
+        let mut s = sender();
+        let first = s.pump(t(0.0));
+        let old_generation = first.timer.unwrap().generation;
+        let mss = u64::from(TcpConfig::default().mss);
+        // The ACK re-arms the timer with a newer generation.
+        let _ = s.on_ack(&ack(mss), t(0.1));
+        let out = s.on_timer(old_generation, t(5.0));
+        assert!(out.segments.is_empty());
+        assert_eq!(s.timeouts(), 0);
+    }
+
+    #[test]
+    fn duplicate_acks_with_nothing_in_flight_are_ignored() {
+        let mut s = sender();
+        let out = s.on_ack(&ack(0), t(0.0));
+        assert!(out.segments.is_empty());
+        assert_eq!(s.fast_retransmits(), 0);
+    }
+
+    #[test]
+    fn bulk_transfer_makes_steady_progress() {
+        // Drive the sender against an ideal lossless receiver for a while and
+        // confirm it keeps acknowledging new data and growing the window up to
+        // the receiver window cap.
+        let mut s = sender();
+        let mss = u64::from(TcpConfig::default().mss);
+        let mut now = 0.0;
+        let mut acked = 0u64;
+        let mut to_deliver: Vec<TcpSegment> = s.pump(t(now)).segments;
+        for _ in 0..200 {
+            now += 0.05;
+            // Deliver every outstanding segment, then ack cumulatively.
+            let highest = to_deliver.iter().map(|g| g.end_seq()).max().unwrap_or(acked);
+            acked = acked.max(highest);
+            to_deliver.clear();
+            let out = s.on_ack(&ack(acked), t(now));
+            to_deliver.extend(out.segments);
+        }
+        assert!(s.bytes_acked() > 100 * mss);
+        assert!(s.cwnd() <= TcpConfig::default().receiver_window + 1.0);
+        assert_eq!(s.retransmissions(), 0);
+    }
+}

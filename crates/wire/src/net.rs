@@ -1,0 +1,190 @@
+//! Network-layer packet container and MAC addressing.
+
+use crate::ids::{NodeId, PacketId};
+use crate::routing_msgs::{CheckError, RouteCheck, RouteError, RouteReply, RouteRequest, SourceRoutedData};
+use crate::tcp::TcpSegment;
+use serde::{Deserialize, Serialize};
+
+/// Link-layer destination of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MacDest {
+    /// Every node within radio range receives the frame (no MAC ACK).
+    Broadcast,
+    /// Only the named node accepts the frame (MAC ACK + retries apply).
+    Unicast(NodeId),
+}
+
+/// A network-layer data packet carrying one TCP segment end-to-end.
+///
+/// `id` is globally unique and survives hop-by-hop forwarding, which lets the
+/// security metrics count *unique* packets intercepted by an eavesdropper and
+/// the delay metric match send and arrival times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPacket {
+    /// Globally unique packet identifier.
+    pub id: PacketId,
+    /// Originating node (TCP endpoint).
+    pub src: NodeId,
+    /// Final destination node (TCP endpoint).
+    pub dst: NodeId,
+    /// The TCP segment carried by this packet.
+    pub segment: TcpSegment,
+    /// Hops traversed so far (incremented by each forwarder).
+    pub hop_count: u32,
+    /// DSR-style source route, when the routing protocol uses one.
+    pub source_route: Option<SourceRoutedData>,
+}
+
+impl DataPacket {
+    /// New hop-by-hop routed data packet (AODV / MTS style).
+    pub fn new(id: PacketId, src: NodeId, dst: NodeId, segment: TcpSegment) -> Self {
+        DataPacket { id, src, dst, segment, hop_count: 0, source_route: None }
+    }
+
+    /// New source-routed data packet (DSR style).
+    pub fn with_source_route(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        segment: TcpSegment,
+        route: Vec<NodeId>,
+    ) -> Self {
+        DataPacket {
+            id,
+            src,
+            dst,
+            segment,
+            hop_count: 0,
+            source_route: Some(SourceRoutedData::new(route)),
+        }
+    }
+
+    /// Size on the wire: the TCP segment plus any source-route header.
+    pub fn size_bytes(&self) -> u32 {
+        self.segment.size_bytes()
+            + self.source_route.as_ref().map_or(0, |sr| sr.header_bytes())
+    }
+
+    /// True if the packet carries TCP payload (as opposed to a pure ACK or
+    /// connection-control segment).
+    pub fn carries_data(&self) -> bool {
+        self.segment.carries_data()
+    }
+}
+
+/// Every kind of packet the network layer can carry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetPacket {
+    /// Route request (flooded).
+    Rreq(RouteRequest),
+    /// Route reply (unicast along the reverse path).
+    Rrep(RouteReply),
+    /// Route error (unicast towards the source).
+    Rerr(RouteError),
+    /// MTS route-checking packet (unicast along a stored disjoint path).
+    Check(RouteCheck),
+    /// MTS checking-error packet (unicast back to the destination).
+    CheckErr(CheckError),
+    /// TCP data / ACK packet.
+    Data(DataPacket),
+}
+
+impl NetPacket {
+    /// Size of the packet at the network layer, in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            NetPacket::Rreq(p) => p.size_bytes(),
+            NetPacket::Rrep(p) => p.size_bytes(),
+            NetPacket::Rerr(p) => p.size_bytes(),
+            NetPacket::Check(p) => p.size_bytes(),
+            NetPacket::CheckErr(p) => p.size_bytes(),
+            NetPacket::Data(p) => p.size_bytes(),
+        }
+    }
+
+    /// True for routing-protocol control packets (everything except data).
+    /// This is the class counted by the paper's control-overhead metric
+    /// (Fig. 11).
+    pub fn is_control(&self) -> bool {
+        !matches!(self, NetPacket::Data(_))
+    }
+
+    /// Short label used in traces and debug output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetPacket::Rreq(_) => "RREQ",
+            NetPacket::Rrep(_) => "RREP",
+            NetPacket::Rerr(_) => "RERR",
+            NetPacket::Check(_) => "CHECK",
+            NetPacket::CheckErr(_) => "CHECK_ERR",
+            NetPacket::Data(_) => "DATA",
+        }
+    }
+
+    /// Borrow the inner data packet, if this is a data packet.
+    pub fn as_data(&self) -> Option<&DataPacket> {
+        match self {
+            NetPacket::Data(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BroadcastId, ConnectionId, SeqNo};
+    use crate::sizes;
+
+    fn data_pkt() -> DataPacket {
+        DataPacket::new(
+            PacketId(1),
+            NodeId(0),
+            NodeId(5),
+            TcpSegment::data(ConnectionId(0), 0, 0, sizes::DEFAULT_MSS),
+        )
+    }
+
+    #[test]
+    fn control_classification_matches_paper_metric() {
+        let rreq = NetPacket::Rreq(RouteRequest {
+            source: NodeId(0),
+            destination: NodeId(1),
+            broadcast_id: BroadcastId(0),
+            hop_count: 0,
+            route: vec![],
+            dest_seqno: SeqNo(0),
+            source_seqno: SeqNo(0),
+        });
+        assert!(rreq.is_control());
+        assert!(!NetPacket::Data(data_pkt()).is_control());
+    }
+
+    #[test]
+    fn data_packet_with_source_route_is_larger() {
+        let plain = data_pkt();
+        let routed = DataPacket::with_source_route(
+            PacketId(2),
+            NodeId(0),
+            NodeId(5),
+            TcpSegment::data(ConnectionId(0), 0, 0, sizes::DEFAULT_MSS),
+            vec![NodeId(0), NodeId(2), NodeId(5)],
+        );
+        assert!(routed.size_bytes() > plain.size_bytes());
+    }
+
+    #[test]
+    fn kind_labels_are_distinct() {
+        let d = NetPacket::Data(data_pkt());
+        assert_eq!(d.kind(), "DATA");
+        assert!(d.as_data().is_some());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = NetPacket::Data(data_pkt());
+        let json = serde_json::to_string(&p).unwrap();
+        let back: NetPacket = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

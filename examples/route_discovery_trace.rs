@@ -1,0 +1,102 @@
+//! Route-discovery trace: run MTS on a small fixed diamond topology with the
+//! event trace enabled and print every control-packet transmission, the
+//! discovered disjoint paths and the periodic checking traffic.  This is the
+//! executable counterpart of the paper's Figs. 1–4 (RREQ broadcast, RREP
+//! unicast, non-disjoint paths, route checking).
+//!
+//! ```text
+//! cargo run --release --example route_discovery_trace
+//! ```
+
+use manet_experiments::stack::{ManetStack, SharedTcpStats, TcpRunStats};
+use manet_netsim::mobility::StaticPlacement;
+use manet_netsim::{Duration, NodeStack, Position, Recorder, SimConfig, Simulator, TraceEvent};
+use manet_tcp::TcpConfig;
+use manet_wire::NodeId;
+use mts_repro::prelude::*;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn main() {
+    // Diamond topology: 0 (source) - {1 upper, 2 lower} - 3 (destination),
+    // plus an extra relay 4 giving a third, longer path.
+    let positions = vec![
+        Position::new(0.0, 0.0),
+        Position::new(200.0, 130.0),
+        Position::new(200.0, -130.0),
+        Position::new(400.0, 0.0),
+        Position::new(120.0, 240.0),
+    ];
+    let n = positions.len() as u16;
+    let mut sim_cfg = SimConfig::default();
+    sim_cfg.num_nodes = n;
+    sim_cfg.duration = Duration::from_secs(12.0);
+    sim_cfg.mobility.max_speed = 0.0;
+
+    let stats: SharedTcpStats = Arc::new(Mutex::new(TcpRunStats::default()));
+    let stacks: Vec<Box<dyn NodeStack>> = (0..n)
+        .map(|i| {
+            let me = NodeId(i);
+            let agent = Protocol::Mts.build_agent(me, MtsConfig::default());
+            let sender_to = (i == 0).then_some(NodeId(3));
+            let receiver_from = (i == 3).then_some(NodeId(0));
+            Box::new(ManetStack::new(
+                me,
+                agent,
+                sender_to,
+                receiver_from,
+                TcpConfig::default(),
+                Arc::clone(&stats),
+            )) as Box<dyn NodeStack>
+        })
+        .collect();
+    let mut sim = Simulator::new(
+        sim_cfg,
+        Box::new(StaticPlacement::new(positions)),
+        stacks,
+    );
+    sim.enable_trace();
+    let recorder = sim.run();
+
+    print_trace(&recorder);
+    print_summary(&recorder);
+}
+
+fn print_trace(recorder: &Recorder) {
+    println!("control-plane trace (first 3 seconds):");
+    for event in recorder.trace() {
+        match event {
+            TraceEvent::TxStart { node, kind, bytes, at } => {
+                if *kind != "DATA" && at.as_secs() <= 3.0 {
+                    println!("  {at}  {node} sends {kind} ({bytes} B)");
+                }
+            }
+            TraceEvent::Delivered { node, packet, at } => {
+                if at.as_secs() <= 3.0 {
+                    println!("  {at}  {node} delivered data packet {packet:?}");
+                }
+            }
+            TraceEvent::LinkFailure { node, next_hop, at } => {
+                println!("  {at}  {node} reports link failure towards {next_hop}");
+            }
+        }
+    }
+}
+
+fn print_summary(recorder: &Recorder) {
+    println!("\nrun summary:");
+    println!("  data packets delivered : {}", recorder.delivered_data_packets());
+    println!("  control transmissions  : {}", recorder.control_transmissions());
+    for (kind, count) in recorder.control_by_kind() {
+        println!("    {kind:<10}: {count}");
+    }
+    println!("  relays per node        : {:?}", {
+        let mut v: Vec<(u16, u64)> =
+            recorder.relay_counts().iter().map(|(n, c)| (n.0, *c)).collect();
+        v.sort();
+        v
+    });
+    println!("\nThe CHECK entries are the periodic route-checking packets the destination");
+    println!("sends along every stored disjoint path (paper Fig. 4); both relays appear as");
+    println!("forwarders because the source keeps switching to the freshest path.");
+}

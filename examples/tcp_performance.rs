@@ -1,0 +1,41 @@
+//! TCP performance sweep: regenerate the paper's TCP figures (Figs. 8–11) —
+//! average end-to-end delay, throughput, delivery rate and control overhead —
+//! from a scaled-down sweep.
+//!
+//! ```text
+//! cargo run --release --example tcp_performance [duration_secs] [seeds]
+//! ```
+
+use mts_repro::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let duration: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(20.0);
+    let seeds: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(2);
+
+    let spec = SweepSpec {
+        duration,
+        seeds: (1..=seeds).collect(),
+        ..SweepSpec::paper()
+    };
+    eprintln!(
+        "running {} simulations ({} s each) — use arguments `200 5` for the full paper grid",
+        spec.total_runs(),
+        duration
+    );
+    let outcome = sweep(&spec);
+
+    for figure in [
+        FigureId::Fig8Delay,
+        FigureId::Fig9Throughput,
+        FigureId::Fig10DeliveryRate,
+        FigureId::Fig11ControlOverhead,
+    ] {
+        println!("{}", render_figure(figure, &outcome));
+    }
+
+    println!("Expected shape (paper): MTS has the lowest delay and the highest throughput");
+    println!("(it keeps switching to the freshest route); DSR's delivery rate drops sharply");
+    println!("as speed grows (stale route caches); MTS pays for its agility with the highest");
+    println!("control overhead (the periodic checking packets).");
+}
