@@ -19,7 +19,10 @@ fn run_with_budget(max_paths: usize, duration: f64) -> manet_experiments::RunMet
 
 fn bench(c: &mut Criterion) {
     eprintln!("# MTS max_paths ablation (20 s runs, max speed 10 m/s)");
-    eprintln!("{:>10} {:>14} {:>14} {:>16}", "max_paths", "participants", "highest Ri", "ctrl overhead");
+    eprintln!(
+        "{:>10} {:>14} {:>14} {:>16}",
+        "max_paths", "participants", "highest Ri", "ctrl overhead"
+    );
     for budget in [1usize, 2, 3, 5, 8] {
         let m = run_with_budget(budget, 20.0);
         eprintln!(

@@ -10,7 +10,10 @@ use mts_core::MtsConfig;
 use std::hint::black_box;
 
 fn run(striping: bool, duration: f64) -> manet_experiments::RunMetrics {
-    let mts = MtsConfig { concurrent_striping: striping, ..MtsConfig::default() };
+    let mts = MtsConfig {
+        concurrent_striping: striping,
+        ..MtsConfig::default()
+    };
     let mut scenario = Scenario::paper(Protocol::Mts, 10.0, 1).with_mts_config(mts);
     scenario.sim.duration = manet_netsim::Duration::from_secs(duration);
     run_scenario(&scenario)

@@ -26,7 +26,8 @@ fn idle_run(duration: f64) {
     config.duration = Duration::from_secs(duration);
     config.mobility.max_speed = 20.0;
     let mobility = RandomWaypoint::new(config.field_width, config.field_height, config.mobility);
-    let stacks: Vec<Box<dyn NodeStack>> = (0..config.num_nodes).map(|_| Box::new(Idle) as _).collect();
+    let stacks: Vec<Box<dyn NodeStack>> =
+        (0..config.num_nodes).map(|_| Box::new(Idle) as _).collect();
     let sim = Simulator::new(config, Box::new(mobility), stacks);
     black_box(sim.run());
 }

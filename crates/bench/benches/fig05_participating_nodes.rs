@@ -8,7 +8,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use manet_experiments::figures::FigureId;
 
 fn bench(c: &mut Criterion) {
-    common::figure_bench(c, FigureId::Fig5ParticipatingNodes, "fig05_participating_nodes");
+    common::figure_bench(
+        c,
+        FigureId::Fig5ParticipatingNodes,
+        "fig05_participating_nodes",
+    );
 }
 
 criterion_group!(benches, bench);

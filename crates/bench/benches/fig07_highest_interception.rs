@@ -8,7 +8,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use manet_experiments::figures::FigureId;
 
 fn bench(c: &mut Criterion) {
-    common::figure_bench(c, FigureId::Fig7HighestInterception, "fig07_highest_interception");
+    common::figure_bench(
+        c,
+        FigureId::Fig7HighestInterception,
+        "fig07_highest_interception",
+    );
 }
 
 criterion_group!(benches, bench);

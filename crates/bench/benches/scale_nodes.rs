@@ -1,0 +1,89 @@
+//! Node-count scaling of the discrete-event engine: events/sec at 100, 200
+//! and 500 nodes (constant density, see [`Scenario::scaled`]) with the
+//! spatial-grid neighbor index versus the brute-force O(N²) scan.
+//!
+//! The two index strategies process identical event streams for a given
+//! scenario (asserted below), so the wall-clock ratio between `grid` and
+//! `brute` *is* the events/sec speedup.  An events/sec summary plus the
+//! engine perf counters (neighbor queries, candidates scanned, grid rebinds,
+//! position-cache hit rate) is printed to stderr before the timed samples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_experiments::runner::run_scenario_with_recorder;
+use manet_experiments::{Protocol, Scenario};
+use manet_netsim::{Duration, NeighborIndex, Recorder};
+use std::hint::black_box;
+
+/// Simulated seconds per run: long enough for discovery + steady-state data
+/// traffic, short enough that the 500-node brute-force baseline stays
+/// benchable.
+const BENCH_RUN_SECS: f64 = 5.0;
+
+/// The canonical scaling points.
+const SCALES: [u16; 3] = [100, 200, 500];
+
+fn scale_run(num_nodes: u16, index: NeighborIndex) -> Recorder {
+    let mut scenario = Scenario::scaled(Protocol::Mts, num_nodes, 10.0, 1);
+    scenario.sim.duration = Duration::from_secs(BENCH_RUN_SECS);
+    scenario.sim.neighbor_index = index;
+    run_scenario_with_recorder(&scenario).1
+}
+
+/// One untimed pass per configuration: check grid/brute trace equivalence and
+/// print the events/sec + perf-counter summary.
+fn print_summary() {
+    eprintln!("# scale_nodes: MTS scenario, {BENCH_RUN_SECS} simulated seconds, constant density");
+    for n in SCALES {
+        let t0 = std::time::Instant::now();
+        let grid = scale_run(n, NeighborIndex::Grid);
+        let grid_wall = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let brute = scale_run(n, NeighborIndex::BruteForce);
+        let brute_wall = t1.elapsed().as_secs_f64();
+        let gp = grid.engine_perf();
+        let bp = brute.engine_perf();
+        assert_eq!(
+            gp.events_processed, bp.events_processed,
+            "grid and brute-force runs must process identical event streams"
+        );
+        assert_eq!(
+            grid.delivered_data_packets(),
+            brute.delivered_data_packets()
+        );
+        let events = gp.events_processed as f64;
+        eprintln!(
+            "n={n:>3}  events={events:>9.0}  grid: {:>10.0} ev/s  brute: {:>10.0} ev/s  speedup: {:>5.2}x",
+            events / grid_wall,
+            events / brute_wall,
+            brute_wall / grid_wall,
+        );
+        eprintln!(
+            "       grid perf: {} queries, {:.1} candidates/query (brute {:.1}), {} rebinds, \
+             {} refreshes, {:.0}% position-cache hits",
+            gp.neighbor_queries,
+            gp.mean_candidates_per_query(),
+            bp.mean_candidates_per_query(),
+            gp.grid_rebinds,
+            gp.grid_refreshes,
+            gp.position_cache_hit_rate() * 100.0,
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_summary();
+    let mut group = c.benchmark_group("scale_nodes");
+    group.sample_size(10);
+    for n in SCALES {
+        group.bench_function(format!("grid_{n}"), |b| {
+            b.iter(|| black_box(scale_run(n, NeighborIndex::Grid)))
+        });
+        group.bench_function(format!("brute_{n}"), |b| {
+            b.iter(|| black_box(scale_run(n, NeighborIndex::BruteForce)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -23,7 +23,13 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { duration: 200.0, seeds: 5, figure: None, table: None, all: true };
+    let mut args = Args {
+        duration: 200.0,
+        seeds: 5,
+        figure: None,
+        table: None,
+        all: true,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {

@@ -29,7 +29,11 @@ pub fn quick_sweep() -> SweepOutcome {
 
 /// An even smaller sweep for smoke-testing the bench plumbing.
 pub fn smoke_sweep() -> SweepOutcome {
-    sweep(&SweepSpec { duration: 8.0, seeds: vec![1], ..SweepSpec::quick(8.0, 1) })
+    sweep(&SweepSpec {
+        duration: 8.0,
+        seeds: vec![1],
+        ..SweepSpec::quick(8.0, 1)
+    })
 }
 
 #[cfg(test)]

@@ -76,13 +76,19 @@ impl MtsConfig {
     /// The paper's configuration with a custom checking period (used by the
     /// checking-period ablation bench).
     pub fn with_check_period(period: f64) -> Self {
-        MtsConfig { check_period: period, ..Self::default() }
+        MtsConfig {
+            check_period: period,
+            ..Self::default()
+        }
     }
 
     /// The paper's configuration with a custom path budget (used by the
     /// max-paths ablation bench).
     pub fn with_max_paths(max_paths: usize) -> Self {
-        MtsConfig { max_paths, ..Self::default() }
+        MtsConfig {
+            max_paths,
+            ..Self::default()
+        }
     }
 }
 
@@ -107,11 +113,41 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        assert!(MtsConfig { max_paths: 0, ..Default::default() }.validate().is_err());
-        assert!(MtsConfig { check_period: 0.0, ..Default::default() }.validate().is_err());
-        assert!(MtsConfig { check_jitter: -1.0, ..Default::default() }.validate().is_err());
-        assert!(MtsConfig { route_lifetime: 0.0, ..Default::default() }.validate().is_err());
-        assert!(MtsConfig { discovery_retries: 0, ..Default::default() }.validate().is_err());
-        assert!(MtsConfig { buffer_capacity: 0, ..Default::default() }.validate().is_err());
+        assert!(MtsConfig {
+            max_paths: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MtsConfig {
+            check_period: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MtsConfig {
+            check_jitter: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MtsConfig {
+            route_lifetime: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MtsConfig {
+            discovery_retries: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MtsConfig {
+            buffer_capacity: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -107,17 +107,26 @@ mod tests {
 
     #[test]
     fn shared_first_hop_rejected() {
-        assert!(!first_last_hop_disjoint(&p(&[0, 1, 2, 9]), &p(&[0, 1, 3, 9])));
+        assert!(!first_last_hop_disjoint(
+            &p(&[0, 1, 2, 9]),
+            &p(&[0, 1, 3, 9])
+        ));
     }
 
     #[test]
     fn shared_last_hop_rejected() {
-        assert!(!first_last_hop_disjoint(&p(&[0, 1, 2, 9]), &p(&[0, 3, 2, 9])));
+        assert!(!first_last_hop_disjoint(
+            &p(&[0, 1, 2, 9]),
+            &p(&[0, 3, 2, 9])
+        ));
     }
 
     #[test]
     fn fully_distinct_paths_accepted() {
-        assert!(first_last_hop_disjoint(&p(&[0, 1, 2, 9]), &p(&[0, 3, 4, 9])));
+        assert!(first_last_hop_disjoint(
+            &p(&[0, 1, 2, 9]),
+            &p(&[0, 3, 4, 9])
+        ));
     }
 
     #[test]

@@ -51,7 +51,11 @@ pub struct PathSet {
 impl PathSet {
     /// Path set bounded at `max_paths` entries.
     pub fn new(max_paths: usize) -> Self {
-        PathSet { max_paths, flood: None, paths: Vec::new() }
+        PathSet {
+            max_paths,
+            flood: None,
+            paths: Vec::new(),
+        }
     }
 
     /// The stored paths, in insertion (RREQ arrival) order.
@@ -111,7 +115,11 @@ impl PathSet {
         if !disjoint {
             return false;
         }
-        self.paths.push(StoredPath { full_path, stored_at: now, failed_checks: 0 });
+        self.paths.push(StoredPath {
+            full_path,
+            stored_at: now,
+            failed_checks: 0,
+        });
         true
     }
 
@@ -242,10 +250,18 @@ mod tests {
 
     #[test]
     fn stored_path_accessors() {
-        let sp = StoredPath { full_path: p(&[0, 1, 2, 9]), stored_at: t(0.0), failed_checks: 0 };
+        let sp = StoredPath {
+            full_path: p(&[0, 1, 2, 9]),
+            stored_at: t(0.0),
+            failed_checks: 0,
+        };
         assert_eq!(sp.intermediates(), &p(&[1, 2])[..]);
         assert_eq!(sp.hops(), 3);
-        let single = StoredPath { full_path: p(&[0, 9]), stored_at: t(0.0), failed_checks: 0 };
+        let single = StoredPath {
+            full_path: p(&[0, 9]),
+            stored_at: t(0.0),
+            failed_checks: 0,
+        };
         assert!(single.intermediates().is_empty());
     }
 }

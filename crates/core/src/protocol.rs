@@ -133,7 +133,13 @@ impl Mts {
         }
         self.timer_generation += 1;
         let generation = self.timer_generation;
-        self.pending.insert(dest, PendingDiscovery { attempts: 1, generation });
+        self.pending.insert(
+            dest,
+            PendingDiscovery {
+                attempts: 1,
+                generation,
+            },
+        );
         self.emit_rreq(ctx, dest);
         ctx.schedule_timer(
             Duration::from_secs(self.config.discovery_timeout),
@@ -151,7 +157,11 @@ impl Mts {
             broadcast_id: bid,
             hop_count: 0,
             route: Vec::new(),
-            dest_seqno: self.table.entry(dest).map(|e| e.dest_seqno).unwrap_or(SeqNo(0)),
+            dest_seqno: self
+                .table
+                .entry(dest)
+                .map(|e| e.dest_seqno)
+                .unwrap_or(SeqNo(0)),
             source_seqno: self.own_seqno,
         };
         let now = ctx.now();
@@ -203,7 +213,8 @@ impl Mts {
         match self.table.lookup(packet.dst, now) {
             Some(entry) => {
                 let next = entry.next_hop;
-                self.table.refresh(packet.dst, self.config.route_lifetime, now);
+                self.table
+                    .refresh(packet.dst, self.config.route_lifetime, now);
                 packet.hop_count += 1;
                 self.stats.data_forwarded += 1;
                 ctx.send_unicast(next, NetPacket::Data(packet));
@@ -223,7 +234,11 @@ impl Mts {
             reporter: self.me,
             broken_next_hop: dest,
             unreachable: vec![dest],
-            dest_seqnos: vec![self.table.entry(dest).map(|e| e.dest_seqno).unwrap_or(SeqNo(0))],
+            dest_seqnos: vec![self
+                .table
+                .entry(dest)
+                .map(|e| e.dest_seqno)
+                .unwrap_or(SeqNo(0))],
         };
         self.stats.rerr_tx += 1;
         if source == self.me {
@@ -243,7 +258,9 @@ impl Mts {
         if rreq.source == self.me {
             return; // our own flood echoed back
         }
-        let first_copy = self.seen.first_time(rreq.source, rreq.destination, rreq.broadcast_id, now);
+        let first_copy =
+            self.seen
+                .first_time(rreq.source, rreq.destination, rreq.broadcast_id, now);
 
         // Reverse route to the source through `from` (built from every copy —
         // the paper stresses that copies are not simply discarded, so the
@@ -288,12 +305,15 @@ impl Mts {
             p
         };
         let max_paths = self.config.max_paths;
-        let session = self.sessions.entry(source).or_insert_with(|| DestinationSession {
-            paths: PathSet::new(max_paths),
-            next_check_id: CheckId(0),
-            timer_generation: 0,
-            checking_active: false,
-        });
+        let session = self
+            .sessions
+            .entry(source)
+            .or_insert_with(|| DestinationSession {
+                paths: PathSet::new(max_paths),
+                next_check_id: CheckId(0),
+                timer_generation: 0,
+                checking_active: false,
+            });
         // Newer floods flush the stored set inside `offer`; every copy is a
         // candidate for the disjoint set.
         let stored = session.paths.offer(rreq.broadcast_id, full_path, now);
@@ -350,7 +370,9 @@ impl Mts {
     // ---- route checking (destination -> source) -------------------------------------
 
     fn ensure_checking_timer(&mut self, ctx: &mut Ctx<'_>, source: NodeId) {
-        let Some(session) = self.sessions.get_mut(&source) else { return };
+        let Some(session) = self.sessions.get_mut(&source) else {
+            return;
+        };
         if session.checking_active {
             return;
         }
@@ -363,13 +385,18 @@ impl Mts {
             0.0
         };
         let delay = Duration::from_secs(self.config.check_period + jitter);
-        ctx.schedule_timer(delay, TimerClass::RoutingAux.token(session.timer_generation));
+        ctx.schedule_timer(
+            delay,
+            TimerClass::RoutingAux.token(session.timer_generation),
+        );
     }
 
     /// Emit one round of checking packets for the session with `source`.
     fn run_check_round(&mut self, ctx: &mut Ctx<'_>, source: NodeId) {
         let now = ctx.now();
-        let Some(session) = self.sessions.get_mut(&source) else { return };
+        let Some(session) = self.sessions.get_mut(&source) else {
+            return;
+        };
         let check_id = session.next_check_id;
         session.next_check_id = check_id.next();
         // Collect (path_index, neighbour, intermediates) for each stored path.
@@ -377,7 +404,11 @@ impl Mts {
         for (idx, stored) in session.paths.paths().iter().enumerate() {
             let full = &stored.full_path;
             // The neighbour of the destination on this path (previous node).
-            let neighbour = if full.len() >= 2 { full[full.len() - 2] } else { continue };
+            let neighbour = if full.len() >= 2 {
+                full[full.len() - 2]
+            } else {
+                continue;
+            };
             let intermediates: Vec<NodeId> = stored.intermediates().to_vec();
             to_send.push((idx as u8, neighbour, intermediates));
         }
@@ -399,7 +430,9 @@ impl Mts {
             }
         }
         // Re-arm the periodic timer.
-        let Some(session) = self.sessions.get_mut(&source) else { return };
+        let Some(session) = self.sessions.get_mut(&source) else {
+            return;
+        };
         self.timer_generation += 1;
         session.timer_generation = self.timer_generation;
         let jitter = if self.config.check_jitter > 0.0 {
@@ -408,7 +441,10 @@ impl Mts {
             0.0
         };
         let delay = Duration::from_secs(self.config.check_period + jitter);
-        ctx.schedule_timer(delay, TimerClass::RoutingAux.token(session.timer_generation));
+        ctx.schedule_timer(
+            delay,
+            TimerClass::RoutingAux.token(session.timer_generation),
+        );
         let _ = now;
     }
 
@@ -523,7 +559,10 @@ impl Mts {
         }
         if lost_any {
             // Keep propagating towards any affected sources we route for.
-            let rerr_fwd = RouteError { reporter: self.me, ..rerr };
+            let rerr_fwd = RouteError {
+                reporter: self.me,
+                ..rerr
+            };
             self.stats.rerr_tx += 1;
             ctx.send_broadcast(NetPacket::Rerr(rerr_fwd));
         }
@@ -605,11 +644,7 @@ impl RoutingAgent for Mts {
             .find(|(_, p)| p.generation == generation)
             .map(|(d, _)| *d);
         let Some(dest) = dest else { return };
-        let have_route = self
-            .sources
-            .get(&dest)
-            .and_then(|s| s.next_hop())
-            .is_some()
+        let have_route = self.sources.get(&dest).and_then(|s| s.next_hop()).is_some()
             || self.table.lookup(dest, now).is_some();
         if have_route {
             self.pending.remove(&dest);
@@ -619,8 +654,7 @@ impl RoutingAgent for Mts {
         let attempts = self.pending.get(&dest).map(|p| p.attempts).unwrap_or(0);
         if attempts >= self.config.discovery_retries {
             self.pending.remove(&dest);
-            self.holddown
-                .insert(dest, now + Duration::from_secs(5.0));
+            self.holddown.insert(dest, now + Duration::from_secs(5.0));
             let dropped = self.buffer.discard(dest);
             self.stats.data_dropped_no_route += dropped as u64;
             return;
@@ -663,7 +697,10 @@ impl RoutingAgent for Mts {
                 // destination so it deletes the path (paper §III-D).
                 self.send_check_error(ctx, &c);
             }
-            NetPacket::Rrep(_) | NetPacket::Rerr(_) | NetPacket::CheckErr(_) | NetPacket::Rreq(_) => {
+            NetPacket::Rrep(_)
+            | NetPacket::Rerr(_)
+            | NetPacket::CheckErr(_)
+            | NetPacket::Rreq(_) => {
                 // Control packet lost; rely on retries / the next round.
             }
         }
@@ -713,6 +750,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid MTS configuration")]
     fn invalid_config_panics() {
-        let _ = Mts::new(NodeId(0), MtsConfig { max_paths: 0, ..Default::default() });
+        let _ = Mts::new(
+            NodeId(0),
+            MtsConfig {
+                max_paths: 0,
+                ..Default::default()
+            },
+        );
     }
 }

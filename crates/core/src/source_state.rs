@@ -106,7 +106,11 @@ impl SourceRouteState {
         } else if self.latest_round == Some(arrival.round) {
             // Later arrival of the same round: remember it (striping /
             // fallback) but do not switch.
-            if !self.round_arrivals.iter().any(|a| a.next_hop == arrival.next_hop) {
+            if !self
+                .round_arrivals
+                .iter()
+                .any(|a| a.next_hop == arrival.next_hop)
+            {
                 self.round_arrivals.push(arrival);
             }
             false

@@ -48,8 +48,16 @@ fn mts_emits_periodic_checking_packets() {
         &flows,
         |me| Mts::new(me, MtsConfig::default()),
     );
-    let checks = result.recorder.control_by_kind().get("CHECK").copied().unwrap_or(0);
-    assert!(checks >= 3, "expected several checking packets, saw {checks}");
+    let checks = result
+        .recorder
+        .control_by_kind()
+        .get("CHECK")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        checks >= 3,
+        "expected several checking packets, saw {checks}"
+    );
 }
 
 #[test]
@@ -60,10 +68,10 @@ fn mts_uses_multiple_paths_in_a_diamond_topology() {
     // and checking packets keep both alive, so over time both relays carry
     // data or at least both paths are exercised by checking packets.
     let positions = vec![
-        Position::new(0.0, 0.0),     // 0: source
-        Position::new(200.0, 120.0), // 1: upper relay
-        Position::new(200.0, -120.0),// 2: lower relay
-        Position::new(400.0, 0.0),   // 3: destination
+        Position::new(0.0, 0.0),      // 0: source
+        Position::new(200.0, 120.0),  // 1: upper relay
+        Position::new(200.0, -120.0), // 2: lower relay
+        Position::new(400.0, 0.0),    // 3: destination
     ];
     let flows = [TestFlow::simple(NodeId(0), NodeId(3))];
     let result = run_routing(
@@ -72,14 +80,23 @@ fn mts_uses_multiple_paths_in_a_diamond_topology() {
         &flows,
         |me| Mts::new(me, MtsConfig::default()),
     );
-    assert!(result.delivery_ratio() > 0.9, "ratio={}", result.delivery_ratio());
+    assert!(
+        result.delivery_ratio() > 0.9,
+        "ratio={}",
+        result.delivery_ratio()
+    );
     // Both relays participated in the protocol: each heard at least one data
     // packet (relayed or overheard — they are all in range of each other here),
     // and checking traffic flowed.
     let heard = result.recorder.heard_counts();
     assert!(heard.get(&NodeId(1)).copied().unwrap_or(0) > 0);
     assert!(heard.get(&NodeId(2)).copied().unwrap_or(0) > 0);
-    let checks = result.recorder.control_by_kind().get("CHECK").copied().unwrap_or(0);
+    let checks = result
+        .recorder
+        .control_by_kind()
+        .get("CHECK")
+        .copied()
+        .unwrap_or(0);
     assert!(checks > 0);
 }
 
@@ -113,14 +130,21 @@ fn mts_control_overhead_exceeds_a_silent_network() {
 fn mts_striping_ablation_still_delivers() {
     let n = 5u16;
     let flows = [TestFlow::simple(NodeId(0), NodeId(n - 1))];
-    let cfg = MtsConfig { concurrent_striping: true, ..Default::default() };
+    let cfg = MtsConfig {
+        concurrent_striping: true,
+        ..Default::default()
+    };
     let result = run_routing(
         config(n, 20.0),
         StaticPlacement::chain(n as usize, 200.0),
         &flows,
         move |me| Mts::new(me, cfg),
     );
-    assert!(result.delivery_ratio() > 0.8, "ratio={}", result.delivery_ratio());
+    assert!(
+        result.delivery_ratio() > 0.8,
+        "ratio={}",
+        result.delivery_ratio()
+    );
 }
 
 #[test]

@@ -114,7 +114,11 @@ pub fn figure_series(figure: FigureId, outcome: &SweepOutcome) -> Vec<FigureSeri
             if points.is_empty() {
                 None
             } else {
-                Some(FigureSeries { figure, protocol, points })
+                Some(FigureSeries {
+                    figure,
+                    protocol,
+                    points,
+                })
             }
         })
         .collect()

@@ -82,7 +82,11 @@ impl RunMetrics {
             } else {
                 0.0
             },
-            delivery_rate: if generated == 0 { 0.0 } else { delivered as f64 / generated as f64 },
+            delivery_rate: if generated == 0 {
+                0.0
+            } else {
+                delivered as f64 / generated as f64
+            },
             control_overhead: recorder.control_transmissions(),
             data_packets_generated: generated,
             tcp_bytes_acked: tcp.bytes_acked,
@@ -112,7 +116,11 @@ impl RunMetrics {
         };
         let avg_f = |f: &dyn Fn(&RunMetrics) -> f64| -> f64 { runs.iter().map(f).sum::<f64>() / n };
         RunMetrics {
-            participating_nodes: (runs.iter().map(|r| r.participating_nodes as f64).sum::<f64>() / n)
+            participating_nodes: (runs
+                .iter()
+                .map(|r| r.participating_nodes as f64)
+                .sum::<f64>()
+                / n)
                 .round() as usize,
             relay_std_dev: avg_f(&|r| r.relay_std_dev),
             interception_ratio: avg_f(&|r| r.interception_ratio),
@@ -154,7 +162,13 @@ mod tests {
         }
         for id in 0..8u64 {
             rec.record_relay(NodeId(3), PacketId(id), true);
-            rec.record_delivered(NodeId(9), PacketId(id), true, 1000, SimTime::from_secs(1.0 + id as f64 * 0.01));
+            rec.record_delivered(
+                NodeId(9),
+                PacketId(id),
+                true,
+                1000,
+                SimTime::from_secs(1.0 + id as f64 * 0.01),
+            );
         }
         rec.record_tx(NodeId(0), "RREQ", true, 44, SimTime::ZERO);
         rec
@@ -164,7 +178,10 @@ mod tests {
     fn extraction_computes_paper_metrics() {
         let scenario = small_scenario();
         let rec = recorder_with_traffic();
-        let tcp = TcpRunStats { bytes_acked: 8000, ..Default::default() };
+        let tcp = TcpRunStats {
+            bytes_acked: 8000,
+            ..Default::default()
+        };
         let m = RunMetrics::extract(&scenario, &rec, &tcp);
         assert_eq!(m.participating_nodes, 1);
         assert_eq!(m.throughput_packets, 8);
@@ -177,8 +194,18 @@ mod tests {
 
     #[test]
     fn averaging_is_componentwise() {
-        let a = RunMetrics { participating_nodes: 4, delivery_rate: 0.5, control_overhead: 100, ..Default::default() };
-        let b = RunMetrics { participating_nodes: 8, delivery_rate: 1.0, control_overhead: 300, ..Default::default() };
+        let a = RunMetrics {
+            participating_nodes: 4,
+            delivery_rate: 0.5,
+            control_overhead: 100,
+            ..Default::default()
+        };
+        let b = RunMetrics {
+            participating_nodes: 8,
+            delivery_rate: 1.0,
+            control_overhead: 300,
+            ..Default::default()
+        };
         let avg = RunMetrics::average(&[a, b]);
         assert_eq!(avg.participating_nodes, 6);
         assert!((avg.delivery_rate - 0.75).abs() < 1e-12);

@@ -46,13 +46,28 @@ pub fn render_series(figure: FigureId, series: &[FigureSeries]) -> String {
 /// deviation, in the same layout as the paper.
 pub fn render_relay_table(table: &RelayDistribution) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table I — normalization of the received packets in the participating nodes");
+    let _ = writeln!(
+        out,
+        "Table I — normalization of the received packets in the participating nodes"
+    );
     let _ = writeln!(out, "{:>8} {:>12} {:>12}", "Node ID", "beta", "gamma");
     for row in &table.rows {
-        let _ = writeln!(out, "{:>8} {:>12} {:>11.4}%", row.node.0, row.beta, row.gamma * 100.0);
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>11.4}%",
+            row.node.0,
+            row.beta,
+            row.gamma * 100.0
+        );
     }
     let _ = writeln!(out, "{:>8} {:>12} {:>12}", "", "alpha", "std dev");
-    let _ = writeln!(out, "{:>8} {:>12} {:>11.2}%", "", table.alpha, table.std_dev * 100.0);
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>11.2}%",
+        "",
+        table.alpha,
+        table.std_dev * 100.0
+    );
     out
 }
 
@@ -75,8 +90,8 @@ mod tests {
     use crate::metrics::RunMetrics;
     use crate::protocol::Protocol;
     use crate::runner::{AggregatedPoint, SweepOutcome};
-    use manet_security::relay_distribution;
     use manet_netsim::Recorder;
+    use manet_security::relay_distribution;
     use manet_wire::{NodeId, PacketId};
 
     fn fake_outcome() -> SweepOutcome {
@@ -89,7 +104,12 @@ mod tests {
                     control_overhead: 100,
                     ..Default::default()
                 };
-                points.push(AggregatedPoint { protocol, max_speed: speed, metrics: metrics.clone(), per_seed: vec![metrics] });
+                points.push(AggregatedPoint {
+                    protocol,
+                    max_speed: speed,
+                    metrics: metrics.clone(),
+                    per_seed: vec![metrics],
+                });
             }
         }
         SweepOutcome { points }
@@ -131,7 +151,9 @@ mod tests {
     #[test]
     fn render_all_covers_each_figure() {
         let text = render_all_figures(&fake_outcome());
-        for fig in ["Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11"] {
+        for fig in [
+            "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11",
+        ] {
             assert!(text.contains(fig), "missing {fig}");
         }
     }

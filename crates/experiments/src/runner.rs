@@ -213,8 +213,14 @@ mod tests {
         let mut scenario = Scenario::paper(Protocol::Mts, 5.0, 1);
         scenario.sim.duration = manet_netsim::Duration::from_secs(15.0);
         let m = run_scenario(&scenario);
-        assert!(m.data_packets_generated > 0, "the TCP source must generate traffic");
-        assert!(m.control_overhead > 0, "route discovery must produce control packets");
+        assert!(
+            m.data_packets_generated > 0,
+            "the TCP source must generate traffic"
+        );
+        assert!(
+            m.control_overhead > 0,
+            "route discovery must produce control packets"
+        );
     }
 
     #[test]

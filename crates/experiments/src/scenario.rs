@@ -80,6 +80,49 @@ impl Scenario {
         }
     }
 
+    /// The paper's environment scaled to `num_nodes` (field grown to keep the
+    /// 50-nodes-per-km² density), with one flow per started 100 nodes so the
+    /// traffic load grows with the network.  This is the scenario family the
+    /// `scale_nodes` bench and the large-scale sweeps use; `num_nodes` of
+    /// 100 / 200 / 500 are the canonical points.
+    pub fn scaled(protocol: Protocol, num_nodes: u16, max_speed: f64, seed: u64) -> Self {
+        let sim = SimConfig::scaled_environment(num_nodes, max_speed, seed);
+        let mut scenario = Self::from_sim(protocol, sim);
+        let extra_flows = (usize::from(num_nodes).div_ceil(100)).saturating_sub(1);
+        if extra_flows > 0 {
+            // Extra endpoints come from a salted stream so the first flow and
+            // the eavesdropper stay identical to the unscaled draw for the
+            // same seed (paired protocol comparisons rely on that).
+            let mut rngs = RngStreams::new(scenario.sim.seed ^ 0x5ca1_ab1e);
+            let scen_rng = rngs.scenario();
+            let mut taken: Vec<NodeId> = scenario.endpoints();
+            taken.extend(scenario.eavesdropper);
+            for _ in 0..extra_flows {
+                let mut draw = |taken: &[NodeId]| loop {
+                    let d = NodeId(scen_rng.gen_range(0..num_nodes));
+                    if !taken.contains(&d) {
+                        break d;
+                    }
+                };
+                let src = draw(&taken);
+                taken.push(src);
+                let dst = draw(&taken);
+                taken.push(dst);
+                scenario.flows.push(TrafficFlow { src, dst });
+            }
+        }
+        scenario
+    }
+
+    /// The three canonical scaling points (100, 200, 500 nodes) at one speed
+    /// and seed.
+    pub fn scaling_ladder(protocol: Protocol, max_speed: f64, seed: u64) -> Vec<Scenario> {
+        [100u16, 200, 500]
+            .into_iter()
+            .map(|n| Self::scaled(protocol, n, max_speed, seed))
+            .collect()
+    }
+
     /// Scenario with explicit flows and no designated eavesdropper (examples,
     /// tests).
     pub fn custom(protocol: Protocol, sim: SimConfig, flows: Vec<TrafficFlow>) -> Self {
@@ -123,7 +166,10 @@ impl Scenario {
         }
         for f in &self.flows {
             if f.src == f.dst {
-                return Err(format!("flow endpoints must differ (got {} -> {})", f.src, f.dst));
+                return Err(format!(
+                    "flow endpoints must differ (got {} -> {})",
+                    f.src, f.dst
+                ));
             }
             if f.src.0 >= self.sim.num_nodes || f.dst.0 >= self.sim.num_nodes {
                 return Err("flow endpoints must be valid node ids".into());
@@ -171,17 +217,54 @@ mod tests {
     }
 
     #[test]
+    fn scaled_scenarios_are_valid_and_keep_density() {
+        for n in [100u16, 200, 500] {
+            let s = Scenario::scaled(Protocol::Mts, n, 10.0, 1);
+            s.validate().unwrap();
+            assert_eq!(s.sim.num_nodes, n);
+            let density = f64::from(n) / (s.sim.field_width * s.sim.field_height);
+            let paper_density = 50.0 / (1000.0 * 1000.0);
+            assert!((density - paper_density).abs() / paper_density < 1e-9);
+            // One flow per started 100 nodes, all endpoints distinct.
+            assert_eq!(s.flows.len(), usize::from(n).div_ceil(100));
+            let endpoints = s.endpoints();
+            assert_eq!(
+                endpoints.len(),
+                s.flows.len() * 2,
+                "endpoints must not repeat"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_first_flow_matches_unscaled_draw() {
+        // Paired comparisons: the scaled scenario keeps the seed's original
+        // flow and eavesdropper, protocols only differ in the agent.
+        let scaled = Scenario::scaled(Protocol::Mts, 200, 10.0, 7);
+        let scaled_other = Scenario::scaled(Protocol::Dsr, 200, 10.0, 7);
+        assert_eq!(scaled.flows, scaled_other.flows);
+        assert_eq!(scaled.eavesdropper, scaled_other.eavesdropper);
+        assert_eq!(Scenario::scaling_ladder(Protocol::Mts, 10.0, 7).len(), 3);
+    }
+
+    #[test]
     fn validation_catches_bad_flows() {
         let mut s = Scenario::paper(Protocol::Aodv, 5.0, 1);
         s.flows = vec![];
         assert!(s.validate().is_err());
 
         let mut s = Scenario::paper(Protocol::Aodv, 5.0, 1);
-        s.flows = vec![TrafficFlow { src: NodeId(1), dst: NodeId(1) }];
+        s.flows = vec![TrafficFlow {
+            src: NodeId(1),
+            dst: NodeId(1),
+        }];
         assert!(s.validate().is_err());
 
         let mut s = Scenario::paper(Protocol::Aodv, 5.0, 1);
-        s.flows = vec![TrafficFlow { src: NodeId(0), dst: NodeId(200) }];
+        s.flows = vec![TrafficFlow {
+            src: NodeId(0),
+            dst: NodeId(200),
+        }];
         assert!(s.validate().is_err());
 
         let mut s = Scenario::paper(Protocol::Aodv, 5.0, 1);
@@ -191,8 +274,8 @@ mod tests {
 
     #[test]
     fn ablation_override_applies() {
-        let s = Scenario::paper(Protocol::Mts, 5.0, 1)
-            .with_mts_config(MtsConfig::with_max_paths(2));
+        let s =
+            Scenario::paper(Protocol::Mts, 5.0, 1).with_mts_config(MtsConfig::with_max_paths(2));
         assert_eq!(s.mts.max_paths, 2);
         s.validate().unwrap();
     }

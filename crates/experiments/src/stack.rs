@@ -47,9 +47,15 @@ pub type SharedTcpStats = Arc<Mutex<TcpRunStats>>;
 /// Role of a node in the TCP traffic pattern.
 enum TcpRole {
     /// Bulk sender towards `peer`.
-    Sender { peer: NodeId, sender: Box<TcpSender> },
+    Sender {
+        peer: NodeId,
+        sender: Box<TcpSender>,
+    },
     /// Receiving sink; ACKs go back to `peer`.
-    Receiver { peer: NodeId, receiver: Box<TcpReceiver> },
+    Receiver {
+        peer: NodeId,
+        receiver: Box<TcpReceiver>,
+    },
     /// Pure router.
     None,
 }
@@ -79,13 +85,23 @@ impl ManetStack {
     ) -> Self {
         let conn = ConnectionId(0);
         let role = match (sender_to, receiver_from) {
-            (Some(peer), _) => TcpRole::Sender { peer, sender: Box::new(TcpSender::new(conn, tcp)) },
-            (None, Some(peer)) => {
-                TcpRole::Receiver { peer, receiver: Box::new(TcpReceiver::new(conn)) }
-            }
+            (Some(peer), _) => TcpRole::Sender {
+                peer,
+                sender: Box::new(TcpSender::new(conn, tcp)),
+            },
+            (None, Some(peer)) => TcpRole::Receiver {
+                peer,
+                receiver: Box::new(TcpReceiver::new(conn)),
+            },
             (None, None) => TcpRole::None,
         };
-        ManetStack { me, agent, role, next_packet: 0, stats }
+        ManetStack {
+            me,
+            agent,
+            role,
+            next_packet: 0,
+            stats,
+        }
     }
 
     /// The routing agent's statistics (for tests and reports).
@@ -104,7 +120,8 @@ impl ManetStack {
         let id = self.fresh_packet_id();
         let packet = DataPacket::new(id, self.me, dst, segment);
         let now = ctx.now();
-        ctx.recorder().record_originated(id, packet.carries_data(), now);
+        ctx.recorder()
+            .record_originated(id, packet.carries_data(), now);
         self.agent.send_data(ctx, packet);
     }
 
@@ -245,7 +262,11 @@ mod tests {
                 )) as Box<dyn NodeStack>
             })
             .collect();
-        let sim = Simulator::new(sim_cfg, Box::new(StaticPlacement::chain(n as usize, 200.0)), stacks);
+        let sim = Simulator::new(
+            sim_cfg,
+            Box::new(StaticPlacement::chain(n as usize, 200.0)),
+            stacks,
+        );
         let recorder = sim.run();
         let s = *stats.lock();
         (recorder, s)
@@ -254,7 +275,11 @@ mod tests {
     #[test]
     fn tcp_over_aodv_transfers_data_on_a_chain() {
         let (recorder, stats) = run_chain(Protocol::Aodv, 30.0);
-        assert!(stats.bytes_acked > 50_000, "bytes_acked={}", stats.bytes_acked);
+        assert!(
+            stats.bytes_acked > 50_000,
+            "bytes_acked={}",
+            stats.bytes_acked
+        );
         assert!(stats.bytes_delivered >= stats.bytes_acked / 2);
         assert!(recorder.delivered_data_packets() > 50);
         assert!(recorder.mean_delay_secs() > 0.0);
@@ -263,15 +288,30 @@ mod tests {
     #[test]
     fn tcp_over_dsr_transfers_data_on_a_chain() {
         let (_recorder, stats) = run_chain(Protocol::Dsr, 30.0);
-        assert!(stats.bytes_acked > 50_000, "bytes_acked={}", stats.bytes_acked);
+        assert!(
+            stats.bytes_acked > 50_000,
+            "bytes_acked={}",
+            stats.bytes_acked
+        );
     }
 
     #[test]
     fn tcp_over_mts_transfers_data_on_a_chain() {
         let (recorder, stats) = run_chain(Protocol::Mts, 30.0);
-        assert!(stats.bytes_acked > 50_000, "bytes_acked={}", stats.bytes_acked);
+        assert!(
+            stats.bytes_acked > 50_000,
+            "bytes_acked={}",
+            stats.bytes_acked
+        );
         // MTS keeps checking the route, so control traffic includes CHECK packets.
-        assert!(recorder.control_by_kind().get("CHECK").copied().unwrap_or(0) > 0);
+        assert!(
+            recorder
+                .control_by_kind()
+                .get("CHECK")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]

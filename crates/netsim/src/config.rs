@@ -69,8 +69,26 @@ pub struct MobilityConfig {
 
 impl Default for MobilityConfig {
     fn default() -> Self {
-        MobilityConfig { min_speed: 0.0, max_speed: 10.0, pause: Duration::from_secs(1.0) }
+        MobilityConfig {
+            min_speed: 0.0,
+            max_speed: 10.0,
+            pause: Duration::from_secs(1.0),
+        }
     }
+}
+
+/// Strategy the engine uses to answer "who can hear this transmission?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NeighborIndex {
+    /// Uniform spatial grid over node anchors (see `crate::grid`): a
+    /// maximal (carrier-sense) range query visits at most the 5×5 block of
+    /// half-reach cells around the query point.  This is the default;
+    /// results are exactly those of the brute-force scan.
+    #[default]
+    Grid,
+    /// Scan every node on every query — O(N) per transmission.  Kept for
+    /// equivalence tests and as the baseline of the `scale_nodes` bench.
+    BruteForce,
 }
 
 /// Full simulation configuration.
@@ -92,6 +110,12 @@ pub struct SimConfig {
     pub duration: Duration,
     /// Run seed; together with the configuration it fully determines the run.
     pub seed: u64,
+    /// Neighbor-query strategy (spatial grid by default).
+    pub neighbor_index: NeighborIndex,
+    /// Maximum anchor drift, metres, the spatial grid tolerates before a
+    /// node is rebinned (larger values mean fewer rebinds but bigger
+    /// candidate sets).  Ignored under [`NeighborIndex::BruteForce`].
+    pub grid_slack_m: f64,
 }
 
 impl Default for SimConfig {
@@ -105,6 +129,8 @@ impl Default for SimConfig {
             mobility: MobilityConfig::default(),
             duration: Duration::from_secs(200.0),
             seed: 1,
+            neighbor_index: NeighborIndex::default(),
+            grid_slack_m: 25.0,
         }
     }
 }
@@ -147,7 +173,17 @@ impl SimConfig {
         if self.duration.as_secs() <= 0.0 {
             return Err("duration must be positive".into());
         }
-        if let ChannelModel::Shadowed { good_to_bad, bad_to_good, .. } = self.radio.channel {
+        if self.neighbor_index == NeighborIndex::Grid
+            && !(self.grid_slack_m > 0.0 && self.grid_slack_m.is_finite())
+        {
+            return Err("grid_slack_m must be positive and finite".into());
+        }
+        if let ChannelModel::Shadowed {
+            good_to_bad,
+            bad_to_good,
+            ..
+        } = self.radio.channel
+        {
             if !(good_to_bad >= 0.0 && bad_to_good >= 0.0) {
                 return Err("shadowing transition rates must be non-negative".into());
             }
@@ -166,6 +202,23 @@ impl SimConfig {
             seed,
             ..SimConfig::default()
         }
+    }
+
+    /// The paper's environment scaled to `num_nodes`, with the field grown so
+    /// node density (nodes per square metre) matches the 50-node / 1 km²
+    /// original.  Used by the 100/200/500-node scaling scenarios and the
+    /// `scale_nodes` bench.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` is zero.
+    pub fn scaled_environment(num_nodes: u16, max_speed: f64, seed: u64) -> Self {
+        assert!(num_nodes > 0, "need at least one node");
+        let mut config = Self::paper_environment(max_speed, seed);
+        let side = 1000.0 * (f64::from(num_nodes) / 50.0).sqrt();
+        config.num_nodes = num_nodes;
+        config.field_width = side;
+        config.field_height = side;
+        config
     }
 }
 
@@ -189,6 +242,31 @@ mod tests {
         let c = SimConfig::paper_environment(15.0, 3);
         assert_eq!(c.mobility.max_speed, 15.0);
         assert_eq!(c.seed, 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn scaled_environment_keeps_density_constant() {
+        let base = SimConfig::paper_environment(10.0, 1);
+        let base_density = f64::from(base.num_nodes) / (base.field_width * base.field_height);
+        for n in [100u16, 200, 500] {
+            let c = SimConfig::scaled_environment(n, 10.0, 1);
+            c.validate().unwrap();
+            assert_eq!(c.num_nodes, n);
+            let density = f64::from(n) / (c.field_width * c.field_height);
+            assert!(
+                (density - base_density).abs() / base_density < 1e-9,
+                "density drifted at n={n}: {density} vs {base_density}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_slack_is_validated_only_for_grid_mode() {
+        let mut c = SimConfig::default();
+        c.grid_slack_m = 0.0;
+        assert!(c.validate().is_err());
+        c.neighbor_index = NeighborIndex::BruteForce;
         c.validate().unwrap();
     }
 

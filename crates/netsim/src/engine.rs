@@ -3,26 +3,116 @@
 //! [`Simulator`] owns the [`World`] (positions, MAC state, channel state, the
 //! event queue, the recorder) and one [`NodeStack`] per node, and runs the
 //! event loop until the configured duration elapses.
+//!
+//! # The broadcast hot path
+//!
+//! Every transmission must answer "who hears this?" twice: the receiver set
+//! (transmission range) and the busy set (carrier-sense range).  Three
+//! engine-level optimisations keep that path allocation-free and better than
+//! O(N) per transmission:
+//!
+//! * a [`SpatialGrid`] neighbor index (see [`crate::grid`]) binning node
+//!   anchors into cells of side ≥ carrier-sense range + slack, maintained
+//!   incrementally: a node is rebinned when its waypoint leg changes and via
+//!   a deferred drift-refresh queue processed lazily before each query.  The
+//!   refresh queue is engine-private — it does **not** go through the main
+//!   event queue, so a grid run and a brute-force run
+//!   ([`crate::config::NeighborIndex`]) process byte-identical event streams
+//!   and stay trace-equivalent (the equivalence tests rely on this).
+//! * a per-(node, time) position cache so each node's kinematic position is
+//!   evaluated at most once per event timestamp.
+//! * scratch-buffer reuse: candidate lists, receiver lists (pooled across
+//!   in-flight transmissions) and per-receiver outcome lists are recycled, so
+//!   steady-state transmissions allocate nothing.
+//!
+//! Counters for all three are surfaced through
+//! [`Recorder::engine_perf`](crate::recorder::Recorder::engine_perf).
 
-use crate::config::SimConfig;
+use crate::config::{NeighborIndex, SimConfig};
 use crate::event::{Event, EventQueue, TxId};
 use crate::geometry::Position;
+use crate::grid::SpatialGrid;
 use crate::mac::{airtime, InFlight, MacState, RxInterval};
 use crate::mobility::{MobilityModel, Waypoint};
 use crate::node::{Ctx, NodeStack, TimerToken};
 use crate::radio::LinkDynamics;
-use crate::recorder::{DropReason, Recorder};
+use crate::recorder::{DropReason, EnginePerf, Recorder};
 use crate::rng::RngStreams;
 use crate::time::{Duration, SimTime};
 use manet_wire::{Frame, MacDest, NetPacket, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Per-node mobility bookkeeping.
 #[derive(Debug, Clone)]
 struct NodeMotion {
     leg: Waypoint,
     epoch: u64,
+}
+
+/// Engine performance counters.  `Cell`-based so read-only query paths
+/// (`&World`) can count without threading `&mut` everywhere; the engine is
+/// single-threaded, so plain `Cell` suffices.
+#[derive(Debug, Default)]
+struct PerfCells {
+    neighbor_queries: Cell<u64>,
+    candidates_scanned: Cell<u64>,
+    grid_rebinds: Cell<u64>,
+    grid_refreshes: Cell<u64>,
+    position_cache_hits: Cell<u64>,
+    position_cache_misses: Cell<u64>,
+}
+
+fn inc(c: &Cell<u64>) {
+    c.set(c.get() + 1);
+}
+
+fn add(c: &Cell<u64>, k: u64) {
+    c.set(c.get() + k);
+}
+
+impl PerfCells {
+    fn snapshot(&self) -> EnginePerf {
+        EnginePerf {
+            neighbor_queries: self.neighbor_queries.get(),
+            candidates_scanned: self.candidates_scanned.get(),
+            grid_rebinds: self.grid_rebinds.get(),
+            grid_refreshes: self.grid_refreshes.get(),
+            position_cache_hits: self.position_cache_hits.get(),
+            position_cache_misses: self.position_cache_misses.get(),
+            events_processed: 0, // filled in by `Simulator::run`
+        }
+    }
+}
+
+/// The spatial grid plus its drift-refresh machinery.
+///
+/// `refresh_queue` holds at most one live `(due, node, generation)` entry per
+/// node: when it comes due (checked lazily before each query), the node has
+/// drifted up to `slack` metres from its anchor and is rebinned.  Generations
+/// invalidate queued entries when a leg change rebins a node early.
+#[derive(Debug)]
+struct NeighborGrid {
+    spatial: SpatialGrid,
+    refresh_queue: BinaryHeap<Reverse<(SimTime, NodeId, u64)>>,
+    gens: Vec<u64>,
+}
+
+impl NeighborGrid {
+    /// Next drift-refresh due time for a node rebinned at `now` on `leg`, or
+    /// `None` if the leg cannot drift past the slack before it ends (the
+    /// `WaypointReached` rebin covers it from there).
+    fn refresh_due(slack: f64, leg: &Waypoint, now: SimTime) -> Option<SimTime> {
+        if leg.speed <= 0.0 {
+            return None;
+        }
+        let moving_from = if leg.start > now { leg.start } else { now };
+        let due = moving_from + Duration::from_secs(slack / leg.speed);
+        (due < leg.arrival_time()).then_some(due)
+    }
 }
 
 /// Everything in the simulation except the protocol stacks.
@@ -44,6 +134,20 @@ pub struct World {
     mobility: Box<dyn MobilityModel>,
     next_tx_id: u64,
     events_processed: u64,
+    /// Neighbor index (`None` under [`NeighborIndex::BruteForce`]).  Behind a
+    /// `RefCell` because deferred refreshes run lazily inside `&self` query
+    /// paths.
+    grid: Option<RefCell<NeighborGrid>>,
+    /// Memoised position per node, keyed by the evaluation time.
+    pos_cache: Vec<Cell<Option<(SimTime, Position)>>>,
+    perf: PerfCells,
+    /// Recycled receiver buffers (receiver lists live inside [`InFlight`]
+    /// until the matching `TxEnd`, so they rotate through a small pool).
+    receiver_pool: Vec<Vec<NodeId>>,
+    /// Scratch for per-receiver delivery outcomes in `tx_end`.
+    outcomes_scratch: Vec<(NodeId, bool)>,
+    /// Scratch for grid candidates in `mac_attempt`.
+    cand_scratch: Vec<NodeId>,
 }
 
 impl World {
@@ -52,26 +156,142 @@ impl World {
         self.config.num_nodes
     }
 
-    /// Current position of `node`.
+    /// Current position of `node` (memoised per event timestamp).
     pub fn position_of(&self, node: NodeId) -> Position {
-        self.motions[node.index()].leg.position_at(self.now)
+        let cell = &self.pos_cache[node.index()];
+        if let Some((at, pos)) = cell.get() {
+            if at == self.now {
+                inc(&self.perf.position_cache_hits);
+                return pos;
+            }
+        }
+        let pos = self.motions[node.index()].leg.position_at(self.now);
+        cell.set(Some((self.now, pos)));
+        inc(&self.perf.position_cache_misses);
+        pos
     }
 
     /// Nodes within transmission range of `node` right now.
+    ///
+    /// Allocates a fresh `Vec` per call; hot callers should prefer
+    /// [`World::neighbors_into`].
     pub fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.neighbors_into(node, &mut out);
+        out
+    }
+
+    /// Collect the nodes within transmission range of `node` into `out`
+    /// (cleared first), sorted by node id.  Reusing one buffer across calls
+    /// makes repeated neighborhood queries allocation-free.
+    pub fn neighbors_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
         let p = self.position_of(node);
-        let range_sq = self.config.radio.range_m * self.config.radio.range_m;
-        (0..self.config.num_nodes)
-            .map(NodeId)
-            .filter(|&other| other != node)
-            .filter(|&other| self.position_of(other).distance_sq(p) <= range_sq)
-            .collect()
+        let range = self.config.radio.range_m;
+        let range_sq = range * range;
+        self.query_range(p, range, |other| {
+            if other != node && self.position_of(other).distance_sq(p) <= range_sq {
+                out.push(other);
+            }
+        });
+        // Grid cells are visited in cell order; sort so results (and any
+        // downstream iteration) are identical across index strategies.
+        out.sort_unstable();
     }
 
     /// True if `a` and `b` are within transmission range of each other.
     pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
         let range_sq = self.config.radio.range_m * self.config.radio.range_m;
         self.position_of(a).distance_sq(self.position_of(b)) <= range_sq
+    }
+
+    /// Visit every candidate node for a range query around `center`: a
+    /// superset of the nodes within `radius`, which the caller must filter by
+    /// exact distance.  Uses the spatial grid when enabled, otherwise scans
+    /// all nodes.
+    fn query_range(&self, center: Position, radius: f64, mut f: impl FnMut(NodeId)) {
+        inc(&self.perf.neighbor_queries);
+        match &self.grid {
+            Some(grid) => {
+                self.grid_sync();
+                let g = grid.borrow();
+                let visited = g.spatial.for_each_candidate(center, radius, &mut f);
+                add(&self.perf.candidates_scanned, visited);
+            }
+            None => {
+                add(
+                    &self.perf.candidates_scanned,
+                    u64::from(self.config.num_nodes),
+                );
+                for i in 0..self.config.num_nodes {
+                    f(NodeId(i));
+                }
+            }
+        }
+    }
+
+    /// Process every due entry of the drift-refresh queue, restoring the grid
+    /// invariant (anchor within slack of the true position) before a query.
+    fn grid_sync(&self) {
+        let Some(grid) = &self.grid else { return };
+        let mut g = grid.borrow_mut();
+        let now = self.now;
+        while let Some(&Reverse((due, node, gen))) = g.refresh_queue.peek() {
+            if due > now {
+                break;
+            }
+            g.refresh_queue.pop();
+            if g.gens[node.index()] != gen {
+                continue; // superseded by a leg-change rebin
+            }
+            inc(&self.perf.grid_refreshes);
+            let leg = &self.motions[node.index()].leg;
+            let pos = self.position_of(node);
+            if g.spatial.rebin(node, pos) {
+                inc(&self.perf.grid_rebinds);
+            }
+            if let Some(due) = NeighborGrid::refresh_due(g.spatial.slack(), leg, now) {
+                g.refresh_queue.push(Reverse((due, node, gen)));
+            }
+        }
+    }
+
+    /// Rebin `node` after its waypoint leg changed and restart its
+    /// drift-refresh chain.
+    fn grid_rebin_for_new_leg(&mut self, node: NodeId) {
+        let Some(grid) = &self.grid else { return };
+        let mut g = grid.borrow_mut();
+        let idx = node.index();
+        let leg = &self.motions[idx].leg;
+        let pos = leg.position_at(self.now);
+        if g.spatial.rebin(node, pos) {
+            inc(&self.perf.grid_rebinds);
+        }
+        g.gens[idx] += 1;
+        let gen = g.gens[idx];
+        if let Some(due) = NeighborGrid::refresh_due(g.spatial.slack(), leg, self.now) {
+            g.refresh_queue.push(Reverse((due, node, gen)));
+        }
+    }
+
+    /// Grab a cleared receiver buffer from the pool.
+    fn take_receiver_buf(&mut self) -> Vec<NodeId> {
+        match self.receiver_pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Return a receiver buffer to the pool.
+    fn recycle_receiver_buf(&mut self, buf: Vec<NodeId>) {
+        // One buffer per concurrently in-flight transmission is the steady
+        // state; the cap only guards against pathological growth.
+        if self.receiver_pool.len() < 256 {
+            self.receiver_pool.push(buf);
+        }
     }
 
     /// Protocol random stream.
@@ -87,6 +307,14 @@ impl World {
     /// Read access to the recorder.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Engine performance counters so far (also published to the recorder at
+    /// the end of the run).
+    pub fn engine_perf(&self) -> EnginePerf {
+        let mut perf = self.perf.snapshot();
+        perf.events_processed = self.events_processed;
+        perf
     }
 
     /// Number of frames queued at `node`'s MAC.
@@ -175,12 +403,46 @@ impl Simulator {
             let pos = mobility.initial_position(i, rngs.mobility());
             let leg = mobility.next_leg(i, pos, SimTime::ZERO, 0, rngs.mobility());
             if leg.speed > 0.0 {
-                queue.schedule(leg.arrival_time(), Event::WaypointReached { node: NodeId(i as u16), epoch: 0 });
+                queue.schedule(
+                    leg.arrival_time(),
+                    Event::WaypointReached {
+                        node: NodeId(i as u16),
+                        epoch: 0,
+                    },
+                );
             }
             motions.push(NodeMotion { leg, epoch: 0 });
         }
         queue.schedule(SimTime::ZERO + config.duration, Event::Stop);
         let macs = (0..config.num_nodes).map(|_| MacState::new()).collect();
+        let grid = match config.neighbor_index {
+            NeighborIndex::BruteForce => None,
+            NeighborIndex::Grid => {
+                let mut spatial = SpatialGrid::new(
+                    config.field_width,
+                    config.field_height,
+                    config.radio.carrier_sense_range(),
+                    config.grid_slack_m,
+                    config.num_nodes as usize,
+                );
+                let mut refresh_queue = BinaryHeap::new();
+                for (i, motion) in motions.iter().enumerate() {
+                    let node = NodeId(i as u16);
+                    spatial.rebin(node, motion.leg.position_at(SimTime::ZERO));
+                    if let Some(due) =
+                        NeighborGrid::refresh_due(spatial.slack(), &motion.leg, SimTime::ZERO)
+                    {
+                        refresh_queue.push(Reverse((due, node, 0)));
+                    }
+                }
+                Some(RefCell::new(NeighborGrid {
+                    spatial,
+                    refresh_queue,
+                    gens: vec![0; config.num_nodes as usize],
+                }))
+            }
+        };
+        let pos_cache = (0..config.num_nodes).map(|_| Cell::new(None)).collect();
         let world = World {
             now: SimTime::ZERO,
             queue,
@@ -192,9 +454,20 @@ impl Simulator {
             mobility,
             next_tx_id: 0,
             events_processed: 0,
+            grid,
+            pos_cache,
+            perf: PerfCells::default(),
+            receiver_pool: Vec::new(),
+            outcomes_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
             config,
         };
-        Simulator { world, stacks, started: false, finished: false }
+        Simulator {
+            world,
+            stacks,
+            started: false,
+            finished: false,
+        }
     }
 
     /// Enable the human-readable trace on the recorder (must be called before
@@ -227,7 +500,10 @@ impl Simulator {
     pub fn run(mut self) -> Recorder {
         self.start_stacks();
         while let Some(ev) = self.world.queue.pop() {
-            debug_assert!(ev.time >= self.world.now, "event time must not go backwards");
+            debug_assert!(
+                ev.time >= self.world.now,
+                "event time must not go backwards"
+            );
             self.world.now = ev.time;
             self.world.events_processed += 1;
             match ev.event {
@@ -241,6 +517,9 @@ impl Simulator {
         if !self.finished {
             self.finish_stacks();
         }
+        let mut perf = self.world.perf.snapshot();
+        perf.events_processed = self.world.events_processed;
+        self.world.recorder.set_engine_perf(perf);
         self.world.recorder
     }
 
@@ -251,7 +530,10 @@ impl Simulator {
         self.started = true;
         for i in 0..self.stacks.len() {
             let node = NodeId(i as u16);
-            let mut ctx = Ctx { world: &mut self.world, node };
+            let mut ctx = Ctx {
+                world: &mut self.world,
+                node,
+            };
             self.stacks[i].start(&mut ctx);
         }
     }
@@ -263,7 +545,10 @@ impl Simulator {
         self.finished = true;
         for i in 0..self.stacks.len() {
             let node = NodeId(i as u16);
-            let mut ctx = Ctx { world: &mut self.world, node };
+            let mut ctx = Ctx {
+                world: &mut self.world,
+                node,
+            };
             self.stacks[i].on_run_end(&mut ctx);
         }
     }
@@ -271,7 +556,10 @@ impl Simulator {
     fn dispatch(&mut self, event: Event) {
         match event {
             Event::Timer { node, token } => {
-                let mut ctx = Ctx { world: &mut self.world, node };
+                let mut ctx = Ctx {
+                    world: &mut self.world,
+                    node,
+                };
                 self.stacks[node.index()].on_timer(&mut ctx, token);
             }
             Event::MacAttempt { node } => self.mac_attempt(node),
@@ -292,15 +580,32 @@ impl Simulator {
         let arrived_at = self.world.motions[idx].leg.to;
         let new_epoch = epoch + 1;
         let leg = {
-            let World { mobility, rngs, now, .. } = &mut self.world;
+            let World {
+                mobility,
+                rngs,
+                now,
+                ..
+            } = &mut self.world;
             mobility.next_leg(idx, arrived_at, *now, new_epoch, rngs.mobility())
         };
         if leg.speed > 0.0 {
-            self.world
-                .queue
-                .schedule(leg.arrival_time(), Event::WaypointReached { node, epoch: new_epoch });
+            self.world.queue.schedule(
+                leg.arrival_time(),
+                Event::WaypointReached {
+                    node,
+                    epoch: new_epoch,
+                },
+            );
         }
-        self.world.motions[idx] = NodeMotion { leg, epoch: new_epoch };
+        self.world.motions[idx] = NodeMotion {
+            leg,
+            epoch: new_epoch,
+        };
+        // The leg handoff preserves the node's position at this instant, but
+        // the cached evaluation belongs to the old leg — invalidate it and
+        // re-anchor the node in the grid for the new leg's drift profile.
+        self.world.pos_cache[idx].set(None);
+        self.world.grid_rebin_for_new_leg(node);
     }
 
     // ---- MAC ------------------------------------------------------------------
@@ -330,7 +635,10 @@ impl Simulator {
             return;
         }
         // Start transmitting the head-of-queue frame.
-        let queued = self.world.macs[idx].queue.pop_front().expect("queue checked non-empty");
+        let queued = self.world.macs[idx]
+            .queue
+            .pop_front()
+            .expect("queue checked non-empty");
         let tx = self.world.fresh_tx_id();
         let dest = queued.frame.mac_dst;
         let bytes = queued.frame.size_bytes();
@@ -346,14 +654,17 @@ impl Simulator {
             now,
         );
 
-        // Determine receivers (transmission range) and busy set (carrier-sense range).
+        // Determine receivers (transmission range) and busy set (carrier-sense
+        // range) in one combined pass over the grid candidates.
         let my_pos = self.world.position_of(node);
         let range_sq = self.world.config.radio.range_m * self.world.config.radio.range_m;
         let cs_range = self.world.config.radio.carrier_sense_range();
         let cs_sq = cs_range * cs_range;
-        let mut receivers = Vec::new();
-        for i in 0..self.world.config.num_nodes {
-            let other = NodeId(i);
+        let mut cands = std::mem::take(&mut self.world.cand_scratch);
+        cands.clear();
+        self.world.query_range(my_pos, cs_range, |n| cands.push(n));
+        let mut receivers = self.world.take_receiver_buf();
+        for &other in &cands {
             if other == node {
                 continue;
             }
@@ -368,19 +679,35 @@ impl Simulator {
                 receivers.push(other);
             }
         }
+        self.world.cand_scratch = cands;
+        // Grid candidates arrive in cell order and busy-set updates above
+        // commute, but receiver order fixes RNG consumption and callback
+        // order at TxEnd — sort it so runs are identical across
+        // neighbor-index strategies.
+        receivers.sort_unstable();
         // Register reception intervals (for collision detection).
         for &r in &receivers {
             let m = &mut self.world.macs[r.index()];
             m.gc_intervals(now);
             // An already-ongoing reception at r collides with this new one; we
             // only need to record the interval — overlap is evaluated at TxEnd.
-            m.rx_intervals.push(RxInterval { tx, start: now, end });
+            m.rx_intervals.push(RxInterval {
+                tx,
+                start: now,
+                end,
+            });
         }
         let mac = &mut self.world.macs[idx];
         mac.gc_intervals(now);
         mac.tx_intervals.push((now, end));
         mac.busy_until = mac.busy_until.max(end);
-        mac.transmitting = Some(InFlight { tx, frame: queued, start: now, end, receivers });
+        mac.transmitting = Some(InFlight {
+            tx,
+            frame: queued,
+            start: now,
+            end,
+            receivers,
+        });
         self.world.queue.schedule(end, Event::TxEnd { node, tx });
     }
 
@@ -394,38 +721,53 @@ impl Simulator {
                 return;
             }
         };
+        let InFlight {
+            tx: _,
+            frame: queued,
+            start,
+            end,
+            receivers,
+        } = inflight;
         let now = self.world.now;
         let channel = self.world.config.radio.channel;
         let random_loss = self.world.config.mac.random_loss;
 
-        // Work out, per receiver, whether the frame arrived intact.
-        let mut outcomes: Vec<(NodeId, bool)> = Vec::with_capacity(inflight.receivers.len());
-        for &r in &inflight.receivers {
+        // Work out, per receiver, whether the frame arrived intact (into the
+        // reusable outcome scratch — no per-transmission allocation).
+        let mut outcomes = std::mem::take(&mut self.world.outcomes_scratch);
+        outcomes.clear();
+        for &r in &receivers {
             let collided = {
                 let m = &self.world.macs[r.index()];
-                m.reception_collided(tx, inflight.start, inflight.end)
-                    || m.was_transmitting_during(inflight.start, inflight.end)
+                m.reception_collided(tx, start, end) || m.was_transmitting_during(start, end)
             };
             if collided {
                 self.world.recorder.record_collision();
             }
             let faded = {
-                let World { link_dynamics, rngs, .. } = &mut self.world;
+                let World {
+                    link_dynamics,
+                    rngs,
+                    ..
+                } = &mut self.world;
                 !link_dynamics.link_usable(node, r, now, channel, rngs.channel())
             };
             let lost = random_loss > 0.0 && self.world.rngs.channel().gen::<f64>() < random_loss;
             outcomes.push((r, !collided && !faded && !lost));
         }
 
-        match inflight.frame.frame.mac_dst {
+        match queued.frame.mac_dst {
             MacDest::Broadcast => {
                 self.world.macs[idx].tx_ok += 1;
                 self.world.macs[idx].reset_backoff();
                 for (r, ok) in &outcomes {
                     if *ok {
-                        self.account_reception(*r, &inflight.frame.frame, true);
-                        let packet = inflight.frame.frame.payload.clone();
-                        let mut ctx = Ctx { world: &mut self.world, node: *r };
+                        self.account_reception(*r, &queued.frame, true);
+                        let packet = queued.frame.payload.clone();
+                        let mut ctx = Ctx {
+                            world: &mut self.world,
+                            node: *r,
+                        };
                         self.stacks[r.index()].on_receive(&mut ctx, node, packet);
                     }
                 }
@@ -440,20 +782,26 @@ impl Simulator {
                 // of whether the addressed receiver got it.
                 for (r, ok) in &outcomes {
                     if *ok && *r != dst {
-                        self.account_reception(*r, &inflight.frame.frame, false);
-                        let mut ctx = Ctx { world: &mut self.world, node: *r };
-                        self.stacks[r.index()].on_promiscuous(&mut ctx, &inflight.frame.frame);
+                        self.account_reception(*r, &queued.frame, false);
+                        let mut ctx = Ctx {
+                            world: &mut self.world,
+                            node: *r,
+                        };
+                        self.stacks[r.index()].on_promiscuous(&mut ctx, &queued.frame);
                     }
                 }
                 if delivered {
                     self.world.macs[idx].tx_ok += 1;
                     self.world.macs[idx].reset_backoff();
-                    self.account_reception(dst, &inflight.frame.frame, true);
-                    let packet = inflight.frame.frame.payload.clone();
-                    let mut ctx = Ctx { world: &mut self.world, node: dst };
+                    self.account_reception(dst, &queued.frame, true);
+                    let packet = queued.frame.payload.clone();
+                    let mut ctx = Ctx {
+                        world: &mut self.world,
+                        node: dst,
+                    };
                     self.stacks[dst.index()].on_receive(&mut ctx, node, packet);
                 } else {
-                    let mut queued = inflight.frame;
+                    let mut queued = queued;
                     queued.attempts += 1;
                     if queued.attempts < self.world.config.mac.retry_limit {
                         self.world.macs[idx].escalate_backoff();
@@ -464,12 +812,19 @@ impl Simulator {
                         self.world.recorder.record_mac_drop(DropReason::RetryLimit);
                         self.world.recorder.record_link_failure(node, dst, now);
                         let packet = queued.frame.payload;
-                        let mut ctx = Ctx { world: &mut self.world, node };
+                        let mut ctx = Ctx {
+                            world: &mut self.world,
+                            node,
+                        };
                         self.stacks[idx].on_link_failure(&mut ctx, dst, packet);
                     }
                 }
             }
         }
+        // Recycle the scratch buffers for the next transmission.
+        outcomes.clear();
+        self.world.outcomes_scratch = outcomes;
+        self.world.recycle_receiver_buf(receivers);
         // Keep the pipeline moving.
         if !self.world.macs[idx].queue.is_empty() {
             self.world.ensure_attempt(node, Duration::ZERO);
@@ -562,7 +917,11 @@ mod tests {
                 }) as Box<dyn NodeStack>
             })
             .collect();
-        let sim = Simulator::new(config, Box::new(StaticPlacement::chain(n as usize, spacing)), stacks);
+        let sim = Simulator::new(
+            config,
+            Box::new(StaticPlacement::chain(n as usize, spacing)),
+            stacks,
+        );
         (sim, log)
     }
 
@@ -626,7 +985,11 @@ mod tests {
                 stacks,
             );
             let rec = sim.run();
-            (rec.delivered_data_packets(), rec.data_transmissions(), rec.collisions())
+            (
+                rec.delivered_data_packets(),
+                rec.data_transmissions(),
+                rec.collisions(),
+            )
         };
         assert_eq!(run(7), run(7));
     }
@@ -653,5 +1016,87 @@ mod tests {
         let rec = sim.run();
         // No traffic, so nothing recorded; the run simply terminates.
         assert_eq!(rec.delivered_data_packets(), 0);
+    }
+
+    #[test]
+    fn grid_and_brute_force_chains_behave_identically() {
+        let run = |index: NeighborIndex| {
+            let mut config = SimConfig::default();
+            config.num_nodes = 6;
+            config.duration = Duration::from_secs(5.0);
+            config.mobility.max_speed = 0.0;
+            config.neighbor_index = index;
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let stacks: Vec<Box<dyn NodeStack>> = (0..6)
+                .map(|i| {
+                    Box::new(ChainForwarder {
+                        me: NodeId(i),
+                        last: NodeId(5),
+                        sent: Rc::clone(&log),
+                        origin: i == 0,
+                    }) as Box<dyn NodeStack>
+                })
+                .collect();
+            let sim = Simulator::new(config, Box::new(StaticPlacement::chain(6, 180.0)), stacks);
+            let rec = sim.run();
+            let hops = log.borrow().clone();
+            (
+                hops,
+                rec.delivered_data_packets(),
+                rec.data_transmissions(),
+                rec.collisions(),
+            )
+        };
+        assert_eq!(run(NeighborIndex::Grid), run(NeighborIndex::BruteForce));
+    }
+
+    #[test]
+    fn engine_perf_counters_are_populated() {
+        let (sim, _log) = chain_sim(4, 200.0);
+        let rec = sim.run();
+        let perf = rec.engine_perf();
+        assert!(
+            perf.neighbor_queries > 0,
+            "transmissions must issue range queries"
+        );
+        assert!(perf.candidates_scanned >= perf.neighbor_queries);
+        assert!(perf.position_cache_misses > 0);
+        // Static chain: every node binned once at setup, never rebinned after.
+        assert_eq!(perf.grid_refreshes, 0);
+        assert!(perf.position_cache_hit_rate() >= 0.0);
+    }
+
+    #[test]
+    fn mobile_runs_process_grid_refreshes() {
+        let mut config = SimConfig::default();
+        config.num_nodes = 12;
+        config.duration = Duration::from_secs(30.0);
+        config.mobility.min_speed = 5.0;
+        config.mobility.max_speed = 20.0;
+        struct Chatty;
+        impl NodeStack for Chatty {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule_timer(Duration::from_secs(1.0), TimerToken(0));
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+                let mut buf = Vec::new();
+                ctx.neighbors_into(&mut buf);
+                ctx.schedule_timer(Duration::from_secs(1.0), TimerToken(0));
+            }
+            fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: NetPacket) {}
+            fn on_link_failure(&mut self, _c: &mut Ctx<'_>, _n: NodeId, _p: NetPacket) {}
+        }
+        let stacks: Vec<Box<dyn NodeStack>> = (0..12)
+            .map(|_| Box::new(Chatty) as Box<dyn NodeStack>)
+            .collect();
+        let mobility = crate::mobility::RandomWaypoint::new(1000.0, 1000.0, config.mobility);
+        let sim = Simulator::new(config, Box::new(mobility), stacks);
+        let rec = sim.run();
+        let perf = rec.engine_perf();
+        assert!(
+            perf.grid_refreshes > 0,
+            "moving nodes must trigger drift refreshes"
+        );
+        assert!(perf.neighbor_queries > 0);
     }
 }

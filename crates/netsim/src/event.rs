@@ -95,7 +95,10 @@ pub struct EventQueue {
 impl EventQueue {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedule `event` to fire at `time`.
@@ -156,7 +159,9 @@ mod tests {
         q.schedule(t(3.0), Event::Stop);
         q.schedule(t(1.0), Event::ChannelTick);
         q.schedule(t(2.0), Event::Stop);
-        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_secs()).collect();
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_secs())
+            .collect();
         assert_eq!(times, vec![1.0, 2.0, 3.0]);
     }
 
@@ -164,9 +169,27 @@ mod tests {
     fn equal_times_pop_in_fifo_order() {
         let mut q = EventQueue::new();
         let now = t(5.0);
-        q.schedule(now, Event::Timer { node: NodeId(1), token: TimerToken(10) });
-        q.schedule(now, Event::Timer { node: NodeId(2), token: TimerToken(20) });
-        q.schedule(now, Event::Timer { node: NodeId(3), token: TimerToken(30) });
+        q.schedule(
+            now,
+            Event::Timer {
+                node: NodeId(1),
+                token: TimerToken(10),
+            },
+        );
+        q.schedule(
+            now,
+            Event::Timer {
+                node: NodeId(2),
+                token: TimerToken(20),
+            },
+        );
+        q.schedule(
+            now,
+            Event::Timer {
+                node: NodeId(3),
+                token: TimerToken(30),
+            },
+        );
         let order: Vec<u16> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.event {
                 Event::Timer { node, .. } => node.0,

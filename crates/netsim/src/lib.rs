@@ -7,6 +7,9 @@
 //! * [`event`] — the pending-event queue with stable FIFO tie-breaking.
 //! * [`geometry`] — 2-D positions and vectors.
 //! * [`mobility`] — the random-waypoint mobility model (and fixed placements).
+//! * [`grid`] — the uniform spatial grid indexing node positions; the
+//!   engine's broadcast hot path answers range queries through it instead of
+//!   scanning all nodes (see `crates/netsim/README.md` for the design).
 //! * [`radio`] — propagation / channel models (unit disk, shadowed links).
 //! * [`mac`] — a simplified IEEE 802.11 DCF MAC: carrier sense, slotted
 //!   binary-exponential backoff, receiver-side collisions, airtime accounting,
@@ -26,6 +29,7 @@ pub mod config;
 pub mod engine;
 pub mod event;
 pub mod geometry;
+pub mod grid;
 pub mod mac;
 pub mod mobility;
 pub mod node;
@@ -35,13 +39,15 @@ pub mod rng;
 pub mod time;
 pub mod topology;
 
-pub use config::SimConfig;
+pub use config::{NeighborIndex, SimConfig};
 pub use engine::Simulator;
 pub use event::{Event, EventQueue, ScheduledEvent};
 pub use geometry::{Position, Vector2};
+pub use grid::SpatialGrid;
 pub use mobility::{MobilityModel, RandomWaypoint, Waypoint};
 pub use node::{Ctx, NodeStack, TimerToken};
 pub use radio::{ChannelModel, RadioConfig};
+pub use recorder::EnginePerf;
 pub use recorder::{Recorder, TraceEvent};
 pub use rng::RngStreams;
 pub use time::{Duration, SimTime};

@@ -246,7 +246,11 @@ mod tests {
     fn collision_detection_overlap_semantics() {
         let mut m = MacState::new();
         let t = |s: f64| SimTime::from_secs(s);
-        m.rx_intervals.push(RxInterval { tx: TxId(1), start: t(1.0), end: t(2.0) });
+        m.rx_intervals.push(RxInterval {
+            tx: TxId(1),
+            start: t(1.0),
+            end: t(2.0),
+        });
         // Overlapping interval from a different transmission collides.
         assert!(m.reception_collided(TxId(2), t(1.5), t(2.5)));
         // The same transmission does not collide with itself.

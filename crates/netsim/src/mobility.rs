@@ -88,11 +88,18 @@ pub struct RandomWaypoint {
 impl RandomWaypoint {
     /// New model over a `width × height` field.
     pub fn new(width: f64, height: f64, config: MobilityConfig) -> Self {
-        RandomWaypoint { width, height, config }
+        RandomWaypoint {
+            width,
+            height,
+            config,
+        }
     }
 
     fn random_point(&self, rng: &mut dyn RngCore) -> Position {
-        Position::new(rng.gen_range(0.0..self.width), rng.gen_range(0.0..self.height))
+        Position::new(
+            rng.gen_range(0.0..self.width),
+            rng.gen_range(0.0..self.height),
+        )
     }
 
     fn random_speed(&self, rng: &mut dyn RngCore) -> f64 {
@@ -122,7 +129,13 @@ impl MobilityModel for RandomWaypoint {
     ) -> Waypoint {
         let to = self.random_point(rng);
         let speed = self.random_speed(rng);
-        Waypoint { from: current, to, speed, start: now + self.config.pause, epoch }
+        Waypoint {
+            from: current,
+            to,
+            speed,
+            start: now + self.config.pause,
+            epoch,
+        }
     }
 }
 
@@ -144,7 +157,9 @@ impl StaticPlacement {
     /// neighbours — a convenient chain topology for protocol tests.
     pub fn chain(n: usize, spacing: f64) -> Self {
         StaticPlacement {
-            positions: (0..n).map(|i| Position::new(i as f64 * spacing, 0.0)).collect(),
+            positions: (0..n)
+                .map(|i| Position::new(i as f64 * spacing, 0.0))
+                .collect(),
         }
     }
 
@@ -155,7 +170,10 @@ impl StaticPlacement {
         StaticPlacement {
             positions: (0..n)
                 .map(|i| {
-                    Position::new((i % columns) as f64 * spacing, (i / columns) as f64 * spacing)
+                    Position::new(
+                        (i % columns) as f64 * spacing,
+                        (i / columns) as f64 * spacing,
+                    )
                 })
                 .collect(),
         }
@@ -177,7 +195,13 @@ impl MobilityModel for StaticPlacement {
     ) -> Waypoint {
         // A zero-speed leg pins the node in place forever.
         let _ = idx;
-        Waypoint { from: current, to: current, speed: 0.0, start: now, epoch }
+        Waypoint {
+            from: current,
+            to: current,
+            speed: 0.0,
+            start: now,
+            epoch,
+        }
     }
 }
 
@@ -188,7 +212,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg(max: f64) -> MobilityConfig {
-        MobilityConfig { min_speed: 0.0, max_speed: max, pause: Duration::from_secs(1.0) }
+        MobilityConfig {
+            min_speed: 0.0,
+            max_speed: max,
+            pause: Duration::from_secs(1.0),
+        }
     }
 
     #[test]
@@ -245,7 +273,12 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(7);
             for i in 0..100 {
                 let leg = m.next_leg(i, Position::new(0.0, 0.0), SimTime::ZERO, 0, &mut rng);
-                assert!(leg.speed <= max + 1e-9, "speed {} exceeds max {}", leg.speed, max);
+                assert!(
+                    leg.speed <= max + 1e-9,
+                    "speed {} exceeds max {}",
+                    leg.speed,
+                    max
+                );
             }
         }
     }

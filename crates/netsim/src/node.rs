@@ -77,7 +77,10 @@ impl<'a> Ctx<'a> {
     /// exhaust their retry budget come back through
     /// [`NodeStack::on_link_failure`].
     pub fn send_frame(&mut self, frame: Frame) {
-        debug_assert_eq!(frame.mac_src, self.node, "frames must be sent from the owning node");
+        debug_assert_eq!(
+            frame.mac_src, self.node,
+            "frames must be sent from the owning node"
+        );
         self.world.mac_enqueue(self.node, frame);
     }
 
@@ -99,8 +102,19 @@ impl<'a> Ctx<'a> {
     }
 
     /// Nodes currently within transmission range of this node.
+    ///
+    /// Allocates a fresh `Vec` per call; stacks that query neighbourhoods on
+    /// a hot path (periodic beacons, per-packet relay decisions) should hold
+    /// a scratch buffer and use [`Ctx::neighbors_into`] instead.
     pub fn neighbors(&self) -> Vec<NodeId> {
         self.world.neighbors_of(self.node)
+    }
+
+    /// Collect the nodes currently within transmission range of this node
+    /// into `out` (cleared first), sorted by node id.  Allocation-free when
+    /// `out` is reused across calls.
+    pub fn neighbors_into(&self, out: &mut Vec<NodeId>) {
+        self.world.neighbors_into(self.node, out);
     }
 
     /// True if `other` is currently within transmission range.

@@ -19,9 +19,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Channel variation model applied on top of the geometric range check.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum ChannelModel {
     /// Pure unit-disk propagation: reception iff distance <= range.
+    #[default]
     UnitDisk,
     /// Unit disk gated by a per-link Gilbert–Elliott good/bad process.
     Shadowed {
@@ -32,12 +33,6 @@ pub enum ChannelModel {
         /// Probability a frame survives while the link is in the bad state.
         bad_delivery_prob: f64,
     },
-}
-
-impl Default for ChannelModel {
-    fn default() -> Self {
-        ChannelModel::UnitDisk
-    }
 }
 
 /// Radio parameters.
@@ -56,7 +51,11 @@ pub struct RadioConfig {
 
 impl Default for RadioConfig {
     fn default() -> Self {
-        RadioConfig { range_m: 250.0, carrier_sense_factor: 1.8, channel: ChannelModel::UnitDisk }
+        RadioConfig {
+            range_m: 250.0,
+            carrier_sense_factor: 1.8,
+            channel: ChannelModel::UnitDisk,
+        }
     }
 }
 
@@ -119,12 +118,16 @@ impl LinkDynamics {
     ) -> bool {
         match model {
             ChannelModel::UnitDisk => true,
-            ChannelModel::Shadowed { good_to_bad, bad_to_good, bad_delivery_prob } => {
+            ChannelModel::Shadowed {
+                good_to_bad,
+                bad_to_good,
+                bad_delivery_prob,
+            } => {
                 let key = canonical(a, b);
-                let entry = self
-                    .links
-                    .entry(key)
-                    .or_insert(LinkState { good: true, sampled_at: now });
+                let entry = self.links.entry(key).or_insert(LinkState {
+                    good: true,
+                    sampled_at: now,
+                });
                 // Advance the two-state process over the elapsed interval using
                 // the embedded transition probabilities.
                 let dt = now.saturating_since(entry.sampled_at).as_secs();

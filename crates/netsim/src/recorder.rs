@@ -54,6 +54,53 @@ pub enum TraceEvent {
     },
 }
 
+/// Engine-internal performance counters for one run, filled in by the
+/// simulator when the run ends.  These expose how hard the neighbor index and
+/// the position cache worked, for the scaling benches and for regression
+/// hunting (e.g. a mobility change that silently explodes rebind rates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnginePerf {
+    /// Range queries answered (broadcast receiver scans + `neighbors_of`-style
+    /// lookups).
+    pub neighbor_queries: u64,
+    /// Grid candidates visited across all queries (the exact-distance filter
+    /// runs once per candidate; under brute force every node is a candidate).
+    pub candidates_scanned: u64,
+    /// Nodes rebinned into a different grid cell (leg changes + drift
+    /// refreshes that crossed a cell boundary).
+    pub grid_rebinds: u64,
+    /// Deferred drift-refresh entries processed from the grid's refresh queue.
+    pub grid_refreshes: u64,
+    /// `position_at` evaluations avoided by the per-(node, time) cache.
+    pub position_cache_hits: u64,
+    /// `position_at` evaluations actually performed.
+    pub position_cache_misses: u64,
+    /// Events the engine processed during the run (throughput denominator
+    /// for events/sec reporting).
+    pub events_processed: u64,
+}
+
+impl EnginePerf {
+    /// Fraction of position lookups served from the cache (0 if none).
+    pub fn position_cache_hit_rate(&self) -> f64 {
+        let total = self.position_cache_hits + self.position_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.position_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean candidates visited per neighbor query (0 if none).
+    pub fn mean_candidates_per_query(&self) -> f64 {
+        if self.neighbor_queries == 0 {
+            0.0
+        } else {
+            self.candidates_scanned as f64 / self.neighbor_queries as f64
+        }
+    }
+}
+
 /// Everything recorded about one simulation run.
 #[derive(Debug, Default)]
 pub struct Recorder {
@@ -85,6 +132,9 @@ pub struct Recorder {
     mac_drops: HashMap<DropReason, u64>,
     link_failures: u64,
     collisions: u64,
+
+    // --- engine internals --------------------------------------------------------
+    engine_perf: EnginePerf,
 }
 
 impl Recorder {
@@ -95,7 +145,10 @@ impl Recorder {
 
     /// New recorder that also keeps the human-readable trace.
     pub fn with_trace() -> Self {
-        Recorder { keep_trace: true, ..Self::default() }
+        Recorder {
+            keep_trace: true,
+            ..Self::default()
+        }
     }
 
     // ---- recording (called by the engine and by protocol stacks) -------------
@@ -153,7 +206,14 @@ impl Recorder {
     }
 
     /// A frame started transmission (the engine calls this for every frame).
-    pub fn record_tx(&mut self, node: NodeId, kind: &'static str, is_control: bool, bytes: u32, at: SimTime) {
+    pub fn record_tx(
+        &mut self,
+        node: NodeId,
+        kind: &'static str,
+        is_control: bool,
+        bytes: u32,
+        at: SimTime,
+    ) {
         if is_control {
             self.control_tx += 1;
             self.control_tx_bytes += u64::from(bytes);
@@ -162,7 +222,12 @@ impl Recorder {
             self.data_tx += 1;
         }
         if self.keep_trace {
-            self.trace.push(TraceEvent::TxStart { node, kind, bytes, at });
+            self.trace.push(TraceEvent::TxStart {
+                node,
+                kind,
+                bytes,
+                at,
+            });
         }
     }
 
@@ -175,13 +240,20 @@ impl Recorder {
     pub fn record_link_failure(&mut self, node: NodeId, next_hop: NodeId, at: SimTime) {
         self.link_failures += 1;
         if self.keep_trace {
-            self.trace.push(TraceEvent::LinkFailure { node, next_hop, at });
+            self.trace
+                .push(TraceEvent::LinkFailure { node, next_hop, at });
         }
     }
 
     /// A reception was corrupted by a collision.
     pub fn record_collision(&mut self) {
         self.collisions += 1;
+    }
+
+    /// Store the engine's internal performance counters (called once by the
+    /// simulator at the end of the run).
+    pub fn set_engine_perf(&mut self, perf: EnginePerf) {
+        self.engine_perf = perf;
     }
 
     // ---- queries (used by the metrics layer) ----------------------------------
@@ -232,7 +304,10 @@ impl Recorder {
 
     /// All nodes with at least one heard packet, with their unique counts.
     pub fn heard_counts(&self) -> HashMap<NodeId, u64> {
-        self.heard.iter().map(|(n, s)| (*n, s.len() as u64)).collect()
+        self.heard
+            .iter()
+            .map(|(n, s)| (*n, s.len() as u64))
+            .collect()
     }
 
     /// Number of routing control packet transmissions (every hop counts), the
@@ -274,6 +349,11 @@ impl Recorder {
     /// The kept trace (empty unless `keep_trace`).
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
+    }
+
+    /// Engine-internal performance counters for this run.
+    pub fn engine_perf(&self) -> EnginePerf {
+        self.engine_perf
     }
 }
 

@@ -11,7 +11,7 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A length of simulated time, in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Duration(f64);
 
 impl Duration {
@@ -20,7 +20,10 @@ impl Duration {
 
     /// Duration from seconds.  Panics on negative or non-finite input.
     pub fn from_secs(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative, got {s}"
+        );
         Duration(s)
     }
 
@@ -57,7 +60,15 @@ impl Eq for Duration {}
 
 impl Ord for Duration {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("durations are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("durations are never NaN")
+    }
+}
+
+impl PartialOrd for Duration {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -68,7 +79,7 @@ impl fmt::Display for Duration {
 }
 
 /// An absolute instant of simulated time, in seconds since the start of the run.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -77,7 +88,10 @@ impl SimTime {
 
     /// Instant from seconds.  Panics on negative or non-finite input.
     pub fn from_secs(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "sim time must be finite and non-negative, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "sim time must be finite and non-negative, got {s}"
+        );
         SimTime(s)
     }
 
@@ -123,7 +137,15 @@ impl Eq for SimTime {}
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("sim times are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("sim times are never NaN")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 

@@ -130,7 +130,9 @@ mod tests {
     use super::*;
 
     fn chain(n: usize, spacing: f64) -> Vec<Position> {
-        (0..n).map(|i| Position::new(i as f64 * spacing, 0.0)).collect()
+        (0..n)
+            .map(|i| Position::new(i as f64 * spacing, 0.0))
+            .collect()
     }
 
     #[test]
@@ -159,8 +161,9 @@ mod tests {
 
     #[test]
     fn dense_cluster_is_fully_connected() {
-        let positions: Vec<Position> =
-            (0..6).map(|i| Position::new(f64::from(i) * 10.0, 0.0)).collect();
+        let positions: Vec<Position> = (0..6)
+            .map(|i| Position::new(f64::from(i) * 10.0, 0.0))
+            .collect();
         let g = ConnectivityGraph::from_positions(&positions, 250.0);
         assert_eq!(g.link_count(), 15);
         assert_eq!(g.hop_distance(NodeId(0), NodeId(5)), Some(1));

@@ -112,7 +112,13 @@ impl Aodv {
         }
         self.timer_generation += 1;
         let generation = self.timer_generation;
-        self.pending.insert(dest, PendingDiscovery { attempts: 1, generation });
+        self.pending.insert(
+            dest,
+            PendingDiscovery {
+                attempts: 1,
+                generation,
+            },
+        );
         self.emit_rreq(ctx, dest);
         ctx.schedule_timer(
             Duration::from_secs(self.config.discovery_timeout),
@@ -124,7 +130,11 @@ impl Aodv {
         self.own_seqno.bump();
         let bid = self.next_broadcast_id;
         self.next_broadcast_id = bid.next();
-        let known_dest_seqno = self.table.entry(dest).map(|e| e.dest_seqno).unwrap_or(SeqNo(0));
+        let known_dest_seqno = self
+            .table
+            .entry(dest)
+            .map(|e| e.dest_seqno)
+            .unwrap_or(SeqNo(0));
         let rreq = RouteRequest {
             source: self.me,
             destination: dest,
@@ -167,7 +177,8 @@ impl Aodv {
             .lookup(packet.dst, now)
             .expect("caller checked a route exists");
         let next = entry.next_hop;
-        self.table.refresh(packet.dst, self.config.active_route_lifetime, now);
+        self.table
+            .refresh(packet.dst, self.config.active_route_lifetime, now);
         packet.hop_count += 1;
         if packet.src != self.me {
             self.stats.data_forwarded += 1;
@@ -176,7 +187,11 @@ impl Aodv {
     }
 
     fn send_rerr_for(&mut self, ctx: &mut Ctx<'_>, dest: NodeId) {
-        let seqno = self.table.entry(dest).map(|e| e.dest_seqno).unwrap_or(SeqNo(0));
+        let seqno = self
+            .table
+            .entry(dest)
+            .map(|e| e.dest_seqno)
+            .unwrap_or(SeqNo(0));
         let rerr = RouteError {
             reporter: self.me,
             broken_next_hop: dest,
@@ -190,7 +205,10 @@ impl Aodv {
     fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, from: NodeId, mut rreq: RouteRequest) {
         let now = ctx.now();
         // Duplicate suppression on (source, destination, broadcast id).
-        if !self.seen.first_time(rreq.source, rreq.destination, rreq.broadcast_id, now) {
+        if !self
+            .seen
+            .first_time(rreq.source, rreq.destination, rreq.broadcast_id, now)
+        {
             return;
         }
         // Build / refresh the reverse route to the originator through `from`.
@@ -224,7 +242,8 @@ impl Aodv {
         // destination's behalf.
         if self.config.intermediate_reply {
             if let Some(entry) = self.table.lookup(rreq.destination, now) {
-                if entry.dest_seqno.fresher_than(rreq.dest_seqno) || entry.dest_seqno == rreq.dest_seqno
+                if entry.dest_seqno.fresher_than(rreq.dest_seqno)
+                    || entry.dest_seqno == rreq.dest_seqno
                 {
                     let rrep = RouteReply {
                         source: rreq.source,
@@ -362,8 +381,7 @@ impl RoutingAgent for Aodv {
             // Give up: drop buffered packets and hold further discoveries for
             // this destination down for a while.
             self.pending.remove(&dest);
-            self.holddown
-                .insert(dest, now + Duration::from_secs(5.0));
+            self.holddown.insert(dest, now + Duration::from_secs(5.0));
             let dropped = self.buffer.discard(dest);
             self.stats.data_dropped_no_route += dropped as u64;
             return;

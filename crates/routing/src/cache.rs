@@ -28,7 +28,9 @@ impl CachedRoute {
     /// Does the route traverse the directed link `a -> b` (in either
     /// direction, since links are bidirectional in the simulated MAC)?
     pub fn uses_link(&self, a: NodeId, b: NodeId) -> bool {
-        self.path.windows(2).any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+        self.path
+            .windows(2)
+            .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
     }
 
     /// Does the route pass through `node`?
@@ -49,22 +51,38 @@ impl RouteCache {
     /// Cache holding at most `max_routes_per_dest` routes per destination,
     /// each valid for at most `max_age_secs` seconds.
     pub fn new(max_routes_per_dest: usize, max_age_secs: f64) -> Self {
-        RouteCache { max_routes_per_dest, max_age_secs, routes: HashMap::new() }
+        RouteCache {
+            max_routes_per_dest,
+            max_age_secs,
+            routes: HashMap::new(),
+        }
     }
 
     /// Insert a route to `dest` (the last element of `path` must be `dest`).
     /// Duplicate paths refresh their timestamp instead of being stored twice.
     pub fn insert(&mut self, dest: NodeId, path: Vec<NodeId>, now: SimTime) {
-        debug_assert_eq!(path.last().copied(), Some(dest), "path must end at the destination");
+        debug_assert_eq!(
+            path.last().copied(),
+            Some(dest),
+            "path must end at the destination"
+        );
         let routes = self.routes.entry(dest).or_default();
         if let Some(existing) = routes.iter_mut().find(|r| r.path == path) {
             existing.learned_at = now;
             return;
         }
-        routes.push(CachedRoute { path, learned_at: now });
+        routes.push(CachedRoute {
+            path,
+            learned_at: now,
+        });
         // Keep the best (shortest, freshest) routes if over capacity.
         if routes.len() > self.max_routes_per_dest {
-            routes.sort_by_key(|r| (r.hops(), std::cmp::Reverse((r.learned_at.as_secs() * 1e6) as u64)));
+            routes.sort_by_key(|r| {
+                (
+                    r.hops(),
+                    std::cmp::Reverse((r.learned_at.as_secs() * 1e6) as u64),
+                )
+            });
             routes.truncate(self.max_routes_per_dest);
         }
     }
@@ -205,7 +223,10 @@ mod tests {
 
     #[test]
     fn cached_route_link_and_node_membership() {
-        let r = CachedRoute { path: vec![n(0), n(1), n(2)], learned_at: t(0.0) };
+        let r = CachedRoute {
+            path: vec![n(0), n(1), n(2)],
+            learned_at: t(0.0),
+        };
         assert!(r.uses_link(n(0), n(1)));
         assert!(r.uses_link(n(2), n(1)));
         assert!(!r.uses_link(n(0), n(2)));

@@ -18,7 +18,10 @@ pub struct SeenTable {
 impl SeenTable {
     /// Table whose entries live for `ttl_secs` seconds.
     pub fn new(ttl_secs: f64) -> Self {
-        SeenTable { ttl_secs, entries: HashMap::new() }
+        SeenTable {
+            ttl_secs,
+            entries: HashMap::new(),
+        }
     }
 
     /// Record the flood identified by the triple; returns `true` if it was
@@ -31,10 +34,9 @@ impl SeenTable {
         now: SimTime,
     ) -> bool {
         self.gc(now);
-        match self.entries.insert((source, destination, id), now) {
-            None => true,
-            Some(_) => false,
-        }
+        self.entries
+            .insert((source, destination, id), now)
+            .is_none()
     }
 
     /// Has the flood been seen already? (does not record it)
@@ -54,7 +56,8 @@ impl SeenTable {
 
     fn gc(&mut self, now: SimTime) {
         let ttl = self.ttl_secs;
-        self.entries.retain(|_, &mut seen| now.saturating_since(seen).as_secs() < ttl);
+        self.entries
+            .retain(|_, &mut seen| now.saturating_since(seen).as_secs() < ttl);
     }
 }
 
@@ -82,7 +85,12 @@ impl PacketBuffer {
     /// Buffer holding at most `capacity_per_dest` packets per destination,
     /// each for at most `max_age_secs` seconds.
     pub fn new(capacity_per_dest: usize, max_age_secs: f64) -> Self {
-        PacketBuffer { capacity_per_dest, max_age_secs, queues: HashMap::new(), dropped: 0 }
+        PacketBuffer {
+            capacity_per_dest,
+            max_age_secs,
+            queues: HashMap::new(),
+            dropped: 0,
+        }
     }
 
     /// Queue a packet for `dest`.

@@ -116,7 +116,13 @@ impl Dsr {
         }
         self.timer_generation += 1;
         let generation = self.timer_generation;
-        self.pending.insert(dest, PendingDiscovery { attempts: 1, generation });
+        self.pending.insert(
+            dest,
+            PendingDiscovery {
+                attempts: 1,
+                generation,
+            },
+        );
         self.emit_rreq(ctx, dest);
         ctx.schedule_timer(
             Duration::from_secs(self.config.discovery_timeout),
@@ -194,7 +200,10 @@ impl Dsr {
 
     fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, mut rreq: RouteRequest) {
         let now = ctx.now();
-        if !self.seen.first_time(rreq.source, rreq.destination, rreq.broadcast_id, now) {
+        if !self
+            .seen
+            .first_time(rreq.source, rreq.destination, rreq.broadcast_id, now)
+        {
             return;
         }
         // Learn the backward route to the originator from the accumulated list.
@@ -396,8 +405,7 @@ impl RoutingAgent for Dsr {
         let attempts = self.pending.get(&dest).map(|p| p.attempts).unwrap_or(0);
         if attempts >= self.config.discovery_retries {
             self.pending.remove(&dest);
-            self.holddown
-                .insert(dest, now + Duration::from_secs(5.0));
+            self.holddown.insert(dest, now + Duration::from_secs(5.0));
             let dropped = self.buffer.discard(dest);
             self.stats.data_dropped_no_route += dropped as u64;
             return;

@@ -37,7 +37,9 @@ impl RoutingTable {
 
     /// Usable (valid and unexpired) route to `dest`, if any.
     pub fn lookup(&self, dest: NodeId, now: SimTime) -> Option<&RouteEntry> {
-        self.entries.get(&dest).filter(|e| e.valid && e.expires > now)
+        self.entries
+            .get(&dest)
+            .filter(|e| e.valid && e.expires > now)
     }
 
     /// Any stored entry for `dest`, usable or not.
@@ -152,7 +154,10 @@ impl RoutingTable {
 
     /// Number of valid entries at `now`.
     pub fn valid_routes(&self, now: SimTime) -> usize {
-        self.entries.values().filter(|e| e.valid && e.expires > now).count()
+        self.entries
+            .values()
+            .filter(|e| e.valid && e.expires > now)
+            .count()
     }
 
     /// All destinations with any entry.
@@ -177,7 +182,10 @@ mod tests {
         assert!(rt.lookup(D, t(0.0)).is_none());
         rt.update(D, NodeId(1), 3, SeqNo(1), 10.0, t(0.0));
         assert_eq!(rt.lookup(D, t(5.0)).unwrap().next_hop, NodeId(1));
-        assert!(rt.lookup(D, t(11.0)).is_none(), "expired route must not be used");
+        assert!(
+            rt.lookup(D, t(11.0)).is_none(),
+            "expired route must not be used"
+        );
     }
 
     #[test]
@@ -192,8 +200,14 @@ mod tests {
     fn same_seqno_prefers_shorter_route() {
         let mut rt = RoutingTable::new();
         rt.update(D, NodeId(1), 4, SeqNo(1), 10.0, t(0.0));
-        assert!(!rt.update(D, NodeId(2), 6, SeqNo(1), 10.0, t(0.1)), "longer route rejected");
-        assert!(rt.update(D, NodeId(3), 2, SeqNo(1), 10.0, t(0.2)), "shorter route accepted");
+        assert!(
+            !rt.update(D, NodeId(2), 6, SeqNo(1), 10.0, t(0.1)),
+            "longer route rejected"
+        );
+        assert!(
+            rt.update(D, NodeId(3), 2, SeqNo(1), 10.0, t(0.2)),
+            "shorter route accepted"
+        );
         assert_eq!(rt.lookup(D, t(1.0)).unwrap().next_hop, NodeId(3));
     }
 

@@ -35,7 +35,13 @@ pub struct TestFlow {
 impl TestFlow {
     /// A 10 packet/s, 512-byte flow starting at 1 s.
     pub fn simple(src: NodeId, dst: NodeId) -> Self {
-        TestFlow { src, dst, rate_pps: 10.0, payload: 512, start_at: 1.0 }
+        TestFlow {
+            src,
+            dst,
+            rate_pps: 10.0,
+            payload: 512,
+            start_at: 1.0,
+        }
     }
 }
 
@@ -46,6 +52,14 @@ pub struct HarnessCounters {
     pub delivered: u64,
     /// Data packets originated.
     pub originated: u64,
+    /// Source-side neighbourhood samples taken (one per emission tick).
+    pub degree_samples: u64,
+    /// Sum of the source's neighbour counts over those samples.
+    pub degree_total: u64,
+    /// Emission ticks at which the source had no neighbour at all (a
+    /// partitioned source explains a low delivery ratio better than any
+    /// protocol defect).
+    pub isolated_source_ticks: u64,
 }
 
 /// The per-node stack used by the harness: a routing agent plus an optional
@@ -56,14 +70,32 @@ struct HarnessStack<A: RoutingAgent> {
     flow: Option<TestFlow>,
     next_packet: u64,
     counters: Rc<RefCell<HarnessCounters>>,
+    /// Reused by the per-tick neighbourhood sample (`Ctx::neighbors_into`),
+    /// so sampling allocates nothing after the first tick.
+    neighbor_scratch: Vec<NodeId>,
 }
 
 impl<A: RoutingAgent> HarnessStack<A> {
     fn emit_packet(&mut self, ctx: &mut Ctx<'_>) {
         let Some(flow) = self.flow else { return };
+        // Sample the source's connectivity for the topology diagnostics.
+        ctx.neighbors_into(&mut self.neighbor_scratch);
+        {
+            let mut c = self.counters.borrow_mut();
+            c.degree_samples += 1;
+            c.degree_total += self.neighbor_scratch.len() as u64;
+            if self.neighbor_scratch.is_empty() {
+                c.isolated_source_ticks += 1;
+            }
+        }
         let id = PacketId((u64::from(self.me.0) << 40) | self.next_packet);
         self.next_packet += 1;
-        let seg = TcpSegment::data(ConnectionId(0), self.next_packet * u64::from(flow.payload), 0, flow.payload);
+        let seg = TcpSegment::data(
+            ConnectionId(0),
+            self.next_packet * u64::from(flow.payload),
+            0,
+            flow.payload,
+        );
         let pkt = DataPacket::new(id, flow.src, flow.dst, seg);
         let now = ctx.now();
         ctx.recorder().record_originated(id, true, now);
@@ -81,7 +113,10 @@ impl<A: RoutingAgent> NodeStack for HarnessStack<A> {
     fn start(&mut self, ctx: &mut Ctx<'_>) {
         self.agent.start(ctx);
         if let Some(flow) = self.flow {
-            ctx.schedule_timer(Duration::from_secs(flow.start_at), TimerClass::Application.token(0));
+            ctx.schedule_timer(
+                Duration::from_secs(flow.start_at),
+                TimerClass::Application.token(0),
+            );
         }
     }
 
@@ -112,6 +147,10 @@ pub struct HarnessResult {
     pub delivered: u64,
     /// Data packets originated by the sources.
     pub originated: u64,
+    /// Mean number of neighbours the sources saw at their emission ticks.
+    pub mean_source_degree: f64,
+    /// Emission ticks at which a source had no neighbour (partitioned).
+    pub isolated_source_ticks: u64,
 }
 
 impl HarnessResult {
@@ -149,13 +188,24 @@ where
                 flow,
                 next_packet: 0,
                 counters: Rc::clone(&counters),
+                neighbor_scratch: Vec::new(),
             }) as Box<dyn NodeStack>
         })
         .collect();
     let sim = Simulator::new(config, Box::new(mobility), stacks);
     let recorder = sim.run();
     let c = counters.borrow();
-    HarnessResult { delivered: c.delivered, originated: c.originated, recorder }
+    HarnessResult {
+        delivered: c.delivered,
+        originated: c.originated,
+        mean_source_degree: if c.degree_samples == 0 {
+            0.0
+        } else {
+            c.degree_total as f64 / c.degree_samples as f64
+        },
+        isolated_source_ticks: c.isolated_source_ticks,
+        recorder,
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +243,10 @@ mod tests {
         );
         // Route discovery happened at least once.
         assert!(result.recorder.control_transmissions() > 0);
+        // Topology diagnostics: on a 200 m chain the source hears exactly its
+        // one chain neighbour and is never isolated.
+        assert_eq!(result.mean_source_degree, 1.0);
+        assert_eq!(result.isolated_source_ticks, 0);
     }
 
     #[test]
@@ -220,12 +274,9 @@ mod tests {
         // Two isolated nodes, far out of range.
         let cfg = chain_config(2, 10.0);
         let flows = [TestFlow::simple(NodeId(0), NodeId(1))];
-        let result = run_routing(
-            cfg,
-            StaticPlacement::chain(2, 900.0),
-            &flows,
-            |me| Aodv::new(me, AodvConfig::default()),
-        );
+        let result = run_routing(cfg, StaticPlacement::chain(2, 900.0), &flows, |me| {
+            Aodv::new(me, AodvConfig::default())
+        });
         assert_eq!(result.delivered, 0);
         assert!(result.originated > 0);
     }
@@ -246,12 +297,13 @@ mod tests {
             manet_netsim::Position::new(630.0, 0.0),
         ];
         let flows = [TestFlow::simple(NodeId(0), NodeId(3))];
-        let result = run_routing(
-            cfg,
-            StaticPlacement::new(positions),
-            &flows,
-            |me| Aodv::new(me, AodvConfig::default()),
+        let result = run_routing(cfg, StaticPlacement::new(positions), &flows, |me| {
+            Aodv::new(me, AodvConfig::default())
+        });
+        assert!(
+            result.delivery_ratio() > 0.8,
+            "ratio={}",
+            result.delivery_ratio()
         );
-        assert!(result.delivery_ratio() > 0.8, "ratio={}", result.delivery_ratio());
     }
 }

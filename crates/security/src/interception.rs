@@ -79,7 +79,12 @@ pub fn summarize(
         }
     }
     let mean_ratio = if count == 0 { 0.0 } else { sum / count as f64 };
-    InterceptionSummary { designated_ratio, highest_ratio, worst_node, mean_ratio }
+    InterceptionSummary {
+        designated_ratio,
+        highest_ratio,
+        worst_node,
+        mean_ratio,
+    }
 }
 
 #[cfg(test)]

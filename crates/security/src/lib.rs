@@ -22,4 +22,6 @@ pub mod participation;
 
 pub use eavesdropper::{select_eavesdropper, EavesdropperReport};
 pub use interception::{highest_interception_ratio, interception_ratio, InterceptionSummary};
-pub use participation::{participating_nodes, relay_distribution, RelayDistribution, RelayTableRow};
+pub use participation::{
+    participating_nodes, relay_distribution, RelayDistribution, RelayTableRow,
+};

@@ -60,12 +60,20 @@ pub fn relay_distribution(recorder: &Recorder) -> RelayDistribution {
     let mut rows: Vec<RelayTableRow> = counts
         .iter()
         .filter(|(_, &beta)| beta > 0)
-        .map(|(&node, &beta)| RelayTableRow { node, beta, gamma: 0.0 })
+        .map(|(&node, &beta)| RelayTableRow {
+            node,
+            beta,
+            gamma: 0.0,
+        })
         .collect();
     rows.sort_by_key(|r| r.node);
     let alpha: u64 = rows.iter().map(|r| r.beta).sum();
     if alpha == 0 || rows.is_empty() {
-        return RelayDistribution { rows, alpha, std_dev: 0.0 };
+        return RelayDistribution {
+            rows,
+            alpha,
+            std_dev: 0.0,
+        };
     }
     for row in &mut rows {
         row.gamma = row.beta as f64 / alpha as f64;
@@ -77,8 +85,16 @@ pub fn relay_distribution(recorder: &Recorder) -> RelayDistribution {
     // in Table I (σ = 19.6 % for these β values) only matches the *sample*
     // standard deviation (divide by N − 1).  We follow the worked example so
     // the reproduced Table I is numerically comparable; see EXPERIMENTS.md.
-    let variance = if rows.len() > 1 { sum_sq / (n - 1.0) } else { sum_sq / n };
-    RelayDistribution { rows, alpha, std_dev: variance.sqrt() }
+    let variance = if rows.len() > 1 {
+        sum_sq / (n - 1.0)
+    } else {
+        sum_sq / n
+    };
+    RelayDistribution {
+        rows,
+        alpha,
+        std_dev: variance.sqrt(),
+    }
 }
 
 #[cfg(test)]

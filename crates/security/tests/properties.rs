@@ -12,7 +12,13 @@ fn build_recorder(relays: &[(u16, u64)], delivered: u64) -> Recorder {
     let mut rec = Recorder::new();
     for id in 0..delivered {
         rec.record_originated(PacketId(id), true, SimTime::ZERO);
-        rec.record_delivered(NodeId(999), PacketId(id), true, 1000, SimTime::from_secs(1.0));
+        rec.record_delivered(
+            NodeId(999),
+            PacketId(id),
+            true,
+            1000,
+            SimTime::from_secs(1.0),
+        );
     }
     let mut pid = 10_000u64;
     for &(node, count) in relays {

@@ -83,11 +83,42 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        assert!(TcpConfig { mss: 0, ..Default::default() }.validate().is_err());
-        assert!(TcpConfig { initial_cwnd: 0.0, ..Default::default() }.validate().is_err());
-        assert!(TcpConfig { receiver_window: 0.0, ..Default::default() }.validate().is_err());
-        assert!(TcpConfig { min_rto: 0.0, ..Default::default() }.validate().is_err());
-        assert!(TcpConfig { max_rto: 0.5, min_rto: 1.0, ..Default::default() }.validate().is_err());
-        assert!(TcpConfig { dupack_threshold: 0, ..Default::default() }.validate().is_err());
+        assert!(TcpConfig {
+            mss: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TcpConfig {
+            initial_cwnd: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TcpConfig {
+            receiver_window: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TcpConfig {
+            min_rto: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TcpConfig {
+            max_rto: 0.5,
+            min_rto: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TcpConfig {
+            dupack_threshold: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

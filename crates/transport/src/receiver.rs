@@ -39,7 +39,12 @@ pub struct TcpReceiver {
 impl TcpReceiver {
     /// New receiver for connection `conn`.
     pub fn new(conn: ConnectionId) -> Self {
-        TcpReceiver { conn, rcv_nxt: 0, pending: BTreeMap::new(), stats: ReceiverStats::default() }
+        TcpReceiver {
+            conn,
+            rcv_nxt: 0,
+            pending: BTreeMap::new(),
+            stats: ReceiverStats::default(),
+        }
     }
 
     /// The connection this receiver belongs to.
@@ -76,10 +81,7 @@ impl TcpReceiver {
             self.stats.bytes_delivered += end - self.rcv_nxt;
             self.rcv_nxt = end;
             // Pull any buffered segments that are now contiguous.
-            loop {
-                let Some((&s, &e)) = self.pending.range(..=self.rcv_nxt).next_back() else {
-                    break;
-                };
+            while let Some((&s, &e)) = self.pending.range(..=self.rcv_nxt).next_back() {
                 if s > self.rcv_nxt {
                     break;
                 }

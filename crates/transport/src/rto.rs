@@ -28,7 +28,14 @@ pub struct RtoEstimator {
 impl RtoEstimator {
     /// New estimator with the given RTO bounds.
     pub fn new(min_rto: f64, max_rto: f64, max_backoff: u32) -> Self {
-        RtoEstimator { srtt: None, rttvar: 0.0, backoff: 0, min_rto, max_rto, max_backoff }
+        RtoEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            backoff: 0,
+            min_rto,
+            max_rto,
+            max_backoff,
+        }
     }
 
     /// Feed one RTT sample (seconds).  Must only be called for segments that

@@ -155,7 +155,10 @@ impl TcpSender {
     fn arm_timer(&mut self) -> Option<TimerHandle> {
         self.timer_generation += 1;
         self.timer_armed = true;
-        Some(TimerHandle { generation: self.timer_generation, delay: self.rto.rto() })
+        Some(TimerHandle {
+            generation: self.timer_generation,
+            delay: self.rto.rto(),
+        })
     }
 
     /// Fill the window with new data segments (bulk source: data never runs
@@ -168,7 +171,14 @@ impl TcpSender {
             let seq = self.snd_nxt;
             let len = self.config.mss;
             let seg = TcpSegment::data(self.conn, seq, 0, len);
-            self.in_flight.insert(seq, InFlightSegment { len, sent_at: now, retransmitted: false });
+            self.in_flight.insert(
+                seq,
+                InFlightSegment {
+                    len,
+                    sent_at: now,
+                    retransmitted: false,
+                },
+            );
             self.snd_nxt += u64::from(len);
             self.segments_sent += 1;
             out.segments.push(seg);
@@ -193,16 +203,13 @@ impl TcpSender {
             self.bytes_acked += newly_acked;
             // RTT sample from the oldest segment this ACK covers, if it was
             // never retransmitted (Karn's rule).
-            let covered: Vec<u64> = self
-                .in_flight
-                .range(..ack)
-                .map(|(&seq, _)| seq)
-                .collect();
+            let covered: Vec<u64> = self.in_flight.range(..ack).map(|(&seq, _)| seq).collect();
             let mut sampled = false;
             for seq in covered {
                 if let Some(info) = self.in_flight.remove(&seq) {
                     if !sampled && !info.retransmitted {
-                        self.rto.sample(now.saturating_since(info.sent_at).as_secs());
+                        self.rto
+                            .sample(now.saturating_since(info.sent_at).as_secs());
                         sampled = true;
                     }
                 }
@@ -251,7 +258,14 @@ impl TcpSender {
             .get(&seq)
             .map(|i| i.len)
             .unwrap_or(self.config.mss);
-        self.in_flight.insert(seq, InFlightSegment { len, sent_at: now, retransmitted: true });
+        self.in_flight.insert(
+            seq,
+            InFlightSegment {
+                len,
+                sent_at: now,
+                retransmitted: true,
+            },
+        );
         self.segments_sent += 1;
         self.retransmissions += 1;
         TcpSegment::data(self.conn, seq, 0, len)
@@ -334,7 +348,10 @@ mod tests {
         let _ = s.on_ack(&ack(mss), t(0.1));
         let _ = s.on_ack(&ack(2 * mss), t(0.2));
         let _ = s.on_ack(&ack(3 * mss), t(0.3));
-        assert!(s.flight_bytes() >= 3 * mss, "need at least 3 segments in flight");
+        assert!(
+            s.flight_bytes() >= 3 * mss,
+            "need at least 3 segments in flight"
+        );
         // Now the receiver keeps acking 3*mss (segment 3 was lost).
         let _ = s.on_ack(&ack(3 * mss), t(0.4));
         let _ = s.on_ack(&ack(3 * mss), t(0.45));
@@ -398,7 +415,11 @@ mod tests {
         for _ in 0..200 {
             now += 0.05;
             // Deliver every outstanding segment, then ack cumulatively.
-            let highest = to_deliver.iter().map(|g| g.end_seq()).max().unwrap_or(acked);
+            let highest = to_deliver
+                .iter()
+                .map(|g| g.end_seq())
+                .max()
+                .unwrap_or(acked);
             acked = acked.max(highest);
             to_deliver.clear();
             let out = s.on_ack(&ack(acked), t(now));

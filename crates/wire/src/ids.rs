@@ -63,7 +63,9 @@ impl CheckId {
 
 /// Destination sequence number (AODV-style).  Monotonically increasing; a
 /// higher value means fresher routing information.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SeqNo(pub u32);
 
 impl SeqNo {

@@ -20,7 +20,9 @@ pub mod tcp;
 
 pub use ids::{BroadcastId, CheckId, ConnectionId, NodeId, PacketId, SeqNo};
 pub use net::{DataPacket, MacDest, NetPacket};
-pub use routing_msgs::{CheckError, RouteCheck, RouteError, RouteReply, RouteRequest, SourceRoutedData};
+pub use routing_msgs::{
+    CheckError, RouteCheck, RouteError, RouteReply, RouteRequest, SourceRoutedData,
+};
 pub use tcp::{TcpFlags, TcpSegment};
 
 /// A link-layer frame: one MAC transmission.
@@ -40,12 +42,20 @@ pub struct Frame {
 impl Frame {
     /// Build a unicast frame for the given next hop.
     pub fn unicast(mac_src: NodeId, next_hop: NodeId, payload: NetPacket) -> Self {
-        Frame { mac_src, mac_dst: MacDest::Unicast(next_hop), payload }
+        Frame {
+            mac_src,
+            mac_dst: MacDest::Unicast(next_hop),
+            payload,
+        }
     }
 
     /// Build a link-layer broadcast frame.
     pub fn broadcast(mac_src: NodeId, payload: NetPacket) -> Self {
-        Frame { mac_src, mac_dst: MacDest::Broadcast, payload }
+        Frame {
+            mac_src,
+            mac_dst: MacDest::Broadcast,
+            payload,
+        }
     }
 
     /// Total size of the frame on the air, in bytes (MAC header + payload).

@@ -247,7 +247,10 @@ mod tests {
             route: vec![NodeId(3), NodeId(7)],
             dest_seqno: SeqNo(5),
         };
-        assert_eq!(rep.full_path(), vec![NodeId(0), NodeId(3), NodeId(7), NodeId(9)]);
+        assert_eq!(
+            rep.full_path(),
+            vec![NodeId(0), NodeId(3), NodeId(7), NodeId(9)]
+        );
     }
 
     #[test]

@@ -57,9 +57,11 @@ mod tests {
 
     #[test]
     fn header_constants_are_sane() {
-        assert!(MAC_HEADER_BYTES > 0);
-        assert!(IP_HEADER_BYTES >= 20);
-        assert!(TCP_HEADER_BYTES >= 20);
-        assert!(DEFAULT_MSS >= 512);
+        const {
+            assert!(MAC_HEADER_BYTES > 0);
+            assert!(IP_HEADER_BYTES >= 20);
+            assert!(TCP_HEADER_BYTES >= 20);
+            assert!(DEFAULT_MSS >= 512);
+        }
     }
 }

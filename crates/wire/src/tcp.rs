@@ -40,12 +40,30 @@ impl TcpSegment {
     /// A data segment carrying `payload_len` bytes starting at `seq`, with a
     /// piggybacked cumulative acknowledgement `ack`.
     pub fn data(conn: ConnectionId, seq: u64, ack: u64, payload_len: u32) -> Self {
-        TcpSegment { conn, seq, ack, flags: TcpFlags { ack: true, ..Default::default() }, payload_len }
+        TcpSegment {
+            conn,
+            seq,
+            ack,
+            flags: TcpFlags {
+                ack: true,
+                ..Default::default()
+            },
+            payload_len,
+        }
     }
 
     /// A pure acknowledgement segment.
     pub fn pure_ack(conn: ConnectionId, ack: u64) -> Self {
-        TcpSegment { conn, seq: 0, ack, flags: TcpFlags { ack: true, ..Default::default() }, payload_len: 0 }
+        TcpSegment {
+            conn,
+            seq: 0,
+            ack,
+            flags: TcpFlags {
+                ack: true,
+                ..Default::default()
+            },
+            payload_len: 0,
+        }
     }
 
     /// A SYN segment (connection establishment).
@@ -54,7 +72,10 @@ impl TcpSegment {
             conn,
             seq,
             ack: 0,
-            flags: TcpFlags { syn: true, ..Default::default() },
+            flags: TcpFlags {
+                syn: true,
+                ..Default::default()
+            },
             payload_len: 0,
         }
     }
@@ -65,7 +86,11 @@ impl TcpSegment {
             conn,
             seq,
             ack,
-            flags: TcpFlags { syn: true, ack: true, fin: false },
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                fin: false,
+            },
             payload_len: 0,
         }
     }
@@ -76,7 +101,11 @@ impl TcpSegment {
             conn,
             seq,
             ack,
-            flags: TcpFlags { fin: true, ack: true, syn: false },
+            flags: TcpFlags {
+                fin: true,
+                ack: true,
+                syn: false,
+            },
             payload_len: 0,
         }
     }
@@ -123,7 +152,10 @@ mod tests {
         let s = TcpSegment::pure_ack(C, 4242);
         assert!(!s.carries_data());
         assert_eq!(s.end_seq(), 0);
-        assert_eq!(s.size_bytes(), sizes::IP_HEADER_BYTES + sizes::TCP_HEADER_BYTES);
+        assert_eq!(
+            s.size_bytes(),
+            sizes::IP_HEADER_BYTES + sizes::TCP_HEADER_BYTES
+        );
     }
 
     #[test]

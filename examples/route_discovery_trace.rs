@@ -50,11 +50,7 @@ fn main() {
             )) as Box<dyn NodeStack>
         })
         .collect();
-    let mut sim = Simulator::new(
-        sim_cfg,
-        Box::new(StaticPlacement::new(positions)),
-        stacks,
-    );
+    let mut sim = Simulator::new(sim_cfg, Box::new(StaticPlacement::new(positions)), stacks);
     sim.enable_trace();
     let recorder = sim.run();
 
@@ -66,7 +62,12 @@ fn print_trace(recorder: &Recorder) {
     println!("control-plane trace (first 3 seconds):");
     for event in recorder.trace() {
         match event {
-            TraceEvent::TxStart { node, kind, bytes, at } => {
+            TraceEvent::TxStart {
+                node,
+                kind,
+                bytes,
+                at,
+            } => {
                 if *kind != "DATA" && at.as_secs() <= 3.0 {
                     println!("  {at}  {node} sends {kind} ({bytes} B)");
                 }
@@ -85,14 +86,23 @@ fn print_trace(recorder: &Recorder) {
 
 fn print_summary(recorder: &Recorder) {
     println!("\nrun summary:");
-    println!("  data packets delivered : {}", recorder.delivered_data_packets());
-    println!("  control transmissions  : {}", recorder.control_transmissions());
+    println!(
+        "  data packets delivered : {}",
+        recorder.delivered_data_packets()
+    );
+    println!(
+        "  control transmissions  : {}",
+        recorder.control_transmissions()
+    );
     for (kind, count) in recorder.control_by_kind() {
         println!("    {kind:<10}: {count}");
     }
     println!("  relays per node        : {:?}", {
-        let mut v: Vec<(u16, u64)> =
-            recorder.relay_counts().iter().map(|(n, c)| (n.0, *c)).collect();
+        let mut v: Vec<(u16, u64)> = recorder
+            .relay_counts()
+            .iter()
+            .map(|(n, c)| (n.0, *c))
+            .collect();
         v.sort();
         v
     });

@@ -1,0 +1,104 @@
+//! Collection strategies: random vectors and sets.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A `Vec` whose length is uniform in `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "vec size range must be non-empty");
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` whose size is uniform in `size` (as far as the element
+/// domain allows) and whose elements come from `element`.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(
+        size.start < size.end,
+        "btree_set size range must be non-empty"
+    );
+    BTreeSetStrategy { element, size }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut SmallRng) -> BTreeSet<S::Value> {
+        let target = rng.gen_range(self.size.clone());
+        let mut set = BTreeSet::new();
+        // Bounded attempts so a small element domain cannot loop forever.
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 20 + 100 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_lengths_and_elements_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let strat = vec(0u16..50, 2..9);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn btree_set_sizes_and_uniqueness() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let strat = btree_set(1u16..=200, 1..8);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!((1..8).contains(&s.len()));
+            assert!(s.iter().all(|&x| (1..=200).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn btree_set_with_tiny_domain_terminates() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Only two possible values but sizes up to 7 requested.
+        let strat = btree_set(0u16..2, 1..8);
+        let s = strat.generate(&mut rng);
+        assert!(!s.is_empty() && s.len() <= 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline shim of the `proptest` API surface this workspace uses.
+//!
+//! crates.io is unreachable in this build environment, so this crate
+//! reimplements the subset of proptest the property tests rely on:
+//!
+//! * the [`proptest!`] macro (named-argument `arg in strategy` form),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_shuffle`,
+//! * range, tuple, [`strategy::Just`] and [`any`] strategies,
+//! * [`collection::vec`] and [`collection::btree_set`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Each property runs a fixed number of random cases (default 64, override
+//! with `PROPTEST_CASES`) from a deterministic per-test seed.  There is no
+//! shrinking: a failing case reports its case number and message.
+
+use std::fmt;
+
+pub mod collection;
+pub mod strategy;
+
+/// Runtime re-exports for the `proptest!` macro (not part of the public API).
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::SmallRng;
+    pub use rand::SeedableRng;
+}
+
+/// Error carried out of a failing property case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Number of cases each property runs.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// A uniformly random value of `T` over its whole domain.
+pub fn any<T: rand::Standard>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy(std::marker::PhantomData)
+}
+
+/// The strategy trait, combinators and primitive strategies.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Run named properties over random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                // Deterministic per-test seed: derived from the test name.
+                let seed = {
+                    use ::std::hash::{Hash, Hasher};
+                    let mut h = ::std::collections::hash_map::DefaultHasher::new();
+                    stringify!($name).hash(&mut h);
+                    h.finish()
+                };
+                let cases = $crate::cases();
+                let mut rng = <$crate::__rt::SmallRng as $crate::__rt::SeedableRng>::seed_from_u64(seed);
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property '{}' failed at case {}/{}: {}",
+                            stringify!($name), case + 1, cases, e
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside a property (reports the case on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if *lhs != *rhs {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), lhs, rhs
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}

@@ -1,0 +1,198 @@
+//! Strategies: how random test inputs are generated.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Randomly permute the generated collection.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shuffleable,
+    {
+        Shuffle { inner: self }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`crate::any`].
+pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Collections that can be shuffled in place.
+pub trait Shuffleable {
+    /// Fisher–Yates shuffle.
+    fn shuffle(&mut self, rng: &mut SmallRng);
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle(&mut self, rng: &mut SmallRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_shuffle`].
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> S::Value {
+        let mut v = self.inner.generate(rng);
+        v.shuffle(rng);
+        v
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (5u16..10).generate(&mut r);
+            assert!((5..10).contains(&v));
+            let w = (1u32..=3).generate(&mut r);
+            assert!((1..=3).contains(&w));
+            let f = (0.5f64..2.5).generate(&mut r);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let mut r = rng();
+        let v = (0u16..10).prop_map(|x| x + 100).generate(&mut r);
+        assert!((100..110).contains(&v));
+    }
+
+    #[test]
+    fn shuffle_permutes_but_preserves_elements() {
+        let mut r = rng();
+        let base: Vec<u64> = (0..20).collect();
+        let mut saw_permutation = false;
+        for _ in 0..10 {
+            let mut shuffled = Just(base.clone()).prop_shuffle().generate(&mut r);
+            saw_permutation |= shuffled != base;
+            shuffled.sort_unstable();
+            assert_eq!(shuffled, base);
+        }
+        assert!(
+            saw_permutation,
+            "shuffle should produce at least one non-identity permutation"
+        );
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = (0u16..5, 10u32..20, 0.0f64..1.0).generate(&mut r);
+        assert!(a < 5);
+        assert!((10..20).contains(&b));
+        assert!((0.0..1.0).contains(&c));
+    }
+}

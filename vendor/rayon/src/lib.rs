@@ -1,0 +1,124 @@
+//! Offline shim of the `rayon` API surface this workspace uses.
+//!
+//! Provides `par_iter().map(..).collect()` over slices and `Vec`s, executing
+//! on `std::thread::scope` with one contiguous chunk per available core.
+//! This is not work-stealing, but the workspace only fans out over
+//! embarrassingly parallel simulation runs of similar cost, where static
+//! chunking is within a few percent of rayon.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to fan out across.
+fn parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A pending parallel iteration over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A pending parallel map over a slice.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every item through `f` (runs when `collect` is called).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    /// Execute the map across threads and collect the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.items.len();
+        if n == 0 {
+            return std::iter::empty().collect();
+        }
+        let threads = parallelism().min(n);
+        if threads <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut per_chunk: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|items| scope.spawn(move || items.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            per_chunk = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect();
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+/// Extension trait providing `par_iter`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type iterated over.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over references to the items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The usual rayon prelude.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let input: Vec<u32> = vec![];
+        let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_works() {
+        let input = vec![7u8];
+        let out: Vec<u8> = input.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace has no network access to crates.io, so `serde` is vendored
+//! as a marker-trait shim (see `vendor/serde`).  These derives accept the
+//! usual `#[derive(Serialize, Deserialize)]` syntax (including `#[serde(...)]`
+//! helper attributes) and expand to nothing: the types in this workspace only
+//! use the derives as forward-compatible annotations — nothing serializes in
+//! the offline build.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
