@@ -1,0 +1,373 @@
+//! Attack configuration: which adversary runs inside a scenario and how hard.
+//!
+//! An [`AttackConfig`] is carried by an experiment scenario the same way the
+//! protocol choice is, so sweeps can form the full protocol × attack ×
+//! intensity matrix.  Runs with [`AttackKind::None`] are byte-identical to
+//! pre-adversary runs (no extra randomness is consumed anywhere).
+
+use manet_netsim::{JamConfig, JamTarget};
+use manet_wire::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How colluding eavesdroppers are placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoalitionPlacement {
+    /// `k` distinct non-endpoint nodes drawn uniformly from the scenario seed
+    /// (nested: the size-`k` coalition is a prefix of the size-`k+1` one, so
+    /// coverage is monotone in `k`).
+    Random,
+    /// Greedy worst case: after the run, repeatedly add the node with the
+    /// largest marginal union coverage (the classical max-k-coverage greedy).
+    Greedy,
+}
+
+impl CoalitionPlacement {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoalitionPlacement::Random => "rand",
+            CoalitionPlacement::Greedy => "greedy",
+        }
+    }
+}
+
+/// Which per-node packet set the coalition unions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoverageBasis {
+    /// Packets *received to relay* (the paper's β, Fig. 7 worst-case basis).
+    Relayed,
+    /// Everything heard, including promiscuous overhearing (the paper's
+    /// designated-eavesdropper basis, Eq. 1).
+    Heard,
+}
+
+/// The adversary model of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// No adversary: the clean baseline every attack is compared against.
+    None,
+    /// A coalition of `k` colluding eavesdroppers; purely passive, evaluated
+    /// from the finished run's trace (union coverage, generalizing Eq. 1 to
+    /// `Pe(coalition) / Pr`).
+    Coalition {
+        /// Coalition size (the paper's single eavesdropper is `k = 1`).
+        k: u8,
+        /// Placement strategy.
+        placement: CoalitionPlacement,
+        /// Which per-node packet sets are unioned.
+        basis: CoverageBasis,
+    },
+    /// Black-hole / gray-hole relays: the attackers answer route discoveries
+    /// with forged replies (claiming a fresh zero-hop route) to attract
+    /// traffic, then drop forwarded data packets with probability
+    /// `drop_fraction` (1.0 = black hole, fractions = gray hole).
+    Blackhole {
+        /// Number of hostile relays.
+        attackers: u16,
+        /// Fraction of attracted data packets that are discarded.
+        drop_fraction: f64,
+    },
+    /// The designated eavesdropper steers its random-waypoint destinations
+    /// toward the source–destination corridor instead of roaming uniformly.
+    MobileEavesdropper {
+        /// Maximum perpendicular offset from the corridor, metres.
+        corridor_jitter_m: f64,
+    },
+    /// Selective jamming: hostile nodes statistically destroy receptions of
+    /// the targeted frame class in their radio vicinity.
+    Jamming {
+        /// Number of jamming nodes.
+        jammers: u16,
+        /// Frame class the jammers key on.
+        target: JamTarget,
+        /// Probability a targeted reception near a jammer is corrupted.
+        loss_prob: f64,
+    },
+}
+
+/// Attack configuration carried by a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// The adversary model (and its intensity knobs).
+    pub kind: AttackKind,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            kind: AttackKind::None,
+        }
+    }
+}
+
+impl AttackConfig {
+    /// The clean baseline (no adversary).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A colluding eavesdropper coalition of size `k`.
+    pub fn coalition(k: u8, placement: CoalitionPlacement) -> Self {
+        AttackConfig {
+            kind: AttackKind::Coalition {
+                k,
+                placement,
+                basis: CoverageBasis::Relayed,
+            },
+        }
+    }
+
+    /// `attackers` black holes dropping every attracted data packet.
+    pub fn blackhole(attackers: u16) -> Self {
+        AttackConfig {
+            kind: AttackKind::Blackhole {
+                attackers,
+                drop_fraction: 1.0,
+            },
+        }
+    }
+
+    /// `attackers` gray holes dropping `drop_fraction` of attracted data.
+    pub fn grayhole(attackers: u16, drop_fraction: f64) -> Self {
+        AttackConfig {
+            kind: AttackKind::Blackhole {
+                attackers,
+                drop_fraction,
+            },
+        }
+    }
+
+    /// A corridor-steering mobile eavesdropper.
+    pub fn mobile_eavesdropper() -> Self {
+        AttackConfig {
+            kind: AttackKind::MobileEavesdropper {
+                corridor_jitter_m: 100.0,
+            },
+        }
+    }
+
+    /// `jammers` selective jammers destroying `loss_prob` of the targeted
+    /// class.
+    pub fn jamming(jammers: u16, target: JamTarget, loss_prob: f64) -> Self {
+        AttackConfig {
+            kind: AttackKind::Jamming {
+                jammers,
+                target,
+                loss_prob,
+            },
+        }
+    }
+
+    /// True for the clean baseline.
+    pub fn is_none(&self) -> bool {
+        matches!(self.kind, AttackKind::None)
+    }
+
+    /// Number of hostile nodes this attack needs placed inside the network
+    /// (0 for passive/analysis-only attacks and the mobile eavesdropper,
+    /// which reuses the designated eavesdropper).
+    pub fn attackers_needed(&self) -> u16 {
+        match self.kind {
+            AttackKind::Blackhole { attackers, .. } => attackers,
+            AttackKind::Jamming { jammers, .. } => jammers,
+            _ => 0,
+        }
+    }
+
+    /// Validate the knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.kind {
+            AttackKind::None => Ok(()),
+            AttackKind::Coalition { k, .. } => {
+                if k == 0 {
+                    Err("coalition size k must be at least 1".into())
+                } else {
+                    Ok(())
+                }
+            }
+            AttackKind::Blackhole {
+                attackers,
+                drop_fraction,
+            } => {
+                if attackers == 0 {
+                    return Err("black hole needs at least one attacker".into());
+                }
+                if !(0.0..=1.0).contains(&drop_fraction) {
+                    return Err("drop_fraction must be in [0, 1]".into());
+                }
+                Ok(())
+            }
+            AttackKind::MobileEavesdropper { corridor_jitter_m } => {
+                if corridor_jitter_m < 0.0 || !corridor_jitter_m.is_finite() {
+                    Err("corridor_jitter_m must be non-negative and finite".into())
+                } else {
+                    Ok(())
+                }
+            }
+            AttackKind::Jamming {
+                jammers, loss_prob, ..
+            } => {
+                if jammers == 0 {
+                    return Err("jamming needs at least one jammer".into());
+                }
+                if !(0.0..=1.0).contains(&loss_prob) {
+                    return Err("jamming loss_prob must be in [0, 1]".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Build the netsim-level jamming configuration for the given hostile
+    /// nodes, if this attack jams.
+    pub fn jam_config(&self, attackers: &[NodeId]) -> Option<JamConfig> {
+        match self.kind {
+            AttackKind::Jamming {
+                target, loss_prob, ..
+            } => Some(JamConfig {
+                jammers: attackers.to_vec(),
+                target,
+                loss_prob,
+                range_m: 0.0,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The canonical attack matrix axis used by the experiment sweeps, the
+    /// `attack_matrix` bench and `reproduce --attacks`.
+    pub fn canonical_matrix() -> Vec<AttackConfig> {
+        vec![
+            AttackConfig::none(),
+            AttackConfig::coalition(3, CoalitionPlacement::Greedy),
+            AttackConfig::grayhole(2, 0.5),
+            AttackConfig::blackhole(2),
+            AttackConfig::mobile_eavesdropper(),
+            AttackConfig::jamming(2, JamTarget::Control, 0.8),
+            AttackConfig::jamming(2, JamTarget::Data, 0.8),
+        ]
+    }
+}
+
+impl fmt::Display for AttackConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            AttackKind::None => write!(f, "clean"),
+            AttackKind::Coalition {
+                k,
+                placement,
+                basis,
+            } => {
+                let b = match basis {
+                    CoverageBasis::Relayed => "",
+                    CoverageBasis::Heard => ",heard",
+                };
+                write!(f, "coalition(k={k},{}{b})", placement.label())
+            }
+            AttackKind::Blackhole {
+                attackers,
+                drop_fraction,
+            } => {
+                if (drop_fraction - 1.0).abs() < 1e-12 {
+                    write!(f, "blackhole(x{attackers})")
+                } else {
+                    write!(f, "grayhole(x{attackers},p={drop_fraction})")
+                }
+            }
+            AttackKind::MobileEavesdropper { .. } => write!(f, "mobile-eve"),
+            AttackKind::Jamming {
+                jammers,
+                target,
+                loss_prob,
+            } => {
+                let t = match target {
+                    JamTarget::Control => "ctrl",
+                    JamTarget::Data => "data",
+                    JamTarget::All => "all",
+                };
+                write!(f, "jam-{t}(x{jammers},p={loss_prob})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_matrix_is_valid_and_starts_clean() {
+        let matrix = AttackConfig::canonical_matrix();
+        assert!(matrix[0].is_none());
+        assert!(matrix.len() >= 6);
+        for a in &matrix {
+            a.validate().unwrap();
+        }
+        // Labels are unique (they key the report rows).
+        let labels: std::collections::HashSet<String> =
+            matrix.iter().map(|a| a.to_string()).collect();
+        assert_eq!(labels.len(), matrix.len());
+    }
+
+    #[test]
+    fn coalition_labels_distinguish_the_basis() {
+        let relayed = AttackConfig::coalition(3, CoalitionPlacement::Greedy);
+        let heard = AttackConfig {
+            kind: AttackKind::Coalition {
+                k: 3,
+                placement: CoalitionPlacement::Greedy,
+                basis: CoverageBasis::Heard,
+            },
+        };
+        assert_ne!(relayed.to_string(), heard.to_string());
+        assert_eq!(relayed.to_string(), "coalition(k=3,greedy)");
+        assert_eq!(heard.to_string(), "coalition(k=3,greedy,heard)");
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        assert!(AttackConfig::coalition(0, CoalitionPlacement::Random)
+            .validate()
+            .is_err());
+        assert!(AttackConfig::blackhole(0).validate().is_err());
+        assert!(AttackConfig::grayhole(1, 1.5).validate().is_err());
+        assert!(AttackConfig::jamming(0, JamTarget::Data, 0.5)
+            .validate()
+            .is_err());
+        assert!(AttackConfig::jamming(1, JamTarget::Data, -0.1)
+            .validate()
+            .is_err());
+        let mut bad = AttackConfig::mobile_eavesdropper();
+        bad.kind = AttackKind::MobileEavesdropper {
+            corridor_jitter_m: f64::NAN,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn attackers_needed_matches_kind() {
+        assert_eq!(AttackConfig::none().attackers_needed(), 0);
+        assert_eq!(AttackConfig::blackhole(3).attackers_needed(), 3);
+        assert_eq!(
+            AttackConfig::jamming(2, JamTarget::All, 0.5).attackers_needed(),
+            2
+        );
+        assert_eq!(AttackConfig::mobile_eavesdropper().attackers_needed(), 0);
+        assert_eq!(
+            AttackConfig::coalition(4, CoalitionPlacement::Greedy).attackers_needed(),
+            0
+        );
+    }
+
+    #[test]
+    fn jam_config_only_for_jamming() {
+        let nodes = [NodeId(1), NodeId(2)];
+        let jam = AttackConfig::jamming(2, JamTarget::Control, 0.7);
+        let cfg = jam.jam_config(&nodes).unwrap();
+        assert_eq!(cfg.jammers, nodes.to_vec());
+        assert_eq!(cfg.loss_prob, 0.7);
+        assert!(AttackConfig::blackhole(2).jam_config(&nodes).is_none());
+        assert!(AttackConfig::none().jam_config(&nodes).is_none());
+    }
+}

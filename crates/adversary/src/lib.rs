@@ -1,0 +1,37 @@
+//! # manet-adversary
+//!
+//! Active and colluding attacker models for the MANET simulator.  The paper's
+//! evaluation stops at a single passive eavesdropper; this crate supplies the
+//! hostile regimes its argument actually cares about:
+//!
+//! * [`config`] — [`AttackConfig`]: the attack axis carried by experiment
+//!   scenarios (kind + intensity knobs + canonical matrix).
+//! * [`coalition`] — colluding eavesdropper coalitions of size `k`: union
+//!   coverage generalizing Eq. 1 to `Pe(coalition) / Pr`, with random
+//!   (nested) and greedy worst-case placement.
+//! * [`blackhole`] — black-hole / gray-hole relays implemented as
+//!   [`manet_netsim::NodeStack`] wrappers: forged route replies attract
+//!   traffic, attracted data is silently discarded.
+//! * [`mobile`] — a mobile eavesdropper whose waypoints hunt the
+//!   source–destination corridor instead of roaming uniformly.
+//!
+//! Selective jamming is configured through
+//! [`manet_netsim::JamConfig`] (the corruption happens at reception time in
+//! the engine); [`AttackConfig::jam_config`] builds it from the attack axis.
+//!
+//! Every model is deterministic per run seed: attacker placement comes from
+//! salted scenario streams, drop decisions from per-attacker RNGs, and clean
+//! runs consume no adversary randomness at all.
+
+pub mod blackhole;
+pub mod coalition;
+pub mod config;
+pub mod mobile;
+
+pub use blackhole::{BlackholeStack, BlackholeStats, FORGED_SEQNO};
+pub use coalition::{
+    coalition_curve, coalition_report, select_coalition_greedy, select_coalition_random,
+    CoalitionReport,
+};
+pub use config::{AttackConfig, AttackKind, CoalitionPlacement, CoverageBasis};
+pub use mobile::CorridorMobility;

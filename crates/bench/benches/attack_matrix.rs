@@ -1,0 +1,42 @@
+//! Attack matrix: every protocol against every canonical attack.
+//!
+//! Prints a scaled-down protocol × attack matrix (the headline numbers the
+//! full `reproduce --attacks` run scales up from) and benchmarks the cost of
+//! one hostile run per attack kind — black holes and jammers add work on the
+//! engine's reception path, so this doubles as a perf regression guard for
+//! the adversary hooks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_experiments::attacks::{attack_matrix, render_attack_matrix, AttackSweepSpec};
+use manet_experiments::runner::run_scenario;
+use manet_experiments::{AttackConfig, Protocol, Scenario};
+use std::hint::black_box;
+
+fn hostile_run(attack: AttackConfig, duration: f64) -> manet_experiments::RunMetrics {
+    let mut scenario = Scenario::paper(Protocol::Mts, 10.0, 1);
+    scenario.sim.duration = manet_netsim::Duration::from_secs(duration);
+    run_scenario(&scenario.with_attack(attack))
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = AttackSweepSpec::canonical(15.0, 2);
+    eprintln!(
+        "# regenerating the attack matrix from a scaled-down sweep ({} runs, {} s each)",
+        spec.total_runs(),
+        spec.duration
+    );
+    let outcome = attack_matrix(&spec);
+    eprintln!("{}", render_attack_matrix(&outcome));
+
+    let mut group = c.benchmark_group("attack_matrix");
+    group.sample_size(10);
+    for attack in AttackConfig::canonical_matrix() {
+        group.bench_function(attack.to_string(), |b| {
+            b.iter(|| black_box(hostile_run(attack, 10.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

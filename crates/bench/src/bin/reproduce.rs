@@ -1,14 +1,18 @@
 //! Regenerate every figure and table of the paper's evaluation section.
 //!
 //! ```text
-//! reproduce [--duration SECS] [--seeds N] [--figure N | --table 1 | --all]
+//! reproduce [--duration SECS] [--seeds N] [--figure N | --table 1 | --attacks | --all]
 //! ```
 //!
 //! By default the full paper-scale sweep is run (200 simulated seconds, five
 //! seeds, 3 protocols × 5 speeds = 75 runs) and every figure plus Table I is
 //! printed.  Use `--duration` / `--seeds` for a faster, scaled-down pass; the
-//! qualitative ordering of the protocols is preserved.
+//! qualitative ordering of the protocols is preserved.  `--attacks` runs the
+//! protocol × attack matrix (clean baseline, eavesdropper coalition,
+//! gray/black holes, mobile eavesdropper, control/data jamming) instead; the
+//! matrix is deterministic per seed.
 
+use manet_experiments::attacks::{attack_matrix, render_attack_matrix, AttackSweepSpec};
 use manet_experiments::figures::{table1_relay_table, FigureId};
 use manet_experiments::report::{render_figure, render_relay_table};
 use manet_experiments::runner::{sweep, SweepSpec};
@@ -19,6 +23,7 @@ struct Args {
     seeds: u64,
     figure: Option<u32>,
     table: Option<u32>,
+    attacks: bool,
     all: bool,
 }
 
@@ -28,6 +33,7 @@ fn parse_args() -> Args {
         seeds: 5,
         figure: None,
         table: None,
+        attacks: false,
         all: true,
     };
     let mut it = std::env::args().skip(1);
@@ -61,6 +67,10 @@ fn parse_args() -> Args {
                 );
                 args.all = false;
             }
+            "--attacks" => {
+                args.attacks = true;
+                args.all = false;
+            }
             "--all" => args.all = true,
             "--help" | "-h" => {
                 usage("");
@@ -76,7 +86,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: reproduce [--duration SECS] [--seeds N] [--figure 5..11 | --table 1 | --all]"
+        "usage: reproduce [--duration SECS] [--seeds N] \
+         [--figure 5..11 | --table 1 | --attacks | --all]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -96,6 +107,20 @@ fn figure_by_number(n: u32) -> Option<FigureId> {
 
 fn main() {
     let args = parse_args();
+    if args.attacks {
+        let spec = AttackSweepSpec::canonical(args.duration, args.seeds);
+        eprintln!(
+            "# MTS attack matrix: {} runs ({} protocols x {} attacks x {} seeds), {} simulated seconds each",
+            spec.total_runs(),
+            spec.protocols.len(),
+            spec.attacks.len(),
+            spec.seeds.len(),
+            spec.duration
+        );
+        let outcome = attack_matrix(&spec);
+        println!("{}", render_attack_matrix(&outcome));
+        return;
+    }
     let spec = SweepSpec {
         duration: args.duration,
         seeds: (1..=args.seeds).collect(),

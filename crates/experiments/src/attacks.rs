@@ -1,0 +1,243 @@
+//! The attack-aware experiment matrix: protocol × attack × seed.
+//!
+//! The paper's sweep varies protocol and node speed against a single passive
+//! eavesdropper.  This module adds the hostile axis: every protocol is run
+//! against every [`AttackConfig`] of a spec (clean baseline included) at a
+//! fixed speed, seeds are averaged exactly like the paper's five repetitions,
+//! and the runs parallelise with rayon just like the speed sweep.  Because
+//! attacker placement, drop decisions and jamming draws are all derived from
+//! the run seed, the whole matrix is reproducible byte-for-byte.
+
+use crate::metrics::RunMetrics;
+use crate::protocol::Protocol;
+use crate::runner::run_scenario;
+use crate::scenario::Scenario;
+use manet_adversary::AttackConfig;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Specification of an attack matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackSweepSpec {
+    /// Protocols to compare.
+    pub protocols: Vec<Protocol>,
+    /// Attack axis (usually starts with the clean baseline).
+    pub attacks: Vec<AttackConfig>,
+    /// Maximum node speed, m/s (the matrix fixes one mobility regime).
+    pub max_speed: f64,
+    /// Seeds averaged per cell.
+    pub seeds: Vec<u64>,
+    /// Simulated duration per run, seconds.
+    pub duration: f64,
+}
+
+impl AttackSweepSpec {
+    /// The canonical matrix: all protocols × the canonical attack axis at the
+    /// paper's moderate speed (10 m/s).
+    pub fn canonical(duration: f64, seeds: u64) -> Self {
+        AttackSweepSpec {
+            protocols: Protocol::ALL.to_vec(),
+            attacks: AttackConfig::canonical_matrix(),
+            max_speed: 10.0,
+            seeds: (1..=seeds).collect(),
+            duration,
+        }
+    }
+
+    /// Total number of simulation runs in the matrix.
+    pub fn total_runs(&self) -> usize {
+        self.protocols.len() * self.attacks.len() * self.seeds.len()
+    }
+}
+
+/// One aggregated (protocol, attack) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackCell {
+    /// Routing protocol of the cell.
+    pub protocol: Protocol,
+    /// Attack of the cell.
+    pub attack: AttackConfig,
+    /// Metrics averaged over the seeds.
+    pub metrics: RunMetrics,
+    /// Per-seed metrics (variance inspection, paired tests).
+    pub per_seed: Vec<RunMetrics>,
+}
+
+/// Result of an attack-matrix sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AttackMatrixOutcome {
+    /// One cell per (protocol, attack), ordered attack-major then protocol.
+    pub cells: Vec<AttackCell>,
+}
+
+impl AttackMatrixOutcome {
+    /// The cell for a (protocol, attack) pair.
+    pub fn cell(&self, protocol: Protocol, attack: &AttackConfig) -> Option<&AttackCell> {
+        self.cells
+            .iter()
+            .find(|c| c.protocol == protocol && c.attack == *attack)
+    }
+
+    /// Distinct attack labels, in matrix order.
+    pub fn attack_labels(&self) -> Vec<String> {
+        let mut labels = Vec::new();
+        for c in &self.cells {
+            let l = c.attack.to_string();
+            if !labels.contains(&l) {
+                labels.push(l);
+            }
+        }
+        labels
+    }
+}
+
+/// Run the attack matrix, parallelising across independent runs.
+pub fn attack_matrix(spec: &AttackSweepSpec) -> AttackMatrixOutcome {
+    // Runs carry their attack's index in the spec so aggregation groups by
+    // value even if two attacks render to similar labels.
+    let mut runs: Vec<(Protocol, usize, u64)> = Vec::with_capacity(spec.total_runs());
+    for attack_idx in 0..spec.attacks.len() {
+        for &protocol in &spec.protocols {
+            for &seed in &spec.seeds {
+                runs.push((protocol, attack_idx, seed));
+            }
+        }
+    }
+    let results: Vec<((Protocol, usize), RunMetrics)> = runs
+        .par_iter()
+        .map(|&(protocol, attack_idx, seed)| {
+            let mut scenario = Scenario::paper(protocol, spec.max_speed, seed);
+            scenario.sim.duration = manet_netsim::Duration::from_secs(spec.duration);
+            let scenario = scenario.with_attack(spec.attacks[attack_idx]);
+            let metrics = run_scenario(&scenario);
+            ((protocol, attack_idx), metrics)
+        })
+        .collect();
+
+    let mut cells = Vec::new();
+    for (attack_idx, &attack) in spec.attacks.iter().enumerate() {
+        for &protocol in &spec.protocols {
+            let per_seed: Vec<RunMetrics> = results
+                .iter()
+                .filter(|((p, a), _)| *p == protocol && *a == attack_idx)
+                .map(|(_, m)| m.clone())
+                .collect();
+            if per_seed.is_empty() {
+                continue;
+            }
+            cells.push(AttackCell {
+                protocol,
+                attack,
+                metrics: RunMetrics::average(&per_seed),
+                per_seed,
+            });
+        }
+    }
+    AttackMatrixOutcome { cells }
+}
+
+/// The matrix columns rendered by [`render_attack_matrix`].
+const MATRIX_COLUMNS: [(&str, fn(&RunMetrics) -> f64); 5] = [
+    ("delivery", |m| m.delivery_rate),
+    ("thru(pkt)", |m| m.throughput_packets as f64),
+    ("adv.drops", |m| m.adversary_drops as f64),
+    ("jammed", |m| m.jammed_frames as f64),
+    ("coalition", |m| m.coalition_interception_ratio),
+];
+
+/// Render the matrix as one text table per protocol: one row per attack,
+/// one column per headline metric.
+pub fn render_attack_matrix(outcome: &AttackMatrixOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Attack matrix — protocol x attack (seed-averaged)");
+    let labels = outcome.attack_labels();
+    for &protocol in &Protocol::ALL {
+        let rows: Vec<&AttackCell> = outcome
+            .cells
+            .iter()
+            .filter(|c| c.protocol == protocol)
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "\n[{}]", protocol.name());
+        let _ = write!(out, "{:>24}", "attack");
+        for (name, _) in MATRIX_COLUMNS {
+            let _ = write!(out, "{:>12}", name);
+        }
+        let _ = writeln!(out);
+        for label in &labels {
+            let Some(cell) = rows.iter().find(|c| &c.attack.to_string() == label) else {
+                continue;
+            };
+            let _ = write!(out, "{:>24}", label);
+            for (_, value) in MATRIX_COLUMNS {
+                let _ = write!(out, "{:>12.4}", value(&cell.metrics));
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_adversary::CoalitionPlacement;
+
+    #[test]
+    fn spec_counts_runs() {
+        let spec = AttackSweepSpec::canonical(10.0, 2);
+        assert_eq!(
+            spec.total_runs(),
+            3 * AttackConfig::canonical_matrix().len() * 2
+        );
+    }
+
+    #[test]
+    fn tiny_matrix_covers_every_cell_and_renders() {
+        let spec = AttackSweepSpec {
+            protocols: vec![Protocol::Dsr, Protocol::Mts],
+            attacks: vec![
+                AttackConfig::none(),
+                AttackConfig::blackhole(2),
+                AttackConfig::coalition(2, CoalitionPlacement::Greedy),
+            ],
+            max_speed: 10.0,
+            seeds: vec![1],
+            duration: 10.0,
+        };
+        let outcome = attack_matrix(&spec);
+        assert_eq!(outcome.cells.len(), 6);
+        assert_eq!(outcome.attack_labels().len(), 3);
+        let clean = outcome.cell(Protocol::Mts, &AttackConfig::none()).unwrap();
+        assert_eq!(clean.metrics.adversary_drops, 0);
+        assert_eq!(clean.metrics.jammed_frames, 0);
+        let coalition = outcome
+            .cell(
+                Protocol::Mts,
+                &AttackConfig::coalition(2, CoalitionPlacement::Greedy),
+            )
+            .unwrap();
+        assert!(coalition.metrics.coalition_interception_ratio >= 0.0);
+        let text = render_attack_matrix(&outcome);
+        assert!(text.contains("[MTS]") && text.contains("[DSR]"));
+        assert!(text.contains("blackhole(x2)"));
+        assert!(text.contains("clean"));
+    }
+
+    #[test]
+    fn matrix_is_deterministic_per_seed() {
+        let spec = AttackSweepSpec {
+            protocols: vec![Protocol::Aodv],
+            attacks: vec![AttackConfig::grayhole(2, 0.5)],
+            max_speed: 10.0,
+            seeds: vec![3],
+            duration: 8.0,
+        };
+        let a = attack_matrix(&spec);
+        let b = attack_matrix(&spec);
+        assert_eq!(a, b, "same spec, same matrix");
+    }
+}

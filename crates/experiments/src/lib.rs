@@ -13,10 +13,14 @@
 //!   Table I) and the TCP metrics (Figs. 8–11).
 //! * [`runner`] — single-run execution and the rayon-parallel sweep over
 //!   protocol × speed × seed.
+//! * [`attacks`] — the attack-aware matrix: protocol × attack × seed against
+//!   the `manet-adversary` attacker models (coalitions, black/gray holes,
+//!   mobile eavesdropper, selective jamming).
 //! * [`figures`] — one generator per paper figure/table, returning the same
 //!   rows/series the paper plots.
 //! * [`report`] — plain-text rendering of figures and sweep results.
 
+pub mod attacks;
 pub mod figures;
 pub mod metrics;
 pub mod protocol;
@@ -25,7 +29,11 @@ pub mod runner;
 pub mod scenario;
 pub mod stack;
 
+pub use attacks::{
+    attack_matrix, render_attack_matrix, AttackCell, AttackMatrixOutcome, AttackSweepSpec,
+};
 pub use figures::{FigureId, FigurePoint, FigureSeries};
+pub use manet_adversary::{AttackConfig, AttackKind, CoalitionPlacement, CoverageBasis};
 pub use metrics::RunMetrics;
 pub use protocol::Protocol;
 pub use runner::{run_scenario, sweep, AggregatedPoint, SweepOutcome, SweepSpec};

@@ -6,6 +6,7 @@
 
 use crate::scenario::Scenario;
 use crate::stack::TcpRunStats;
+use manet_adversary::{coalition_curve, AttackKind};
 use manet_netsim::Recorder;
 use manet_security::{
     interception::summarize, participating_nodes, relay_distribution, RelayDistribution,
@@ -24,6 +25,15 @@ pub struct RunMetrics {
     pub interception_ratio: f64,
     /// Highest interception ratio over all candidate nodes (Fig. 7).
     pub highest_interception_ratio: f64,
+
+    // --- adversary (attack-aware runs) -------------------------------------------
+    /// Coalition interception ratio `Pe(coalition) / Pr` at the configured
+    /// coalition size (0 unless the run's attack is a coalition).
+    pub coalition_interception_ratio: f64,
+    /// Packets deliberately discarded by black/gray-hole relays.
+    pub adversary_drops: u64,
+    /// Receptions destroyed by selective jamming.
+    pub jammed_frames: u64,
 
     // --- TCP performance (Figs. 8-11) -------------------------------------------
     /// Mean end-to-end delay of delivered data packets, seconds (Fig. 8).
@@ -70,11 +80,32 @@ impl RunMetrics {
         let duration = scenario.sim.duration.as_secs();
         let generated = recorder.originated_data_packets();
         let delivered = recorder.delivered_data_packets();
+        let coalition_interception_ratio = match scenario.attack.kind {
+            AttackKind::Coalition {
+                k,
+                placement,
+                basis,
+            } => coalition_curve(
+                recorder,
+                scenario.sim.num_nodes,
+                &endpoints,
+                k as usize,
+                placement,
+                basis,
+                scenario.sim.seed,
+            )
+            .last()
+            .map_or(0.0, |r| r.interception_ratio()),
+            _ => 0.0,
+        };
         RunMetrics {
             participating_nodes: participating_nodes(recorder),
             relay_std_dev: distribution.std_dev,
             interception_ratio: interception.designated_ratio,
             highest_interception_ratio: interception.highest_ratio,
+            coalition_interception_ratio,
+            adversary_drops: recorder.adversary_drops(),
+            jammed_frames: recorder.jammed_frames(),
             mean_delay: recorder.mean_delay_secs(),
             throughput_packets: delivered,
             throughput_bytes_per_sec: if duration > 0.0 {
@@ -125,6 +156,9 @@ impl RunMetrics {
             relay_std_dev: avg_f(&|r| r.relay_std_dev),
             interception_ratio: avg_f(&|r| r.interception_ratio),
             highest_interception_ratio: avg_f(&|r| r.highest_interception_ratio),
+            coalition_interception_ratio: avg_f(&|r| r.coalition_interception_ratio),
+            adversary_drops: avg_u(&|r| r.adversary_drops),
+            jammed_frames: avg_u(&|r| r.jammed_frames),
             mean_delay: avg_f(&|r| r.mean_delay),
             throughput_packets: avg_u(&|r| r.throughput_packets),
             throughput_bytes_per_sec: avg_f(&|r| r.throughput_bytes_per_sec),

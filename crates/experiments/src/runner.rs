@@ -10,7 +10,8 @@ use crate::metrics::RunMetrics;
 use crate::protocol::Protocol;
 use crate::scenario::Scenario;
 use crate::stack::{ManetStack, SharedTcpStats, TcpRunStats};
-use manet_netsim::mobility::RandomWaypoint;
+use manet_adversary::{AttackKind, BlackholeStack, CorridorMobility};
+use manet_netsim::mobility::{MobilityModel, RandomWaypoint};
 use manet_netsim::{NodeStack, Recorder, Simulator};
 use manet_tcp::TcpConfig;
 use manet_wire::NodeId;
@@ -31,22 +32,48 @@ pub fn run_scenario_with_recorder(scenario: &Scenario) -> (RunMetrics, Recorder)
             let agent = scenario.protocol.build_agent(me, scenario.mts);
             let sender_to = scenario.flows.iter().find(|f| f.src == me).map(|f| f.dst);
             let receiver_from = scenario.flows.iter().find(|f| f.dst == me).map(|f| f.src);
-            Box::new(ManetStack::new(
+            let stack = Box::new(ManetStack::new(
                 me,
                 agent,
                 sender_to,
                 receiver_from,
                 tcp_config,
                 Arc::clone(&stats),
-            )) as Box<dyn NodeStack>
+            )) as Box<dyn NodeStack>;
+            // Hostile relays wrap the honest stack so they stay protocol-
+            // conformant except for the forged replies and the data drops.
+            if let AttackKind::Blackhole { drop_fraction, .. } = scenario.attack.kind {
+                if scenario.attackers.contains(&me) {
+                    return Box::new(BlackholeStack::new(
+                        me,
+                        stack,
+                        drop_fraction,
+                        scenario.sim.seed,
+                    )) as Box<dyn NodeStack>;
+                }
+            }
+            stack
         })
         .collect();
-    let mobility = RandomWaypoint::new(
+    let waypoint = RandomWaypoint::new(
         scenario.sim.field_width,
         scenario.sim.field_height,
         scenario.sim.mobility,
     );
-    let sim = Simulator::new(scenario.sim.clone(), Box::new(mobility), stacks);
+    let mobility: Box<dyn MobilityModel> = match (scenario.attack.kind, scenario.eavesdropper) {
+        (AttackKind::MobileEavesdropper { corridor_jitter_m }, Some(eve)) => {
+            let flow = scenario.flows[0];
+            Box::new(CorridorMobility::new(
+                waypoint,
+                eve,
+                flow.src,
+                flow.dst,
+                corridor_jitter_m,
+            ))
+        }
+        _ => Box::new(waypoint),
+    };
+    let sim = Simulator::new(scenario.sim.clone(), mobility, stacks);
     let recorder = sim.run();
     let tcp_stats = *stats.lock();
     let metrics = RunMetrics::extract(scenario, &recorder, &tcp_stats);

@@ -6,6 +6,7 @@
 //! [`Scenario::paper`] constructor reproduces the environment of Section IV-A.
 
 use crate::protocol::Protocol;
+use manet_adversary::{AttackConfig, AttackKind};
 use manet_netsim::rng::RngStreams;
 use manet_netsim::SimConfig;
 use manet_security::select_eavesdropper;
@@ -39,6 +40,12 @@ pub struct Scenario {
     pub flows: Vec<TrafficFlow>,
     /// The designated eavesdropping node (never a traffic endpoint).
     pub eavesdropper: Option<NodeId>,
+    /// The adversary model active in this run (clean by default).
+    pub attack: AttackConfig,
+    /// Hostile nodes (black holes / jammers), drawn deterministically from
+    /// the scenario seed by [`Scenario::with_attack`]; empty for passive or
+    /// clean runs.
+    pub attackers: Vec<NodeId>,
 }
 
 impl Scenario {
@@ -77,6 +84,8 @@ impl Scenario {
             tcp: TcpConfig::default(),
             flows: vec![TrafficFlow { src, dst }],
             eavesdropper,
+            attack: AttackConfig::none(),
+            attackers: Vec::new(),
         }
     }
 
@@ -133,6 +142,8 @@ impl Scenario {
             tcp: TcpConfig::default(),
             flows,
             eavesdropper: None,
+            attack: AttackConfig::none(),
+            attackers: Vec::new(),
         }
     }
 
@@ -153,6 +164,43 @@ impl Scenario {
     /// Override the MTS configuration (ablation studies).
     pub fn with_mts_config(mut self, mts: MtsConfig) -> Self {
         self.mts = mts;
+        self
+    }
+
+    /// Arm an adversary for this run.
+    ///
+    /// Hostile nodes (black holes, jammers) are drawn from a salted stream of
+    /// the scenario seed, excluding the traffic endpoints and the designated
+    /// eavesdropper — so two protocols at the same seed face the *same*
+    /// attackers, preserving the paired comparisons the figures rely on.
+    /// Jamming attacks additionally install the engine-level
+    /// [`manet_netsim::JamConfig`]; re-arming replaces any previous attack.
+    pub fn with_attack(mut self, attack: AttackConfig) -> Self {
+        self.attack = attack;
+        self.attackers.clear();
+        self.sim.jamming = None;
+        let needed = attack.attackers_needed();
+        if needed > 0 {
+            let mut rngs = RngStreams::new(self.sim.seed ^ 0xad5e_7a11);
+            let rng = rngs.scenario();
+            let n = self.sim.num_nodes;
+            let mut taken: Vec<NodeId> = self.endpoints();
+            taken.extend(self.eavesdropper);
+            for _ in 0..needed {
+                if taken.len() >= n as usize {
+                    break; // network too small; validate() reports it
+                }
+                let attacker = loop {
+                    let c = NodeId(rng.gen_range(0..n));
+                    if !taken.contains(&c) {
+                        break c;
+                    }
+                };
+                taken.push(attacker);
+                self.attackers.push(attacker);
+            }
+        }
+        self.sim.jamming = self.attack.jam_config(&self.attackers);
         self
     }
 
@@ -182,6 +230,34 @@ impl Scenario {
             if self.endpoints().contains(&e) {
                 return Err("eavesdropper must not be a traffic endpoint".into());
             }
+        }
+        self.attack.validate()?;
+        let needed = self.attack.attackers_needed() as usize;
+        if self.attackers.len() != needed {
+            return Err(format!(
+                "attack '{}' needs {} hostile nodes but {} are placed \
+                 (use Scenario::with_attack; the network may be too small)",
+                self.attack,
+                needed,
+                self.attackers.len()
+            ));
+        }
+        let endpoints = self.endpoints();
+        for (i, a) in self.attackers.iter().enumerate() {
+            if a.0 >= self.sim.num_nodes {
+                return Err(format!("attacker {a} is not a valid node id"));
+            }
+            if endpoints.contains(a) {
+                return Err(format!("attacker {a} must not be a traffic endpoint"));
+            }
+            if self.attackers[..i].contains(a) {
+                return Err(format!("attacker {a} is placed twice"));
+            }
+        }
+        if matches!(self.attack.kind, AttackKind::MobileEavesdropper { .. })
+            && self.eavesdropper.is_none()
+        {
+            return Err("mobile-eavesdropper attack needs a designated eavesdropper".into());
         }
         Ok(())
     }
@@ -270,6 +346,70 @@ mod tests {
         let mut s = Scenario::paper(Protocol::Aodv, 5.0, 1);
         s.eavesdropper = Some(s.flows[0].src);
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn attack_arming_places_deterministic_disjoint_attackers() {
+        let armed = |protocol: Protocol| {
+            Scenario::paper(protocol, 10.0, 5).with_attack(AttackConfig::blackhole(3))
+        };
+        let a = armed(Protocol::Mts);
+        a.validate().unwrap();
+        assert_eq!(a.attackers.len(), 3);
+        // Attackers never collide with endpoints or the designated eavesdropper.
+        for attacker in &a.attackers {
+            assert!(!a.endpoints().contains(attacker));
+            assert_ne!(Some(*attacker), a.eavesdropper);
+        }
+        // Same seed, different protocol: identical hostile placement (paired
+        // comparisons), and re-arming is idempotent.
+        let b = armed(Protocol::Dsr);
+        assert_eq!(a.attackers, b.attackers);
+        let rearmed = a.clone().with_attack(AttackConfig::blackhole(3));
+        assert_eq!(rearmed.attackers, a.attackers);
+        // A different seed moves the attackers (with overwhelming probability).
+        let c = Scenario::paper(Protocol::Mts, 10.0, 6).with_attack(AttackConfig::blackhole(3));
+        assert_ne!(a.attackers, c.attackers);
+    }
+
+    #[test]
+    fn jamming_attack_installs_the_engine_config() {
+        use manet_netsim::JamTarget;
+        let s = Scenario::paper(Protocol::Aodv, 10.0, 2).with_attack(AttackConfig::jamming(
+            2,
+            JamTarget::Control,
+            0.8,
+        ));
+        s.validate().unwrap();
+        let jam = s.sim.jamming.as_ref().expect("jam config installed");
+        assert_eq!(jam.jammers, s.attackers);
+        assert_eq!(jam.loss_prob, 0.8);
+        // Disarming removes it again.
+        let clean = s.with_attack(AttackConfig::none());
+        assert!(clean.sim.jamming.is_none());
+        assert!(clean.attackers.is_empty());
+        clean.validate().unwrap();
+    }
+
+    #[test]
+    fn attack_validation_catches_inconsistencies() {
+        // Hand-rolled attacker lists must satisfy the invariants.
+        let mut s = Scenario::paper(Protocol::Mts, 5.0, 1).with_attack(AttackConfig::blackhole(2));
+        s.attackers[1] = s.attackers[0];
+        assert!(s.validate().is_err(), "duplicate attackers rejected");
+
+        let mut s = Scenario::paper(Protocol::Mts, 5.0, 1).with_attack(AttackConfig::blackhole(1));
+        s.attackers[0] = s.flows[0].src;
+        assert!(s.validate().is_err(), "endpoint attacker rejected");
+
+        let mut s = Scenario::paper(Protocol::Mts, 5.0, 1);
+        s.attack = AttackConfig::blackhole(2); // bypassing with_attack
+        assert!(s.validate().is_err(), "missing placement rejected");
+
+        let mut s =
+            Scenario::paper(Protocol::Mts, 5.0, 1).with_attack(AttackConfig::mobile_eavesdropper());
+        s.eavesdropper = None;
+        assert!(s.validate().is_err(), "mobile eve needs an eavesdropper");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::radio::{ChannelModel, RadioConfig};
 use crate::time::Duration;
+use manet_wire::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// MAC-layer timing and behaviour parameters (simplified 802.11 DCF).
@@ -77,6 +78,60 @@ impl Default for MobilityConfig {
     }
 }
 
+/// Which frame class a selective jammer targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JamTarget {
+    /// Only routing control frames (RREQ/RREP/RERR/CHECK...).
+    Control,
+    /// Only data frames (TCP segments and ACKs).
+    Data,
+    /// Every frame.
+    All,
+}
+
+impl JamTarget {
+    /// True if a frame of the given control/data class is targeted.
+    pub fn matches(self, is_control: bool) -> bool {
+        match self {
+            JamTarget::Control => is_control,
+            JamTarget::Data => !is_control,
+            JamTarget::All => true,
+        }
+    }
+}
+
+/// Selective jamming: designated nodes corrupt receptions of the targeted
+/// frame class in their vicinity.
+///
+/// The jammer is modelled statistically instead of by explicit noise frames:
+/// a reception at node `r` is destroyed with probability `loss_prob` whenever
+/// some jammer is within `range_m` of `r` and the frame class matches
+/// `target`.  Jammers move like ordinary nodes, so the jammed region follows
+/// them.  With `jamming: None` the engine draws no extra randomness and runs
+/// are byte-identical to pre-adversary traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JamConfig {
+    /// Nodes acting as jammers.
+    pub jammers: Vec<NodeId>,
+    /// Frame class the jammer keys on.
+    pub target: JamTarget,
+    /// Probability a targeted reception near a jammer is corrupted.
+    pub loss_prob: f64,
+    /// Jamming radius around each jammer, metres (0 = use the radio range).
+    pub range_m: f64,
+}
+
+impl JamConfig {
+    /// Effective jamming radius given the radio range.
+    pub fn effective_range(&self, radio_range_m: f64) -> f64 {
+        if self.range_m > 0.0 {
+            self.range_m
+        } else {
+            radio_range_m
+        }
+    }
+}
+
 /// Strategy the engine uses to answer "who can hear this transmission?".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum NeighborIndex {
@@ -116,6 +171,8 @@ pub struct SimConfig {
     /// node is rebinned (larger values mean fewer rebinds but bigger
     /// candidate sets).  Ignored under [`NeighborIndex::BruteForce`].
     pub grid_slack_m: f64,
+    /// Selective jamming adversary, if any (see [`JamConfig`]).
+    pub jamming: Option<JamConfig>,
 }
 
 impl Default for SimConfig {
@@ -131,6 +188,7 @@ impl Default for SimConfig {
             seed: 1,
             neighbor_index: NeighborIndex::default(),
             grid_slack_m: 25.0,
+            jamming: None,
         }
     }
 }
@@ -177,6 +235,20 @@ impl SimConfig {
             && !(self.grid_slack_m > 0.0 && self.grid_slack_m.is_finite())
         {
             return Err("grid_slack_m must be positive and finite".into());
+        }
+        if let Some(jam) = &self.jamming {
+            if !(0.0..=1.0).contains(&jam.loss_prob) {
+                return Err("jamming loss_prob must be in [0, 1]".into());
+            }
+            if jam.range_m < 0.0 || !jam.range_m.is_finite() {
+                return Err("jamming range_m must be non-negative and finite".into());
+            }
+            if jam.jammers.is_empty() {
+                return Err("jamming needs at least one jammer node".into());
+            }
+            if let Some(bad) = jam.jammers.iter().find(|j| j.0 >= self.num_nodes) {
+                return Err(format!("jammer {bad} is not a valid node id"));
+            }
         }
         if let ChannelModel::Shadowed {
             good_to_bad,
@@ -259,6 +331,43 @@ mod tests {
                 "density drifted at n={n}: {density} vs {base_density}"
             );
         }
+    }
+
+    #[test]
+    fn jamming_config_is_validated() {
+        let jam = |jammers: Vec<u16>, loss: f64, range: f64| {
+            let mut c = SimConfig::default();
+            c.jamming = Some(JamConfig {
+                jammers: jammers.into_iter().map(NodeId).collect(),
+                target: JamTarget::Control,
+                loss_prob: loss,
+                range_m: range,
+            });
+            c
+        };
+        jam(vec![3], 0.8, 0.0).validate().unwrap();
+        assert!(jam(vec![3], 1.5, 0.0).validate().is_err());
+        assert!(jam(vec![3], 0.5, -1.0).validate().is_err());
+        assert!(jam(vec![], 0.5, 0.0).validate().is_err());
+        assert!(jam(vec![200], 0.5, 0.0).validate().is_err());
+        assert!(JamTarget::Control.matches(true) && !JamTarget::Control.matches(false));
+        assert!(!JamTarget::Data.matches(true) && JamTarget::Data.matches(false));
+        assert!(JamTarget::All.matches(true) && JamTarget::All.matches(false));
+        let j = JamConfig {
+            jammers: vec![NodeId(0)],
+            target: JamTarget::All,
+            loss_prob: 1.0,
+            range_m: 0.0,
+        };
+        assert_eq!(j.effective_range(250.0), 250.0);
+        assert_eq!(
+            JamConfig {
+                range_m: 100.0,
+                ..j
+            }
+            .effective_range(250.0),
+            100.0
+        );
     }
 
     #[test]

@@ -88,6 +88,16 @@ impl PerfCells {
     }
 }
 
+/// Precomputed jamming parameters (derived once from
+/// [`SimConfig::jamming`] so the per-transmission check allocates nothing).
+#[derive(Debug)]
+struct JamState {
+    nodes: Vec<NodeId>,
+    target: crate::config::JamTarget,
+    loss_prob: f64,
+    radius_sq: f64,
+}
+
 /// The spatial grid plus its drift-refresh machinery.
 ///
 /// `refresh_queue` holds at most one live `(due, node, generation)` entry per
@@ -148,6 +158,9 @@ pub struct World {
     outcomes_scratch: Vec<(NodeId, bool)>,
     /// Scratch for grid candidates in `mac_attempt`.
     cand_scratch: Vec<NodeId>,
+    /// Precomputed selective-jamming parameters (`None` when no jammer is
+    /// configured — the common case pays nothing).
+    jam: Option<JamState>,
 }
 
 impl World {
@@ -443,6 +456,19 @@ impl Simulator {
             }
         };
         let pos_cache = (0..config.num_nodes).map(|_| Cell::new(None)).collect();
+        let jam = config.jamming.as_ref().and_then(|jam| {
+            if jam.loss_prob > 0.0 {
+                let r = jam.effective_range(config.radio.range_m);
+                Some(JamState {
+                    nodes: jam.jammers.clone(),
+                    target: jam.target,
+                    loss_prob: jam.loss_prob,
+                    radius_sq: r * r,
+                })
+            } else {
+                None
+            }
+        });
         let world = World {
             now: SimTime::ZERO,
             queue,
@@ -460,6 +486,7 @@ impl Simulator {
             receiver_pool: Vec::new(),
             outcomes_scratch: Vec::new(),
             cand_scratch: Vec::new(),
+            jam,
             config,
         };
         Simulator {
@@ -731,6 +758,17 @@ impl Simulator {
         let now = self.world.now;
         let channel = self.world.config.radio.channel;
         let random_loss = self.world.config.mac.random_loss;
+        let is_control = queued.frame.payload.is_control();
+        // Selective jamming: the parameters were precomputed at construction
+        // (no per-transmission allocation).  With no jammer configured the
+        // engine draws no extra randomness, so clean runs stay byte-identical
+        // to pre-adversary traces.
+        let jam_active = self
+            .world
+            .jam
+            .as_ref()
+            .is_some_and(|j| j.target.matches(is_control));
+        let jam_loss = self.world.jam.as_ref().map_or(0.0, |j| j.loss_prob);
 
         // Work out, per receiver, whether the frame arrived intact (into the
         // reusable outcome scratch — no per-transmission allocation).
@@ -753,7 +791,27 @@ impl Simulator {
                 !link_dynamics.link_usable(node, r, now, channel, rngs.channel())
             };
             let lost = random_loss > 0.0 && self.world.rngs.channel().gen::<f64>() < random_loss;
-            outcomes.push((r, !collided && !faded && !lost));
+            let jammed = if jam_active {
+                // A jammer corrupts receptions near it, but not receptions of
+                // its own frames (half-duplex: it cannot jam while sending)
+                // and not frames arriving at itself.
+                let near = {
+                    let jam = self.world.jam.as_ref().expect("jam_active checked");
+                    let rx_pos = self.world.position_of(r);
+                    jam.nodes.iter().any(|&j| {
+                        j != r
+                            && j != node
+                            && self.world.position_of(j).distance_sq(rx_pos) <= jam.radius_sq
+                    })
+                };
+                near && self.world.rngs.channel().gen::<f64>() < jam_loss
+            } else {
+                false
+            };
+            if jammed && !collided && !faded && !lost {
+                self.world.recorder.record_jammed(is_control);
+            }
+            outcomes.push((r, !collided && !faded && !lost && !jammed));
         }
 
         match queued.frame.mac_dst {
@@ -1016,6 +1074,107 @@ mod tests {
         let rec = sim.run();
         // No traffic, so nothing recorded; the run simply terminates.
         assert_eq!(rec.delivered_data_packets(), 0);
+    }
+
+    #[test]
+    fn selective_jamming_corrupts_targeted_receptions() {
+        use crate::config::{JamConfig, JamTarget};
+        let run = |target: JamTarget| {
+            let n = 3u16;
+            let mut config = SimConfig::default();
+            config.num_nodes = n;
+            config.duration = Duration::from_secs(5.0);
+            config.mobility.max_speed = 0.0;
+            config.jamming = Some(JamConfig {
+                jammers: vec![NodeId(2)],
+                target,
+                loss_prob: 1.0,
+                range_m: 0.0,
+            });
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let stacks: Vec<Box<dyn NodeStack>> = (0..n)
+                .map(|i| {
+                    Box::new(ChainForwarder {
+                        me: NodeId(i),
+                        last: NodeId(n - 1),
+                        sent: Rc::clone(&log),
+                        origin: i == 0,
+                    }) as Box<dyn NodeStack>
+                })
+                .collect();
+            let sim = Simulator::new(
+                config,
+                Box::new(StaticPlacement::chain(n as usize, 100.0)),
+                stacks,
+            );
+            sim.run()
+        };
+        // Data-frame jamming: node 2 is within range of node 1, so the 0 -> 1
+        // hop is destroyed every attempt and the packet never arrives.
+        let rec = run(JamTarget::Data);
+        assert_eq!(rec.delivered_data_packets(), 0);
+        assert!(rec.jammed_data_frames() > 0);
+        assert_eq!(rec.jammed_control_frames(), 0);
+        assert!(rec.link_failures() > 0);
+        // Control-frame jamming: the chain only carries data, so nothing is
+        // jammed and the packet goes through.
+        let rec = run(JamTarget::Control);
+        assert_eq!(rec.delivered_data_packets(), 1);
+        assert_eq!(rec.jammed_frames(), 0);
+    }
+
+    #[test]
+    fn jammer_does_not_jam_its_own_frames() {
+        use crate::config::{JamConfig, JamTarget};
+        // Chain 0 -> 1 -> 2 where the only jammer is relay node 1: receptions
+        // at the jammer are exempt (it is the receiver) and receptions of the
+        // 1 -> 2 hop are exempt (the jammer is the transmitter; half-duplex
+        // radios cannot jam while sending).  The packet must go through.
+        let n = 3u16;
+        let mut config = SimConfig::default();
+        config.num_nodes = n;
+        config.duration = Duration::from_secs(5.0);
+        config.mobility.max_speed = 0.0;
+        config.jamming = Some(JamConfig {
+            jammers: vec![NodeId(1)],
+            target: JamTarget::Data,
+            loss_prob: 1.0,
+            range_m: 0.0,
+        });
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let stacks: Vec<Box<dyn NodeStack>> = (0..n)
+            .map(|i| {
+                Box::new(ChainForwarder {
+                    me: NodeId(i),
+                    last: NodeId(n - 1),
+                    sent: Rc::clone(&log),
+                    origin: i == 0,
+                }) as Box<dyn NodeStack>
+            })
+            .collect();
+        let sim = Simulator::new(
+            config,
+            Box::new(StaticPlacement::chain(n as usize, 200.0)),
+            stacks,
+        );
+        let rec = sim.run();
+        assert_eq!(rec.delivered_data_packets(), 1);
+        assert_eq!(rec.jammed_frames(), 0);
+    }
+
+    #[test]
+    fn jamming_disabled_keeps_runs_identical() {
+        // A config with `jamming: None` must consume no extra randomness:
+        // byte-identical counters with the pre-adversary behaviour (here we
+        // just assert determinism across two constructions).
+        let (sim_a, _) = chain_sim(4, 200.0);
+        let (sim_b, _) = chain_sim(4, 200.0);
+        let a = sim_a.run();
+        let b = sim_b.run();
+        assert_eq!(a.delivered_data_packets(), b.delivered_data_packets());
+        assert_eq!(a.data_transmissions(), b.data_transmissions());
+        assert_eq!(a.jammed_frames(), 0);
+        assert_eq!(a.adversary_drops(), 0);
     }
 
     #[test]

@@ -121,6 +121,16 @@ pub struct Recorder {
     // --- per-node participation / eavesdropping --------------------------------
     relays: HashMap<NodeId, u64>,
     heard: HashMap<NodeId, HashSet<PacketId>>,
+    /// Unique data packets each node *received to relay* (the paper's β as a
+    /// set, not just a count).  Coalition coverage metrics union these.
+    relayed_ids: HashMap<NodeId, HashSet<PacketId>>,
+
+    // --- adversary accounting ----------------------------------------------------
+    adversary_drops: u64,
+    adversary_data_drops: u64,
+    adversary_drops_by_node: HashMap<NodeId, u64>,
+    jammed_control: u64,
+    jammed_data: u64,
 
     // --- control plane ----------------------------------------------------------
     control_tx: u64,
@@ -195,6 +205,26 @@ impl Recorder {
         if carries_data {
             *self.relays.entry(node).or_insert(0) += 1;
             self.heard.entry(node).or_default().insert(packet);
+            self.relayed_ids.entry(node).or_default().insert(packet);
+        }
+    }
+
+    /// An adversarial node (black hole / gray hole) deliberately discarded a
+    /// packet it was supposed to forward.
+    pub fn record_adversary_drop(&mut self, node: NodeId, carries_data: bool) {
+        self.adversary_drops += 1;
+        if carries_data {
+            self.adversary_data_drops += 1;
+        }
+        *self.adversary_drops_by_node.entry(node).or_insert(0) += 1;
+    }
+
+    /// A reception was corrupted by a selective jammer.
+    pub fn record_jammed(&mut self, is_control: bool) {
+        if is_control {
+            self.jammed_control += 1;
+        } else {
+            self.jammed_data += 1;
         }
     }
 
@@ -310,6 +340,57 @@ impl Recorder {
             .collect()
     }
 
+    /// The full per-node heard sets (relayed or overheard unique data
+    /// packets).  Coalition metrics union these across colluding nodes.
+    pub fn heard_sets(&self) -> &HashMap<NodeId, HashSet<PacketId>> {
+        &self.heard
+    }
+
+    /// The unique data packets `node` received to relay (β as a set), if any.
+    pub fn relayed_set(&self, node: NodeId) -> Option<&HashSet<PacketId>> {
+        self.relayed_ids.get(&node)
+    }
+
+    /// The full per-node relayed-packet sets.
+    pub fn relayed_sets(&self) -> &HashMap<NodeId, HashSet<PacketId>> {
+        &self.relayed_ids
+    }
+
+    /// True if `packet` was delivered to its final destination.
+    pub fn was_delivered(&self, packet: PacketId) -> bool {
+        self.delivered.contains_key(&packet)
+    }
+
+    /// Packets deliberately discarded by adversarial relays (all kinds).
+    pub fn adversary_drops(&self) -> u64 {
+        self.adversary_drops
+    }
+
+    /// Data-carrying packets deliberately discarded by adversarial relays.
+    pub fn adversary_data_drops(&self) -> u64 {
+        self.adversary_data_drops
+    }
+
+    /// Adversarial drops broken down by the dropping node.
+    pub fn adversary_drops_by_node(&self) -> &HashMap<NodeId, u64> {
+        &self.adversary_drops_by_node
+    }
+
+    /// Receptions corrupted by selective jamming (control + data).
+    pub fn jammed_frames(&self) -> u64 {
+        self.jammed_control + self.jammed_data
+    }
+
+    /// Control-frame receptions corrupted by selective jamming.
+    pub fn jammed_control_frames(&self) -> u64 {
+        self.jammed_control
+    }
+
+    /// Data-frame receptions corrupted by selective jamming.
+    pub fn jammed_data_frames(&self) -> u64 {
+        self.jammed_data
+    }
+
     /// Number of routing control packet transmissions (every hop counts), the
     /// paper's control-overhead metric.
     pub fn control_transmissions(&self) -> u64 {
@@ -419,6 +500,39 @@ mod tests {
         assert_eq!(r.mac_drops(DropReason::RetryLimit), 2);
         assert_eq!(r.link_failures(), 1);
         assert_eq!(r.collisions(), 1);
+    }
+
+    #[test]
+    fn adversary_and_jamming_counters() {
+        let mut r = Recorder::new();
+        r.record_adversary_drop(NodeId(4), true);
+        r.record_adversary_drop(NodeId(4), false);
+        r.record_adversary_drop(NodeId(7), true);
+        r.record_jammed(true);
+        r.record_jammed(false);
+        r.record_jammed(false);
+        assert_eq!(r.adversary_drops(), 3);
+        assert_eq!(r.adversary_data_drops(), 2);
+        assert_eq!(r.adversary_drops_by_node()[&NodeId(4)], 2);
+        assert_eq!(r.jammed_frames(), 3);
+        assert_eq!(r.jammed_control_frames(), 1);
+        assert_eq!(r.jammed_data_frames(), 2);
+    }
+
+    #[test]
+    fn relayed_sets_track_unique_packets_per_node() {
+        let mut r = Recorder::new();
+        r.record_relay(NodeId(3), PacketId(10), true);
+        r.record_relay(NodeId(3), PacketId(10), true); // duplicate relay, one set entry
+        r.record_relay(NodeId(3), PacketId(11), true);
+        r.record_overheard(NodeId(3), PacketId(12), true); // heard but not relayed
+        r.record_relay(NodeId(5), PacketId(10), false); // pure ACK ignored
+        assert_eq!(r.relayed_set(NodeId(3)).unwrap().len(), 2);
+        assert!(r.relayed_set(NodeId(5)).is_none());
+        assert_eq!(r.heard_sets()[&NodeId(3)].len(), 3);
+        r.record_delivered(NodeId(9), PacketId(10), true, 100, t(1.0));
+        assert!(r.was_delivered(PacketId(10)));
+        assert!(!r.was_delivered(PacketId(11)));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Test harness for routing agents.
 //!
-//! [`RoutingHarness`] runs any [`RoutingAgent`] implementation inside the
+//! [`run_routing`] runs any [`RoutingAgent`] implementation inside the
 //! discrete-event simulator with a simple constant-rate datagram source
 //! (no TCP), which is exactly what the routing unit/integration tests need:
 //! "does protocol X deliver packets from A to B over this topology, and what

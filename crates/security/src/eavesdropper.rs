@@ -16,21 +16,46 @@ use rand::Rng;
 /// Pick the eavesdropping node uniformly at random among nodes that are not
 /// traffic endpoints.
 ///
+/// Runs in O(nodes + endpoints) without collecting the candidate list: the
+/// endpoints are bitmapped once, the number of distinct in-range endpoints
+/// gives the candidate count, and the drawn rank is mapped to a node id by a
+/// single skip-scan.  Exactly one `gen_range` draw is made (none in the
+/// degenerate case), so the consumed randomness — and therefore every
+/// seed-paired scenario draw downstream — matches the original
+/// collect-then-index implementation.
+///
 /// Returns `None` when every node is an endpoint (degenerate two-node setups).
 pub fn select_eavesdropper(
     num_nodes: u16,
     endpoints: &[NodeId],
     rng: &mut impl Rng,
 ) -> Option<NodeId> {
-    let candidates: Vec<NodeId> = (0..num_nodes)
-        .map(NodeId)
-        .filter(|n| !endpoints.contains(n))
-        .collect();
-    if candidates.is_empty() {
-        None
-    } else {
-        Some(candidates[rng.gen_range(0..candidates.len())])
+    let mut is_endpoint = vec![false; num_nodes as usize];
+    let mut distinct_endpoints = 0usize;
+    for e in endpoints {
+        if let Some(slot) = is_endpoint.get_mut(e.index()) {
+            if !*slot {
+                *slot = true;
+                distinct_endpoints += 1;
+            }
+        }
     }
+    let candidates = num_nodes as usize - distinct_endpoints;
+    if candidates == 0 {
+        return None;
+    }
+    let rank = rng.gen_range(0..candidates);
+    let mut seen = 0usize;
+    for (i, &blocked) in is_endpoint.iter().enumerate() {
+        if blocked {
+            continue;
+        }
+        if seen == rank {
+            return Some(NodeId(i as u16));
+        }
+        seen += 1;
+    }
+    unreachable!("rank {rank} is below the candidate count {candidates}")
 }
 
 /// What a specific eavesdropping node captured during a run.
@@ -87,6 +112,59 @@ mod tests {
     fn selection_fails_when_everyone_is_an_endpoint() {
         let mut rng = SmallRng::seed_from_u64(1);
         assert!(select_eavesdropper(2, &[NodeId(0), NodeId(1)], &mut rng).is_none());
+        // Duplicate endpoints must not be double-counted into a phantom
+        // candidate, and no randomness is consumed on the degenerate path.
+        let before: u64 = rng.clone().gen();
+        assert!(
+            select_eavesdropper(2, &[NodeId(0), NodeId(1), NodeId(0), NodeId(1)], &mut rng)
+                .is_none()
+        );
+        assert_eq!(rng.gen::<u64>(), before, "degenerate case must not draw");
+        // Out-of-range endpoint ids are ignored rather than panicking.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let e = select_eavesdropper(3, &[NodeId(0), NodeId(1), NodeId(2), NodeId(99)], &mut rng);
+        assert!(e.is_none());
+    }
+
+    #[test]
+    fn selection_is_deterministic_per_seed() {
+        let endpoints = [NodeId(2), NodeId(7)];
+        let draw = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..32)
+                .map(|_| select_eavesdropper(20, &endpoints, &mut rng).unwrap())
+                .collect::<Vec<NodeId>>()
+        };
+        assert_eq!(draw(5), draw(5), "same seed, same eavesdropper sequence");
+        assert_ne!(draw(5), draw(6), "different seeds should differ");
+    }
+
+    #[test]
+    fn selection_matches_collect_then_index_reference() {
+        // The optimized skip-scan must consume and map randomness exactly like
+        // the original collect-then-index implementation, so historical seeds
+        // keep selecting the same eavesdropper.
+        let reference = |num_nodes: u16, endpoints: &[NodeId], rng: &mut SmallRng| {
+            let candidates: Vec<NodeId> = (0..num_nodes)
+                .map(NodeId)
+                .filter(|n| !endpoints.contains(n))
+                .collect();
+            if candidates.is_empty() {
+                None
+            } else {
+                Some(candidates[rng.gen_range(0..candidates.len())])
+            }
+        };
+        for seed in 0..50u64 {
+            let endpoints = [NodeId((seed % 10) as u16), NodeId(11)];
+            let mut a = SmallRng::seed_from_u64(seed);
+            let mut b = SmallRng::seed_from_u64(seed);
+            assert_eq!(
+                select_eavesdropper(12, &endpoints, &mut a),
+                reference(12, &endpoints, &mut b),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! println!("highest interception ratio: {:.3}", metrics.highest_interception_ratio);
 //! ```
 
+pub use manet_adversary as adversary;
 pub use manet_experiments as experiments;
 pub use manet_netsim as netsim;
 pub use manet_routing as routing;
@@ -29,13 +30,20 @@ pub use mts_core as mts;
 
 /// The most common imports for building and running experiments.
 pub mod prelude {
+    pub use manet_adversary::{
+        coalition_curve, coalition_report, AttackConfig, AttackKind, CoalitionPlacement,
+        CoverageBasis,
+    };
+    pub use manet_experiments::attacks::{
+        attack_matrix, render_attack_matrix, AttackMatrixOutcome, AttackSweepSpec,
+    };
     pub use manet_experiments::figures::{figure_series, table1_relay_table, FigureId};
     pub use manet_experiments::report::{render_figure, render_relay_table};
     pub use manet_experiments::runner::{
         run_scenario, run_scenario_with_recorder, sweep, sweep_with, SweepSpec,
     };
     pub use manet_experiments::{Protocol, RunMetrics, Scenario, TrafficFlow};
-    pub use manet_netsim::{Duration, SimConfig, SimTime};
+    pub use manet_netsim::{Duration, JamTarget, SimConfig, SimTime};
     pub use manet_wire::NodeId;
     pub use mts_core::{Mts, MtsConfig};
 }

@@ -73,17 +73,28 @@ fn mts_emits_checking_traffic_and_baselines_do_not() {
 }
 
 #[test]
-#[ignore = "known seed failure: MTS participating-nodes does not yet dominate AODV at \
-            short durations (AODV path churn inflates its relay set); tracked in \
-            ROADMAP.md open items"]
+#[ignore = "measured, not fixable by duration: AODV route churn inflates its CUMULATIVE \
+            relay set at every run length tried (300 s x 5 seeds: AODV 24.4 vs MTS 22.2 \
+            participants; 25 s shows the same ordering).  The cumulative participating-node \
+            count rewards AODV for an instability the paper's instantaneous-spreading \
+            argument does not: each route break recruits a fresh relay chain, while MTS \
+            reuses its stored disjoint set.  MTS's spreading advantage is captured by the \
+            relay-share std-dev (Fig. 6) and the k-coalition coverage metrics instead \
+            (see tests/attacks.rs::mts_coalition_coverage_not_worse_than_dsr).  \
+            Tracked in ROADMAP.md open items"]
 fn mts_spreads_traffic_over_at_least_as_many_nodes_as_the_baselines() {
-    // Averaged over a few seeds at a moderate speed, MTS should involve at
-    // least as many participating nodes as AODV (usually strictly more).
+    // Investigated for the adversary PR (ISSUE 2 satellite): re-run at >= 300 s
+    // per the ROADMAP suggestion.  Longer durations do NOT close the gap —
+    // AODV's on-demand rediscoveries keep adding distinct relays for the whole
+    // run (seed 1 at 300 s touches 46 of 48 candidate nodes), so the
+    // cumulative count is protocol-churn-bound, not spreading-bound.  Kept
+    // ignored with the measurement recorded; the assertion itself is
+    // unchanged so the original claim stays visible.
     let seeds = [1u64, 2, 3];
     let avg = |protocol: Protocol| -> f64 {
         let runs: Vec<RunMetrics> = seeds
             .iter()
-            .map(|&s| short_run(protocol, 10.0, s, 25.0))
+            .map(|&s| short_run(protocol, 10.0, s, 300.0))
             .collect();
         RunMetrics::average(&runs).participating_nodes as f64
     };
