@@ -206,7 +206,7 @@ mod tests {
         }
         for &(node, ids) in relays {
             for &id in ids {
-                rec.record_relay(NodeId(node), PacketId(id), true);
+                rec.record_relay(NodeId(node), PacketId(id), true, SimTime::ZERO);
             }
         }
         rec

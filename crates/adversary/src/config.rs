@@ -5,7 +5,7 @@
 //! intensity matrix.  Runs with [`AttackKind::None`] are byte-identical to
 //! pre-adversary runs (no extra randomness is consumed anywhere).
 
-use manet_netsim::{JamConfig, JamTarget};
+use manet_netsim::{Duration, JamConfig, JamTarget, RushConfig, WormholeConfig};
 use manet_wire::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -84,6 +84,22 @@ pub enum AttackKind {
         /// Probability a targeted reception near a jammer is corrupted.
         loss_prob: f64,
     },
+    /// A wormhole pair: two colluders joined by an out-of-band tunnel
+    /// (engine-level link hook, see [`manet_netsim::WormholeConfig`]).
+    /// Discovery floods cross the tunnel, so routes collapse through the
+    /// pair, which then sees — *captures* — the attracted traffic.
+    Wormhole {
+        /// One-way tunnel latency, seconds.
+        tunnel_delay: f64,
+    },
+    /// Rushing attackers: relays that forward with zero processing delay
+    /// (no DIFS, no backoff — see [`manet_netsim::RushConfig`]), so their
+    /// RREQ copies win the duplicate-suppression race and discovered routes
+    /// run through them.
+    Rushing {
+        /// Number of rushing relays.
+        attackers: u16,
+    },
 }
 
 /// Attack configuration carried by a scenario.
@@ -159,6 +175,20 @@ impl AttackConfig {
         }
     }
 
+    /// A wormhole pair with a 1 µs out-of-band tunnel.
+    pub fn wormhole() -> Self {
+        AttackConfig {
+            kind: AttackKind::Wormhole { tunnel_delay: 1e-6 },
+        }
+    }
+
+    /// `attackers` rushing relays.
+    pub fn rushing(attackers: u16) -> Self {
+        AttackConfig {
+            kind: AttackKind::Rushing { attackers },
+        }
+    }
+
     /// True for the clean baseline.
     pub fn is_none(&self) -> bool {
         matches!(self.kind, AttackKind::None)
@@ -171,8 +201,19 @@ impl AttackConfig {
         match self.kind {
             AttackKind::Blackhole { attackers, .. } => attackers,
             AttackKind::Jamming { jammers, .. } => jammers,
+            AttackKind::Wormhole { .. } => 2,
+            AttackKind::Rushing { attackers } => attackers,
             _ => 0,
         }
+    }
+
+    /// True when the attack's hostile nodes *capture* traffic by attracting
+    /// routes through themselves (the capture-ratio metric applies).
+    pub fn captures_traffic(&self) -> bool {
+        matches!(
+            self.kind,
+            AttackKind::Wormhole { .. } | AttackKind::Rushing { .. } | AttackKind::Blackhole { .. }
+        )
     }
 
     /// Validate the knobs.
@@ -216,6 +257,20 @@ impl AttackConfig {
                 }
                 Ok(())
             }
+            AttackKind::Wormhole { tunnel_delay } => {
+                if tunnel_delay < 0.0 || !tunnel_delay.is_finite() {
+                    Err("wormhole tunnel_delay must be non-negative and finite".into())
+                } else {
+                    Ok(())
+                }
+            }
+            AttackKind::Rushing { attackers } => {
+                if attackers == 0 {
+                    Err("rushing needs at least one attacker".into())
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 
@@ -235,8 +290,47 @@ impl AttackConfig {
         }
     }
 
+    /// Build the netsim-level wormhole configuration for the given hostile
+    /// nodes, if this attack is a wormhole (the first two placed attackers
+    /// become the tunnel endpoints).
+    pub fn wormhole_config(&self, attackers: &[NodeId]) -> Option<WormholeConfig> {
+        match self.kind {
+            AttackKind::Wormhole { tunnel_delay } if attackers.len() >= 2 => Some(WormholeConfig {
+                a: attackers[0],
+                b: attackers[1],
+                delay: Duration::from_secs(tunnel_delay),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Build the netsim-level rushing configuration for the given hostile
+    /// nodes, if this attack rushes.
+    pub fn rush_config(&self, attackers: &[NodeId]) -> Option<RushConfig> {
+        match self.kind {
+            AttackKind::Rushing { .. } if !attackers.is_empty() => Some(RushConfig {
+                rushers: attackers.to_vec(),
+            }),
+            _ => None,
+        }
+    }
+
     /// The canonical attack matrix axis used by the experiment sweeps, the
     /// `attack_matrix` bench and `reproduce --attacks`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use manet_adversary::AttackConfig;
+    ///
+    /// let matrix = AttackConfig::canonical_matrix();
+    /// assert!(matrix[0].is_none(), "the clean baseline comes first");
+    /// assert!(matrix.iter().all(|a| a.validate().is_ok()));
+    /// let labels: Vec<String> = matrix.iter().map(|a| a.to_string()).collect();
+    /// assert!(labels.contains(&"blackhole(x2)".to_string()));
+    /// assert!(labels.contains(&"wormhole".to_string()));
+    /// assert!(labels.contains(&"rushing(x2)".to_string()));
+    /// ```
     pub fn canonical_matrix() -> Vec<AttackConfig> {
         vec![
             AttackConfig::none(),
@@ -246,6 +340,8 @@ impl AttackConfig {
             AttackConfig::mobile_eavesdropper(),
             AttackConfig::jamming(2, JamTarget::Control, 0.8),
             AttackConfig::jamming(2, JamTarget::Data, 0.8),
+            AttackConfig::wormhole(),
+            AttackConfig::rushing(2),
         ]
     }
 }
@@ -288,6 +384,8 @@ impl fmt::Display for AttackConfig {
                 };
                 write!(f, "jam-{t}(x{jammers},p={loss_prob})")
             }
+            AttackKind::Wormhole { .. } => write!(f, "wormhole"),
+            AttackKind::Rushing { attackers } => write!(f, "rushing(x{attackers})"),
         }
     }
 }
@@ -358,6 +456,39 @@ mod tests {
             AttackConfig::coalition(4, CoalitionPlacement::Greedy).attackers_needed(),
             0
         );
+    }
+
+    #[test]
+    fn wormhole_and_rushing_knobs() {
+        let worm = AttackConfig::wormhole();
+        worm.validate().unwrap();
+        assert_eq!(worm.attackers_needed(), 2);
+        assert_eq!(worm.to_string(), "wormhole");
+        assert!(worm.captures_traffic());
+        let endpoints = [NodeId(4), NodeId(11)];
+        let cfg = worm.wormhole_config(&endpoints).unwrap();
+        assert_eq!((cfg.a, cfg.b), (NodeId(4), NodeId(11)));
+        assert!(worm.wormhole_config(&[NodeId(4)]).is_none(), "needs 2");
+        assert!(worm.rush_config(&endpoints).is_none());
+
+        let rush = AttackConfig::rushing(3);
+        rush.validate().unwrap();
+        assert_eq!(rush.attackers_needed(), 3);
+        assert_eq!(rush.to_string(), "rushing(x3)");
+        assert!(rush.captures_traffic());
+        let nodes = [NodeId(1), NodeId(2), NodeId(3)];
+        assert_eq!(rush.rush_config(&nodes).unwrap().rushers, nodes.to_vec());
+        assert!(rush.wormhole_config(&nodes).is_none());
+        assert!(AttackConfig::rushing(0).validate().is_err());
+        let mut bad = AttackConfig::wormhole();
+        bad.kind = AttackKind::Wormhole {
+            tunnel_delay: f64::NAN,
+        };
+        assert!(bad.validate().is_err());
+        // Passive attacks do not capture.
+        assert!(!AttackConfig::none().captures_traffic());
+        assert!(!AttackConfig::coalition(2, CoalitionPlacement::Random).captures_traffic());
+        assert!(AttackConfig::blackhole(1).captures_traffic());
     }
 
     #[test]

@@ -14,21 +14,30 @@
 //!   traffic, attracted data is silently discarded.
 //! * [`mobile`] — a mobile eavesdropper whose waypoints hunt the
 //!   source–destination corridor instead of roaming uniformly.
+//! * [`capture`] — the capture-ratio metric for route-attraction attacks
+//!   (wormhole, rushing, black-hole attraction): the fraction of the
+//!   session's delivered data that crossed a hostile node.
 //!
-//! Selective jamming is configured through
-//! [`manet_netsim::JamConfig`] (the corruption happens at reception time in
-//! the engine); [`AttackConfig::jam_config`] builds it from the attack axis.
+//! Three attacks are engine-level hooks in `manet_netsim` built from the
+//! attack axis: selective jamming ([`manet_netsim::JamConfig`], via
+//! [`AttackConfig::jam_config`]), the wormhole pair's out-of-band tunnel
+//! ([`manet_netsim::WormholeConfig`], via [`AttackConfig::wormhole_config`])
+//! and rushing relays' zero-backoff MAC ([`manet_netsim::RushConfig`], via
+//! [`AttackConfig::rush_config`]).  All three leave clean runs byte-identical
+//! when disabled.
 //!
 //! Every model is deterministic per run seed: attacker placement comes from
 //! salted scenario streams, drop decisions from per-attacker RNGs, and clean
 //! runs consume no adversary randomness at all.
 
 pub mod blackhole;
+pub mod capture;
 pub mod coalition;
 pub mod config;
 pub mod mobile;
 
 pub use blackhole::{BlackholeStack, BlackholeStats, FORGED_SEQNO};
+pub use capture::{capture_report, CaptureReport};
 pub use coalition::{
     coalition_curve, coalition_report, select_coalition_greedy, select_coalition_random,
     CoalitionReport,

@@ -29,7 +29,12 @@ fn build_recorder(delivered: u64, relays: &[(u16, u64)]) -> Recorder {
     }
     for &(node, packet) in relays {
         // Half the id space points at never-delivered packets.
-        rec.record_relay(NodeId(node % NUM_NODES), PacketId(packet), true);
+        rec.record_relay(
+            NodeId(node % NUM_NODES),
+            PacketId(packet),
+            true,
+            SimTime::ZERO,
+        );
     }
     rec
 }

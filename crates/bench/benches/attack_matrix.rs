@@ -19,7 +19,9 @@ fn hostile_run(attack: AttackConfig, duration: f64) -> manet_experiments::RunMet
 }
 
 fn bench(c: &mut Criterion) {
-    let spec = AttackSweepSpec::canonical(15.0, 2);
+    // One mobility regime keeps the smoke pass fast; the full canonical
+    // matrix (x {1, 10, 20} m/s) is what `reproduce --attacks` runs.
+    let spec = AttackSweepSpec::canonical_at_speeds(15.0, 2, vec![10.0]);
     eprintln!(
         "# regenerating the attack matrix from a scaled-down sweep ({} runs, {} s each)",
         spec.total_runs(),

@@ -1,16 +1,32 @@
 //! Regenerate every figure and table of the paper's evaluation section.
 //!
 //! ```text
-//! reproduce [--duration SECS] [--seeds N] [--figure N | --table 1 | --attacks | --all]
+//! reproduce [--duration SECS] [--seeds N]
+//!           [--figure N | --table 1 | --attacks [--speeds S1,S2,..] | --all]
 //! ```
 //!
 //! By default the full paper-scale sweep is run (200 simulated seconds, five
 //! seeds, 3 protocols × 5 speeds = 75 runs) and every figure plus Table I is
 //! printed.  Use `--duration` / `--seeds` for a faster, scaled-down pass; the
-//! qualitative ordering of the protocols is preserved.  `--attacks` runs the
-//! protocol × attack matrix (clean baseline, eavesdropper coalition,
-//! gray/black holes, mobile eavesdropper, control/data jamming) instead; the
-//! matrix is deterministic per seed.
+//! qualitative ordering of the protocols is preserved.
+//!
+//! `--attacks` runs the protocol × attack × speed matrix instead: all four
+//! protocol variants (DSR, AODV, MTS, hardened MTS) against the canonical
+//! attack axis (clean baseline, eavesdropper coalition, gray/black holes,
+//! mobile eavesdropper, control/data jamming, wormhole pair, rushing relays)
+//! at the canonical speeds {1, 10, 20 m/s}; `--speeds` restricts the speed
+//! axis (comma-separated m/s values).  One table is printed per
+//! (protocol, speed) block with one row per attack and the columns
+//!
+//! * `delivery` — delivered / generated data packets (Fig. 10 metric),
+//! * `thru(pkt)` — unique data packets delivered,
+//! * `adv.drops` — packets deliberately discarded by hostile relays,
+//! * `jammed` — receptions destroyed by selective jamming,
+//! * `coalition` — coalition interception ratio `Pe(coalition)/Pr`,
+//! * `capture` — fraction of delivered data that crossed a hostile node
+//!   (wormhole tunnel or attacker relay).
+//!
+//! The matrix is deterministic per seed.
 
 use manet_experiments::attacks::{attack_matrix, render_attack_matrix, AttackSweepSpec};
 use manet_experiments::figures::{table1_relay_table, FigureId};
@@ -24,6 +40,7 @@ struct Args {
     figure: Option<u32>,
     table: Option<u32>,
     attacks: bool,
+    speeds: Option<Vec<f64>>,
     all: bool,
 }
 
@@ -34,6 +51,7 @@ fn parse_args() -> Args {
         figure: None,
         table: None,
         attacks: false,
+        speeds: None,
         all: true,
     };
     let mut it = std::env::args().skip(1);
@@ -71,6 +89,24 @@ fn parse_args() -> Args {
                 args.attacks = true;
                 args.all = false;
             }
+            "--speeds" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| usage("--speeds needs a comma-separated list of m/s"));
+                let speeds: Option<Vec<f64>> = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|v| v.is_finite() && *v >= 0.0)
+                    })
+                    .collect();
+                match speeds {
+                    Some(s) if !s.is_empty() => args.speeds = Some(s),
+                    _ => usage("--speeds needs a comma-separated list of finite non-negative m/s"),
+                }
+            }
             "--all" => args.all = true,
             "--help" | "-h" => {
                 usage("");
@@ -87,7 +123,15 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: reproduce [--duration SECS] [--seeds N] \
-         [--figure 5..11 | --table 1 | --attacks | --all]"
+         [--figure 5..11 | --table 1 | --attacks [--speeds S1,S2,..] | --all]\n\
+         \n\
+         --attacks prints one table per (protocol, speed) block — protocols \
+         DSR/AODV/MTS/MTS-H, speeds {{1, 10, 20}} m/s unless --speeds narrows \
+         them — with one row per attack and the columns: delivery (delivered/\
+         generated data packets), thru(pkt) (unique packets delivered), \
+         adv.drops (packets discarded by hostile relays), jammed (receptions \
+         destroyed by jammers), coalition (Pe(coalition)/Pr), capture \
+         (fraction of delivered data crossing a hostile node)."
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -108,12 +152,16 @@ fn figure_by_number(n: u32) -> Option<FigureId> {
 fn main() {
     let args = parse_args();
     if args.attacks {
-        let spec = AttackSweepSpec::canonical(args.duration, args.seeds);
+        let spec = match args.speeds {
+            Some(speeds) => AttackSweepSpec::canonical_at_speeds(args.duration, args.seeds, speeds),
+            None => AttackSweepSpec::canonical(args.duration, args.seeds),
+        };
         eprintln!(
-            "# MTS attack matrix: {} runs ({} protocols x {} attacks x {} seeds), {} simulated seconds each",
+            "# MTS attack matrix: {} runs ({} protocols x {} attacks x {} speeds x {} seeds), {} simulated seconds each",
             spec.total_runs(),
             spec.protocols.len(),
             spec.attacks.len(),
+            spec.speeds.len(),
             spec.seeds.len(),
             spec.duration
         );

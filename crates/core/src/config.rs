@@ -1,5 +1,6 @@
 //! MTS protocol configuration.
 
+use manet_routing::suspicion::RouteCheckConfig;
 use serde::{Deserialize, Serialize};
 
 /// Tuning parameters for the MTS protocol.
@@ -7,7 +8,10 @@ use serde::{Deserialize, Serialize};
 /// Defaults follow the paper: at most five disjoint paths stored at the
 /// destination, a route-checking period of three seconds (the paper says
 /// "two to four seconds is acceptable", sized from the channel coherence
-/// time), and AODV-like discovery retry behaviour.
+/// time), and AODV-like discovery retry behaviour.  The route-check
+/// hardening mode (suspicious-reply cross-validation + per-relay suspicion,
+/// see [`RouteCheckConfig`]) is off by default, keeping the default
+/// configuration byte-identical to the paper's protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MtsConfig {
     /// Maximum number of disjoint paths kept at the destination (paper: 5).
@@ -31,6 +35,8 @@ pub struct MtsConfig {
     /// instead of using only the best one (SMR-like concurrent multipath,
     /// which the related work shows hurts TCP).
     pub concurrent_striping: bool,
+    /// Route-check hardening knobs (disabled by default).
+    pub route_check: RouteCheckConfig,
 }
 
 impl Default for MtsConfig {
@@ -45,6 +51,7 @@ impl Default for MtsConfig {
             buffer_capacity: 64,
             buffer_max_age: 8.0,
             concurrent_striping: false,
+            route_check: RouteCheckConfig::default(),
         }
     }
 }
@@ -70,6 +77,7 @@ impl MtsConfig {
         if self.buffer_capacity == 0 {
             return Err("buffer_capacity must be at least 1".into());
         }
+        self.route_check.validate()?;
         Ok(())
     }
 
@@ -90,6 +98,28 @@ impl MtsConfig {
             ..Self::default()
         }
     }
+
+    /// This configuration with the route-check hardening mode switched on
+    /// (suspicious-reply cross-validation + per-relay suspicion scores).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mts_core::MtsConfig;
+    ///
+    /// let hard = MtsConfig::default().hardened();
+    /// assert!(hard.route_check.enabled);
+    /// // Every paper knob is untouched; only the defense is armed.
+    /// assert_eq!(hard.max_paths, MtsConfig::default().max_paths);
+    /// hard.validate().unwrap();
+    /// ```
+    pub fn hardened(mut self) -> Self {
+        self.route_check = RouteCheckConfig {
+            enabled: true,
+            ..self.route_check
+        };
+        self
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +139,26 @@ mod tests {
     fn ablation_constructors() {
         assert_eq!(MtsConfig::with_check_period(0.5).check_period, 0.5);
         assert_eq!(MtsConfig::with_max_paths(8).max_paths, 8);
+    }
+
+    #[test]
+    fn hardening_is_off_by_default_and_armable() {
+        assert!(!MtsConfig::default().route_check.enabled);
+        let hard = MtsConfig::default().hardened();
+        assert!(hard.route_check.enabled);
+        hard.validate().unwrap();
+        // Arming only flips the switch; all paper knobs are untouched.
+        assert_eq!(
+            MtsConfig {
+                route_check: RouteCheckConfig::default(),
+                ..hard
+            },
+            MtsConfig::default()
+        );
+        // Invalid hardening knobs are caught by the top-level validation.
+        let mut bad = MtsConfig::default().hardened();
+        bad.route_check.suspicion_decay = 2.0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -32,6 +32,14 @@
 //! The agent implements the same [`manet_routing::RoutingAgent`] trait as the
 //! DSR and AODV baselines, so the experiment harness can swap protocols
 //! freely.
+//!
+//! ## Hardening mode
+//!
+//! [`MtsConfig::hardened`] arms the route-check hardening defenses
+//! (suspicious-reply cross-validation + per-relay suspicion scores, see
+//! [`manet_routing::suspicion`]) against insider attackers — black holes,
+//! rushing relays — that plain route checking cannot catch.  Off by default;
+//! disabled runs are byte-identical to the paper's protocol.
 
 pub mod config;
 pub mod disjoint;
@@ -41,6 +49,7 @@ pub mod source_state;
 
 pub use config::MtsConfig;
 pub use disjoint::{first_last_hop_disjoint, node_disjoint};
+pub use manet_routing::suspicion::{RouteCheckConfig, SuspicionTable};
 pub use path_set::{PathSet, StoredPath};
 pub use protocol::Mts;
 pub use source_state::SourceRouteState;

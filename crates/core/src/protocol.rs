@@ -16,6 +16,30 @@
 //! * **intermediate** node — relays only the first copy of each RREQ, builds
 //!   reverse routes from RREQs and forward routes from RREPs and checking
 //!   packets, forwards data hop-by-hop, and reports broken links upstream.
+//!
+//! # Hardening mode
+//!
+//! With [`RouteCheckConfig::enabled`](manet_routing::suspicion::RouteCheckConfig)
+//! set (see [`MtsConfig::hardened`]), every MTS node additionally defends the
+//! route-checking machinery against insiders:
+//!
+//! * **Suspicious-reply cross-validation** — a route reply whose destination
+//!   sequence number jumps implausibly far beyond the best credibly learned
+//!   value (the black-hole attraction forgery) is never cached or installed.
+//!   Intermediates drop it outright, so the poison stops at the first honest
+//!   hop; the source quarantines the claim and leaves its pending discovery
+//!   armed, so the retry flood doubles as a second, disjoint probe.  If that
+//!   probe answers through a different relay, the quarantined claim stays
+//!   unconfirmed and the relay that delivered it earns a forgery penalty.
+//! * **Per-relay suspicion scores** — failed route checks distribute blame
+//!   across the failed path's intermediates; the destination refuses to store
+//!   candidate paths through relays whose score crossed the threshold, which
+//!   biases the disjoint path set away from repeat offenders.  Scores decay
+//!   every checking round, so relays that behave recover.
+//!
+//! With hardening disabled (the default) none of these code paths are
+//! entered, no extra state is touched and no randomness is drawn — runs are
+//! byte-identical to the unhardened protocol.
 
 use crate::config::MtsConfig;
 use crate::path_set::PathSet;
@@ -23,6 +47,7 @@ use crate::source_state::{CheckArrival, SourceRouteState};
 use manet_netsim::{Ctx, Duration, SimTime, TimerToken};
 use manet_routing::agent::{RoutingAgent, RoutingStats, TimerClass};
 use manet_routing::common::{PacketBuffer, SeenTable};
+use manet_routing::suspicion::SuspicionTable;
 use manet_routing::table::RoutingTable;
 use manet_wire::{
     BroadcastId, CheckError, CheckId, DataPacket, NetPacket, NodeId, RouteCheck, RouteError,
@@ -49,6 +74,16 @@ struct PendingDiscovery {
     generation: u64,
 }
 
+/// The suspicious route replies held for cross-validation towards one
+/// destination (hardened mode).  Every distinct delivering relay is kept:
+/// two colluders answering the same discovery must both be penalized when
+/// the disjoint probe exposes them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct QuarantinedReplies {
+    /// Relays that delivered suspicious replies, in arrival order.
+    relays: Vec<NodeId>,
+}
+
 /// One node's MTS agent.
 pub struct Mts {
     me: NodeId,
@@ -71,6 +106,14 @@ pub struct Mts {
     holddown: HashMap<NodeId, manet_netsim::SimTime>,
     timer_generation: u64,
     stats: RoutingStats,
+    // ---- hardened mode only (empty and untouched when disabled) ----
+    /// Per-relay suspicion scores from failed route checks.
+    suspicion: SuspicionTable,
+    /// Best credibly learned destination sequence number, per destination.
+    credible_seqno: HashMap<NodeId, SeqNo>,
+    /// Quarantined suspicious replies awaiting cross-validation, per
+    /// destination (source role only).
+    quarantine: HashMap<NodeId, QuarantinedReplies>,
 }
 
 impl Mts {
@@ -91,6 +134,9 @@ impl Mts {
             holddown: HashMap::new(),
             timer_generation: 0,
             stats: RoutingStats::default(),
+            suspicion: SuspicionTable::new(),
+            credible_seqno: HashMap::new(),
+            quarantine: HashMap::new(),
         }
     }
 
@@ -118,6 +164,65 @@ impl Mts {
     /// Total number of route switches performed as a source.
     pub fn route_switches(&self) -> u64 {
         self.sources.values().map(|s| s.switches()).sum()
+    }
+
+    /// Per-relay suspicion scores (hardened mode; empty otherwise).
+    pub fn suspicion(&self) -> &SuspicionTable {
+        &self.suspicion
+    }
+
+    /// Relays whose suspicious replies for `dest` are quarantined (hardened
+    /// mode; tests / diagnostics).  Empty when nothing is quarantined.
+    pub fn quarantined_relays(&self, dest: NodeId) -> &[NodeId] {
+        self.quarantine
+            .get(&dest)
+            .map_or(&[], |q| q.relays.as_slice())
+    }
+
+    /// Classify a route reply under the hardening rules and update the
+    /// cross-validation state.  Returns `true` when the reply must be
+    /// discarded (suspicious); only called in hardened mode.
+    fn hardened_rrep_is_suspicious(&mut self, from: NodeId, rrep: &RouteReply) -> bool {
+        let hard = self.config.route_check;
+        let credible = self.credible_seqno.get(&rrep.destination).copied();
+        if hard.seqno_is_suspicious(rrep.dest_seqno, credible)
+            || self.suspicion.is_suspect(from, hard.suspicion_threshold)
+        {
+            // Cross-validation (AODVSEC-style): never cache or install the
+            // claim.  At the source the pending discovery stays armed, so
+            // its retry flood doubles as the second, disjoint probe that
+            // either confirms the destination independently or exposes the
+            // forgery; intermediates drop the reply outright, stopping the
+            // table poison at the first honest hop.
+            if rrep.source == self.me {
+                let q = self.quarantine.entry(rrep.destination).or_default();
+                if !q.relays.contains(&from) {
+                    q.relays.push(from);
+                }
+            }
+            return true;
+        }
+        // Credible reply: advance the per-destination baseline ...
+        let entry = self
+            .credible_seqno
+            .entry(rrep.destination)
+            .or_insert(rrep.dest_seqno);
+        if rrep.dest_seqno.fresher_than(*entry) {
+            *entry = rrep.dest_seqno;
+        }
+        // ... and resolve the quarantined claims: every claim that was
+        // answered through a different relay stays unconfirmed and costs its
+        // relay the forgery penalty.
+        if rrep.source == self.me {
+            if let Some(q) = self.quarantine.remove(&rrep.destination) {
+                for relay in q.relays {
+                    if relay != from {
+                        self.suspicion.penalize(relay, hard.forgery_penalty);
+                    }
+                }
+            }
+        }
+        false
     }
 
     // ---- source side -----------------------------------------------------------
@@ -304,6 +409,15 @@ impl Mts {
             p.push(self.me);
             p
         };
+        // Hardened path-set bias: refuse to store candidate paths through
+        // relays whose suspicion score crossed the threshold — repeat
+        // offenders are selected away from, not checked forever.
+        let hard = self.config.route_check;
+        let path_tainted = hard.enabled
+            && full_path.len() > 2
+            && self
+                .suspicion
+                .any_suspect(&full_path[1..full_path.len() - 1], hard.suspicion_threshold);
         let max_paths = self.config.max_paths;
         let session = self
             .sessions
@@ -315,9 +429,11 @@ impl Mts {
                 checking_active: false,
             });
         // Newer floods flush the stored set inside `offer`; every copy is a
-        // candidate for the disjoint set.
-        let stored = session.paths.offer(rreq.broadcast_id, full_path, now);
-        let _ = stored;
+        // candidate for the disjoint set (unless its relays are suspects).
+        if !path_tainted {
+            let stored = session.paths.offer(rreq.broadcast_id, full_path, now);
+            let _ = stored;
+        }
 
         if first_copy {
             // Reply immediately to the first copy (paper §III-B).
@@ -339,6 +455,9 @@ impl Mts {
 
     fn handle_rrep(&mut self, ctx: &mut Ctx<'_>, from: NodeId, mut rrep: RouteReply) {
         let now = ctx.now();
+        if self.config.route_check.enabled && self.hardened_rrep_is_suspicious(from, &rrep) {
+            return;
+        }
         // Forward route to the destination through `from`.
         self.table.update(
             rrep.destination,
@@ -394,6 +513,12 @@ impl Mts {
     /// Emit one round of checking packets for the session with `source`.
     fn run_check_round(&mut self, ctx: &mut Ctx<'_>, source: NodeId) {
         let now = ctx.now();
+        if self.config.route_check.enabled {
+            // Suspicion is evidence with a half-life: relays that keep
+            // behaving recover one checking round at a time.
+            self.suspicion
+                .decay_all(self.config.route_check.suspicion_decay);
+        }
         let Some(session) = self.sessions.get_mut(&source) else {
             return;
         };
@@ -527,8 +652,25 @@ impl Mts {
             // keep checking; otherwise the next RREQ will rebuild the set.
             if let Some(session) = self.sessions.get_mut(&err.source) {
                 let idx = err.path_index as usize;
-                if session.paths.remove(idx).is_none() {
-                    // Index no longer valid (set already changed); nothing to do.
+                match session.paths.remove(idx) {
+                    Some(removed) if self.config.route_check.enabled => {
+                        // Hardened: a failed check is evidence against every
+                        // intermediate of the failed path — the blame is
+                        // shared, repeat offenders accumulate it.
+                        let inters = removed.intermediates();
+                        if !inters.is_empty() {
+                            let share =
+                                self.config.route_check.check_failure_penalty / inters.len() as f64;
+                            let inters = inters.to_vec();
+                            for n in inters {
+                                self.suspicion.penalize(n, share);
+                            }
+                        }
+                    }
+                    _ => {
+                        // Index no longer valid (set already changed) or
+                        // unhardened; nothing more to do.
+                    }
                 }
             }
             return;
@@ -745,6 +887,67 @@ mod tests {
         assert_eq!(m.route_switches(), 0);
         assert_eq!(m.stored_paths_for(NodeId(0)), 0);
         assert!(m.source_state(NodeId(9)).is_none());
+    }
+
+    fn rrep(source: u16, dest: u16, via: u16, seqno: u32) -> RouteReply {
+        RouteReply {
+            source: NodeId(source),
+            destination: NodeId(dest),
+            reply_id: BroadcastId(1),
+            hop_count: 1,
+            route: vec![NodeId(via)],
+            dest_seqno: SeqNo(seqno),
+        }
+    }
+
+    #[test]
+    fn hardened_source_quarantines_forged_replies_and_penalizes_on_probe() {
+        let mut m = Mts::new(NodeId(0), MtsConfig::default().hardened());
+        // Two colluding black holes' forgeries, delivered by relays 4 and 6:
+        // both claims are quarantined (neither displaces the other).
+        assert!(m.hardened_rrep_is_suspicious(NodeId(4), &rrep(0, 9, 4, 0x00FF_FFFF)));
+        assert!(m.hardened_rrep_is_suspicious(NodeId(6), &rrep(0, 9, 6, 0x00FF_FFFE)));
+        assert_eq!(m.quarantined_relays(NodeId(9)), &[NodeId(4), NodeId(6)]);
+        // The disjoint probe answers credibly through relay 5: the quarantine
+        // resolves and BOTH unconfirmed forgers earn the penalty.
+        let genuine = rrep(0, 9, 5, 3);
+        assert!(!m.hardened_rrep_is_suspicious(NodeId(5), &genuine));
+        assert!(m.quarantined_relays(NodeId(9)).is_empty());
+        assert!(m.suspicion().score(NodeId(4)) > 0.0);
+        assert!(m.suspicion().score(NodeId(6)) > 0.0);
+        assert_eq!(m.suspicion().score(NodeId(5)), 0.0);
+        // Genuine progress over the learned baseline stays credible.
+        assert!(!m.hardened_rrep_is_suspicious(NodeId(5), &rrep(0, 9, 5, 40)));
+    }
+
+    #[test]
+    fn hardened_intermediate_discards_suspicious_replies_without_quarantine() {
+        // Node 2 forwards replies of a session it does not source: a forged
+        // reply is classified suspicious (dropped by handle_rrep) but no
+        // quarantine entry is created.
+        let mut m = Mts::new(NodeId(2), MtsConfig::default().hardened());
+        let forged = rrep(0, 9, 4, 0x00FF_FFFF);
+        assert!(m.hardened_rrep_is_suspicious(NodeId(4), &forged));
+        assert!(m.quarantined_relays(NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn suspect_relays_are_distrusted_even_with_credible_seqnos() {
+        let config = MtsConfig::default().hardened();
+        let mut m = Mts::new(NodeId(0), config);
+        let threshold = config.route_check.suspicion_threshold;
+        m.suspicion.penalize(NodeId(4), threshold);
+        // Same credible sequence number: trusted relay passes, suspect fails.
+        assert!(!m.hardened_rrep_is_suspicious(NodeId(5), &rrep(0, 9, 5, 2)));
+        assert!(m.hardened_rrep_is_suspicious(NodeId(4), &rrep(0, 9, 4, 2)));
+    }
+
+    #[test]
+    fn unhardened_agent_keeps_no_hardening_state() {
+        let m = Mts::new(NodeId(1), MtsConfig::default());
+        assert_eq!(m.suspicion().tracked(), 0);
+        assert!(m.quarantined_relays(NodeId(9)).is_empty());
+        assert!(!m.config().route_check.enabled);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::scenario::Scenario;
 use crate::stack::TcpRunStats;
-use manet_adversary::{coalition_curve, AttackKind};
+use manet_adversary::{capture_report, coalition_curve, AttackKind};
 use manet_netsim::Recorder;
 use manet_security::{
     interception::summarize, participating_nodes, relay_distribution, RelayDistribution,
@@ -19,6 +19,10 @@ pub struct RunMetrics {
     // --- security (Figs. 5-7, Table I) -----------------------------------------
     /// Number of intermediate nodes that relayed at least one data packet (Fig. 5).
     pub participating_nodes: usize,
+    /// Mean number of distinct relays per 10 s window (the windowed Fig. 5
+    /// variant: how many nodes carry the session *at a time*, instead of the
+    /// churn-inflated cumulative count).
+    pub mean_windowed_participants: f64,
     /// Standard deviation of the normalized relay shares (Fig. 6).
     pub relay_std_dev: f64,
     /// Interception ratio of the designated (random) eavesdropper (Eq. 1).
@@ -34,6 +38,10 @@ pub struct RunMetrics {
     pub adversary_drops: u64,
     /// Receptions destroyed by selective jamming.
     pub jammed_frames: u64,
+    /// Fraction of the delivered data the hostile nodes captured (relayed or
+    /// tunneled) — the headline number for route-attraction attacks
+    /// (wormhole, rushing, black-hole attraction); 0 for other attacks.
+    pub attacker_capture_ratio: f64,
 
     // --- TCP performance (Figs. 8-11) -------------------------------------------
     /// Mean end-to-end delay of delivered data packets, seconds (Fig. 8).
@@ -98,14 +106,21 @@ impl RunMetrics {
             .map_or(0.0, |r| r.interception_ratio()),
             _ => 0.0,
         };
+        let attacker_capture_ratio = if scenario.attack.captures_traffic() {
+            capture_report(recorder, &scenario.attackers).capture_ratio()
+        } else {
+            0.0
+        };
         RunMetrics {
             participating_nodes: participating_nodes(recorder),
+            mean_windowed_participants: recorder.mean_windowed_participants(10.0),
             relay_std_dev: distribution.std_dev,
             interception_ratio: interception.designated_ratio,
             highest_interception_ratio: interception.highest_ratio,
             coalition_interception_ratio,
             adversary_drops: recorder.adversary_drops(),
             jammed_frames: recorder.jammed_frames(),
+            attacker_capture_ratio,
             mean_delay: recorder.mean_delay_secs(),
             throughput_packets: delivered,
             throughput_bytes_per_sec: if duration > 0.0 {
@@ -153,12 +168,14 @@ impl RunMetrics {
                 .sum::<f64>()
                 / n)
                 .round() as usize,
+            mean_windowed_participants: avg_f(&|r| r.mean_windowed_participants),
             relay_std_dev: avg_f(&|r| r.relay_std_dev),
             interception_ratio: avg_f(&|r| r.interception_ratio),
             highest_interception_ratio: avg_f(&|r| r.highest_interception_ratio),
             coalition_interception_ratio: avg_f(&|r| r.coalition_interception_ratio),
             adversary_drops: avg_u(&|r| r.adversary_drops),
             jammed_frames: avg_u(&|r| r.jammed_frames),
+            attacker_capture_ratio: avg_f(&|r| r.attacker_capture_ratio),
             mean_delay: avg_f(&|r| r.mean_delay),
             throughput_packets: avg_u(&|r| r.throughput_packets),
             throughput_bytes_per_sec: avg_f(&|r| r.throughput_bytes_per_sec),
@@ -195,7 +212,7 @@ mod tests {
             rec.record_originated(PacketId(id), true, SimTime::ZERO);
         }
         for id in 0..8u64 {
-            rec.record_relay(NodeId(3), PacketId(id), true);
+            rec.record_relay(NodeId(3), PacketId(id), true, SimTime::ZERO);
             rec.record_delivered(
                 NodeId(9),
                 PacketId(id),

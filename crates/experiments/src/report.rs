@@ -90,7 +90,7 @@ mod tests {
     use crate::metrics::RunMetrics;
     use crate::protocol::Protocol;
     use crate::runner::{AggregatedPoint, SweepOutcome};
-    use manet_netsim::Recorder;
+    use manet_netsim::{Recorder, SimTime};
     use manet_security::relay_distribution;
     use manet_wire::{NodeId, PacketId};
 
@@ -137,7 +137,12 @@ mod tests {
         let mut rec = Recorder::new();
         for (node, count) in [(2u16, 10u64), (7, 30)] {
             for i in 0..count {
-                rec.record_relay(NodeId(node), PacketId(u64::from(node) * 1000 + i), true);
+                rec.record_relay(
+                    NodeId(node),
+                    PacketId(u64::from(node) * 1000 + i),
+                    true,
+                    SimTime::ZERO,
+                );
             }
         }
         let table = relay_distribution(&rec);

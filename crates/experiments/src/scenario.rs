@@ -58,6 +58,28 @@ impl Scenario {
     /// scenario's own random stream, so two protocols run with the same
     /// `seed` see the same endpoints and eavesdropper — the paired comparison
     /// the paper's figures rely on.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use manet_experiments::{Protocol, Scenario};
+    /// use manet_adversary::AttackConfig;
+    ///
+    /// // The clean paper environment at 10 m/s ...
+    /// let clean = Scenario::paper(Protocol::Mts, 10.0, 1);
+    /// clean.validate().unwrap();
+    /// assert_eq!(clean.sim.num_nodes, 50);
+    /// assert!(clean.attackers.is_empty());
+    ///
+    /// // ... and the same seed armed with two black-hole relays: the
+    /// // endpoints and eavesdropper draw is unchanged, the attackers are
+    /// // placed deterministically away from them.
+    /// let hostile = Scenario::paper(Protocol::Mts, 10.0, 1)
+    ///     .with_attack(AttackConfig::blackhole(2));
+    /// hostile.validate().unwrap();
+    /// assert_eq!(hostile.flows, clean.flows);
+    /// assert_eq!(hostile.attackers.len(), 2);
+    /// ```
     pub fn paper(protocol: Protocol, max_speed: f64, seed: u64) -> Self {
         let sim = SimConfig::paper_environment(max_speed, seed);
         Self::from_sim(protocol, sim)
@@ -169,16 +191,20 @@ impl Scenario {
 
     /// Arm an adversary for this run.
     ///
-    /// Hostile nodes (black holes, jammers) are drawn from a salted stream of
-    /// the scenario seed, excluding the traffic endpoints and the designated
-    /// eavesdropper — so two protocols at the same seed face the *same*
-    /// attackers, preserving the paired comparisons the figures rely on.
-    /// Jamming attacks additionally install the engine-level
-    /// [`manet_netsim::JamConfig`]; re-arming replaces any previous attack.
+    /// Hostile nodes (black holes, jammers, wormhole endpoints, rushers) are
+    /// drawn from a salted stream of the scenario seed, excluding the traffic
+    /// endpoints and the designated eavesdropper — so two protocols at the
+    /// same seed face the *same* attackers, preserving the paired comparisons
+    /// the figures rely on.  Jamming, wormhole and rushing attacks
+    /// additionally install their engine-level hooks
+    /// ([`manet_netsim::JamConfig`], [`manet_netsim::WormholeConfig`],
+    /// [`manet_netsim::RushConfig`]); re-arming replaces any previous attack.
     pub fn with_attack(mut self, attack: AttackConfig) -> Self {
         self.attack = attack;
         self.attackers.clear();
         self.sim.jamming = None;
+        self.sim.wormhole = None;
+        self.sim.rush = None;
         let needed = attack.attackers_needed();
         if needed > 0 {
             let mut rngs = RngStreams::new(self.sim.seed ^ 0xad5e_7a11);
@@ -201,6 +227,8 @@ impl Scenario {
             }
         }
         self.sim.jamming = self.attack.jam_config(&self.attackers);
+        self.sim.wormhole = self.attack.wormhole_config(&self.attackers);
+        self.sim.rush = self.attack.rush_config(&self.attackers);
         self
     }
 
@@ -389,6 +417,35 @@ mod tests {
         assert!(clean.sim.jamming.is_none());
         assert!(clean.attackers.is_empty());
         clean.validate().unwrap();
+    }
+
+    #[test]
+    fn wormhole_attack_installs_the_engine_tunnel() {
+        let s = Scenario::paper(Protocol::Mts, 10.0, 3).with_attack(AttackConfig::wormhole());
+        s.validate().unwrap();
+        assert_eq!(s.attackers.len(), 2);
+        let w = s.sim.wormhole.as_ref().expect("tunnel installed");
+        assert_eq!((w.a, w.b), (s.attackers[0], s.attackers[1]));
+        assert!(s.sim.rush.is_none() && s.sim.jamming.is_none());
+        // Same seed, same endpoints across protocols (paired comparisons).
+        let t = Scenario::paper(Protocol::Aodv, 10.0, 3).with_attack(AttackConfig::wormhole());
+        assert_eq!(s.attackers, t.attackers);
+        // Disarming removes the hook again.
+        let clean = s.with_attack(AttackConfig::none());
+        assert!(clean.sim.wormhole.is_none());
+        clean.validate().unwrap();
+    }
+
+    #[test]
+    fn rushing_attack_installs_the_engine_rush_config() {
+        let s = Scenario::paper(Protocol::Dsr, 10.0, 4).with_attack(AttackConfig::rushing(2));
+        s.validate().unwrap();
+        assert_eq!(s.attackers.len(), 2);
+        let rush = s.sim.rush.as_ref().expect("rush config installed");
+        assert_eq!(rush.rushers, s.attackers);
+        assert!(s.sim.wormhole.is_none());
+        let clean = s.with_attack(AttackConfig::none());
+        assert!(clean.sim.rush.is_none());
     }
 
     #[test]

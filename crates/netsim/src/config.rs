@@ -132,6 +132,64 @@ impl JamConfig {
     }
 }
 
+/// A wormhole: two colluding nodes joined by an out-of-band tunnel the radio
+/// model cannot see.
+///
+/// The tunnel makes the endpoints behave like direct neighbours no matter how
+/// far apart they are:
+///
+/// * a **unicast** from one endpoint to the other bypasses the MAC entirely
+///   (no airtime, no carrier sense, no retries) and is delivered after
+///   `delay`;
+/// * a **broadcast** transmitted *by* an endpoint is additionally replayed to
+///   the far endpoint after `delay` (unless it already heard it by radio), so
+///   route-discovery floods cross the tunnel and discovered routes collapse
+///   through the pair.
+///
+/// Everything crossing the tunnel is counted by the recorder (the wormhole
+/// *capture* metrics).  With `wormhole: None` the engine takes no extra
+/// branches and draws no extra randomness, so clean runs stay byte-identical
+/// to pre-adversary traces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WormholeConfig {
+    /// One tunnel endpoint.
+    pub a: NodeId,
+    /// The other tunnel endpoint.
+    pub b: NodeId,
+    /// One-way tunnel latency, seconds (out-of-band links are typically much
+    /// faster than the multi-hop radio path they shortcut).
+    pub delay: Duration,
+}
+
+impl WormholeConfig {
+    /// The far endpoint of the tunnel, if `node` is an endpoint.
+    pub fn peer_of(&self, node: NodeId) -> Option<NodeId> {
+        if node == self.a {
+            Some(self.b)
+        } else if node == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// Rushing attackers: nodes that transmit with zero processing delay.
+///
+/// The classical rushing attack (Hu–Perrig–Johnson) wins route discovery by
+/// forwarding RREQs faster than honest nodes, whose forwarding is randomly
+/// delayed; duplicate suppression then discards the honest copies arriving
+/// later, so discovered routes run through the attacker.  In this MAC the
+/// randomized forwarding delay *is* the DIFS + contention backoff, so a
+/// rushing node simply skips both (it still defers while the medium is
+/// sensed busy — it cheats the protocol, not physics).  With `rush: None`
+/// the backoff path is untouched and clean runs stay byte-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RushConfig {
+    /// Nodes transmitting without DIFS or backoff.
+    pub rushers: Vec<NodeId>,
+}
+
 /// Strategy the engine uses to answer "who can hear this transmission?".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum NeighborIndex {
@@ -147,6 +205,23 @@ pub enum NeighborIndex {
 }
 
 /// Full simulation configuration.
+///
+/// # Examples
+///
+/// The defaults reproduce the paper's Section IV-A environment; individual
+/// fields can be overridden before the configuration is validated:
+///
+/// ```
+/// use manet_netsim::{Duration, SimConfig};
+///
+/// let mut config = SimConfig::paper_environment(10.0, 42);
+/// config.duration = Duration::from_secs(30.0);
+/// config.validate().expect("a tweaked paper environment is still valid");
+/// assert_eq!(config.num_nodes, 50);
+/// assert_eq!(config.radio.range_m, 250.0);
+/// assert_eq!(config.mobility.max_speed, 10.0);
+/// assert!(config.jamming.is_none() && config.wormhole.is_none() && config.rush.is_none());
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Number of nodes (paper: 50).
@@ -173,6 +248,10 @@ pub struct SimConfig {
     pub grid_slack_m: f64,
     /// Selective jamming adversary, if any (see [`JamConfig`]).
     pub jamming: Option<JamConfig>,
+    /// Wormhole adversary, if any (see [`WormholeConfig`]).
+    pub wormhole: Option<WormholeConfig>,
+    /// Rushing adversary, if any (see [`RushConfig`]).
+    pub rush: Option<RushConfig>,
 }
 
 impl Default for SimConfig {
@@ -189,6 +268,8 @@ impl Default for SimConfig {
             neighbor_index: NeighborIndex::default(),
             grid_slack_m: 25.0,
             jamming: None,
+            wormhole: None,
+            rush: None,
         }
     }
 }
@@ -248,6 +329,28 @@ impl SimConfig {
             }
             if let Some(bad) = jam.jammers.iter().find(|j| j.0 >= self.num_nodes) {
                 return Err(format!("jammer {bad} is not a valid node id"));
+            }
+        }
+        if let Some(w) = &self.wormhole {
+            if w.a == w.b {
+                return Err("wormhole endpoints must be two distinct nodes".into());
+            }
+            if w.a.0 >= self.num_nodes || w.b.0 >= self.num_nodes {
+                return Err("wormhole endpoints must be valid node ids".into());
+            }
+            // `Duration` is non-negative and finite by construction.
+        }
+        if let Some(rush) = &self.rush {
+            if rush.rushers.is_empty() {
+                return Err("rushing needs at least one rusher node".into());
+            }
+            if let Some(bad) = rush.rushers.iter().find(|r| r.0 >= self.num_nodes) {
+                return Err(format!("rusher {bad} is not a valid node id"));
+            }
+            for (i, r) in rush.rushers.iter().enumerate() {
+                if rush.rushers[..i].contains(r) {
+                    return Err(format!("rusher {r} is listed twice"));
+                }
             }
         }
         if let ChannelModel::Shadowed {
@@ -368,6 +471,45 @@ mod tests {
             .effective_range(250.0),
             100.0
         );
+    }
+
+    #[test]
+    fn wormhole_config_is_validated() {
+        let worm = |a: u16, b: u16, delay: f64| {
+            let mut c = SimConfig::default();
+            c.wormhole = Some(WormholeConfig {
+                a: NodeId(a),
+                b: NodeId(b),
+                delay: Duration::from_secs(delay),
+            });
+            c
+        };
+        worm(3, 7, 1e-6).validate().unwrap();
+        assert!(worm(3, 3, 1e-6).validate().is_err(), "distinct endpoints");
+        assert!(worm(3, 200, 1e-6).validate().is_err(), "valid ids");
+        let w = WormholeConfig {
+            a: NodeId(3),
+            b: NodeId(7),
+            delay: Duration::ZERO,
+        };
+        assert_eq!(w.peer_of(NodeId(3)), Some(NodeId(7)));
+        assert_eq!(w.peer_of(NodeId(7)), Some(NodeId(3)));
+        assert_eq!(w.peer_of(NodeId(4)), None);
+    }
+
+    #[test]
+    fn rush_config_is_validated() {
+        let rush = |nodes: Vec<u16>| {
+            let mut c = SimConfig::default();
+            c.rush = Some(RushConfig {
+                rushers: nodes.into_iter().map(NodeId).collect(),
+            });
+            c
+        };
+        rush(vec![3, 7]).validate().unwrap();
+        assert!(rush(vec![]).validate().is_err(), "non-empty");
+        assert!(rush(vec![200]).validate().is_err(), "valid ids");
+        assert!(rush(vec![3, 3]).validate().is_err(), "no duplicates");
     }
 
     #[test]

@@ -161,6 +161,9 @@ pub struct World {
     /// Precomputed selective-jamming parameters (`None` when no jammer is
     /// configured — the common case pays nothing).
     jam: Option<JamState>,
+    /// Per-node rushing flags (empty when no rushing adversary is configured,
+    /// so the lookup is a bounds-checked miss on the clean path).
+    rush_mask: Vec<bool>,
 }
 
 impl World {
@@ -341,9 +344,40 @@ impl World {
         self.queue.schedule(at, Event::Timer { node, token });
     }
 
+    /// The far wormhole endpoint, if `node` is a tunnel endpoint.
+    fn wormhole_peer(&self, node: NodeId) -> Option<NodeId> {
+        self.config.wormhole.as_ref().and_then(|w| w.peer_of(node))
+    }
+
+    /// True if `node` transmits with zero DIFS/backoff (rushing adversary).
+    fn is_rusher(&self, node: NodeId) -> bool {
+        self.rush_mask.get(node.index()).copied().unwrap_or(false)
+    }
+
     /// Queue a frame at `node`'s MAC and make sure a transmission attempt is
     /// scheduled.
     pub fn mac_enqueue(&mut self, node: NodeId, frame: Frame) {
+        // Wormhole shortcut: a unicast between the tunnel endpoints never
+        // touches the radio — no airtime, no carrier sense, no retries.
+        if let MacDest::Unicast(dst) = frame.mac_dst {
+            if self.wormhole_peer(node) == Some(dst) {
+                let delay = self
+                    .config
+                    .wormhole
+                    .as_ref()
+                    .map_or(Duration::ZERO, |w| w.delay);
+                self.recorder.record_tunneled(&frame.payload);
+                self.queue.schedule(
+                    self.now + delay,
+                    Event::TunnelDeliver {
+                        to: dst,
+                        from: node,
+                        packet: Box::new(frame.payload),
+                    },
+                );
+                return;
+            }
+        }
         let capacity = self.config.mac.queue_capacity;
         let accepted = self.macs[node.index()].enqueue(frame, capacity);
         if !accepted {
@@ -360,7 +394,11 @@ impl World {
         if self.macs[idx].attempt_pending || self.macs[idx].transmitting.is_some() {
             return;
         }
-        let backoff = {
+        // A rushing attacker skips DIFS + backoff entirely (and consumes no
+        // MAC randomness); honest nodes contend normally.
+        let backoff = if self.is_rusher(node) {
+            Duration::ZERO
+        } else {
             let mac_rng = self.rngs.mac();
             self.macs[idx].draw_backoff(&self.config.mac, mac_rng)
         };
@@ -469,6 +507,16 @@ impl Simulator {
                 None
             }
         });
+        let rush_mask = match &config.rush {
+            None => Vec::new(),
+            Some(rush) => {
+                let mut mask = vec![false; config.num_nodes as usize];
+                for r in &rush.rushers {
+                    mask[r.index()] = true;
+                }
+                mask
+            }
+        };
         let world = World {
             now: SimTime::ZERO,
             queue,
@@ -487,6 +535,7 @@ impl Simulator {
             outcomes_scratch: Vec::new(),
             cand_scratch: Vec::new(),
             jam,
+            rush_mask,
             config,
         };
         Simulator {
@@ -592,6 +641,7 @@ impl Simulator {
             Event::MacAttempt { node } => self.mac_attempt(node),
             Event::TxEnd { node, tx } => self.tx_end(node, tx),
             Event::WaypointReached { node, epoch } => self.waypoint_reached(node, epoch),
+            Event::TunnelDeliver { to, from, packet } => self.tunnel_deliver(to, from, *packet),
             Event::ChannelTick => { /* channel state is sampled lazily */ }
             Event::Stop => unreachable!("Stop handled in run()"),
         }
@@ -651,7 +701,10 @@ impl Simulator {
         if self.world.macs[idx].busy_until > now {
             let wait = self.world.macs[idx].busy_until.since(now);
             self.world.macs[idx].attempt_pending = true;
-            let backoff = {
+            // Rushing attackers re-attempt the instant the medium frees up.
+            let backoff = if self.world.is_rusher(node) {
+                Duration::ZERO
+            } else {
                 let mac_cfg = self.world.config.mac.clone();
                 let mac_rng = self.world.rngs.mac();
                 self.world.macs[idx].draw_backoff(&mac_cfg, mac_rng)
@@ -818,6 +871,29 @@ impl Simulator {
             MacDest::Broadcast => {
                 self.world.macs[idx].tx_ok += 1;
                 self.world.macs[idx].reset_backoff();
+                // Wormhole replay: a broadcast *by* a tunnel endpoint also
+                // reaches the far endpoint (unless radio already got it
+                // there), so discovery floods cross the tunnel.
+                if let Some(peer) = self.world.wormhole_peer(node) {
+                    let heard_by_radio = outcomes.iter().any(|&(r, ok)| r == peer && ok);
+                    if !heard_by_radio {
+                        let delay = self
+                            .world
+                            .config
+                            .wormhole
+                            .as_ref()
+                            .map_or(Duration::ZERO, |w| w.delay);
+                        self.world.recorder.record_tunneled(&queued.frame.payload);
+                        self.world.queue.schedule(
+                            now + delay,
+                            Event::TunnelDeliver {
+                                to: peer,
+                                from: node,
+                                packet: Box::new(queued.frame.payload.clone()),
+                            },
+                        );
+                    }
+                }
                 for (r, ok) in &outcomes {
                     if *ok {
                         self.account_reception(*r, &queued.frame, true);
@@ -889,6 +965,33 @@ impl Simulator {
         }
     }
 
+    /// Deliver a tunneled packet at the far wormhole endpoint.  The receiving
+    /// stack sees an ordinary `on_receive` from the near endpoint, so honest
+    /// routing logic treats the pair as direct neighbours.
+    fn tunnel_deliver(&mut self, to: NodeId, from: NodeId, packet: NetPacket) {
+        if let NetPacket::Data(dp) = &packet {
+            let carries = dp.carries_data();
+            if dp.dst == to {
+                self.world.recorder.record_delivered(
+                    to,
+                    dp.id,
+                    carries,
+                    dp.segment.payload_len,
+                    self.world.now,
+                );
+            } else {
+                self.world
+                    .recorder
+                    .record_relay(to, dp.id, carries, self.world.now);
+            }
+        }
+        let mut ctx = Ctx {
+            world: &mut self.world,
+            node: to,
+        };
+        self.stacks[to.index()].on_receive(&mut ctx, from, packet);
+    }
+
     /// Update the recorder for a successful reception of `frame` at `node`.
     /// `addressed` is true when `node` was the MAC destination (or the frame
     /// was a broadcast), false for promiscuous overhearing.
@@ -905,7 +1008,9 @@ impl Simulator {
                         self.world.now,
                     );
                 } else {
-                    self.world.recorder.record_relay(node, dp.id, carries);
+                    self.world
+                        .recorder
+                        .record_relay(node, dp.id, carries, self.world.now);
                 }
             } else {
                 self.world.recorder.record_overheard(node, dp.id, carries);
@@ -1175,6 +1280,157 @@ mod tests {
         assert_eq!(a.data_transmissions(), b.data_transmissions());
         assert_eq!(a.jammed_frames(), 0);
         assert_eq!(a.adversary_drops(), 0);
+    }
+
+    #[test]
+    fn wormhole_tunnels_unicast_across_any_distance() {
+        use crate::config::WormholeConfig;
+        // Two nodes 800 m apart (far beyond the 250 m radio range): without a
+        // wormhole the unicast dies at the retry limit; with the tunnel it is
+        // delivered out-of-band.
+        let run = |wormhole: Option<WormholeConfig>| {
+            let mut config = SimConfig::default();
+            config.num_nodes = 2;
+            config.duration = Duration::from_secs(5.0);
+            config.mobility.max_speed = 0.0;
+            config.wormhole = wormhole;
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let stacks: Vec<Box<dyn NodeStack>> = (0..2)
+                .map(|i| {
+                    Box::new(ChainForwarder {
+                        me: NodeId(i),
+                        last: NodeId(1),
+                        sent: Rc::clone(&log),
+                        origin: i == 0,
+                    }) as Box<dyn NodeStack>
+                })
+                .collect();
+            let sim = Simulator::new(config, Box::new(StaticPlacement::chain(2, 800.0)), stacks);
+            sim.run()
+        };
+        let clean = run(None);
+        assert_eq!(clean.delivered_data_packets(), 0);
+        assert_eq!(clean.tunneled_frames(), 0);
+        let tunneled = run(Some(WormholeConfig {
+            a: NodeId(0),
+            b: NodeId(1),
+            delay: Duration::from_micros(1.0),
+        }));
+        assert_eq!(tunneled.delivered_data_packets(), 1);
+        assert!(tunneled.tunneled_frames() > 0);
+        assert_eq!(tunneled.link_failures(), 0, "the tunnel never fails");
+        assert_eq!(
+            tunneled.tunneled_data_set().len(),
+            1,
+            "the data packet is in the capture set"
+        );
+    }
+
+    #[test]
+    fn wormhole_replays_endpoint_broadcasts_to_the_far_endpoint() {
+        use crate::config::WormholeConfig;
+        // A stack that counts receptions and broadcasts once from node 0.
+        struct Beacon {
+            origin: bool,
+            got: Rc<RefCell<Vec<NodeId>>>,
+            me: NodeId,
+        }
+        impl NodeStack for Beacon {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                if self.origin {
+                    let dp = DataPacket::new(
+                        PacketId(7),
+                        self.me,
+                        NodeId(99),
+                        TcpSegment::data(ConnectionId(0), 0, 0, 100),
+                    );
+                    ctx.send_broadcast(NetPacket::Data(dp));
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
+            fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: NetPacket) {
+                self.got.borrow_mut().push(self.me);
+            }
+            fn on_link_failure(&mut self, _c: &mut Ctx<'_>, _n: NodeId, _p: NetPacket) {}
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let mut config = SimConfig::default();
+        config.num_nodes = 3;
+        config.duration = Duration::from_secs(2.0);
+        config.mobility.max_speed = 0.0;
+        // Chain spacing 400 m: node 1 is out of radio range of node 0, node 2
+        // is 800 m away.  Tunnel 0 <-> 2: only node 2 hears the broadcast.
+        config.wormhole = Some(WormholeConfig {
+            a: NodeId(0),
+            b: NodeId(2),
+            delay: Duration::from_micros(1.0),
+        });
+        let stacks: Vec<Box<dyn NodeStack>> = (0..3)
+            .map(|i| {
+                Box::new(Beacon {
+                    origin: i == 0,
+                    got: Rc::clone(&got),
+                    me: NodeId(i),
+                }) as Box<dyn NodeStack>
+            })
+            .collect();
+        let sim = Simulator::new(config, Box::new(StaticPlacement::chain(3, 400.0)), stacks);
+        let rec = sim.run();
+        assert_eq!(*got.borrow(), vec![NodeId(2)]);
+        assert_eq!(rec.tunneled_frames(), 1);
+    }
+
+    #[test]
+    fn rushing_node_transmits_without_backoff() {
+        use crate::config::RushConfig;
+        // Identical one-hop transfers; the rusher's MacAttempt fires with
+        // zero DIFS/backoff, so its packet is delivered strictly earlier.
+        let run = |rush: Option<RushConfig>| {
+            let mut config = SimConfig::default();
+            config.num_nodes = 2;
+            config.duration = Duration::from_secs(2.0);
+            config.mobility.max_speed = 0.0;
+            config.rush = rush;
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let stacks: Vec<Box<dyn NodeStack>> = (0..2)
+                .map(|i| {
+                    Box::new(ChainForwarder {
+                        me: NodeId(i),
+                        last: NodeId(1),
+                        sent: Rc::clone(&log),
+                        origin: i == 0,
+                    }) as Box<dyn NodeStack>
+                })
+                .collect();
+            let sim = Simulator::new(config, Box::new(StaticPlacement::chain(2, 100.0)), stacks);
+            let rec = sim.run();
+            rec.delivery_series()
+                .first()
+                .map(|&(at, _)| at)
+                .expect("one-hop delivery must succeed")
+        };
+        let honest = run(None);
+        let rushed = run(Some(RushConfig {
+            rushers: vec![NodeId(0)],
+        }));
+        assert!(
+            rushed < honest,
+            "rushing must deliver earlier (rushed {rushed:?}, honest {honest:?})"
+        );
+    }
+
+    #[test]
+    fn wormhole_and_rush_disabled_keep_runs_identical() {
+        // `wormhole: None` / `rush: None` must take no extra branches and
+        // draw no randomness: byte-identical counters across constructions.
+        let (sim_a, _) = chain_sim(4, 200.0);
+        let (sim_b, _) = chain_sim(4, 200.0);
+        let a = sim_a.run();
+        let b = sim_b.run();
+        assert_eq!(a.delivered_data_packets(), b.delivered_data_packets());
+        assert_eq!(a.data_transmissions(), b.data_transmissions());
+        assert_eq!(a.collisions(), b.collisions());
+        assert_eq!(a.tunneled_frames(), 0);
     }
 
     #[test]

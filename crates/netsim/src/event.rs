@@ -7,7 +7,7 @@
 
 use crate::node::TimerToken;
 use crate::time::SimTime;
-use manet_wire::{Frame, NodeId};
+use manet_wire::{Frame, NetPacket, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -44,6 +44,18 @@ pub enum Event {
         node: NodeId,
         /// Waypoint epoch the event belongs to (guards against stale events).
         epoch: u64,
+    },
+    /// A wormhole's out-of-band tunnel delivers a packet at the far endpoint
+    /// (see [`crate::config::WormholeConfig`]).  Only scheduled when a
+    /// wormhole is configured.
+    TunnelDeliver {
+        /// Receiving tunnel endpoint.
+        to: NodeId,
+        /// Transmitting tunnel endpoint (the `from` the stack callback sees).
+        from: NodeId,
+        /// The tunneled network packet (boxed so the rare tunnel variant does
+        /// not inflate every entry of the hot event queue).
+        packet: Box<NetPacket>,
     },
     /// Re-evaluate a shadowed link's fading state.
     ChannelTick,

@@ -39,7 +39,7 @@ pub mod rng;
 pub mod time;
 pub mod topology;
 
-pub use config::{JamConfig, JamTarget, NeighborIndex, SimConfig};
+pub use config::{JamConfig, JamTarget, NeighborIndex, RushConfig, SimConfig, WormholeConfig};
 pub use engine::Simulator;
 pub use event::{Event, EventQueue, ScheduledEvent};
 pub use geometry::{Position, Vector2};

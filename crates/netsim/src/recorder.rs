@@ -8,8 +8,8 @@
 //! the figures.
 
 use crate::time::{Duration, SimTime};
-use manet_wire::{NodeId, PacketId};
-use std::collections::{HashMap, HashSet};
+use manet_wire::{NetPacket, NodeId, PacketId};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Reasons the MAC can drop a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,6 +124,11 @@ pub struct Recorder {
     /// Unique data packets each node *received to relay* (the paper's β as a
     /// set, not just a count).  Coalition coverage metrics union these.
     relayed_ids: HashMap<NodeId, HashSet<PacketId>>,
+    /// Seconds (1 s buckets) in which each node relayed at least one data
+    /// packet.  The windowed participant count (the ROADMAP's Fig. 5 idea:
+    /// participants per interval instead of cumulative participants)
+    /// aggregates these buckets into windows of any multiple of a second.
+    participation_secs: HashMap<NodeId, BTreeSet<u32>>,
 
     // --- adversary accounting ----------------------------------------------------
     adversary_drops: u64,
@@ -131,6 +136,11 @@ pub struct Recorder {
     adversary_drops_by_node: HashMap<NodeId, u64>,
     jammed_control: u64,
     jammed_data: u64,
+    tunneled_frames: u64,
+    /// Unique data-carrying packets that crossed a wormhole tunnel (the
+    /// wormhole pair's capture set, unioned with the endpoints' relay sets by
+    /// the metrics layer).
+    tunneled_data: HashSet<PacketId>,
 
     // --- control plane ----------------------------------------------------------
     control_tx: u64,
@@ -201,11 +211,32 @@ impl Recorder {
 
     /// A node that is not the packet's final destination received a data
     /// packet to forward ("relayed" / "received" in the paper's Table I).
-    pub fn record_relay(&mut self, node: NodeId, packet: PacketId, carries_data: bool) {
+    /// `at` feeds the windowed participant metric (1 s buckets).
+    pub fn record_relay(
+        &mut self,
+        node: NodeId,
+        packet: PacketId,
+        carries_data: bool,
+        at: SimTime,
+    ) {
         if carries_data {
             *self.relays.entry(node).or_insert(0) += 1;
             self.heard.entry(node).or_default().insert(packet);
             self.relayed_ids.entry(node).or_default().insert(packet);
+            self.participation_secs
+                .entry(node)
+                .or_default()
+                .insert(at.as_secs().max(0.0) as u32);
+        }
+    }
+
+    /// A packet crossed a wormhole's out-of-band tunnel (either direction).
+    pub fn record_tunneled(&mut self, packet: &NetPacket) {
+        self.tunneled_frames += 1;
+        if let NetPacket::Data(dp) = packet {
+            if dp.carries_data() {
+                self.tunneled_data.insert(dp.id);
+            }
         }
     }
 
@@ -376,6 +407,75 @@ impl Recorder {
         &self.adversary_drops_by_node
     }
 
+    /// Frames that crossed a wormhole tunnel (all kinds, both directions).
+    pub fn tunneled_frames(&self) -> u64 {
+        self.tunneled_frames
+    }
+
+    /// The unique data-carrying packets that crossed a wormhole tunnel.
+    pub fn tunneled_data_set(&self) -> &HashSet<PacketId> {
+        &self.tunneled_data
+    }
+
+    /// Distinct relaying nodes per time window of `window_secs` seconds,
+    /// from the start of the run through the last observed relay (windows
+    /// with no relay activity count zero).  This is the *windowed*
+    /// participant count: where the cumulative count of
+    /// [`Recorder::relay_counts`] rewards route churn (every break recruits
+    /// fresh relays forever), the windowed count asks how many nodes carry
+    /// the session *at a time*.
+    ///
+    /// Participation is recorded in 1 s buckets, so `window_secs` must be a
+    /// whole number of seconds (fractional windows would silently misassign
+    /// bucket boundaries).
+    ///
+    /// # Panics
+    /// Panics if `window_secs` is not a positive whole number of seconds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use manet_netsim::{Recorder, SimTime};
+    /// use manet_netsim::wire::{NodeId, PacketId};
+    ///
+    /// let mut rec = Recorder::new();
+    /// // Nodes 1 and 2 relay early, node 3 relays in the third window.
+    /// rec.record_relay(NodeId(1), PacketId(10), true, SimTime::from_secs(1.0));
+    /// rec.record_relay(NodeId(2), PacketId(10), true, SimTime::from_secs(2.0));
+    /// rec.record_relay(NodeId(3), PacketId(11), true, SimTime::from_secs(25.0));
+    /// assert_eq!(rec.windowed_participants(10.0), vec![2, 0, 1]);
+    /// assert_eq!(rec.mean_windowed_participants(10.0), 1.0);
+    /// ```
+    pub fn windowed_participants(&self, window_secs: f64) -> Vec<usize> {
+        assert!(
+            window_secs >= 1.0 && window_secs.fract() == 0.0,
+            "window_secs must be a positive whole number of seconds \
+             (participation is bucketed at 1 s; got {window_secs})"
+        );
+        let mut windows: Vec<HashSet<NodeId>> = Vec::new();
+        for (&node, secs) in &self.participation_secs {
+            for &s in secs {
+                let w = (f64::from(s) / window_secs).floor() as usize;
+                if windows.len() <= w {
+                    windows.resize_with(w + 1, HashSet::new);
+                }
+                windows[w].insert(node);
+            }
+        }
+        windows.iter().map(|set| set.len()).collect()
+    }
+
+    /// Mean of [`Recorder::windowed_participants`] over the observed windows
+    /// (0 if the run saw no relays).
+    pub fn mean_windowed_participants(&self, window_secs: f64) -> f64 {
+        let windows = self.windowed_participants(window_secs);
+        if windows.is_empty() {
+            0.0
+        } else {
+            windows.iter().sum::<usize>() as f64 / windows.len() as f64
+        }
+    }
+
     /// Receptions corrupted by selective jamming (control + data).
     pub fn jammed_frames(&self) -> u64 {
         self.jammed_control + self.jammed_data
@@ -464,9 +564,9 @@ mod tests {
     #[test]
     fn relays_and_heard_sets_are_tracked_per_node() {
         let mut r = Recorder::new();
-        r.record_relay(NodeId(3), PacketId(10), true);
-        r.record_relay(NodeId(3), PacketId(11), true);
-        r.record_relay(NodeId(3), PacketId(10), true); // second relay of same packet still counts a relay
+        r.record_relay(NodeId(3), PacketId(10), true, SimTime::ZERO);
+        r.record_relay(NodeId(3), PacketId(11), true, SimTime::ZERO);
+        r.record_relay(NodeId(3), PacketId(10), true, SimTime::ZERO); // second relay of same packet still counts a relay
         r.record_overheard(NodeId(4), PacketId(10), true);
         r.record_overheard(NodeId(4), PacketId(10), true); // unique set
         r.record_overheard(NodeId(4), PacketId(12), false); // pure ACK ignored
@@ -522,11 +622,11 @@ mod tests {
     #[test]
     fn relayed_sets_track_unique_packets_per_node() {
         let mut r = Recorder::new();
-        r.record_relay(NodeId(3), PacketId(10), true);
-        r.record_relay(NodeId(3), PacketId(10), true); // duplicate relay, one set entry
-        r.record_relay(NodeId(3), PacketId(11), true);
+        r.record_relay(NodeId(3), PacketId(10), true, SimTime::ZERO);
+        r.record_relay(NodeId(3), PacketId(10), true, SimTime::ZERO); // duplicate relay, one set entry
+        r.record_relay(NodeId(3), PacketId(11), true, SimTime::ZERO);
         r.record_overheard(NodeId(3), PacketId(12), true); // heard but not relayed
-        r.record_relay(NodeId(5), PacketId(10), false); // pure ACK ignored
+        r.record_relay(NodeId(5), PacketId(10), false, SimTime::ZERO); // pure ACK ignored
         assert_eq!(r.relayed_set(NodeId(3)).unwrap().len(), 2);
         assert!(r.relayed_set(NodeId(5)).is_none());
         assert_eq!(r.heard_sets()[&NodeId(3)].len(), 3);

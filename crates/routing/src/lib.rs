@@ -9,6 +9,8 @@
 //! * [`table`] — AODV/MTS-style hop-by-hop routing table with destination
 //!   sequence numbers and lifetimes.
 //! * [`cache`] — DSR-style route cache holding full source routes.
+//! * [`suspicion`] — route-check hardening: the [`RouteCheckConfig`] knobs
+//!   and per-relay [`SuspicionTable`] the hardened MTS mode is built from.
 //! * [`aodv`] — the AODV baseline (Perkins/Royer/Das draft semantics).
 //! * [`dsr`] — the DSR baseline (Johnson/Maltz source routing).
 //! * [`testkit`] — a harness that runs a routing agent inside the simulator
@@ -23,6 +25,7 @@ pub mod aodv;
 pub mod cache;
 pub mod common;
 pub mod dsr;
+pub mod suspicion;
 pub mod table;
 pub mod testkit;
 
@@ -31,4 +34,5 @@ pub use aodv::{Aodv, AodvConfig};
 pub use cache::RouteCache;
 pub use common::{PacketBuffer, SeenTable};
 pub use dsr::{Dsr, DsrConfig};
+pub use suspicion::{RouteCheckConfig, SuspicionTable};
 pub use table::{RouteEntry, RoutingTable};

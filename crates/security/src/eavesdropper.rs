@@ -177,7 +177,7 @@ mod tests {
             rec.record_delivered(NodeId(9), PacketId(id), true, 1000, t);
         }
         rec.record_overheard(NodeId(3), PacketId(0), true);
-        rec.record_relay(NodeId(3), PacketId(1), true);
+        rec.record_relay(NodeId(3), PacketId(1), true, SimTime::ZERO);
         let report = EavesdropperReport::from_recorder(&rec, NodeId(3));
         assert_eq!(report.packets_heard, 2);
         assert_eq!(report.packets_delivered, 4);

@@ -103,7 +103,7 @@ mod tests {
         }
         for &(node, n) in relayed {
             for id in 0..n {
-                rec.record_relay(NodeId(node), PacketId(id), true);
+                rec.record_relay(NodeId(node), PacketId(id), true, SimTime::ZERO);
             }
         }
         rec

@@ -100,6 +100,7 @@ pub fn relay_distribution(recorder: &Recorder) -> RelayDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use manet_netsim::SimTime;
     use manet_wire::PacketId;
 
     fn recorder_with_relays(counts: &[(u16, u64)]) -> Recorder {
@@ -107,7 +108,7 @@ mod tests {
         let mut pid = 0u64;
         for &(node, n) in counts {
             for _ in 0..n {
-                rec.record_relay(NodeId(node), PacketId(pid), true);
+                rec.record_relay(NodeId(node), PacketId(pid), true, SimTime::ZERO);
                 pid += 1;
             }
         }

@@ -23,7 +23,7 @@ fn build_recorder(relays: &[(u16, u64)], delivered: u64) -> Recorder {
     let mut pid = 10_000u64;
     for &(node, count) in relays {
         for _ in 0..count {
-            rec.record_relay(NodeId(node), PacketId(pid), true);
+            rec.record_relay(NodeId(node), PacketId(pid), true, SimTime::ZERO);
             pid += 1;
         }
     }
@@ -68,7 +68,7 @@ proptest! {
         let mut rec = build_recorder(&[], delivered);
         for &(node, n) in &relayed {
             for id in 0..n {
-                rec.record_relay(NodeId(node), PacketId(id), true);
+                rec.record_relay(NodeId(node), PacketId(id), true, SimTime::ZERO);
             }
         }
         let endpoints = [NodeId(0), NodeId(999)];

@@ -31,8 +31,8 @@ pub use mts_core as mts;
 /// The most common imports for building and running experiments.
 pub mod prelude {
     pub use manet_adversary::{
-        coalition_curve, coalition_report, AttackConfig, AttackKind, CoalitionPlacement,
-        CoverageBasis,
+        capture_report, coalition_curve, coalition_report, AttackConfig, AttackKind, CaptureReport,
+        CoalitionPlacement, CoverageBasis,
     };
     pub use manet_experiments::attacks::{
         attack_matrix, render_attack_matrix, AttackMatrixOutcome, AttackSweepSpec,
@@ -43,9 +43,9 @@ pub mod prelude {
         run_scenario, run_scenario_with_recorder, sweep, sweep_with, SweepSpec,
     };
     pub use manet_experiments::{Protocol, RunMetrics, Scenario, TrafficFlow};
-    pub use manet_netsim::{Duration, JamTarget, SimConfig, SimTime};
+    pub use manet_netsim::{Duration, JamTarget, RushConfig, SimConfig, SimTime, WormholeConfig};
     pub use manet_wire::NodeId;
-    pub use mts_core::{Mts, MtsConfig};
+    pub use mts_core::{Mts, MtsConfig, RouteCheckConfig};
 }
 
 #[cfg(test)]

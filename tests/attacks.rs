@@ -8,9 +8,29 @@ use mts_repro::prelude::*;
 
 /// One paper-environment run under an attack, at reduced duration.
 fn attack_run(protocol: Protocol, attack: AttackConfig, seed: u64, secs: f64) -> RunMetrics {
-    let mut scenario = Scenario::paper(protocol, 10.0, seed);
+    attack_run_at(protocol, attack, 10.0, seed, secs)
+}
+
+/// Same, at an explicit maximum node speed.
+fn attack_run_at(
+    protocol: Protocol,
+    attack: AttackConfig,
+    speed: f64,
+    seed: u64,
+    secs: f64,
+) -> RunMetrics {
+    let mut scenario = Scenario::paper(protocol, speed, seed);
     scenario.sim.duration = Duration::from_secs(secs);
     run_scenario(&scenario.with_attack(attack))
+}
+
+/// Seed-averaged metrics of a (protocol, attack, speed) cell.
+fn averaged(protocol: Protocol, attack: AttackConfig, speed: f64, secs: f64) -> RunMetrics {
+    let runs: Vec<RunMetrics> = [1u64, 2]
+        .iter()
+        .map(|&seed| attack_run_at(protocol, attack, speed, seed, secs))
+        .collect();
+    RunMetrics::average(&runs)
 }
 
 #[test]
@@ -165,6 +185,92 @@ fn mobile_eavesdropper_changes_the_run_but_stays_deterministic() {
 }
 
 #[test]
+fn hardened_mts_strictly_improves_delivery_under_black_holes_at_every_speed() {
+    // ISSUE 3 acceptance criterion: under 2 black holes the hardened MTS
+    // (suspicious-RREP cross-validation + relay suspicion) must strictly beat
+    // the unhardened protocol at every canonical speed, seed-averaged.  The
+    // margins are large — unhardened MTS keeps ~0.5 thanks to route checking,
+    // hardened MTS recovers to ~0.97+ because the forged replies never poison
+    // a table (measured at 30 s x 2 seeds: 0.50 vs 0.99 at 1 m/s, 0.50 vs
+    // 0.97 at 10 m/s, 0.50 vs 0.99 at 20 m/s).
+    for speed in [1.0, 10.0, 20.0] {
+        let plain = averaged(Protocol::Mts, AttackConfig::blackhole(2), speed, 30.0);
+        let hard = averaged(
+            Protocol::MtsHardened,
+            AttackConfig::blackhole(2),
+            speed,
+            30.0,
+        );
+        assert!(
+            hard.delivery_rate > plain.delivery_rate,
+            "speed {speed}: hardened MTS must strictly improve delivery \
+             (plain {:.4}, hardened {:.4})",
+            plain.delivery_rate,
+            hard.delivery_rate
+        );
+        assert!(
+            hard.delivery_rate > 0.9,
+            "speed {speed}: hardening should nearly close the gap to clean \
+             (got {:.4})",
+            hard.delivery_rate
+        );
+    }
+}
+
+#[test]
+fn hardened_mts_is_metric_identical_to_plain_mts_on_clean_runs() {
+    // Hardening only reacts to implausible route replies; a clean run never
+    // produces one, so arming the defense must not change a single metric.
+    let plain = attack_run(Protocol::Mts, AttackConfig::none(), 1, 20.0);
+    let hard = attack_run(Protocol::MtsHardened, AttackConfig::none(), 1, 20.0);
+    assert_eq!(plain, hard);
+}
+
+#[test]
+fn wormhole_captures_traffic_for_every_protocol() {
+    // The tunnel shortcuts route discovery, so a meaningful share of the
+    // session's delivered data crosses the colluding pair — for every
+    // protocol (measured at 30 s x 2 seeds: DSR 0.48, AODV 0.44, MTS 0.18).
+    // Delivery is NOT destroyed: a wormhole is an attraction attack; the
+    // shortcut often even helps end-to-end delivery while it eavesdrops.
+    for protocol in Protocol::ALL {
+        let m = averaged(protocol, AttackConfig::wormhole(), 10.0, 30.0);
+        assert!(
+            m.attacker_capture_ratio > 0.05,
+            "{}: wormhole capture ratio {:.4} should be meaningful",
+            protocol.name(),
+            m.attacker_capture_ratio
+        );
+        assert!(
+            m.delivery_rate > 0.8,
+            "{}: the wormhole attracts, it does not drop (delivery {:.4})",
+            protocol.name(),
+            m.delivery_rate
+        );
+        assert!(m.attacker_capture_ratio <= 1.0);
+    }
+}
+
+#[test]
+fn rushing_attracts_routes_and_stays_deterministic() {
+    // Zero-backoff relays win the duplicate-suppression race; at the paper's
+    // moderate speed their capture of MTS traffic is small but real
+    // (measured ~0.06 at 30 s x 2 seeds), and clean runs capture nothing.
+    let rushed = averaged(Protocol::Mts, AttackConfig::rushing(2), 10.0, 30.0);
+    assert!(
+        rushed.attacker_capture_ratio > 0.0,
+        "rushing relays must capture some MTS traffic (got {:.4})",
+        rushed.attacker_capture_ratio
+    );
+    let clean = averaged(Protocol::Mts, AttackConfig::none(), 10.0, 30.0);
+    assert_eq!(clean.attacker_capture_ratio, 0.0);
+    // Determinism: same seed, same run.
+    let a = attack_run(Protocol::Aodv, AttackConfig::rushing(2), 5, 15.0);
+    let b = attack_run(Protocol::Aodv, AttackConfig::rushing(2), 5, 15.0);
+    assert_eq!(a, b);
+}
+
+#[test]
 fn attack_matrix_is_deterministic_per_seed_and_covers_the_axis() {
     let spec = AttackSweepSpec {
         protocols: vec![Protocol::Dsr, Protocol::Mts],
@@ -173,7 +279,7 @@ fn attack_matrix_is_deterministic_per_seed_and_covers_the_axis() {
             AttackConfig::grayhole(2, 0.5),
             AttackConfig::jamming(1, JamTarget::Data, 0.9),
         ],
-        max_speed: 10.0,
+        speeds: vec![10.0],
         seeds: vec![1, 2],
         duration: 12.0,
     };

@@ -107,6 +107,61 @@ fn mts_spreads_traffic_over_at_least_as_many_nodes_as_the_baselines() {
 }
 
 #[test]
+fn windowed_participation_revisits_the_fig5_spreading_claim() {
+    // ISSUE 3 satellite: the ROADMAP proposed a *windowed* participant count
+    // (distinct relays per 10 s interval) as the faithful Fig. 5 metric,
+    // because the cumulative count rewards AODV's route churn (each break
+    // recruits a fresh relay chain forever).
+    //
+    // MEASURED OUTCOME (60 s x seeds {1,2,3}, speed 10, 10 s windows):
+    //   DSR  3.10   AODV 5.49   MTS 4.91   (mean windowed participants)
+    // and at 120 s x 5 seeds: DSR 2.09, AODV 3.86, MTS 2.86.  The windowed
+    // count narrows the cumulative gap (MTS beats AODV on 2 of 3 seeds
+    // here) but does NOT reverse it on average: AODV's flapping recruits
+    // several distinct relays *within* a 10 s window too, so even the
+    // windowed metric partly measures churn.  The Fig. 5 ordering therefore
+    // remains unreproduced under both countings; MTS's spreading advantage
+    // stays visible in the relay-share std-dev (Fig. 6) and the k-coalition
+    // coverage curves (tests/attacks.rs).  The cumulative-count test above
+    // stays #[ignore]d, with this measurement recorded here and in
+    // ROADMAP.md.
+    let stats = |protocol: Protocol| -> (f64, f64) {
+        let runs: Vec<RunMetrics> = [1u64, 2, 3]
+            .iter()
+            .map(|&s| short_run(protocol, 10.0, s, 60.0))
+            .collect();
+        let avg = RunMetrics::average(&runs);
+        (
+            avg.mean_windowed_participants,
+            avg.participating_nodes as f64,
+        )
+    };
+    let (dsr_w, dsr_c) = stats(Protocol::Dsr);
+    let (aodv_w, aodv_c) = stats(Protocol::Aodv);
+    let (mts_w, mts_c) = stats(Protocol::Mts);
+    // Structural sanity: every protocol relays in windows, and no window can
+    // hold more distinct relays than the whole run did.
+    for (w, c) in [(dsr_w, dsr_c), (aodv_w, aodv_c), (mts_w, mts_c)] {
+        assert!(w > 0.0, "windowed participation must be observed");
+        assert!(w <= c, "a window cannot exceed the cumulative count");
+    }
+    // The robust part of the paper's claim: MTS keeps more relays busy per
+    // interval than single-path DSR (multipath spreading is instantaneous,
+    // not churn).  The AODV comparison is the measured outcome documented
+    // above — asserted only as "the windowed gap is smaller than 2x", since
+    // the direction varies by seed.
+    assert!(
+        mts_w > dsr_w,
+        "MTS windowed participants ({mts_w:.2}) must exceed DSR's ({dsr_w:.2})"
+    );
+    assert!(
+        aodv_w < 2.0 * mts_w,
+        "windowed counting keeps AODV's churn advantage bounded \
+         (AODV {aodv_w:.2} vs MTS {mts_w:.2})"
+    );
+}
+
+#[test]
 fn mts_control_overhead_exceeds_aodv() {
     let seeds = [1u64, 2];
     let total = |protocol: Protocol| -> u64 {
