@@ -23,7 +23,7 @@
 //! random stream shared with honest nodes.
 
 use manet_netsim::{Ctx, NodeStack, TimerToken};
-use manet_wire::{Frame, NetPacket, NodeId, RouteReply, SeqNo};
+use manet_wire::{Frame, NetPacket, NodeId, RouteReply, SeqNo, SharedPacket};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -88,8 +88,10 @@ impl NodeStack for BlackholeStack {
         self.inner.on_timer(ctx, token);
     }
 
-    fn on_receive(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) {
-        match &packet {
+    fn on_receive(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: SharedPacket) {
+        // Inspect through the shared reference; the packet is only ever
+        // passed through to the wrapped stack (or swallowed), never copied.
+        match &*packet {
             NetPacket::Rreq(rreq) if rreq.source != self.me && rreq.destination != self.me => {
                 // Forge the attracting reply: claim the destination is our
                 // direct neighbour.  The source route ends at us so DSR
@@ -159,7 +161,7 @@ mod tests {
         impl NodeStack for Sink {
             fn start(&mut self, _ctx: &mut Ctx<'_>) {}
             fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
-            fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: NetPacket) {}
+            fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: SharedPacket) {}
             fn on_link_failure(&mut self, _c: &mut Ctx<'_>, _n: NodeId, _p: NetPacket) {}
         }
         let draws = |seed: u64, node: u16| {

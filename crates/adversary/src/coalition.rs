@@ -19,6 +19,7 @@
 //! than the usual `1 - 1/e` factor).
 
 use crate::config::{CoalitionPlacement, CoverageBasis};
+use manet_netsim::FxHashSet;
 use manet_netsim::Recorder;
 use manet_wire::{NodeId, PacketId};
 use rand::rngs::SmallRng;
@@ -58,10 +59,10 @@ fn captured_set(
     recorder: &Recorder,
     node: NodeId,
     basis: CoverageBasis,
-) -> Option<&HashSet<PacketId>> {
+) -> Option<&FxHashSet<PacketId>> {
     match basis {
         CoverageBasis::Relayed => recorder.relayed_set(node),
-        CoverageBasis::Heard => recorder.heard_sets().get(&node),
+        CoverageBasis::Heard => recorder.heard_set(node),
     }
 }
 

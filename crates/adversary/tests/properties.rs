@@ -132,7 +132,7 @@ proptest! {
             if eps.contains(&node) {
                 continue;
             }
-            let relayed = rec.relay_counts().get(&node).copied().unwrap_or(0);
+            let relayed = rec.relay_count(node);
             let ratio = relayed as f64 / delivered as f64;
             if ratio > expected {
                 expected = ratio;

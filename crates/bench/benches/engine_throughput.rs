@@ -8,7 +8,7 @@ use manet_experiments::runner::run_scenario;
 use manet_experiments::{Protocol, Scenario};
 use manet_netsim::mobility::RandomWaypoint;
 use manet_netsim::{Ctx, Duration, NodeStack, SimConfig, Simulator, TimerToken};
-use manet_wire::{NetPacket, NodeId};
+use manet_wire::{NetPacket, NodeId, SharedPacket};
 use std::hint::black_box;
 
 /// A stack that does nothing: measures mobility + engine overhead only.
@@ -17,7 +17,7 @@ struct Idle;
 impl NodeStack for Idle {
     fn start(&mut self, _ctx: &mut Ctx<'_>) {}
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
-    fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: NetPacket) {}
+    fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: SharedPacket) {}
     fn on_link_failure(&mut self, _ctx: &mut Ctx<'_>, _next_hop: NodeId, _packet: NetPacket) {}
 }
 

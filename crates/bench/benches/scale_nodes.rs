@@ -1,17 +1,24 @@
-//! Node-count scaling of the discrete-event engine: events/sec at 100, 200
-//! and 500 nodes (constant density, see [`Scenario::scaled`]) with the
-//! spatial-grid neighbor index versus the brute-force O(N²) scan.
+//! Node-count scaling of the discrete-event engine: events/sec at 100, 200,
+//! 500, 1000 and 2000 nodes (constant density, see [`Scenario::scaled`]).
 //!
-//! The two index strategies process identical event streams for a given
-//! scenario (asserted below), so the wall-clock ratio between `grid` and
-//! `brute` *is* the events/sec speedup.  An events/sec summary plus the
-//! engine perf counters (neighbor queries, candidates scanned, grid rebinds,
-//! position-cache hit rate) is printed to stderr before the timed samples.
+//! Two comparisons are reported:
+//!
+//! * **grid vs brute force** (neighbor index) at n ≤ 500 — the brute-force
+//!   O(N²) scan becomes too slow to bench beyond that, which is the point;
+//! * **calendar vs heap** (event-queue backend) at every scale — the two
+//!   backends process identical event streams (asserted below; see also
+//!   `crates/netsim/tests/queue_equivalence.rs`), so the wall-clock ratio is
+//!   a pure scheduler comparison.
+//!
+//! An events/sec summary plus the engine perf counters (neighbor queries,
+//! candidates scanned, queue occupancy, payload shares) is printed to stderr
+//! before the timed samples.  `reproduce --bench-json` emits the same
+//! trajectory as machine-readable JSON (committed as `BENCH_PR4.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use manet_experiments::runner::run_scenario_with_recorder;
 use manet_experiments::{Protocol, Scenario};
-use manet_netsim::{Duration, NeighborIndex, Recorder};
+use manet_netsim::{Duration, EventQueueKind, NeighborIndex, Recorder};
 use std::hint::black_box;
 
 /// Simulated seconds per run: long enough for discovery + steady-state data
@@ -19,26 +26,30 @@ use std::hint::black_box;
 /// benchable.
 const BENCH_RUN_SECS: f64 = 5.0;
 
-/// The canonical scaling points.
-const SCALES: [u16; 3] = [100, 200, 500];
+/// Scales where the brute-force neighbor index is still benchable.
+const BRUTE_SCALES: [u16; 3] = [100, 200, 500];
 
-fn scale_run(num_nodes: u16, index: NeighborIndex) -> Recorder {
+/// The full trajectory (matches `bench::BENCH_SCALES`).
+const SCALES: [u16; 5] = [100, 200, 500, 1000, 2000];
+
+fn scale_run(num_nodes: u16, index: NeighborIndex, queue: EventQueueKind) -> Recorder {
     let mut scenario = Scenario::scaled(Protocol::Mts, num_nodes, 10.0, 1);
     scenario.sim.duration = Duration::from_secs(BENCH_RUN_SECS);
     scenario.sim.neighbor_index = index;
+    scenario.sim.event_queue = queue;
     run_scenario_with_recorder(&scenario).1
 }
 
-/// One untimed pass per configuration: check grid/brute trace equivalence and
+/// One untimed pass per configuration: check cross-backend equivalence and
 /// print the events/sec + perf-counter summary.
 fn print_summary() {
     eprintln!("# scale_nodes: MTS scenario, {BENCH_RUN_SECS} simulated seconds, constant density");
-    for n in SCALES {
+    for n in BRUTE_SCALES {
         let t0 = std::time::Instant::now();
-        let grid = scale_run(n, NeighborIndex::Grid);
+        let grid = scale_run(n, NeighborIndex::Grid, EventQueueKind::Calendar);
         let grid_wall = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        let brute = scale_run(n, NeighborIndex::BruteForce);
+        let brute = scale_run(n, NeighborIndex::BruteForce, EventQueueKind::Calendar);
         let brute_wall = t1.elapsed().as_secs_f64();
         let gp = grid.engine_perf();
         let bp = brute.engine_perf();
@@ -52,20 +63,45 @@ fn print_summary() {
         );
         let events = gp.events_processed as f64;
         eprintln!(
-            "n={n:>3}  events={events:>9.0}  grid: {:>10.0} ev/s  brute: {:>10.0} ev/s  speedup: {:>5.2}x",
+            "n={n:>4}  events={events:>9.0}  grid: {:>10.0} ev/s  brute: {:>10.0} ev/s  speedup: {:>5.2}x",
             events / grid_wall,
             events / brute_wall,
             brute_wall / grid_wall,
         );
         eprintln!(
-            "       grid perf: {} queries, {:.1} candidates/query (brute {:.1}), {} rebinds, \
-             {} refreshes, {:.0}% position-cache hits",
+            "        grid perf: {} queries, {:.1} candidates/query (brute {:.1}), {} rebinds, \
+             {} refreshes",
             gp.neighbor_queries,
             gp.mean_candidates_per_query(),
             bp.mean_candidates_per_query(),
             gp.grid_rebinds,
             gp.grid_refreshes,
-            gp.position_cache_hit_rate() * 100.0,
+        );
+    }
+    for n in SCALES {
+        let t0 = std::time::Instant::now();
+        let cal = scale_run(n, NeighborIndex::Grid, EventQueueKind::Calendar);
+        let cal_wall = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let heap = scale_run(n, NeighborIndex::Grid, EventQueueKind::Heap);
+        let heap_wall = t1.elapsed().as_secs_f64();
+        let cp = cal.engine_perf();
+        let hp = heap.engine_perf();
+        assert_eq!(
+            cp.events_processed, hp.events_processed,
+            "calendar and heap runs must process identical event streams"
+        );
+        assert_eq!(cal.delivered_data_packets(), heap.delivered_data_packets());
+        let events = cp.events_processed as f64;
+        eprintln!(
+            "n={n:>4}  events={events:>9.0}  calendar: {:>10.0} ev/s  heap: {:>10.0} ev/s  \
+             queue peak {}  {} resizes  {} payload shares ({} deep clones)",
+            events / cal_wall,
+            events / heap_wall,
+            cp.queue_max_occupancy,
+            cp.calendar_resizes,
+            cp.payload_clones_avoided,
+            cp.payload_deep_clones,
         );
     }
 }
@@ -76,10 +112,21 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in SCALES {
         group.bench_function(format!("grid_{n}"), |b| {
-            b.iter(|| black_box(scale_run(n, NeighborIndex::Grid)))
+            b.iter(|| black_box(scale_run(n, NeighborIndex::Grid, EventQueueKind::Calendar)))
         });
+        group.bench_function(format!("heap_{n}"), |b| {
+            b.iter(|| black_box(scale_run(n, NeighborIndex::Grid, EventQueueKind::Heap)))
+        });
+    }
+    for n in BRUTE_SCALES {
         group.bench_function(format!("brute_{n}"), |b| {
-            b.iter(|| black_box(scale_run(n, NeighborIndex::BruteForce)))
+            b.iter(|| {
+                black_box(scale_run(
+                    n,
+                    NeighborIndex::BruteForce,
+                    EventQueueKind::Calendar,
+                ))
+            })
         });
     }
     group.finish();

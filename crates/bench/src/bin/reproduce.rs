@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! reproduce [--duration SECS] [--seeds N]
-//!           [--figure N | --table 1 | --attacks [--speeds S1,S2,..] | --all]
+//!           [--figure N | --table 1 | --attacks [--speeds S1,S2,..]
+//!            | --bench-json FILE [--bench-scales N1,N2,..] [--bench-secs S]
+//!            | --all]
 //! ```
 //!
 //! By default the full paper-scale sweep is run (200 simulated seconds, five
@@ -27,7 +29,18 @@
 //!   (wormhole tunnel or attacker relay).
 //!
 //! The matrix is deterministic per seed.
+//!
+//! `--bench-json FILE` runs the engine perf trajectory instead: the scaled
+//! MTS scenario at n ∈ {100, 200, 500, 1000, 2000} (constant density) under
+//! **both** event-queue backends (calendar and heap), asserts the two
+//! backends are run-identical (full recorder-trace diff at n ≤ 500, event/
+//! delivery/collision counter identity everywhere), prints an events/sec
+//! table to stderr and writes the machine-readable trajectory to `FILE`
+//! (committed as `BENCH_PR4.json`; see docs/PERFORMANCE.md).
+//! `--bench-scales` narrows the node counts, `--bench-secs` changes the
+//! simulated seconds per run (default 5).
 
+use bench::{bench_points_json, bench_scales, BENCH_SCALES, BENCH_SIM_SECS};
 use manet_experiments::attacks::{attack_matrix, render_attack_matrix, AttackSweepSpec};
 use manet_experiments::figures::{table1_relay_table, FigureId};
 use manet_experiments::report::{render_figure, render_relay_table};
@@ -41,6 +54,10 @@ struct Args {
     table: Option<u32>,
     attacks: bool,
     speeds: Option<Vec<f64>>,
+    bench_json: Option<String>,
+    bench_scales: Vec<u16>,
+    bench_secs: f64,
+    bench_reps: u32,
     all: bool,
 }
 
@@ -52,6 +69,10 @@ fn parse_args() -> Args {
         table: None,
         attacks: false,
         speeds: None,
+        bench_json: None,
+        bench_scales: BENCH_SCALES.to_vec(),
+        bench_secs: BENCH_SIM_SECS,
+        bench_reps: 3,
         all: true,
     };
     let mut it = std::env::args().skip(1);
@@ -107,6 +128,40 @@ fn parse_args() -> Args {
                     _ => usage("--speeds needs a comma-separated list of finite non-negative m/s"),
                 }
             }
+            "--bench-json" => {
+                args.bench_json = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--bench-json needs an output file path")),
+                );
+                args.all = false;
+            }
+            "--bench-scales" => {
+                let list = it.next().unwrap_or_else(|| {
+                    usage("--bench-scales needs a comma-separated node-count list")
+                });
+                let scales: Option<Vec<u16>> = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<u16>().ok().filter(|v| *v > 0))
+                    .collect();
+                match scales {
+                    Some(s) if !s.is_empty() => args.bench_scales = s,
+                    _ => usage("--bench-scales needs positive node counts, e.g. 100,500"),
+                }
+            }
+            "--bench-reps" => {
+                args.bench_reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &u32| *v > 0)
+                    .unwrap_or_else(|| usage("--bench-reps needs a positive repetition count"));
+            }
+            "--bench-secs" => {
+                args.bench_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .unwrap_or_else(|| usage("--bench-secs needs a positive number of seconds"));
+            }
             "--all" => args.all = true,
             "--help" | "-h" => {
                 usage("");
@@ -123,7 +178,13 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: reproduce [--duration SECS] [--seeds N] \
-         [--figure 5..11 | --table 1 | --attacks [--speeds S1,S2,..] | --all]\n\
+         [--figure 5..11 | --table 1 | --attacks [--speeds S1,S2,..] \
+         | --bench-json FILE [--bench-scales N1,N2,..] [--bench-secs S] | --all]\n\
+         \n\
+         --bench-json runs the engine perf trajectory (scaled MTS scenario at \
+         n in {{100, 200, 500, 1000, 2000}} under both event-queue backends, \
+         asserting trace identity) and writes the events/sec + counter table \
+         as JSON to FILE.\n\
          \n\
          --attacks prints one table per (protocol, speed) block — protocols \
          DSR/AODV/MTS/MTS-H, speeds {{1, 10, 20}} m/s unless --speeds narrows \
@@ -151,6 +212,36 @@ fn figure_by_number(n: u32) -> Option<FigureId> {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.bench_json {
+        eprintln!(
+            "# engine perf trajectory: scaled MTS scenario at n in {:?}, \
+             {} simulated seconds, calendar vs heap event queue",
+            args.bench_scales, args.bench_secs
+        );
+        let points = bench_scales(&args.bench_scales, args.bench_secs, 1, args.bench_reps);
+        for p in &points {
+            eprintln!(
+                "n={:>4} {:>8}: {:>9.0} ev/s  ({} events, {:.3} s wall, peak queue {}, \
+                 {} clones avoided, {} deep clones, {} calendar resizes)",
+                p.n,
+                p.queue,
+                p.events_per_sec,
+                p.events,
+                p.wall_secs,
+                p.perf.queue_max_occupancy,
+                p.perf.payload_clones_avoided,
+                p.perf.payload_deep_clones,
+                p.perf.calendar_resizes,
+            );
+        }
+        let json = bench_points_json(&points, args.bench_secs, 1);
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("# wrote {path}");
+        return;
+    }
     if args.attacks {
         let spec = match args.speeds {
             Some(speeds) => AttackSweepSpec::canonical_at_speeds(args.duration, args.seeds, speeds),

@@ -16,7 +16,183 @@
 //!
 //! This library exposes the small shared helpers used by both.
 
-use manet_experiments::runner::{sweep, SweepOutcome, SweepSpec};
+use manet_experiments::runner::{
+    run_scenario_traced, run_scenario_with_recorder, sweep, SweepOutcome, SweepSpec,
+};
+use manet_experiments::{Protocol, Scenario};
+use manet_netsim::{Duration, EnginePerf, EventQueueKind};
+
+/// The canonical node-count scaling points of the perf trajectory
+/// (constant density; see `Scenario::scaled`).
+pub const BENCH_SCALES: [u16; 5] = [100, 200, 500, 1000, 2000];
+
+/// Simulated seconds per perf-trajectory run: long enough for discovery plus
+/// steady-state data traffic, short enough that the heap baseline at
+/// n = 2000 stays benchable.
+pub const BENCH_SIM_SECS: f64 = 5.0;
+
+/// The PR 1 grid baseline on the reference container (n = 500 MTS scaled
+/// scenario, 5 sim-secs): the events/sec figure this PR's acceptance
+/// criterion is measured against.
+pub const PR1_BASELINE_N500_EV_PER_SEC: f64 = 1.78e6;
+
+/// One measured point of the perf trajectory.
+#[derive(Debug, Clone)]
+pub struct BenchPoint {
+    /// Node count of the scaled scenario.
+    pub n: u16,
+    /// Event-queue backend label (`"calendar"` or `"heap"`).
+    pub queue: &'static str,
+    /// Wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// Events the engine processed.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Unique data packets delivered (sanity/identity check).
+    pub delivered: u64,
+    /// Engine counters (queue + payload + grid).
+    pub perf: EnginePerf,
+}
+
+/// Run the perf trajectory: the scaled MTS scenario at each node count in
+/// `scales`, once per event-queue backend, asserting that the two backends
+/// produce identical runs (event counts, deliveries, and — at n ≤ 500, where
+/// the trace fits comfortably in memory — the full byte-identical recorder
+/// trace).
+///
+/// `reps` timed repetitions are run per point and the fastest wall clock is
+/// reported (the standard throughput protocol: the minimum is the least
+/// noise-contaminated sample on a shared box); the identity checks run on
+/// the first repetition.
+///
+/// # Panics
+/// Panics if the two backends diverge (they must be trace-identical), a
+/// scenario is invalid, or `reps` is zero.
+pub fn bench_scales(scales: &[u16], sim_secs: f64, seed: u64, reps: u32) -> Vec<BenchPoint> {
+    assert!(reps > 0, "need at least one timed repetition");
+    let mut points = Vec::new();
+    for &n in scales {
+        let trace = n <= 500;
+        let mut per_queue = Vec::new();
+        for (queue, kind) in [
+            ("calendar", EventQueueKind::Calendar),
+            ("heap", EventQueueKind::Heap),
+        ] {
+            let mut scenario = Scenario::scaled(Protocol::Mts, n, 10.0, seed);
+            scenario.sim.duration = Duration::from_secs(sim_secs);
+            scenario.sim.event_queue = kind;
+            let mut wall_secs = f64::INFINITY;
+            let mut first: Option<manet_netsim::Recorder> = None;
+            for rep in 0..reps {
+                // The identity-check repetition keeps the trace (slightly
+                // slower); timing always uses the plain runs.
+                let with_trace = trace && rep == 0;
+                let t0 = std::time::Instant::now();
+                let (_, recorder) = if with_trace {
+                    run_scenario_traced(&scenario)
+                } else {
+                    run_scenario_with_recorder(&scenario)
+                };
+                if !with_trace || reps == 1 {
+                    wall_secs = wall_secs.min(t0.elapsed().as_secs_f64());
+                }
+                if first.is_none() {
+                    first = Some(recorder);
+                }
+            }
+            let recorder = first.expect("at least one repetition ran");
+            let perf = recorder.engine_perf();
+            points.push(BenchPoint {
+                n,
+                queue,
+                wall_secs,
+                events: perf.events_processed,
+                events_per_sec: perf.events_processed as f64 / wall_secs,
+                delivered: recorder.delivered_data_packets(),
+                perf,
+            });
+            per_queue.push(recorder);
+        }
+        let (cal, heap) = (&per_queue[0], &per_queue[1]);
+        let cp = cal.engine_perf();
+        let hp = heap.engine_perf();
+        assert_eq!(
+            cp.events_processed, hp.events_processed,
+            "n={n}: queue backends processed different event streams"
+        );
+        assert_eq!(
+            cp.queue_pushes, hp.queue_pushes,
+            "n={n}: push counts diverged"
+        );
+        assert_eq!(
+            cal.delivered_data_packets(),
+            heap.delivered_data_packets(),
+            "n={n}: deliveries diverged across queue backends"
+        );
+        assert_eq!(
+            cal.collisions(),
+            heap.collisions(),
+            "n={n}: collisions diverged across queue backends"
+        );
+        assert_eq!(
+            cal.control_transmissions(),
+            heap.control_transmissions(),
+            "n={n}: control overhead diverged across queue backends"
+        );
+        if trace {
+            assert_eq!(
+                cal.trace(),
+                heap.trace(),
+                "n={n}: recorder traces diverged across queue backends"
+            );
+        }
+    }
+    points
+}
+
+/// Render the perf trajectory as the machine-readable JSON committed as
+/// `BENCH_PR4.json` (hand-rolled: the offline build's serde is a no-op shim).
+pub fn bench_points_json(points: &[BenchPoint], sim_secs: f64, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"mts-scaled-scenario perf trajectory\",\n");
+    out.push_str("  \"protocol\": \"MTS\",\n");
+    out.push_str(&format!("  \"sim_secs\": {sim_secs},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"baseline_pr1_n500_grid_events_per_sec\": {PR1_BASELINE_N500_EV_PER_SEC},\n"
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let e = &p.perf;
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"queue\": \"{}\", \"events\": {}, \"wall_secs\": {:.6}, \
+             \"events_per_sec\": {:.0}, \"delivered\": {}, \
+             \"queue_pushes\": {}, \"queue_pops\": {}, \"queue_max_occupancy\": {}, \
+             \"calendar_resizes\": {}, \"payload_clones_avoided\": {}, \
+             \"payload_deep_clones\": {}, \"neighbor_queries\": {}, \
+             \"candidates_per_query\": {:.1}}}{}\n",
+            p.n,
+            p.queue,
+            p.events,
+            p.wall_secs,
+            p.events_per_sec,
+            p.delivered,
+            e.queue_pushes,
+            e.queue_pops,
+            e.queue_max_occupancy,
+            e.calendar_resizes,
+            e.payload_clones_avoided,
+            e.payload_deep_clones,
+            e.neighbor_queries,
+            e.mean_candidates_per_query(),
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 /// The scaled-down sweep used by the Criterion benches.
 ///

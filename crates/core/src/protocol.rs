@@ -44,6 +44,7 @@
 use crate::config::MtsConfig;
 use crate::path_set::PathSet;
 use crate::source_state::{CheckArrival, SourceRouteState};
+use manet_netsim::FxHashMap;
 use manet_netsim::{Ctx, Duration, SimTime, TimerToken};
 use manet_routing::agent::{RoutingAgent, RoutingStats, TimerClass};
 use manet_routing::common::{PacketBuffer, SeenTable};
@@ -51,10 +52,9 @@ use manet_routing::suspicion::SuspicionTable;
 use manet_routing::table::RoutingTable;
 use manet_wire::{
     BroadcastId, CheckError, CheckId, DataPacket, NetPacket, NodeId, RouteCheck, RouteError,
-    RouteReply, RouteRequest, SeqNo,
+    RouteReply, RouteRequest, SeqNo, SharedPacket,
 };
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Destination-side session state (per source that talks to this node).
 #[derive(Debug)]
@@ -96,24 +96,24 @@ pub struct Mts {
     own_seqno: SeqNo,
     next_broadcast_id: BroadcastId,
     /// Source-side adaptive route state, per destination.
-    sources: HashMap<NodeId, SourceRouteState>,
+    sources: FxHashMap<NodeId, SourceRouteState>,
     /// Destination-side sessions, per talking source.
-    sessions: HashMap<NodeId, DestinationSession>,
-    pending: HashMap<NodeId, PendingDiscovery>,
+    sessions: FxHashMap<NodeId, DestinationSession>,
+    pending: FxHashMap<NodeId, PendingDiscovery>,
     /// Per-destination hold-down after a failed discovery (exponential-backoff
     /// style damping, as real DSR/AODV implementations apply): no new flood is
     /// started for the destination before this time.
-    holddown: HashMap<NodeId, manet_netsim::SimTime>,
+    holddown: FxHashMap<NodeId, manet_netsim::SimTime>,
     timer_generation: u64,
     stats: RoutingStats,
     // ---- hardened mode only (empty and untouched when disabled) ----
     /// Per-relay suspicion scores from failed route checks.
     suspicion: SuspicionTable,
     /// Best credibly learned destination sequence number, per destination.
-    credible_seqno: HashMap<NodeId, SeqNo>,
+    credible_seqno: FxHashMap<NodeId, SeqNo>,
     /// Quarantined suspicious replies awaiting cross-validation, per
     /// destination (source role only).
-    quarantine: HashMap<NodeId, QuarantinedReplies>,
+    quarantine: FxHashMap<NodeId, QuarantinedReplies>,
 }
 
 impl Mts {
@@ -128,15 +128,15 @@ impl Mts {
             seen: SeenTable::default(),
             own_seqno: SeqNo(0),
             next_broadcast_id: BroadcastId(0),
-            sources: HashMap::new(),
-            sessions: HashMap::new(),
-            pending: HashMap::new(),
-            holddown: HashMap::new(),
+            sources: FxHashMap::default(),
+            sessions: FxHashMap::default(),
+            pending: FxHashMap::default(),
+            holddown: FxHashMap::default(),
             timer_generation: 0,
             stats: RoutingStats::default(),
             suspicion: SuspicionTable::new(),
-            credible_seqno: HashMap::new(),
-            quarantine: HashMap::new(),
+            credible_seqno: FxHashMap::default(),
+            quarantine: FxHashMap::default(),
         }
     }
 
@@ -358,7 +358,15 @@ impl Mts {
 
     // ---- RREQ / RREP handling ------------------------------------------------------
 
-    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, from: NodeId, mut rreq: RouteRequest) {
+    /// Handle a route request.
+    ///
+    /// Takes the request by reference: RREQs arrive as link-layer broadcasts
+    /// whose payload is shared across every receiver.  MTS inspects *every*
+    /// copy (reverse routes and the destination's disjoint-set construction
+    /// use them all), but only the first-copy relay below needs to clone the
+    /// accumulated route — every other copy is processed without touching
+    /// the shared allocation.
+    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, from: NodeId, rreq: &RouteRequest) {
         let now = ctx.now();
         if rreq.source == self.me {
             return; // our own flood echoed back
@@ -381,18 +389,19 @@ impl Mts {
 
         if rreq.destination == self.me {
             // Destination role: every copy is considered for the disjoint set.
-            self.handle_rreq_as_destination(ctx, from, &rreq, first_copy);
+            self.handle_rreq_as_destination(ctx, from, rreq, first_copy);
             return;
         }
         if !first_copy {
             return; // intermediate nodes relay only the first copy
         }
         // Intermediate: never reply from cache (paper §II: intermediate nodes
-        // are not allowed to send RREPs) — just relay.
-        rreq.hop_count += 1;
-        rreq.route.push(self.me);
+        // are not allowed to send RREPs) — just relay (the one genuine copy).
+        let mut fwd = rreq.clone();
+        fwd.hop_count += 1;
+        fwd.route.push(self.me);
         self.stats.rreq_tx += 1;
-        ctx.send_broadcast(NetPacket::Rreq(rreq));
+        ctx.send_broadcast(NetPacket::Rreq(fwd));
     }
 
     fn handle_rreq_as_destination(
@@ -684,7 +693,8 @@ impl Mts {
 
     // ---- errors / link failures -------------------------------------------------------
 
-    fn handle_rerr(&mut self, ctx: &mut Ctx<'_>, from: NodeId, rerr: RouteError) {
+    /// Handle a route error (by reference — RERRs are broadcast).
+    fn handle_rerr(&mut self, ctx: &mut Ctx<'_>, from: NodeId, rerr: &RouteError) {
         let now = ctx.now();
         let mut lost_any = false;
         for (dest, seqno) in rerr.unreachable.iter().zip(rerr.dest_seqnos.iter()) {
@@ -703,7 +713,7 @@ impl Mts {
             // Keep propagating towards any affected sources we route for.
             let rerr_fwd = RouteError {
                 reporter: self.me,
-                ..rerr
+                ..rerr.clone()
             };
             self.stats.rerr_tx += 1;
             ctx.send_broadcast(NetPacket::Rerr(rerr_fwd));
@@ -723,18 +733,33 @@ impl RoutingAgent for Mts {
         self.originate_data(ctx, packet);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) -> Vec<DataPacket> {
-        match packet {
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        packet: SharedPacket,
+    ) -> Vec<DataPacket> {
+        // Broadcast-carried control (RREQ floods, RERRs) is handled by
+        // reference so flood copies never touch the shared payload
+        // allocation; everything else arrives unicast, where claiming the
+        // packet takes over the sole reference for free.
+        match &*packet {
             NetPacket::Rreq(r) => {
                 self.handle_rreq(ctx, from, r);
-                Vec::new()
-            }
-            NetPacket::Rrep(r) => {
-                self.handle_rrep(ctx, from, r);
-                Vec::new()
+                return Vec::new();
             }
             NetPacket::Rerr(r) => {
                 self.handle_rerr(ctx, from, r);
+                return Vec::new();
+            }
+            NetPacket::Rrep(_)
+            | NetPacket::Check(_)
+            | NetPacket::CheckErr(_)
+            | NetPacket::Data(_) => {}
+        }
+        match ctx.claim_packet(packet) {
+            NetPacket::Rrep(r) => {
+                self.handle_rrep(ctx, from, r);
                 Vec::new()
             }
             NetPacket::Check(c) => {
@@ -757,6 +782,7 @@ impl RoutingAgent for Mts {
                     Vec::new()
                 }
             }
+            _ => unreachable!("filtered above"),
         }
     }
 

@@ -23,6 +23,19 @@ use std::sync::Arc;
 /// Execute one scenario and return its metrics together with the raw
 /// recorder (the recorder is needed for Table I style relay tables).
 pub fn run_scenario_with_recorder(scenario: &Scenario) -> (RunMetrics, Recorder) {
+    run_scenario_inner(scenario, false)
+}
+
+/// Like [`run_scenario_with_recorder`] but with the human-readable event
+/// trace enabled on the recorder.  Used by the queue/payload equivalence
+/// checks (`reproduce --bench-json`, CI perf smoke), which diff the full
+/// trace of two runs for byte identity; costs memory proportional to the
+/// number of transmissions, so sweeps keep it off.
+pub fn run_scenario_traced(scenario: &Scenario) -> (RunMetrics, Recorder) {
+    run_scenario_inner(scenario, true)
+}
+
+fn run_scenario_inner(scenario: &Scenario, trace: bool) -> (RunMetrics, Recorder) {
     scenario.validate().expect("invalid scenario");
     let stats: SharedTcpStats = Arc::new(Mutex::new(TcpRunStats::default()));
     let tcp_config: TcpConfig = scenario.tcp;
@@ -73,7 +86,10 @@ pub fn run_scenario_with_recorder(scenario: &Scenario) -> (RunMetrics, Recorder)
         }
         _ => Box::new(waypoint),
     };
-    let sim = Simulator::new(scenario.sim.clone(), mobility, stacks);
+    let mut sim = Simulator::new(scenario.sim.clone(), mobility, stacks);
+    if trace {
+        sim.enable_trace();
+    }
     let recorder = sim.run();
     let tcp_stats = *stats.lock();
     let metrics = RunMetrics::extract(scenario, &recorder, &tcp_stats);

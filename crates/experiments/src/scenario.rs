@@ -114,8 +114,9 @@ impl Scenario {
     /// The paper's environment scaled to `num_nodes` (field grown to keep the
     /// 50-nodes-per-km² density), with one flow per started 100 nodes so the
     /// traffic load grows with the network.  This is the scenario family the
-    /// `scale_nodes` bench and the large-scale sweeps use; `num_nodes` of
-    /// 100 / 200 / 500 are the canonical points.
+    /// `scale_nodes` bench, `reproduce --bench-json` and the large-scale
+    /// sweeps use; `num_nodes` of 100 / 200 / 500 / 1000 / 2000 are the
+    /// canonical points.
     pub fn scaled(protocol: Protocol, num_nodes: u16, max_speed: f64, seed: u64) -> Self {
         let sim = SimConfig::scaled_environment(num_nodes, max_speed, seed);
         let mut scenario = Self::from_sim(protocol, sim);
@@ -145,10 +146,10 @@ impl Scenario {
         scenario
     }
 
-    /// The three canonical scaling points (100, 200, 500 nodes) at one speed
-    /// and seed.
+    /// The five canonical scaling points (100, 200, 500, 1000, 2000 nodes)
+    /// at one speed and seed.
     pub fn scaling_ladder(protocol: Protocol, max_speed: f64, seed: u64) -> Vec<Scenario> {
-        [100u16, 200, 500]
+        [100u16, 200, 500, 1000, 2000]
             .into_iter()
             .map(|n| Self::scaled(protocol, n, max_speed, seed))
             .collect()
@@ -322,7 +323,7 @@ mod tests {
 
     #[test]
     fn scaled_scenarios_are_valid_and_keep_density() {
-        for n in [100u16, 200, 500] {
+        for n in [100u16, 200, 500, 1000, 2000] {
             let s = Scenario::scaled(Protocol::Mts, n, 10.0, 1);
             s.validate().unwrap();
             assert_eq!(s.sim.num_nodes, n);
@@ -348,7 +349,7 @@ mod tests {
         let scaled_other = Scenario::scaled(Protocol::Dsr, 200, 10.0, 7);
         assert_eq!(scaled.flows, scaled_other.flows);
         assert_eq!(scaled.eavesdropper, scaled_other.eavesdropper);
-        assert_eq!(Scenario::scaling_ladder(Protocol::Mts, 10.0, 7).len(), 3);
+        assert_eq!(Scenario::scaling_ladder(Protocol::Mts, 10.0, 7).len(), 5);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 use manet_netsim::{Ctx, NodeStack, TimerToken};
 use manet_routing::agent::{RoutingAgent, RoutingStats, TimerClass};
 use manet_tcp::{TcpConfig, TcpOutcome, TcpReceiver, TcpSender};
-use manet_wire::{ConnectionId, DataPacket, Frame, NetPacket, NodeId, PacketId, TcpSegment};
+use manet_wire::{
+    ConnectionId, DataPacket, Frame, NetPacket, NodeId, PacketId, SharedPacket, TcpSegment,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -192,7 +194,7 @@ impl NodeStack for ManetStack {
         self.agent.on_timer(ctx, token);
     }
 
-    fn on_receive(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) {
+    fn on_receive(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: SharedPacket) {
         let delivered = self.agent.on_packet(ctx, from, packet);
         if !delivered.is_empty() {
             self.deliver(ctx, delivered);
@@ -303,6 +305,16 @@ mod tests {
             "bytes_acked={}",
             stats.bytes_acked
         );
+        // Steady-state zero-copy: every hand-off in a full protocol run
+        // shares the transmitted payload allocation (unicast deliveries hand
+        // over the sole reference; RREQ/RERR flood copies are inspected by
+        // reference and never claimed).
+        let perf = recorder.engine_perf();
+        assert_eq!(
+            perf.payload_deep_clones, 0,
+            "a clean MTS run must not deep-copy any payload"
+        );
+        assert!(perf.payload_clones_avoided > 0);
         // MTS keeps checking the route, so control traffic includes CHECK packets.
         assert!(
             recorder

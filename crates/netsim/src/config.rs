@@ -190,6 +190,25 @@ pub struct RushConfig {
     pub rushers: Vec<NodeId>,
 }
 
+/// Backend of the future event list (see [`crate::event::EventQueue`]).
+///
+/// Both backends pop events in exactly the same order — ascending time with
+/// FIFO tie-break on the schedule sequence — so a run is trace-identical
+/// under either (asserted by `tests/queue_equivalence.rs`).  The calendar
+/// queue is the default because its amortised O(1) schedule/pop beats the
+/// heap's O(log n) once thousands of events are pending; the heap is kept as
+/// the reference implementation and comparison baseline, the same way
+/// [`NeighborIndex::BruteForce`] backs the spatial grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EventQueueKind {
+    /// Calendar/bucket queue tuned to the MAC contention timescale
+    /// (amortised O(1); see [`crate::calendar::CalendarQueue`]).
+    #[default]
+    Calendar,
+    /// Binary heap (O(log n) per operation; reference backend).
+    Heap,
+}
+
 /// Strategy the engine uses to answer "who can hear this transmission?".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum NeighborIndex {
@@ -242,6 +261,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Neighbor-query strategy (spatial grid by default).
     pub neighbor_index: NeighborIndex,
+    /// Event-queue backend (calendar queue by default; the heap backend is
+    /// the trace-identical reference implementation).
+    pub event_queue: EventQueueKind,
     /// Maximum anchor drift, metres, the spatial grid tolerates before a
     /// node is rebinned (larger values mean fewer rebinds but bigger
     /// candidate sets).  Ignored under [`NeighborIndex::BruteForce`].
@@ -266,6 +288,7 @@ impl Default for SimConfig {
             duration: Duration::from_secs(200.0),
             seed: 1,
             neighbor_index: NeighborIndex::default(),
+            event_queue: EventQueueKind::default(),
             grid_slack_m: 25.0,
             jamming: None,
             wormhole: None,
@@ -381,8 +404,9 @@ impl SimConfig {
 
     /// The paper's environment scaled to `num_nodes`, with the field grown so
     /// node density (nodes per square metre) matches the 50-node / 1 km²
-    /// original.  Used by the 100/200/500-node scaling scenarios and the
-    /// `scale_nodes` bench.
+    /// original.  Used by the 100/200/500/1000/2000-node scaling scenarios,
+    /// the `scale_nodes` bench and the `reproduce --bench-json` perf
+    /// trajectory.
     ///
     /// # Panics
     /// Panics if `num_nodes` is zero.
@@ -424,7 +448,7 @@ mod tests {
     fn scaled_environment_keeps_density_constant() {
         let base = SimConfig::paper_environment(10.0, 1);
         let base_density = f64::from(base.num_nodes) / (base.field_width * base.field_height);
-        for n in [100u16, 200, 500] {
+        for n in [100u16, 200, 500, 1000, 2000] {
             let c = SimConfig::scaled_environment(n, 10.0, 1);
             c.validate().unwrap();
             assert_eq!(c.num_nodes, n);

@@ -7,9 +7,9 @@
 //! # The broadcast hot path
 //!
 //! Every transmission must answer "who hears this?" twice: the receiver set
-//! (transmission range) and the busy set (carrier-sense range).  Three
-//! engine-level optimisations keep that path allocation-free and better than
-//! O(N) per transmission:
+//! (transmission range) and the busy set (carrier-sense range).  The
+//! engine-level optimisations that keep the steady-state transmission path
+//! allocation- and copy-free, and better than O(N) per transmission:
 //!
 //! * a [`SpatialGrid`] neighbor index (see [`crate::grid`]) binning node
 //!   anchors into cells of side ≥ carrier-sense range + slack, maintained
@@ -18,14 +18,29 @@
 //!   refresh queue is engine-private — it does **not** go through the main
 //!   event queue, so a grid run and a brute-force run
 //!   ([`crate::config::NeighborIndex`]) process byte-identical event streams
-//!   and stay trace-equivalent (the equivalence tests rely on this).
-//! * a per-(node, time) position cache so each node's kinematic position is
-//!   evaluated at most once per event timestamp.
-//! * scratch-buffer reuse: candidate lists, receiver lists (pooled across
-//!   in-flight transmissions) and per-receiver outcome lists are recycled, so
+//!   and stay trace-equivalent (the equivalence tests rely on this).  Cells
+//!   carry the anchor inline, so the query prefilters candidates by anchor
+//!   distance over contiguous memory before any kinematic state is touched.
+//! * a dense precomputed per-leg kinematics table (unit direction and leg
+//!   length computed once per leg change, not per evaluation) behind a
+//!   per-(node, time) position cache for repeated same-instant lookups.
+//! * **zero-copy payloads**: frames carry their [`NetPacket`] behind an
+//!   `Arc` ([`manet_wire::SharedPacket`]), so a broadcast to k receivers
+//!   shares one allocation; unicast deliveries move the engine's sole
+//!   reference into the receiving stack, which can take ownership for free
+//!   ([`Ctx::claim_packet`]).  The `payload_clones_avoided` /
+//!   `payload_deep_clones` counters account every hand-off; clean runs are
+//!   fully copy-free (asserted in `tests/queue_equivalence.rs`).
+//! * scratch-buffer reuse: receiver lists (pooled across in-flight
+//!   transmissions) and per-receiver outcome lists are recycled, and the
+//!   carrier-sense busy set lives in one dense 8-byte-per-node array, so
 //!   steady-state transmissions allocate nothing.
+//! * the future event list defaults to a self-tuning calendar queue
+//!   (amortised O(1); see [`crate::calendar`]) that pops in exactly the
+//!   binary heap's order, keeping runs trace-identical across
+//!   [`crate::config::EventQueueKind`] backends.
 //!
-//! Counters for all three are surfaced through
+//! Counters for all of these are surfaced through
 //! [`Recorder::engine_perf`](crate::recorder::Recorder::engine_perf).
 
 use crate::config::{NeighborIndex, SimConfig};
@@ -39,18 +54,68 @@ use crate::radio::LinkDynamics;
 use crate::recorder::{DropReason, EnginePerf, Recorder};
 use crate::rng::RngStreams;
 use crate::time::{Duration, SimTime};
-use manet_wire::{Frame, MacDest, NetPacket, NodeId};
+use manet_wire::{Frame, MacDest, NetPacket, NodeId, SharedPacket};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Per-node mobility bookkeeping.
 #[derive(Debug, Clone)]
 struct NodeMotion {
     leg: Waypoint,
     epoch: u64,
+}
+
+/// Precomputed kinematic state of one node's current leg, dense and
+/// sqrt-free: [`Waypoint::position_at`] recomputes the leg length and unit
+/// direction (two square roots) on every evaluation, but both are constants
+/// of the leg — the engine hot path evaluates tens of candidate positions
+/// per transmission, so they are computed once per leg change here instead.
+/// `position_at` reproduces the `Waypoint` math bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+struct Kinematics {
+    from: Position,
+    to: Position,
+    dir: crate::geometry::Vector2,
+    dist: f64,
+    speed: f64,
+    start: SimTime,
+}
+
+impl Kinematics {
+    fn of(leg: &Waypoint) -> Self {
+        let dist = leg.from.distance_to(leg.to);
+        let dir = if dist == 0.0 {
+            crate::geometry::Vector2::default()
+        } else {
+            (leg.to - leg.from).normalized()
+        };
+        Kinematics {
+            from: leg.from,
+            to: leg.to,
+            dir,
+            dist,
+            speed: leg.speed,
+            start: leg.start,
+        }
+    }
+
+    /// Identical to [`Waypoint::position_at`] on the source leg, with the
+    /// per-leg constants precomputed.
+    #[inline]
+    fn position_at(&self, now: SimTime) -> Position {
+        if self.speed <= 0.0 || now <= self.start {
+            return self.from;
+        }
+        if self.dist == 0.0 {
+            return self.to;
+        }
+        let travelled = (now.since(self.start).as_secs() * self.speed).min(self.dist);
+        self.from + self.dir * travelled
+    }
 }
 
 /// Engine performance counters.  `Cell`-based so read-only query paths
@@ -64,6 +129,8 @@ struct PerfCells {
     grid_refreshes: Cell<u64>,
     position_cache_hits: Cell<u64>,
     position_cache_misses: Cell<u64>,
+    payload_clones_avoided: Cell<u64>,
+    payload_deep_clones: Cell<u64>,
 }
 
 fn inc(c: &Cell<u64>) {
@@ -83,7 +150,14 @@ impl PerfCells {
             grid_refreshes: self.grid_refreshes.get(),
             position_cache_hits: self.position_cache_hits.get(),
             position_cache_misses: self.position_cache_misses.get(),
-            events_processed: 0, // filled in by `Simulator::run`
+            payload_clones_avoided: self.payload_clones_avoided.get(),
+            payload_deep_clones: self.payload_deep_clones.get(),
+            // Filled in by `Simulator::run` from the event queue.
+            events_processed: 0,
+            queue_pushes: 0,
+            queue_pops: 0,
+            queue_max_occupancy: 0,
+            calendar_resizes: 0,
         }
     }
 }
@@ -139,6 +213,10 @@ pub struct World {
     rngs: RngStreams,
     recorder: Recorder,
     motions: Vec<NodeMotion>,
+    /// Dense precomputed per-leg kinematics, mirroring `motions` (see
+    /// [`Kinematics`]); the transmit-path candidate scan evaluates positions
+    /// through this array without touching the position cache.
+    kin: Vec<Kinematics>,
     macs: Vec<MacState>,
     link_dynamics: LinkDynamics,
     mobility: Box<dyn MobilityModel>,
@@ -156,8 +234,12 @@ pub struct World {
     receiver_pool: Vec<Vec<NodeId>>,
     /// Scratch for per-receiver delivery outcomes in `tx_end`.
     outcomes_scratch: Vec<(NodeId, bool)>,
-    /// Scratch for grid candidates in `mac_attempt`.
-    cand_scratch: Vec<NodeId>,
+    /// Carrier-sense state, dense: the medium at node `i` is busy until
+    /// `busy[i]`.  Kept outside [`MacState`] (and behind `Cell`) so the
+    /// busy-set update of a transmission walks one contiguous 8-byte-per-node
+    /// array inside the `&self` grid-query closure instead of scattering
+    /// writes across the much larger per-node MAC structs.
+    busy: Vec<Cell<SimTime>>,
     /// Precomputed selective-jamming parameters (`None` when no jammer is
     /// configured — the common case pays nothing).
     jam: Option<JamState>,
@@ -181,7 +263,7 @@ impl World {
                 return pos;
             }
         }
-        let pos = self.motions[node.index()].leg.position_at(self.now);
+        let pos = self.kin[node.index()].position_at(self.now);
         cell.set(Some((self.now, pos)));
         inc(&self.perf.position_cache_misses);
         pos
@@ -372,7 +454,7 @@ impl World {
                     Event::TunnelDeliver {
                         to: dst,
                         from: node,
-                        packet: Box::new(frame.payload),
+                        packet: frame.payload,
                     },
                 );
                 return;
@@ -413,6 +495,18 @@ impl World {
         id
     }
 
+    /// Take ownership of a shared packet: free when the reference is unique
+    /// (every steady-state unicast delivery), a counted deep copy otherwise.
+    pub(crate) fn claim_packet(&self, packet: SharedPacket) -> NetPacket {
+        match Arc::try_unwrap(packet) {
+            Ok(p) => p,
+            Err(shared) => {
+                inc(&self.perf.payload_deep_clones);
+                (*shared).clone()
+            }
+        }
+    }
+
     /// Number of events processed so far (diagnostic).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
@@ -449,7 +543,7 @@ impl Simulator {
         let mut rngs = RngStreams::new(config.seed);
         let mut mobility = mobility;
         let mut motions = Vec::with_capacity(config.num_nodes as usize);
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::for_config(&config);
         for i in 0..config.num_nodes as usize {
             let pos = mobility.initial_position(i, rngs.mobility());
             let leg = mobility.next_leg(i, pos, SimTime::ZERO, 0, rngs.mobility());
@@ -465,6 +559,7 @@ impl Simulator {
             motions.push(NodeMotion { leg, epoch: 0 });
         }
         queue.schedule(SimTime::ZERO + config.duration, Event::Stop);
+        let kin = motions.iter().map(|m| Kinematics::of(&m.leg)).collect();
         let macs = (0..config.num_nodes).map(|_| MacState::new()).collect();
         let grid = match config.neighbor_index {
             NeighborIndex::BruteForce => None,
@@ -523,6 +618,7 @@ impl Simulator {
             rngs,
             recorder: Recorder::new(),
             motions,
+            kin,
             macs,
             link_dynamics: LinkDynamics::new(),
             mobility,
@@ -533,7 +629,9 @@ impl Simulator {
             perf: PerfCells::default(),
             receiver_pool: Vec::new(),
             outcomes_scratch: Vec::new(),
-            cand_scratch: Vec::new(),
+            busy: (0..config.num_nodes)
+                .map(|_| Cell::new(SimTime::ZERO))
+                .collect(),
             jam,
             rush_mask,
             config,
@@ -595,6 +693,11 @@ impl Simulator {
         }
         let mut perf = self.world.perf.snapshot();
         perf.events_processed = self.world.events_processed;
+        let queue = self.world.queue.perf();
+        perf.queue_pushes = queue.pushes;
+        perf.queue_pops = queue.pops;
+        perf.queue_max_occupancy = queue.max_occupancy;
+        perf.calendar_resizes = queue.calendar_resizes;
         self.world.recorder.set_engine_perf(perf);
         self.world.recorder
     }
@@ -641,7 +744,7 @@ impl Simulator {
             Event::MacAttempt { node } => self.mac_attempt(node),
             Event::TxEnd { node, tx } => self.tx_end(node, tx),
             Event::WaypointReached { node, epoch } => self.waypoint_reached(node, epoch),
-            Event::TunnelDeliver { to, from, packet } => self.tunnel_deliver(to, from, *packet),
+            Event::TunnelDeliver { to, from, packet } => self.tunnel_deliver(to, from, packet),
             Event::ChannelTick => { /* channel state is sampled lazily */ }
             Event::Stop => unreachable!("Stop handled in run()"),
         }
@@ -674,6 +777,7 @@ impl Simulator {
                 },
             );
         }
+        self.world.kin[idx] = Kinematics::of(&leg);
         self.world.motions[idx] = NodeMotion {
             leg,
             epoch: new_epoch,
@@ -698,16 +802,20 @@ impl Simulator {
         }
         let now = self.world.now;
         // Carrier sense: defer while the medium is busy.
-        if self.world.macs[idx].busy_until > now {
-            let wait = self.world.macs[idx].busy_until.since(now);
+        if self.world.busy[idx].get() > now {
+            let wait = self.world.busy[idx].get().since(now);
             self.world.macs[idx].attempt_pending = true;
             // Rushing attackers re-attempt the instant the medium frees up.
             let backoff = if self.world.is_rusher(node) {
                 Duration::ZERO
             } else {
-                let mac_cfg = self.world.config.mac.clone();
-                let mac_rng = self.world.rngs.mac();
-                self.world.macs[idx].draw_backoff(&mac_cfg, mac_rng)
+                // Split the borrows field-wise: the MAC config is read-only
+                // while the RNG and the MAC state are distinct fields, so no
+                // per-transmission clone of the config is needed.
+                let World {
+                    macs, rngs, config, ..
+                } = &mut self.world;
+                macs[idx].draw_backoff(&config.mac, rngs.mac())
             };
             self.world
                 .queue
@@ -735,31 +843,38 @@ impl Simulator {
         );
 
         // Determine receivers (transmission range) and busy set (carrier-sense
-        // range) in one combined pass over the grid candidates.
+        // range) in one fused pass over the grid candidates: each candidate's
+        // position is evaluated exactly once, busy-set writes land in the
+        // dense `busy` array (`Cell`-based, so the whole pass runs inside the
+        // `&self` query closure with no intermediate candidate buffer).
         let my_pos = self.world.position_of(node);
         let range_sq = self.world.config.radio.range_m * self.world.config.radio.range_m;
         let cs_range = self.world.config.radio.carrier_sense_range();
         let cs_sq = cs_range * cs_range;
-        let mut cands = std::mem::take(&mut self.world.cand_scratch);
-        cands.clear();
-        self.world.query_range(my_pos, cs_range, |n| cands.push(n));
         let mut receivers = self.world.take_receiver_buf();
-        for &other in &cands {
-            if other == node {
-                continue;
-            }
-            let d_sq = self.world.position_of(other).distance_sq(my_pos);
-            if d_sq <= cs_sq {
-                let m = &mut self.world.macs[other.index()];
-                if m.busy_until < end {
-                    m.busy_until = end;
+        {
+            let world = &self.world;
+            world.query_range(my_pos, cs_range, |other| {
+                if other == node {
+                    return;
                 }
-            }
-            if d_sq <= range_sq {
-                receivers.push(other);
-            }
+                // Direct kinematic evaluation: the per-(node, time) position
+                // cache never hits inside a single candidate scan (every
+                // candidate is distinct), so skip its read/write traffic.
+                let d_sq = world.kin[other.index()]
+                    .position_at(world.now)
+                    .distance_sq(my_pos);
+                if d_sq <= cs_sq {
+                    let b = &world.busy[other.index()];
+                    if b.get() < end {
+                        b.set(end);
+                    }
+                }
+                if d_sq <= range_sq {
+                    receivers.push(other);
+                }
+            });
         }
-        self.world.cand_scratch = cands;
         // Grid candidates arrive in cell order and busy-set updates above
         // commute, but receiver order fixes RNG consumption and callback
         // order at TxEnd — sort it so runs are identical across
@@ -777,10 +892,11 @@ impl Simulator {
                 end,
             });
         }
+        let busy = &self.world.busy[idx];
+        busy.set(busy.get().max(end));
         let mac = &mut self.world.macs[idx];
         mac.gc_intervals(now);
         mac.tx_intervals.push((now, end));
-        mac.busy_until = mac.busy_until.max(end);
         mac.transmitting = Some(InFlight {
             tx,
             frame: queued,
@@ -884,23 +1000,35 @@ impl Simulator {
                             .as_ref()
                             .map_or(Duration::ZERO, |w| w.delay);
                         self.world.recorder.record_tunneled(&queued.frame.payload);
+                        add(&self.world.perf.payload_clones_avoided, 1);
                         self.world.queue.schedule(
                             now + delay,
                             Event::TunnelDeliver {
                                 to: peer,
                                 from: node,
-                                packet: Box::new(queued.frame.payload.clone()),
+                                packet: Arc::clone(&queued.frame.payload),
                             },
                         );
                     }
                 }
-                for (r, ok) in &outcomes {
-                    if *ok {
-                        self.account_reception(*r, &queued.frame, true);
-                        let packet = queued.frame.payload.clone();
+                // All successful receivers share one payload allocation; the
+                // last one is handed the engine's own reference, so a sole
+                // receiver (and the last of many, once the earlier stacks
+                // dropped theirs) can take ownership without any copy.
+                let mut payload = Some(queued.frame.payload);
+                let last_ok = outcomes.iter().rposition(|&(_, ok)| ok);
+                for (i, &(r, ok)) in outcomes.iter().enumerate() {
+                    if ok {
+                        self.account_reception(r, payload.as_ref().expect("payload present"), true);
+                        let packet = if Some(i) == last_ok {
+                            payload.take().expect("last receiver")
+                        } else {
+                            Arc::clone(payload.as_ref().expect("not last"))
+                        };
+                        add(&self.world.perf.payload_clones_avoided, 1);
                         let mut ctx = Ctx {
                             world: &mut self.world,
-                            node: *r,
+                            node: r,
                         };
                         self.stacks[r.index()].on_receive(&mut ctx, node, packet);
                     }
@@ -916,7 +1044,7 @@ impl Simulator {
                 // of whether the addressed receiver got it.
                 for (r, ok) in &outcomes {
                     if *ok && *r != dst {
-                        self.account_reception(*r, &queued.frame, false);
+                        self.account_reception(*r, &queued.frame.payload, false);
                         let mut ctx = Ctx {
                             world: &mut self.world,
                             node: *r,
@@ -927,8 +1055,12 @@ impl Simulator {
                 if delivered {
                     self.world.macs[idx].tx_ok += 1;
                     self.world.macs[idx].reset_backoff();
-                    self.account_reception(dst, &queued.frame, true);
-                    let packet = queued.frame.payload.clone();
+                    self.account_reception(dst, &queued.frame.payload, true);
+                    // Move the payload out of the finished frame: the
+                    // receiving stack gets the sole reference and can take
+                    // ownership without a copy.
+                    let packet = queued.frame.payload;
+                    add(&self.world.perf.payload_clones_avoided, 1);
                     let mut ctx = Ctx {
                         world: &mut self.world,
                         node: dst,
@@ -945,7 +1077,7 @@ impl Simulator {
                         self.world.macs[idx].reset_backoff();
                         self.world.recorder.record_mac_drop(DropReason::RetryLimit);
                         self.world.recorder.record_link_failure(node, dst, now);
-                        let packet = queued.frame.payload;
+                        let packet = self.world.claim_packet(queued.frame.payload);
                         let mut ctx = Ctx {
                             world: &mut self.world,
                             node,
@@ -968,8 +1100,8 @@ impl Simulator {
     /// Deliver a tunneled packet at the far wormhole endpoint.  The receiving
     /// stack sees an ordinary `on_receive` from the near endpoint, so honest
     /// routing logic treats the pair as direct neighbours.
-    fn tunnel_deliver(&mut self, to: NodeId, from: NodeId, packet: NetPacket) {
-        if let NetPacket::Data(dp) = &packet {
+    fn tunnel_deliver(&mut self, to: NodeId, from: NodeId, packet: SharedPacket) {
+        if let NetPacket::Data(dp) = &*packet {
             let carries = dp.carries_data();
             if dp.dst == to {
                 self.world.recorder.record_delivered(
@@ -992,11 +1124,11 @@ impl Simulator {
         self.stacks[to.index()].on_receive(&mut ctx, from, packet);
     }
 
-    /// Update the recorder for a successful reception of `frame` at `node`.
+    /// Update the recorder for a successful reception of `payload` at `node`.
     /// `addressed` is true when `node` was the MAC destination (or the frame
     /// was a broadcast), false for promiscuous overhearing.
-    fn account_reception(&mut self, node: NodeId, frame: &Frame, addressed: bool) {
-        if let NetPacket::Data(dp) = &frame.payload {
+    fn account_reception(&mut self, node: NodeId, payload: &NetPacket, addressed: bool) {
+        if let NetPacket::Data(dp) = payload {
             let carries = dp.carries_data();
             if addressed {
                 if dp.dst == node {
@@ -1051,12 +1183,13 @@ mod tests {
             }
         }
         fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
-        fn on_receive(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) {
+        fn on_receive(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: SharedPacket) {
             self.sent.borrow_mut().push((from, self.me));
-            if let NetPacket::Data(dp) = packet {
+            if let NetPacket::Data(dp) = &*packet {
                 if dp.dst != self.me {
                     let next = NodeId(self.me.0 + 1);
-                    ctx.send_unicast(next, NetPacket::Data(dp));
+                    // Forward the shared packet as-is: no copy on the relay path.
+                    ctx.send_unicast(next, packet);
                 }
             }
         }
@@ -1170,7 +1303,7 @@ mod tests {
         impl NodeStack for Idle {
             fn start(&mut self, _ctx: &mut Ctx<'_>) {}
             fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
-            fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: NetPacket) {}
+            fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: SharedPacket) {}
             fn on_link_failure(&mut self, _c: &mut Ctx<'_>, _n: NodeId, _p: NetPacket) {}
         }
         let stacks: Vec<Box<dyn NodeStack>> = vec![Box::new(Idle), Box::new(Idle)];
@@ -1348,7 +1481,7 @@ mod tests {
                 }
             }
             fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
-            fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: NetPacket) {
+            fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: SharedPacket) {
                 self.got.borrow_mut().push(self.me);
             }
             fn on_link_failure(&mut self, _c: &mut Ctx<'_>, _n: NodeId, _p: NetPacket) {}
@@ -1498,7 +1631,7 @@ mod tests {
                 ctx.neighbors_into(&mut buf);
                 ctx.schedule_timer(Duration::from_secs(1.0), TimerToken(0));
             }
-            fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: NetPacket) {}
+            fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: SharedPacket) {}
             fn on_link_failure(&mut self, _c: &mut Ctx<'_>, _n: NodeId, _p: NetPacket) {}
         }
         let stacks: Vec<Box<dyn NodeStack>> = (0..12)

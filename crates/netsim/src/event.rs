@@ -4,10 +4,19 @@
 //! a monotonically increasing sequence number breaking ties so that events
 //! scheduled earlier at the same instant fire first (stable FIFO order keeps
 //! runs deterministic).
+//!
+//! Two interchangeable backends implement that contract (selected by
+//! [`crate::config::EventQueueKind`]): a binary heap (O(log n) per
+//! operation, the reference implementation) and a calendar/bucket queue
+//! ([`crate::calendar::CalendarQueue`], amortised O(1), the default).  Both
+//! produce **identical pop order** including the FIFO tie-break, so runs are
+//! trace-identical across backends; `tests/queue_equivalence.rs` asserts it.
 
+use crate::calendar::CalendarQueue;
+use crate::config::EventQueueKind;
 use crate::node::TimerToken;
 use crate::time::SimTime;
-use manet_wire::{Frame, NetPacket, NodeId};
+use manet_wire::{Frame, NodeId, SharedPacket};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -53,9 +62,10 @@ pub enum Event {
         to: NodeId,
         /// Transmitting tunnel endpoint (the `from` the stack callback sees).
         from: NodeId,
-        /// The tunneled network packet (boxed so the rare tunnel variant does
-        /// not inflate every entry of the hot event queue).
-        packet: Box<NetPacket>,
+        /// The tunneled network packet.  Shares the transmitting frame's
+        /// allocation (and, being pointer-sized, keeps the rare tunnel
+        /// variant from inflating every entry of the hot event queue).
+        packet: SharedPacket,
     },
     /// Re-evaluate a shadowed link's fading state.
     ChannelTick,
@@ -97,19 +107,70 @@ impl Ord for ScheduledEvent {
     }
 }
 
+/// Scheduler counters surfaced through
+/// [`EnginePerf`](crate::recorder::EnginePerf) for the perf trajectory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueuePerf {
+    /// Events pushed over the queue's lifetime.
+    pub pushes: u64,
+    /// Events popped over the queue's lifetime.
+    pub pops: u64,
+    /// Maximum simultaneous occupancy observed.
+    pub max_occupancy: u64,
+    /// Times the calendar backend grew its bucket array (0 for the heap).
+    pub calendar_resizes: u64,
+}
+
+/// The two event-queue backends (see the module docs).
+#[derive(Debug)]
+enum QueueImpl {
+    Heap(BinaryHeap<ScheduledEvent>),
+    Calendar(CalendarQueue),
+}
+
 /// The future event list.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
+    backend: QueueImpl,
     next_seq: u64,
+    pops: u64,
+    max_occupancy: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
-    /// An empty queue.
+    /// An empty binary-heap queue (the reference backend; unit tests and
+    /// diagnostics use this constructor directly).
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: QueueImpl::Heap(BinaryHeap::new()),
             next_seq: 0,
+            pops: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// An empty calendar queue with the given bucket width in seconds.
+    pub fn calendar(width_secs: f64) -> Self {
+        EventQueue {
+            backend: QueueImpl::Calendar(CalendarQueue::new(width_secs)),
+            next_seq: 0,
+            pops: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// The queue backend a simulation configuration asks for, with the
+    /// calendar bucket width derived from the MAC contention timescale.
+    pub fn for_config(config: &crate::config::SimConfig) -> Self {
+        match config.event_queue {
+            EventQueueKind::Heap => Self::new(),
+            EventQueueKind::Calendar => Self::calendar(CalendarQueue::width_for_mac(&config.mac)),
         }
     }
 
@@ -117,32 +178,63 @@ impl EventQueue {
     pub fn schedule(&mut self, time: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, event });
+        let ev = ScheduledEvent { time, seq, event };
+        match &mut self.backend {
+            QueueImpl::Heap(h) => h.push(ev),
+            QueueImpl::Calendar(c) => c.push(ev),
+        }
+        self.max_occupancy = self.max_occupancy.max(self.len() as u64);
     }
 
     /// Remove and return the earliest pending event.
     pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        self.heap.pop()
+        let ev = match &mut self.backend {
+            QueueImpl::Heap(h) => h.pop(),
+            QueueImpl::Calendar(c) => c.pop(),
+        };
+        if ev.is_some() {
+            self.pops += 1;
+        }
+        ev
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.backend {
+            QueueImpl::Heap(h) => h.peek().map(|e| e.time),
+            QueueImpl::Calendar(c) => c.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            QueueImpl::Heap(h) => h.len(),
+            QueueImpl::Calendar(c) => c.len(),
+        }
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (diagnostic).
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Lifetime scheduler counters.
+    pub fn perf(&self) -> QueuePerf {
+        QueuePerf {
+            pushes: self.next_seq,
+            pops: self.pops,
+            max_occupancy: self.max_occupancy,
+            calendar_resizes: match &self.backend {
+                QueueImpl::Heap(_) => 0,
+                QueueImpl::Calendar(c) => c.resizes(),
+            },
+        }
     }
 }
 
@@ -230,5 +322,42 @@ mod tests {
         }
         let _ = q.pop();
         assert_eq!(q.scheduled_total(), 10);
+        let perf = q.perf();
+        assert_eq!(perf.pushes, 10);
+        assert_eq!(perf.pops, 1);
+        assert_eq!(perf.max_occupancy, 10);
+    }
+
+    #[test]
+    fn heap_and_calendar_backends_pop_identically() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let times: Vec<f64> = (0..2_000)
+            .map(|i| {
+                if rng.gen_bool(0.2) {
+                    // Deliberate timestamp collisions exercise the tie-break.
+                    (i % 13) as f64
+                } else {
+                    rng.gen_range(0.0..300.0)
+                }
+            })
+            .collect();
+        let mut heap = EventQueue::new();
+        let mut cal = EventQueue::calendar(3.6e-4);
+        for &t in &times {
+            heap.schedule(SimTime::from_secs(t), Event::ChannelTick);
+            cal.schedule(SimTime::from_secs(t), Event::ChannelTick);
+        }
+        loop {
+            match (heap.pop(), cal.pop()) {
+                (None, None) => break,
+                (h, c) => {
+                    let (h, c) = (h.expect("heap"), c.expect("calendar"));
+                    assert_eq!((h.time, h.seq), (c.time, c.seq));
+                }
+            }
+        }
+        assert_eq!(heap.perf().pops, cal.perf().pops);
     }
 }

@@ -1,0 +1,129 @@
+//! A fast, non-cryptographic hasher for the simulator's hot-path maps.
+//!
+//! The engine's recorder and the routing agents hash small keys (node ids,
+//! packet ids, `(source, destination, broadcast id)` tuples) millions of
+//! times per run; `std`'s default SipHash is DoS-resistant but costs several
+//! times more per small key than needed here, where every key is
+//! simulator-internal and attacker-free.  This is the FxHash multiply-rotate
+//! scheme used by rustc (vendoring the real `rustc-hash` crate is not
+//! possible in the offline build): a word-at-a-time rotate-xor-multiply,
+//! `Default`-constructible so it can seed `HashMap`/`HashSet` via
+//! [`BuildHasherDefault`].
+//!
+//! Determinism: the hash is seed-free and stable across runs and platforms,
+//! so iteration order of an `FxHashMap` is stable for one build — but, as
+//! with any `HashMap`, code that needs a canonical order must still sort.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from FxHash (a.k.a. FireflyHash), chosen so a
+/// single multiply diffuses well for word-sized keys.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` seeded with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` seeded with the fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_behave_normally() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+        let mut s: FxHashSet<(u16, u16, u32)> = FxHashSet::default();
+        assert!(s.insert((1, 2, 3)));
+        assert!(!s.insert((1, 2, 3)));
+        assert!(s.contains(&(1, 2, 3)));
+    }
+
+    #[test]
+    fn distinct_small_keys_rarely_collide() {
+        use std::hash::BuildHasher;
+        let build = FxBuildHasher::default();
+        let hash_one = |k: u64| build.hash_one(k);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash_one(i));
+        }
+        assert_eq!(seen.len(), 10_000, "sequential u64 keys must not collide");
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        use std::hash::BuildHasher;
+        let build = FxBuildHasher::default();
+        let hash_one = |k: &str| build.hash_one(k);
+        assert_eq!(hash_one("RREQ"), hash_one("RREQ"));
+        assert_ne!(hash_one("RREQ"), hash_one("RREP"));
+    }
+}

@@ -27,8 +27,12 @@
 //! queries that filter candidates by exact distance are **exact**, never
 //! approximate.
 //!
-//! Cell membership is stored as one `Vec<NodeId>` per cell with swap-remove
-//! deletion; rebinning is O(cell occupancy) and allocation-free after warm-up.
+//! Cell membership is stored as one `Vec<(NodeId, Position)>` per cell —
+//! the anchor is carried **inline** next to the node id, so a range query
+//! scans contiguous memory and can reject most out-of-reach candidates by
+//! anchor distance (the slack halo keeps the reject conservative) without
+//! ever touching the per-node kinematic state.  Deletion is swap-remove;
+//! rebinning is O(cell occupancy) and allocation-free after warm-up.
 
 use crate::geometry::Position;
 use manet_wire::NodeId;
@@ -40,7 +44,9 @@ pub struct SpatialGrid {
     slack: f64,
     cols: usize,
     rows: usize,
-    cells: Vec<Vec<NodeId>>,
+    /// Per-cell membership with the anchor inline (contiguous scan +
+    /// anchor-distance prefilter in queries).
+    cells: Vec<Vec<(NodeId, Position)>>,
     /// Cell index each node is currently binned in.
     node_cell: Vec<usize>,
     /// Anchor position recorded at the node's last (re)bin.
@@ -130,23 +136,35 @@ impl SpatialGrid {
         self.anchors[idx] = pos;
         let old_cell = self.node_cell[idx];
         if old_cell == new_cell {
+            // Same cell: refresh the inline anchor copy.
+            let cell = &mut self.cells[new_cell];
+            if let Some(at) = cell.iter().position(|&(n, _)| n == node) {
+                cell[at].1 = pos;
+            }
             return false;
         }
         if old_cell != usize::MAX {
             let cell = &mut self.cells[old_cell];
-            if let Some(at) = cell.iter().position(|&n| n == node) {
+            if let Some(at) = cell.iter().position(|&(n, _)| n == node) {
                 cell.swap_remove(at);
             }
         }
-        self.cells[new_cell].push(node);
+        self.cells[new_cell].push((node, pos));
         self.node_cell[idx] = new_cell;
         true
     }
 
-    /// Visit every node whose **anchor** could be within `radius + slack` of
+    /// Visit every node whose **anchor** is within `radius + slack` of
     /// `center` (a superset of the nodes truly within `radius`, under the
     /// maintenance contract).  The closure must apply the exact distance
-    /// filter itself.  Returns the number of candidates visited.
+    /// filter itself.  Returns the number of cell entries scanned (the
+    /// prefiltered superset; what `candidates_scanned` counts).
+    ///
+    /// Candidates are rejected by **anchor distance** before the closure is
+    /// called: the cell block is a square superset of the reach disc, so
+    /// roughly half of the scanned entries are geometrically out of reach —
+    /// the inline-anchor compare skips them without touching any per-node
+    /// kinematic state.
     pub fn for_each_candidate(
         &self,
         center: Position,
@@ -154,6 +172,7 @@ impl SpatialGrid {
         mut f: impl FnMut(NodeId),
     ) -> u64 {
         let reach = radius + self.slack;
+        let reach_sq = reach * reach;
         // 5×5 for maximal-radius queries under the default cell sizing; the
         // general ring keeps correctness for any radius.
         let ring = (reach / self.cell_side).ceil() as isize;
@@ -165,9 +184,11 @@ impl SpatialGrid {
         let mut visited = 0;
         for y in y0..=y1 {
             for x in x0..=x1 {
-                for &node in &self.cells[self.cell_index(x, y)] {
+                for &(node, anchor) in &self.cells[self.cell_index(x, y)] {
                     visited += 1;
-                    f(node);
+                    if anchor.distance_sq(center) <= reach_sq {
+                        f(node);
+                    }
                 }
             }
         }
@@ -180,12 +201,13 @@ impl SpatialGrid {
     fn check_invariants(&self) {
         let mut seen = vec![0usize; self.node_cell.len()];
         for (ci, cell) in self.cells.iter().enumerate() {
-            for &n in cell {
+            for &(n, anchor) in cell {
                 assert_eq!(
                     self.node_cell[n.index()],
                     ci,
                     "membership matches node_cell"
                 );
+                assert_eq!(anchor, self.anchors[n.index()], "inline anchor is current");
                 seen[n.index()] += 1;
             }
         }

@@ -5,6 +5,10 @@
 //!
 //! * [`time`] — simulation clock ([`SimTime`]) and durations.
 //! * [`event`] — the pending-event queue with stable FIFO tie-breaking.
+//! * [`calendar`] — the calendar/bucket backend of the event queue
+//!   (amortised O(1), the default; the binary heap remains selectable via
+//!   [`config::EventQueueKind`] and pops in the identical order).
+//! * [`fasthash`] — the FxHash-style hasher behind the hot-path maps.
 //! * [`geometry`] — 2-D positions and vectors.
 //! * [`mobility`] — the random-waypoint mobility model (and fixed placements).
 //! * [`grid`] — the uniform spatial grid indexing node positions; the
@@ -25,9 +29,11 @@
 //! [`config::SimConfig`] and seed; experiment sweeps parallelise across
 //! independent runs (see `manet-experiments`).
 
+pub mod calendar;
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod fasthash;
 pub mod geometry;
 pub mod grid;
 pub mod mac;
@@ -39,9 +45,13 @@ pub mod rng;
 pub mod time;
 pub mod topology;
 
-pub use config::{JamConfig, JamTarget, NeighborIndex, RushConfig, SimConfig, WormholeConfig};
+pub use calendar::CalendarQueue;
+pub use config::{
+    EventQueueKind, JamConfig, JamTarget, NeighborIndex, RushConfig, SimConfig, WormholeConfig,
+};
 pub use engine::Simulator;
-pub use event::{Event, EventQueue, ScheduledEvent};
+pub use event::{Event, EventQueue, QueuePerf, ScheduledEvent};
+pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use geometry::{Position, Vector2};
 pub use grid::SpatialGrid;
 pub use mobility::{MobilityModel, RandomWaypoint, Waypoint};

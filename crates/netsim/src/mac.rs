@@ -59,8 +59,6 @@ pub struct MacState {
     pub transmitting: Option<InFlight>,
     /// True when a `MacAttempt` event is already pending for this node.
     pub attempt_pending: bool,
-    /// The medium is sensed busy until this time.
-    pub busy_until: SimTime,
     /// Receptions currently (or recently) overlapping this node.
     pub rx_intervals: Vec<RxInterval>,
     /// Intervals during which this node itself was transmitting (a
@@ -124,6 +122,13 @@ impl MacState {
     }
 
     /// Drop reception/transmission interval bookkeeping that ended before `now`.
+    ///
+    /// Note: the sweep is part of the model's observable behaviour, not just
+    /// a size bound — an interval that ended mid-window of a still-in-flight
+    /// transmission is deliberately forgotten once a *later* transmission
+    /// touches this node, so collision detection only sees receptions that
+    /// were still live when the node was last disturbed.  Deferring the
+    /// sweep changes collision outcomes; keep the call sites eager.
     pub fn gc_intervals(&mut self, now: SimTime) {
         self.rx_intervals.retain(|i| i.end > now);
         self.tx_intervals.retain(|&(_, end)| end > now);

@@ -14,7 +14,7 @@
 use crate::engine::World;
 use crate::recorder::Recorder;
 use crate::time::{Duration, SimTime};
-use manet_wire::{Frame, NetPacket, NodeId};
+use manet_wire::{Frame, NetPacket, NodeId, SharedPacket};
 use rand::rngs::SmallRng;
 
 /// Opaque timer payload chosen by the stack when scheduling a timer.
@@ -85,15 +85,32 @@ impl<'a> Ctx<'a> {
     }
 
     /// Convenience: send `packet` as a unicast frame to `next_hop`.
-    pub fn send_unicast(&mut self, next_hop: NodeId, packet: NetPacket) {
+    ///
+    /// Accepts an owned [`NetPacket`] or a [`SharedPacket`]; forwarding a
+    /// received shared packet unchanged re-uses its allocation.
+    pub fn send_unicast(&mut self, next_hop: NodeId, packet: impl Into<SharedPacket>) {
         let frame = Frame::unicast(self.node, next_hop, packet);
         self.send_frame(frame);
     }
 
     /// Convenience: send `packet` as a link-layer broadcast.
-    pub fn send_broadcast(&mut self, packet: NetPacket) {
+    pub fn send_broadcast(&mut self, packet: impl Into<SharedPacket>) {
         let frame = Frame::broadcast(self.node, packet);
         self.send_frame(frame);
+    }
+
+    /// Take ownership of a received [`SharedPacket`].
+    ///
+    /// Free when this node holds the only reference — which is the steady
+    /// state: every unicast delivery hands the stack the sole reference.
+    /// When the packet is still shared (a broadcast fan-out whose other
+    /// receivers have not finished with it) the packet is deep-copied and
+    /// the copy is counted in
+    /// [`EnginePerf::payload_deep_clones`](crate::recorder::EnginePerf::payload_deep_clones).
+    /// Stacks should claim only on paths that mutate or store the packet and
+    /// borrow through the `Arc` everywhere else.
+    pub fn claim_packet(&self, packet: SharedPacket) -> NetPacket {
+        self.world.claim_packet(packet)
     }
 
     /// This node's current position.
@@ -149,7 +166,12 @@ pub trait NodeStack {
 
     /// A frame addressed to this node (unicast to it, or broadcast) was
     /// received successfully.  `from` is the transmitting (previous-hop) node.
-    fn on_receive(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket);
+    ///
+    /// The packet arrives behind an `Arc` shared with the other receivers of
+    /// the same transmission: borrow it to inspect, forward it as-is through
+    /// [`Ctx::send_unicast`]/[`Ctx::send_broadcast`] without copying, or take
+    /// ownership with [`Ctx::claim_packet`] (free on unicast deliveries).
+    fn on_receive(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: SharedPacket);
 
     /// A frame *not* addressed to this node was overheard (promiscuous mode).
     /// Default: ignore.

@@ -7,9 +7,10 @@
 //! `manet-security` and `manet-experiments` crates turn this raw record into
 //! the figures.
 
+use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::time::{Duration, SimTime};
 use manet_wire::{NetPacket, NodeId, PacketId};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
 /// Reasons the MAC can drop a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,6 +79,26 @@ pub struct EnginePerf {
     /// Events the engine processed during the run (throughput denominator
     /// for events/sec reporting).
     pub events_processed: u64,
+    /// Events pushed onto the future event list.
+    pub queue_pushes: u64,
+    /// Events popped off the future event list.
+    pub queue_pops: u64,
+    /// Maximum simultaneous event-queue occupancy observed.
+    pub queue_max_occupancy: u64,
+    /// Times the calendar event queue grew its bucket array (0 under the
+    /// heap backend).
+    pub calendar_resizes: u64,
+    /// Payload deliveries that shared the transmitted packet's allocation
+    /// instead of deep-cloning it (each one is a clone the pre-`Arc` engine
+    /// would have paid).
+    pub payload_clones_avoided: u64,
+    /// Payload deep copies that were actually performed — by the engine
+    /// (link-failure salvage of a still-shared packet) or by a stack taking
+    /// ownership of a still-shared packet through
+    /// [`Ctx::claim_packet`](crate::node::Ctx::claim_packet).  Zero in the
+    /// steady state: unicast deliveries hand over the sole reference, and
+    /// broadcast-flood duplicates are inspected by reference and dropped.
+    pub payload_deep_clones: u64,
 }
 
 impl EnginePerf {
@@ -99,6 +120,25 @@ impl EnginePerf {
             self.candidates_scanned as f64 / self.neighbor_queries as f64
         }
     }
+
+    /// Fraction of payload hand-offs served by sharing the transmitted
+    /// packet's allocation (1.0 = fully zero-copy; 0 if no hand-offs).
+    pub fn payload_share_rate(&self) -> f64 {
+        let total = self.payload_clones_avoided + self.payload_deep_clones;
+        if total == 0 {
+            0.0
+        } else {
+            self.payload_clones_avoided as f64 / total as f64
+        }
+    }
+}
+
+/// Grow a dense per-node table so index `i` is valid.
+#[inline]
+fn grow_to<T: Default>(v: &mut Vec<T>, i: usize) {
+    if v.len() <= i {
+        v.resize_with(i + 1, T::default);
+    }
 }
 
 /// Everything recorded about one simulation run.
@@ -109,9 +149,9 @@ pub struct Recorder {
     trace: Vec<TraceEvent>,
 
     // --- data-plane accounting -------------------------------------------------
-    originated: HashMap<PacketId, SimTime>,
+    originated: FxHashMap<PacketId, SimTime>,
     originated_data: u64,
-    delivered: HashMap<PacketId, SimTime>,
+    delivered: FxHashMap<PacketId, SimTime>,
     delivered_data: u64,
     delivered_bytes: u64,
     delays: Vec<Duration>,
@@ -119,37 +159,41 @@ pub struct Recorder {
     delivery_series: Vec<(SimTime, u32)>,
 
     // --- per-node participation / eavesdropping --------------------------------
-    relays: HashMap<NodeId, u64>,
-    heard: HashMap<NodeId, HashSet<PacketId>>,
+    // Dense, lazily grown per-node tables (indexed by `NodeId::index`): the
+    // engine records a relay or overheard packet for ~every receiver of
+    // every data transmission, so these sit on the delivery hot path where
+    // an outer by-node hash lookup per record is measurable.
+    relays: Vec<u64>,
+    heard: Vec<FxHashSet<PacketId>>,
     /// Unique data packets each node *received to relay* (the paper's β as a
     /// set, not just a count).  Coalition coverage metrics union these.
-    relayed_ids: HashMap<NodeId, HashSet<PacketId>>,
+    relayed_ids: Vec<FxHashSet<PacketId>>,
     /// Seconds (1 s buckets) in which each node relayed at least one data
     /// packet.  The windowed participant count (the ROADMAP's Fig. 5 idea:
     /// participants per interval instead of cumulative participants)
     /// aggregates these buckets into windows of any multiple of a second.
-    participation_secs: HashMap<NodeId, BTreeSet<u32>>,
+    participation_secs: Vec<BTreeSet<u32>>,
 
     // --- adversary accounting ----------------------------------------------------
     adversary_drops: u64,
     adversary_data_drops: u64,
-    adversary_drops_by_node: HashMap<NodeId, u64>,
+    adversary_drops_by_node: FxHashMap<NodeId, u64>,
     jammed_control: u64,
     jammed_data: u64,
     tunneled_frames: u64,
     /// Unique data-carrying packets that crossed a wormhole tunnel (the
     /// wormhole pair's capture set, unioned with the endpoints' relay sets by
     /// the metrics layer).
-    tunneled_data: HashSet<PacketId>,
+    tunneled_data: FxHashSet<PacketId>,
 
     // --- control plane ----------------------------------------------------------
     control_tx: u64,
     control_tx_bytes: u64,
-    control_tx_by_kind: HashMap<&'static str, u64>,
+    control_tx_by_kind: FxHashMap<&'static str, u64>,
     data_tx: u64,
 
     // --- MAC level --------------------------------------------------------------
-    mac_drops: HashMap<DropReason, u64>,
+    mac_drops: FxHashMap<DropReason, u64>,
     link_failures: u64,
     collisions: u64,
 
@@ -220,14 +264,22 @@ impl Recorder {
         at: SimTime,
     ) {
         if carries_data {
-            *self.relays.entry(node).or_insert(0) += 1;
-            self.heard.entry(node).or_default().insert(packet);
-            self.relayed_ids.entry(node).or_default().insert(packet);
-            self.participation_secs
-                .entry(node)
-                .or_default()
-                .insert(at.as_secs().max(0.0) as u32);
+            let i = Self::slot(node);
+            grow_to(&mut self.relays, i);
+            grow_to(&mut self.heard, i);
+            grow_to(&mut self.relayed_ids, i);
+            grow_to(&mut self.participation_secs, i);
+            self.relays[i] += 1;
+            self.heard[i].insert(packet);
+            self.relayed_ids[i].insert(packet);
+            self.participation_secs[i].insert(at.as_secs().max(0.0) as u32);
         }
+    }
+
+    /// Dense index of a node.
+    #[inline]
+    fn slot(node: NodeId) -> usize {
+        node.index()
     }
 
     /// A packet crossed a wormhole's out-of-band tunnel (either direction).
@@ -262,7 +314,9 @@ impl Recorder {
     /// A node overheard a data packet it was not the MAC destination of.
     pub fn record_overheard(&mut self, node: NodeId, packet: PacketId, carries_data: bool) {
         if carries_data {
-            self.heard.entry(node).or_default().insert(packet);
+            let i = Self::slot(node);
+            grow_to(&mut self.heard, i);
+            self.heard[i].insert(packet);
         }
     }
 
@@ -352,39 +406,52 @@ impl Recorder {
         &self.delivery_series
     }
 
-    /// Per-node relay counts (β_i in the paper's Table I).
-    pub fn relay_counts(&self) -> &HashMap<NodeId, u64> {
-        &self.relays
+    /// Data packets `node` relayed (β_i in the paper's Table I); O(1) from
+    /// the dense per-node table.
+    pub fn relay_count(&self, node: NodeId) -> u64 {
+        self.relays.get(Self::slot(node)).copied().unwrap_or(0)
+    }
+
+    /// Per-node relay counts (β_i in the paper's Table I): every node with at
+    /// least one relayed data packet, with its count.  Built on demand from
+    /// the dense per-node table (a post-run query; not a hot path — per-node
+    /// lookups should use [`Recorder::relay_count`]).
+    pub fn relay_counts(&self) -> FxHashMap<NodeId, u64> {
+        self.relays
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (NodeId(i as u16), c))
+            .collect()
     }
 
     /// Unique data packets heard (relayed or overheard) by `node` — the
     /// eavesdropper's haul Pe when that node is the eavesdropper.
     pub fn heard_count(&self, node: NodeId) -> u64 {
-        self.heard.get(&node).map_or(0, |s| s.len() as u64)
+        self.heard_set(node).map_or(0, |s| s.len() as u64)
     }
 
     /// All nodes with at least one heard packet, with their unique counts.
-    pub fn heard_counts(&self) -> HashMap<NodeId, u64> {
+    pub fn heard_counts(&self) -> FxHashMap<NodeId, u64> {
         self.heard
             .iter()
-            .map(|(n, s)| (*n, s.len() as u64))
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, s)| (NodeId(i as u16), s.len() as u64))
             .collect()
     }
 
-    /// The full per-node heard sets (relayed or overheard unique data
-    /// packets).  Coalition metrics union these across colluding nodes.
-    pub fn heard_sets(&self) -> &HashMap<NodeId, HashSet<PacketId>> {
-        &self.heard
+    /// The unique data packets `node` heard (relayed or overheard), if any.
+    /// Coalition metrics union these across colluding nodes.
+    pub fn heard_set(&self, node: NodeId) -> Option<&FxHashSet<PacketId>> {
+        self.heard.get(Self::slot(node)).filter(|s| !s.is_empty())
     }
 
     /// The unique data packets `node` received to relay (β as a set), if any.
-    pub fn relayed_set(&self, node: NodeId) -> Option<&HashSet<PacketId>> {
-        self.relayed_ids.get(&node)
-    }
-
-    /// The full per-node relayed-packet sets.
-    pub fn relayed_sets(&self) -> &HashMap<NodeId, HashSet<PacketId>> {
-        &self.relayed_ids
+    pub fn relayed_set(&self, node: NodeId) -> Option<&FxHashSet<PacketId>> {
+        self.relayed_ids
+            .get(Self::slot(node))
+            .filter(|s| !s.is_empty())
     }
 
     /// True if `packet` was delivered to its final destination.
@@ -403,7 +470,7 @@ impl Recorder {
     }
 
     /// Adversarial drops broken down by the dropping node.
-    pub fn adversary_drops_by_node(&self) -> &HashMap<NodeId, u64> {
+    pub fn adversary_drops_by_node(&self) -> &FxHashMap<NodeId, u64> {
         &self.adversary_drops_by_node
     }
 
@@ -413,7 +480,7 @@ impl Recorder {
     }
 
     /// The unique data-carrying packets that crossed a wormhole tunnel.
-    pub fn tunneled_data_set(&self) -> &HashSet<PacketId> {
+    pub fn tunneled_data_set(&self) -> &FxHashSet<PacketId> {
         &self.tunneled_data
     }
 
@@ -452,12 +519,13 @@ impl Recorder {
             "window_secs must be a positive whole number of seconds \
              (participation is bucketed at 1 s; got {window_secs})"
         );
-        let mut windows: Vec<HashSet<NodeId>> = Vec::new();
-        for (&node, secs) in &self.participation_secs {
+        let mut windows: Vec<FxHashSet<NodeId>> = Vec::new();
+        for (i, secs) in self.participation_secs.iter().enumerate() {
+            let node = NodeId(i as u16);
             for &s in secs {
                 let w = (f64::from(s) / window_secs).floor() as usize;
                 if windows.len() <= w {
-                    windows.resize_with(w + 1, HashSet::new);
+                    windows.resize_with(w + 1, FxHashSet::default);
                 }
                 windows[w].insert(node);
             }
@@ -498,7 +566,7 @@ impl Recorder {
     }
 
     /// Control transmissions broken down by packet kind.
-    pub fn control_by_kind(&self) -> &HashMap<&'static str, u64> {
+    pub fn control_by_kind(&self) -> &FxHashMap<&'static str, u64> {
         &self.control_tx_by_kind
     }
 
@@ -629,7 +697,7 @@ mod tests {
         r.record_relay(NodeId(5), PacketId(10), false, SimTime::ZERO); // pure ACK ignored
         assert_eq!(r.relayed_set(NodeId(3)).unwrap().len(), 2);
         assert!(r.relayed_set(NodeId(5)).is_none());
-        assert_eq!(r.heard_sets()[&NodeId(3)].len(), 3);
+        assert_eq!(r.heard_set(NodeId(3)).unwrap().len(), 3);
         r.record_delivered(NodeId(9), PacketId(10), true, 100, t(1.0));
         assert!(r.was_delivered(PacketId(10)));
         assert!(!r.was_delivered(PacketId(11)));

@@ -12,7 +12,7 @@ use manet_netsim::mobility::{RandomWaypoint, StaticPlacement};
 use manet_netsim::{
     Ctx, Duration, NeighborIndex, NodeStack, Position, SimConfig, SimTime, TimerToken,
 };
-use manet_wire::{NetPacket, NodeId};
+use manet_wire::{NetPacket, NodeId, SharedPacket};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
@@ -48,7 +48,7 @@ impl NodeStack for Sampler {
         let period = self.period;
         ctx.schedule_timer(period, TimerToken(0));
     }
-    fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: NetPacket) {}
+    fn on_receive(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _packet: SharedPacket) {}
     fn on_link_failure(&mut self, _ctx: &mut Ctx<'_>, _n: NodeId, _p: NetPacket) {}
 }
 

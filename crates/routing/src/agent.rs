@@ -1,7 +1,7 @@
 //! The routing-agent interface shared by DSR, AODV and MTS.
 
 use manet_netsim::{Ctx, TimerToken};
-use manet_wire::{DataPacket, NetPacket, NodeId};
+use manet_wire::{DataPacket, NetPacket, NodeId, SharedPacket};
 use serde::{Deserialize, Serialize};
 
 /// Timer-token class namespaces used across the stack.
@@ -91,7 +91,18 @@ pub trait RoutingAgent {
 
     /// Handle a network packet received from neighbour `from`.  Returns the
     /// data packets destined to this node.
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) -> Vec<DataPacket>;
+    ///
+    /// The packet arrives behind an `Arc` shared with the other receivers of
+    /// the transmission.  Agents handle broadcast-carried control (RREQ
+    /// floods, RERRs) by reference — so duplicate flood copies are dropped
+    /// without copying — and take ownership of unicast-delivered packets via
+    /// [`Ctx::claim_packet`], which is free for a sole reference.
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        packet: SharedPacket,
+    ) -> Vec<DataPacket>;
 
     /// Handle a routing-class timer.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken);

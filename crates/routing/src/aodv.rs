@@ -10,12 +10,13 @@
 use crate::agent::{RoutingAgent, RoutingStats, TimerClass};
 use crate::common::{PacketBuffer, SeenTable};
 use crate::table::RoutingTable;
+use manet_netsim::FxHashMap;
 use manet_netsim::{Ctx, Duration, TimerToken};
 use manet_wire::{
     BroadcastId, DataPacket, NetPacket, NodeId, RouteError, RouteReply, RouteRequest, SeqNo,
+    SharedPacket,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// AODV tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -64,11 +65,11 @@ pub struct Aodv {
     buffer: PacketBuffer,
     own_seqno: SeqNo,
     next_broadcast_id: BroadcastId,
-    pending: HashMap<NodeId, PendingDiscovery>,
+    pending: FxHashMap<NodeId, PendingDiscovery>,
     /// Per-destination hold-down after a failed discovery (exponential-backoff
     /// style damping, as real DSR/AODV implementations apply): no new flood is
     /// started for the destination before this time.
-    holddown: HashMap<NodeId, manet_netsim::SimTime>,
+    holddown: FxHashMap<NodeId, manet_netsim::SimTime>,
     timer_generation: u64,
     stats: RoutingStats,
 }
@@ -84,8 +85,8 @@ impl Aodv {
             seen: SeenTable::default(),
             own_seqno: SeqNo(0),
             next_broadcast_id: BroadcastId(0),
-            pending: HashMap::new(),
-            holddown: HashMap::new(),
+            pending: FxHashMap::default(),
+            holddown: FxHashMap::default(),
             timer_generation: 0,
             stats: RoutingStats::default(),
         }
@@ -202,7 +203,13 @@ impl Aodv {
         ctx.send_broadcast(NetPacket::Rerr(rerr));
     }
 
-    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, from: NodeId, mut rreq: RouteRequest) {
+    /// Handle a route request.
+    ///
+    /// Takes the request by reference: RREQs arrive as link-layer broadcasts
+    /// whose payload is shared across every receiver, and the dominant case —
+    /// a duplicate copy of an already-seen flood — is dropped here without
+    /// copying anything.  Only replying and forwarding clone the route.
+    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, from: NodeId, rreq: &RouteRequest) {
         let now = ctx.now();
         // Duplicate suppression on (source, destination, broadcast id).
         if !self
@@ -259,11 +266,12 @@ impl Aodv {
                 }
             }
         }
-        // Otherwise forward the flood.
-        rreq.hop_count += 1;
-        rreq.route.push(self.me);
+        // Otherwise forward the flood (the one genuine copy).
+        let mut fwd = rreq.clone();
+        fwd.hop_count += 1;
+        fwd.route.push(self.me);
         self.stats.rreq_tx += 1;
-        ctx.send_broadcast(NetPacket::Rreq(rreq));
+        ctx.send_broadcast(NetPacket::Rreq(fwd));
     }
 
     fn handle_rrep(&mut self, ctx: &mut Ctx<'_>, from: NodeId, mut rrep: RouteReply) {
@@ -300,7 +308,8 @@ impl Aodv {
         // expired); the originator's retry timer will rediscover.
     }
 
-    fn handle_rerr(&mut self, ctx: &mut Ctx<'_>, from: NodeId, rerr: RouteError) {
+    /// Handle a route error (by reference — RERRs are broadcast).
+    fn handle_rerr(&mut self, ctx: &mut Ctx<'_>, from: NodeId, rerr: &RouteError) {
         let mut invalidated = Vec::new();
         for (dest, seqno) in rerr.unreachable.iter().zip(rerr.dest_seqnos.iter()) {
             if self.table.invalidate_dest_via(*dest, from, *seqno) {
@@ -332,18 +341,32 @@ impl RoutingAgent for Aodv {
         self.route_or_buffer(ctx, packet);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) -> Vec<DataPacket> {
-        match packet {
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        packet: SharedPacket,
+    ) -> Vec<DataPacket> {
+        // Broadcast-carried control (RREQ floods, RERRs) is handled by
+        // reference so duplicate flood copies never touch the shared payload
+        // allocation; everything else arrives unicast, where claiming the
+        // packet takes over the sole reference for free.
+        match &*packet {
             NetPacket::Rreq(r) => {
                 self.handle_rreq(ctx, from, r);
-                Vec::new()
-            }
-            NetPacket::Rrep(r) => {
-                self.handle_rrep(ctx, from, r);
-                Vec::new()
+                return Vec::new();
             }
             NetPacket::Rerr(r) => {
                 self.handle_rerr(ctx, from, r);
+                return Vec::new();
+            }
+            // AODV ignores MTS-specific packets.
+            NetPacket::Check(_) | NetPacket::CheckErr(_) => return Vec::new(),
+            NetPacket::Rrep(_) | NetPacket::Data(_) => {}
+        }
+        match ctx.claim_packet(packet) {
+            NetPacket::Rrep(r) => {
+                self.handle_rrep(ctx, from, r);
                 Vec::new()
             }
             NetPacket::Data(d) => {
@@ -354,8 +377,7 @@ impl RoutingAgent for Aodv {
                     Vec::new()
                 }
             }
-            // AODV ignores MTS-specific packets.
-            NetPacket::Check(_) | NetPacket::CheckErr(_) => Vec::new(),
+            _ => unreachable!("filtered above"),
         }
     }
 

@@ -5,9 +5,9 @@
 //! stale as mobility increases, which is what drags DSR's delivery rate down
 //! in Fig. 10.
 
+use manet_netsim::FxHashMap;
 use manet_netsim::SimTime;
 use manet_wire::NodeId;
-use std::collections::HashMap;
 
 /// A cached source route, stored as the full node sequence from this node to
 /// the destination (both inclusive).
@@ -44,7 +44,7 @@ impl CachedRoute {
 pub struct RouteCache {
     max_routes_per_dest: usize,
     max_age_secs: f64,
-    routes: HashMap<NodeId, Vec<CachedRoute>>,
+    routes: FxHashMap<NodeId, Vec<CachedRoute>>,
 }
 
 impl RouteCache {
@@ -54,7 +54,7 @@ impl RouteCache {
         RouteCache {
             max_routes_per_dest,
             max_age_secs,
-            routes: HashMap::new(),
+            routes: FxHashMap::default(),
         }
     }
 

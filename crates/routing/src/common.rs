@@ -1,8 +1,9 @@
 //! Shared routing building blocks.
 
+use manet_netsim::FxHashMap;
 use manet_netsim::SimTime;
 use manet_wire::{BroadcastId, DataPacket, NodeId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Duplicate-suppression table for flooded packets.
 ///
@@ -12,7 +13,7 @@ use std::collections::{HashMap, VecDeque};
 #[derive(Debug)]
 pub struct SeenTable {
     ttl_secs: f64,
-    entries: HashMap<(NodeId, NodeId, BroadcastId), SimTime>,
+    entries: FxHashMap<(NodeId, NodeId, BroadcastId), SimTime>,
 }
 
 impl SeenTable {
@@ -20,7 +21,7 @@ impl SeenTable {
     pub fn new(ttl_secs: f64) -> Self {
         SeenTable {
             ttl_secs,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
         }
     }
 
@@ -77,7 +78,7 @@ impl Default for SeenTable {
 pub struct PacketBuffer {
     capacity_per_dest: usize,
     max_age_secs: f64,
-    queues: HashMap<NodeId, VecDeque<(DataPacket, SimTime)>>,
+    queues: FxHashMap<NodeId, VecDeque<(DataPacket, SimTime)>>,
     dropped: u64,
 }
 
@@ -88,7 +89,7 @@ impl PacketBuffer {
         PacketBuffer {
             capacity_per_dest,
             max_age_secs,
-            queues: HashMap::new(),
+            queues: FxHashMap::default(),
             dropped: 0,
         }
     }

@@ -15,12 +15,13 @@
 use crate::agent::{RoutingAgent, RoutingStats, TimerClass};
 use crate::cache::RouteCache;
 use crate::common::{PacketBuffer, SeenTable};
+use manet_netsim::FxHashMap;
 use manet_netsim::{Ctx, Duration, TimerToken};
 use manet_wire::{
     BroadcastId, DataPacket, NetPacket, NodeId, RouteError, RouteReply, RouteRequest, SeqNo,
+    SharedPacket,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// DSR tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -69,11 +70,11 @@ pub struct Dsr {
     seen: SeenTable,
     buffer: PacketBuffer,
     next_broadcast_id: BroadcastId,
-    pending: HashMap<NodeId, PendingDiscovery>,
+    pending: FxHashMap<NodeId, PendingDiscovery>,
     /// Per-destination hold-down after a failed discovery (exponential-backoff
     /// style damping, as real DSR/AODV implementations apply): no new flood is
     /// started for the destination before this time.
-    holddown: HashMap<NodeId, manet_netsim::SimTime>,
+    holddown: FxHashMap<NodeId, manet_netsim::SimTime>,
     timer_generation: u64,
     stats: RoutingStats,
 }
@@ -88,8 +89,8 @@ impl Dsr {
             buffer: PacketBuffer::new(config.buffer_capacity, config.buffer_max_age),
             config,
             next_broadcast_id: BroadcastId(0),
-            pending: HashMap::new(),
-            holddown: HashMap::new(),
+            pending: FxHashMap::default(),
+            holddown: FxHashMap::default(),
             timer_generation: 0,
             stats: RoutingStats::default(),
         }
@@ -198,7 +199,14 @@ impl Dsr {
         }
     }
 
-    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, mut rreq: RouteRequest) {
+    /// Handle a route request.
+    ///
+    /// Takes the request by reference: RREQs arrive as link-layer broadcasts
+    /// whose payload is shared across every receiver, and the dominant case —
+    /// a duplicate copy of an already-seen flood — is dropped here without
+    /// copying anything.  Only the forwarding path below clones the
+    /// accumulated route (the genuine copy-to-extend).
+    fn handle_rreq(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, rreq: &RouteRequest) {
         let now = ctx.now();
         if !self
             .seen
@@ -255,11 +263,12 @@ impl Dsr {
                 }
             }
         }
-        // Forward the flood with ourselves appended.
-        rreq.hop_count += 1;
-        rreq.route.push(self.me);
+        // Forward the flood with ourselves appended (the one genuine copy).
+        let mut fwd = rreq.clone();
+        fwd.hop_count += 1;
+        fwd.route.push(self.me);
         self.stats.rreq_tx += 1;
-        ctx.send_broadcast(NetPacket::Rreq(rreq));
+        ctx.send_broadcast(NetPacket::Rreq(fwd));
     }
 
     /// Send (or forward) a RREP back towards the request originator along the
@@ -305,7 +314,8 @@ impl Dsr {
         self.send_rrep(ctx, rrep);
     }
 
-    fn handle_rerr(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, rerr: RouteError) {
+    /// Handle a route error (by reference — RERRs can arrive broadcast).
+    fn handle_rerr(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, rerr: &RouteError) {
         let now = ctx.now();
         let removed = self.cache.remove_link(rerr.reporter, rerr.broken_next_hop);
         if removed > 0 {
@@ -360,18 +370,31 @@ impl RoutingAgent for Dsr {
         self.originate_data(ctx, packet);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) -> Vec<DataPacket> {
-        match packet {
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        packet: SharedPacket,
+    ) -> Vec<DataPacket> {
+        // Broadcast-carried control (RREQ floods, RERRs) is handled by
+        // reference so duplicate flood copies never touch the shared payload
+        // allocation; everything else arrives unicast, where claiming the
+        // packet takes over the sole reference for free.
+        match &*packet {
             NetPacket::Rreq(r) => {
                 self.handle_rreq(ctx, from, r);
-                Vec::new()
-            }
-            NetPacket::Rrep(r) => {
-                self.handle_rrep(ctx, from, r);
-                Vec::new()
+                return Vec::new();
             }
             NetPacket::Rerr(r) => {
                 self.handle_rerr(ctx, from, r);
+                return Vec::new();
+            }
+            NetPacket::Check(_) | NetPacket::CheckErr(_) => return Vec::new(),
+            NetPacket::Rrep(_) | NetPacket::Data(_) => {}
+        }
+        match ctx.claim_packet(packet) {
+            NetPacket::Rrep(r) => {
+                self.handle_rrep(ctx, from, r);
                 Vec::new()
             }
             NetPacket::Data(d) => {
@@ -382,7 +405,7 @@ impl RoutingAgent for Dsr {
                     Vec::new()
                 }
             }
-            NetPacket::Check(_) | NetPacket::CheckErr(_) => Vec::new(),
+            _ => unreachable!("filtered above"),
         }
     }
 

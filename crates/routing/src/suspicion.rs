@@ -23,9 +23,9 @@
 //! either confirms the destination through an independent reply or exposes
 //! the forgery.
 
+use manet_netsim::FxHashMap;
 use manet_wire::{NodeId, SeqNo};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Configuration of the MTS route-check hardening mode.
 ///
@@ -158,7 +158,7 @@ impl RouteCheckConfig {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SuspicionTable {
-    scores: HashMap<NodeId, f64>,
+    scores: FxHashMap<NodeId, f64>,
 }
 
 impl SuspicionTable {

@@ -1,8 +1,8 @@
 //! Hop-by-hop routing table with destination sequence numbers (AODV / MTS).
 
+use manet_netsim::FxHashMap;
 use manet_netsim::SimTime;
 use manet_wire::{NodeId, SeqNo};
-use std::collections::HashMap;
 
 /// One route entry: how to reach a destination.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +26,7 @@ pub struct RouteEntry {
 /// The routing table of one node.
 #[derive(Debug, Default)]
 pub struct RoutingTable {
-    entries: HashMap<NodeId, RouteEntry>,
+    entries: FxHashMap<NodeId, RouteEntry>,
 }
 
 impl RoutingTable {

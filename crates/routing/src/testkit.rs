@@ -13,7 +13,7 @@ use crate::agent::{RoutingAgent, TimerClass};
 use manet_netsim::{
     Ctx, Duration, MobilityModel, NodeStack, Recorder, SimConfig, Simulator, TimerToken,
 };
-use manet_wire::{ConnectionId, DataPacket, NetPacket, NodeId, PacketId, TcpSegment};
+use manet_wire::{ConnectionId, DataPacket, NetPacket, NodeId, PacketId, SharedPacket, TcpSegment};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -128,7 +128,7 @@ impl<A: RoutingAgent> NodeStack for HarnessStack<A> {
         }
     }
 
-    fn on_receive(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: NetPacket) {
+    fn on_receive(&mut self, ctx: &mut Ctx<'_>, from: NodeId, packet: SharedPacket) {
         let delivered = self.agent.on_packet(ctx, from, packet);
         self.counters.borrow_mut().delivered += delivered.len() as u64;
     }

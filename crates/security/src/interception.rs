@@ -47,7 +47,7 @@ pub fn highest_interception_ratio(
         if endpoints.contains(&node) {
             continue;
         }
-        let relayed = recorder.relay_counts().get(&node).copied().unwrap_or(0);
+        let relayed = recorder.relay_count(node);
         let r = relayed as f64 / delivered as f64;
         if r > best.0 {
             best = (r, Some(node));

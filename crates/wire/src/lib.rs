@@ -25,6 +25,20 @@ pub use routing_msgs::{
 };
 pub use tcp::{TcpFlags, TcpSegment};
 
+use std::sync::Arc;
+
+/// A reference-counted network packet.
+///
+/// Frames carry their payload behind an `Arc` so a link-layer broadcast to
+/// `k` receivers shares **one** allocation instead of deep-cloning the packet
+/// per receiver.  Receivers that only inspect the packet borrow it through
+/// the `Arc`; receivers that need ownership (to mutate and forward) take it
+/// with `Arc::try_unwrap` (the simulator exposes this as
+/// `Ctx::claim_packet`), which is free when the reference is unique — every
+/// unicast delivery — and copies only when the packet is genuinely still
+/// shared.
+pub type SharedPacket = Arc<NetPacket>;
+
 /// A link-layer frame: one MAC transmission.
 ///
 /// `mac_src` / `mac_dst` describe the current hop; the network-layer
@@ -35,26 +49,30 @@ pub struct Frame {
     pub mac_src: NodeId,
     /// Link-layer destination of this hop (unicast or broadcast).
     pub mac_dst: MacDest,
-    /// Network-layer payload.
-    pub payload: NetPacket,
+    /// Network-layer payload, shared across receivers of one transmission.
+    pub payload: SharedPacket,
 }
 
 impl Frame {
     /// Build a unicast frame for the given next hop.
-    pub fn unicast(mac_src: NodeId, next_hop: NodeId, payload: NetPacket) -> Self {
+    ///
+    /// Accepts an owned [`NetPacket`] (freshly built packets) or an already
+    /// shared [`SharedPacket`] (forwarding a received packet re-uses its
+    /// allocation).
+    pub fn unicast(mac_src: NodeId, next_hop: NodeId, payload: impl Into<SharedPacket>) -> Self {
         Frame {
             mac_src,
             mac_dst: MacDest::Unicast(next_hop),
-            payload,
+            payload: payload.into(),
         }
     }
 
     /// Build a link-layer broadcast frame.
-    pub fn broadcast(mac_src: NodeId, payload: NetPacket) -> Self {
+    pub fn broadcast(mac_src: NodeId, payload: impl Into<SharedPacket>) -> Self {
         Frame {
             mac_src,
             mac_dst: MacDest::Broadcast,
-            payload,
+            payload: payload.into(),
         }
     }
 
