@@ -75,8 +75,15 @@ mod tests {
     fn recorder() -> Recorder {
         let mut rec = Recorder::new();
         for id in 0..4u64 {
-            rec.record_originated(PacketId(id), true, SimTime::ZERO);
-            rec.record_delivered(NodeId(9), PacketId(id), true, 1000, SimTime::from_secs(1.0));
+            rec.record_originated(PacketId(id), ConnectionId(0), true, SimTime::ZERO);
+            rec.record_delivered(
+                NodeId(9),
+                PacketId(id),
+                ConnectionId(0),
+                true,
+                1000,
+                SimTime::from_secs(1.0),
+            );
         }
         rec
     }

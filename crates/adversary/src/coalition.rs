@@ -196,14 +196,22 @@ pub fn coalition_curve(
 mod tests {
     use super::*;
     use manet_netsim::SimTime;
+    use manet_wire::ConnectionId;
 
     /// A recorder where packets 0..delivered reach node 9 and each
     /// `(node, ids)` pair relayed exactly those packet ids.
     fn recorder_with(delivered: u64, relays: &[(u16, &[u64])]) -> Recorder {
         let mut rec = Recorder::new();
         for id in 0..delivered {
-            rec.record_originated(PacketId(id), true, SimTime::ZERO);
-            rec.record_delivered(NodeId(9), PacketId(id), true, 1000, SimTime::from_secs(1.0));
+            rec.record_originated(PacketId(id), ConnectionId(0), true, SimTime::ZERO);
+            rec.record_delivered(
+                NodeId(9),
+                PacketId(id),
+                ConnectionId(0),
+                true,
+                1000,
+                SimTime::from_secs(1.0),
+            );
         }
         for &(node, ids) in relays {
             for &id in ids {

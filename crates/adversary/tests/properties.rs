@@ -5,7 +5,7 @@ use manet_adversary::{
 };
 use manet_netsim::{Recorder, SimTime};
 use manet_security::interception::highest_interception_ratio;
-use manet_wire::{NodeId, PacketId};
+use manet_wire::{ConnectionId, NodeId, PacketId};
 use proptest::prelude::*;
 
 const NUM_NODES: u16 = 20;
@@ -18,10 +18,11 @@ const DST: u16 = 19;
 fn build_recorder(delivered: u64, relays: &[(u16, u64)]) -> Recorder {
     let mut rec = Recorder::new();
     for id in 0..delivered {
-        rec.record_originated(PacketId(id), true, SimTime::ZERO);
+        rec.record_originated(PacketId(id), ConnectionId(0), true, SimTime::ZERO);
         rec.record_delivered(
             NodeId(DST),
             PacketId(id),
+            ConnectionId(0),
             true,
             1000,
             SimTime::from_secs(1.0),

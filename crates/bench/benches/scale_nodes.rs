@@ -10,10 +10,15 @@
 //!   `crates/netsim/tests/queue_equivalence.rs`), so the wall-clock ratio is
 //!   a pure scheduler comparison.
 //!
+//! A third group sweeps the **flow axis**: `Scenario::random_pairs` at
+//! n = 500 with 1 / 5 / 25 / 50 concurrent TCP flows through the
+//! connection-table stack, measuring how engine throughput scales with
+//! offered load rather than node count.
+//!
 //! An events/sec summary plus the engine perf counters (neighbor queries,
 //! candidates scanned, queue occupancy, payload shares) is printed to stderr
 //! before the timed samples.  `reproduce --bench-json` emits the same
-//! trajectory as machine-readable JSON (committed as `BENCH_PR4.json`).
+//! trajectory as machine-readable JSON (committed as `BENCH_PR5.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use manet_experiments::runner::run_scenario_with_recorder;
@@ -32,10 +37,23 @@ const BRUTE_SCALES: [u16; 3] = [100, 200, 500];
 /// The full trajectory (matches `bench::BENCH_SCALES`).
 const SCALES: [u16; 5] = [100, 200, 500, 1000, 2000];
 
+/// Flow counts of the flow-scaling group (matches `bench::BENCH_FLOWS`).
+const FLOWS: [u16; 4] = [1, 5, 25, 50];
+
+/// Node count of the flow-scaling group.
+const FLOW_NODES: u16 = 500;
+
 fn scale_run(num_nodes: u16, index: NeighborIndex, queue: EventQueueKind) -> Recorder {
     let mut scenario = Scenario::scaled(Protocol::Mts, num_nodes, 10.0, 1);
     scenario.sim.duration = Duration::from_secs(BENCH_RUN_SECS);
     scenario.sim.neighbor_index = index;
+    scenario.sim.event_queue = queue;
+    run_scenario_with_recorder(&scenario).1
+}
+
+fn flow_run(num_flows: u16, queue: EventQueueKind) -> Recorder {
+    let mut scenario = Scenario::random_pairs(Protocol::Mts, FLOW_NODES, num_flows, 10.0, 1);
+    scenario.sim.duration = Duration::from_secs(BENCH_RUN_SECS);
     scenario.sim.event_queue = queue;
     run_scenario_with_recorder(&scenario).1
 }
@@ -104,6 +122,29 @@ fn print_summary() {
             cp.payload_deep_clones,
         );
     }
+    for flows in FLOWS {
+        let t0 = std::time::Instant::now();
+        let cal = flow_run(flows, EventQueueKind::Calendar);
+        let cal_wall = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let heap = flow_run(flows, EventQueueKind::Heap);
+        let heap_wall = t1.elapsed().as_secs_f64();
+        let cp = cal.engine_perf();
+        assert_eq!(
+            cp.events_processed,
+            heap.engine_perf().events_processed,
+            "multi-flow runs must stay queue-backend identical"
+        );
+        assert_eq!(cal.delivered_data_packets(), heap.delivered_data_packets());
+        let events = cp.events_processed as f64;
+        eprintln!(
+            "n={FLOW_NODES:>4} flows={flows:>3}  events={events:>9.0}  calendar: {:>10.0} ev/s  \
+             heap: {:>10.0} ev/s  delivered {}",
+            events / cal_wall,
+            events / heap_wall,
+            cal.delivered_data_packets(),
+        );
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -127,6 +168,11 @@ fn bench(c: &mut Criterion) {
                     EventQueueKind::Calendar,
                 ))
             })
+        });
+    }
+    for flows in FLOWS {
+        group.bench_function(format!("flows_{flows}_n{FLOW_NODES}"), |b| {
+            b.iter(|| black_box(flow_run(flows, EventQueueKind::Calendar)))
         });
     }
     group.finish();

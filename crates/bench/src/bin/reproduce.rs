@@ -3,7 +3,8 @@
 //! ```text
 //! reproduce [--duration SECS] [--seeds N]
 //!           [--figure N | --table 1 | --attacks [--speeds S1,S2,..]
-//!            | --bench-json FILE [--bench-scales N1,N2,..] [--bench-secs S]
+//!            | --bench-json FILE [--bench-scales N1,N2,..]
+//!              [--bench-flows F1,F2,..] [--bench-secs S]
 //!            | --all]
 //! ```
 //!
@@ -36,11 +37,18 @@
 //! backends are run-identical (full recorder-trace diff at n ≤ 500, event/
 //! delivery/collision counter identity everywhere), prints an events/sec
 //! table to stderr and writes the machine-readable trajectory to `FILE`
-//! (committed as `BENCH_PR4.json`; see docs/PERFORMANCE.md).
-//! `--bench-scales` narrows the node counts, `--bench-secs` changes the
-//! simulated seconds per run (default 5).
+//! (committed as `BENCH_PR5.json`; see docs/PERFORMANCE.md).  The trajectory
+//! also sweeps the flow axis: `Scenario::random_pairs` at n = 500 with
+//! {1, 5, 25, 50} concurrent flows, trace-diffed across both backends, with
+//! per-run aggregate goodput and Jain's fairness index in the JSON.
+//! `--bench-scales` narrows the node counts, `--bench-flows` the flow counts
+//! (`--bench-flows 0` skips the axis), `--bench-secs` changes the simulated
+//! seconds per run (default 5).
 
-use bench::{bench_points_json, bench_scales, BENCH_SCALES, BENCH_SIM_SECS};
+use bench::{
+    bench_flows, bench_points_json, bench_scales, BENCH_FLOWS, BENCH_FLOW_NODES, BENCH_SCALES,
+    BENCH_SIM_SECS,
+};
 use manet_experiments::attacks::{attack_matrix, render_attack_matrix, AttackSweepSpec};
 use manet_experiments::figures::{table1_relay_table, FigureId};
 use manet_experiments::report::{render_figure, render_relay_table};
@@ -56,6 +64,7 @@ struct Args {
     speeds: Option<Vec<f64>>,
     bench_json: Option<String>,
     bench_scales: Vec<u16>,
+    bench_flows: Vec<u16>,
     bench_secs: f64,
     bench_reps: u32,
     all: bool,
@@ -71,6 +80,7 @@ fn parse_args() -> Args {
         speeds: None,
         bench_json: None,
         bench_scales: BENCH_SCALES.to_vec(),
+        bench_flows: BENCH_FLOWS.to_vec(),
         bench_secs: BENCH_SIM_SECS,
         bench_reps: 3,
         all: true,
@@ -148,6 +158,19 @@ fn parse_args() -> Args {
                     _ => usage("--bench-scales needs positive node counts, e.g. 100,500"),
                 }
             }
+            "--bench-flows" => {
+                let list = it.next().unwrap_or_else(|| {
+                    usage("--bench-flows needs a comma-separated flow-count list (0 to skip)")
+                });
+                let flows: Option<Vec<u16>> = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<u16>().ok())
+                    .collect();
+                match flows {
+                    Some(f) => args.bench_flows = f.into_iter().filter(|v| *v > 0).collect(),
+                    _ => usage("--bench-flows needs flow counts, e.g. 1,25 (or 0 to skip)"),
+                }
+            }
             "--bench-reps" => {
                 args.bench_reps = it
                     .next()
@@ -179,12 +202,14 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: reproduce [--duration SECS] [--seeds N] \
          [--figure 5..11 | --table 1 | --attacks [--speeds S1,S2,..] \
-         | --bench-json FILE [--bench-scales N1,N2,..] [--bench-secs S] | --all]\n\
+         | --bench-json FILE [--bench-scales N1,N2,..] [--bench-flows F1,F2,..] \
+         [--bench-secs S] | --all]\n\
          \n\
          --bench-json runs the engine perf trajectory (scaled MTS scenario at \
          n in {{100, 200, 500, 1000, 2000}} under both event-queue backends, \
          asserting trace identity) and writes the events/sec + counter table \
-         as JSON to FILE.\n\
+         as JSON to FILE; --bench-flows adds the flow-scaling axis (random-\
+         pairs scenario at n = 500, default flows 1,5,25,50; 0 skips it).\n\
          \n\
          --attacks prints one table per (protocol, speed) block — protocols \
          DSR/AODV/MTS/MTS-H, speeds {{1, 10, 20}} m/s unless --speeds narrows \
@@ -234,7 +259,39 @@ fn main() {
                 p.perf.calendar_resizes,
             );
         }
-        let json = bench_points_json(&points, args.bench_secs, 1);
+        let flow_points = if args.bench_flows.is_empty() {
+            Vec::new()
+        } else {
+            eprintln!(
+                "# flow-scaling axis: random-pairs MTS scenario at n={}, flows in {:?}, \
+                 {} simulated seconds, calendar vs heap (trace-diffed)",
+                BENCH_FLOW_NODES, args.bench_flows, args.bench_secs
+            );
+            let flow_points = bench_flows(
+                BENCH_FLOW_NODES,
+                &args.bench_flows,
+                args.bench_secs,
+                1,
+                args.bench_reps,
+            );
+            for p in &flow_points {
+                eprintln!(
+                    "n={:>4} flows={:>3} {:>8}: {:>9.0} ev/s  ({} events, {:.3} s wall, \
+                     {} delivered, {:.0} B/s goodput, fairness {:.3})",
+                    p.n,
+                    p.flows,
+                    p.queue,
+                    p.events_per_sec,
+                    p.events,
+                    p.wall_secs,
+                    p.delivered,
+                    p.goodput_bytes_per_sec,
+                    p.fairness_index,
+                );
+            }
+            flow_points
+        };
+        let json = bench_points_json(&points, &flow_points, args.bench_secs, 1);
         std::fs::write(path, json).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);

@@ -26,6 +26,14 @@ use manet_netsim::{Duration, EnginePerf, EventQueueKind};
 /// (constant density; see `Scenario::scaled`).
 pub const BENCH_SCALES: [u16; 5] = [100, 200, 500, 1000, 2000];
 
+/// The canonical flow-count axis of the perf trajectory: concurrent
+/// random-pair flows at [`BENCH_FLOW_NODES`] nodes
+/// (see `Scenario::random_pairs`).
+pub const BENCH_FLOWS: [u16; 4] = [1, 5, 25, 50];
+
+/// Node count of the flow-scaling axis.
+pub const BENCH_FLOW_NODES: u16 = 500;
+
 /// Simulated seconds per perf-trajectory run: long enough for discovery plus
 /// steady-state data traffic, short enough that the heap baseline at
 /// n = 2000 stays benchable.
@@ -151,9 +159,130 @@ pub fn bench_scales(scales: &[u16], sim_secs: f64, seed: u64, reps: u32) -> Vec<
     points
 }
 
+/// One measured point of the flow-scaling axis.
+#[derive(Debug, Clone)]
+pub struct FlowBenchPoint {
+    /// Node count of the scenario.
+    pub n: u16,
+    /// Number of concurrent random-pair flows.
+    pub flows: u16,
+    /// Event-queue backend label (`"calendar"` or `"heap"`).
+    pub queue: &'static str,
+    /// Wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// Events the engine processed.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Unique data packets delivered across all flows.
+    pub delivered: u64,
+    /// Aggregate goodput over all flows, application bytes per simulated
+    /// second.
+    pub goodput_bytes_per_sec: f64,
+    /// Jain's fairness index over the per-flow goodputs.
+    pub fairness_index: f64,
+    /// Engine counters (queue + payload + grid).
+    pub perf: EnginePerf,
+}
+
+/// Run the flow-scaling trajectory: `Scenario::random_pairs` at
+/// [`BENCH_FLOW_NODES`]-scale with each flow count in `flows`, once per
+/// event-queue backend, asserting the two backends produce identical runs
+/// (event counts, deliveries, and the full byte-identical recorder trace) —
+/// multi-flow runs must stay exactly as deterministic as the paper's single
+/// flow.
+///
+/// `reps` timed repetitions per point, fastest wall clock reported (identity
+/// checks run on the first repetition), as in [`bench_scales`].
+///
+/// # Panics
+/// Panics if the two backends diverge, a scenario is invalid, or `reps` is 0.
+pub fn bench_flows(
+    num_nodes: u16,
+    flows: &[u16],
+    sim_secs: f64,
+    seed: u64,
+    reps: u32,
+) -> Vec<FlowBenchPoint> {
+    assert!(reps > 0, "need at least one timed repetition");
+    let mut points = Vec::new();
+    for &num_flows in flows {
+        let mut per_queue = Vec::new();
+        for (queue, kind) in [
+            ("calendar", EventQueueKind::Calendar),
+            ("heap", EventQueueKind::Heap),
+        ] {
+            let mut scenario =
+                Scenario::random_pairs(Protocol::Mts, num_nodes, num_flows, 10.0, seed);
+            scenario.sim.duration = Duration::from_secs(sim_secs);
+            scenario.sim.event_queue = kind;
+            let mut wall_secs = f64::INFINITY;
+            let mut first: Option<(manet_experiments::RunMetrics, manet_netsim::Recorder)> = None;
+            for rep in 0..reps {
+                let with_trace = rep == 0;
+                let t0 = std::time::Instant::now();
+                let run = if with_trace {
+                    run_scenario_traced(&scenario)
+                } else {
+                    run_scenario_with_recorder(&scenario)
+                };
+                if !with_trace || reps == 1 {
+                    wall_secs = wall_secs.min(t0.elapsed().as_secs_f64());
+                }
+                if first.is_none() {
+                    first = Some(run);
+                }
+            }
+            let (metrics, recorder) = first.expect("at least one repetition ran");
+            let perf = recorder.engine_perf();
+            points.push(FlowBenchPoint {
+                n: num_nodes,
+                flows: num_flows,
+                queue,
+                wall_secs,
+                events: perf.events_processed,
+                events_per_sec: perf.events_processed as f64 / wall_secs,
+                delivered: recorder.delivered_data_packets(),
+                goodput_bytes_per_sec: metrics
+                    .per_flow
+                    .iter()
+                    .map(|f| f.goodput_bytes_per_sec)
+                    .sum(),
+                fairness_index: metrics.fairness_index,
+                perf,
+            });
+            per_queue.push(recorder);
+        }
+        let (cal, heap) = (&per_queue[0], &per_queue[1]);
+        assert_eq!(
+            cal.engine_perf().events_processed,
+            heap.engine_perf().events_processed,
+            "flows={num_flows}: queue backends processed different event streams"
+        );
+        assert_eq!(
+            cal.delivered_data_packets(),
+            heap.delivered_data_packets(),
+            "flows={num_flows}: deliveries diverged across queue backends"
+        );
+        assert_eq!(
+            cal.trace(),
+            heap.trace(),
+            "flows={num_flows}: recorder traces diverged across queue backends"
+        );
+    }
+    points
+}
+
 /// Render the perf trajectory as the machine-readable JSON committed as
-/// `BENCH_PR4.json` (hand-rolled: the offline build's serde is a no-op shim).
-pub fn bench_points_json(points: &[BenchPoint], sim_secs: f64, seed: u64) -> String {
+/// `BENCH_PR5.json` (hand-rolled: the offline build's serde is a no-op shim).
+/// `runs` is the node-scaling axis, `flow_runs` the flows-per-scenario axis
+/// (pass `&[]` to omit it).
+pub fn bench_points_json(
+    points: &[BenchPoint],
+    flow_points: &[FlowBenchPoint],
+    sim_secs: f64,
+    seed: u64,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"mts-scaled-scenario perf trajectory\",\n");
@@ -188,6 +317,28 @@ pub fn bench_points_json(points: &[BenchPoint], sim_secs: f64, seed: u64) -> Str
             e.neighbor_queries,
             e.mean_candidates_per_query(),
             if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"flow_runs\": [\n");
+    for (i, p) in flow_points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"flows\": {}, \"queue\": \"{}\", \"events\": {}, \
+             \"wall_secs\": {:.6}, \"events_per_sec\": {:.0}, \"delivered\": {}, \
+             \"goodput_bytes_per_sec\": {:.0}, \"fairness_index\": {:.4}, \
+             \"queue_max_occupancy\": {}, \"payload_deep_clones\": {}}}{}\n",
+            p.n,
+            p.flows,
+            p.queue,
+            p.events,
+            p.wall_secs,
+            p.events_per_sec,
+            p.delivered,
+            p.goodput_bytes_per_sec,
+            p.fairness_index,
+            p.perf.queue_max_occupancy,
+            p.perf.payload_deep_clones,
+            if i + 1 == flow_points.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");

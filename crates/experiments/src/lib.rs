@@ -3,12 +3,14 @@
 //! The experiment harness that reproduces the paper's evaluation (Section IV):
 //!
 //! * [`protocol`] — the protocol selector (DSR / AODV / MTS) and agent factory.
-//! * [`stack`] — the per-node protocol stack gluing a routing agent to the
-//!   TCP Reno endpoints and to the recorder.
+//! * [`stack`] — re-export of the `manet-stack` crate: the per-node protocol
+//!   stack whose connection table glues a routing agent to any number of TCP
+//!   Reno endpoints and to the recorder.
 //! * [`scenario`] — scenario construction: the paper's environment (50 nodes,
 //!   1000 m × 1000 m, 250 m range, random waypoint with 1 s pause, one bulk
-//!   TCP flow, one random eavesdropper, 200 s), plus custom scenarios for the
-//!   examples and tests.
+//!   TCP flow, one random eavesdropper, 200 s), plus the multi-flow traffic
+//!   matrices ([`Scenario::random_pairs`], [`Scenario::many_to_one`],
+//!   [`Scenario::hotspot`]) and custom scenarios for the examples and tests.
 //! * [`metrics`] — per-run metric extraction: the security metrics (Figs. 5–7,
 //!   Table I) and the TCP metrics (Figs. 8–11).
 //! * [`runner`] — single-run execution and the rayon-parallel sweep over
@@ -27,14 +29,15 @@ pub mod protocol;
 pub mod report;
 pub mod runner;
 pub mod scenario;
-pub mod stack;
+pub use manet_stack as stack;
 
 pub use attacks::{
     attack_matrix, render_attack_matrix, AttackCell, AttackMatrixOutcome, AttackSweepSpec,
 };
 pub use figures::{FigureId, FigurePoint, FigureSeries};
 pub use manet_adversary::{AttackConfig, AttackKind, CoalitionPlacement, CoverageBasis};
-pub use metrics::RunMetrics;
+pub use manet_tcp::{FlowProfile, FlowShape};
+pub use metrics::{FlowMetrics, RunMetrics};
 pub use protocol::Protocol;
 pub use runner::{run_scenario, sweep, AggregatedPoint, SweepOutcome, SweepSpec};
 pub use scenario::{Scenario, TrafficFlow};

@@ -5,13 +5,59 @@
 //! paper's figures plot.
 
 use crate::scenario::Scenario;
-use crate::stack::TcpRunStats;
+use crate::stack::TcpRunReport;
 use manet_adversary::{capture_report, coalition_curve, AttackKind};
 use manet_netsim::Recorder;
 use manet_security::{
     interception::summarize, participating_nodes, relay_distribution, RelayDistribution,
 };
+use manet_wire::{ConnectionId, NodeId};
 use serde::{Deserialize, Serialize};
+
+/// Per-flow metrics of one run (one row per scenario flow).
+///
+/// Packet counts come from the recorder's [`ConnectionId`]-keyed counters;
+/// the in-order byte counts and completion time come from the flow's TCP
+/// endpoints in the run's [`TcpRunReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowMetrics {
+    /// Raw connection id (the flow's index in the scenario).
+    pub conn: u32,
+    /// TCP sender node.
+    pub src: NodeId,
+    /// TCP receiver node.
+    pub dst: NodeId,
+    /// Data packets this flow's source handed to the routing layer
+    /// (retransmissions included).
+    pub packets_generated: u64,
+    /// Unique data packets delivered to the flow's destination.
+    pub packets_delivered: u64,
+    /// Delivered / generated data packets.
+    pub delivery_rate: f64,
+    /// Mean end-to-end delay of the flow's delivered packets, seconds.
+    pub mean_delay: f64,
+    /// Distinct in-order payload bytes the receiving application accepted.
+    pub bytes_delivered: u64,
+    /// Goodput: in-order application bytes per second of simulated time.
+    pub goodput_bytes_per_sec: f64,
+    /// Seconds until the flow's byte budget was fully acknowledged
+    /// (`None` while incomplete or for unbounded flows).
+    pub completion_secs: Option<f64>,
+}
+
+/// Jain's fairness index over non-negative allocations:
+/// `(Σx)² / (n · Σx²)`, in `(0, 1]` — 1 when every flow gets the same
+/// share, `1/n` when one flow takes everything.  Defined as 0 for an empty
+/// or all-zero allocation.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if n == 0.0 || sum <= 0.0 || sum_sq <= 0.0 {
+        return 0.0;
+    }
+    (sum * sum) / (n * sum_sq)
+}
 
 /// Every metric the paper's evaluation reports, for one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -55,6 +101,12 @@ pub struct RunMetrics {
     /// Control overhead: routing packets transmitted, all hops counted (Fig. 11).
     pub control_overhead: u64,
 
+    // --- per-flow accounting (multi-flow runs) -----------------------------------
+    /// One row per scenario flow: delivery, goodput, completion time.
+    pub per_flow: Vec<FlowMetrics>,
+    /// Jain's fairness index over the flows' goodputs, in [0, 1].
+    pub fairness_index: f64,
+
     // --- supporting detail -------------------------------------------------------
     /// Data packets generated at the source (including TCP retransmissions).
     pub data_packets_generated: u64,
@@ -76,7 +128,8 @@ pub struct RunMetrics {
 
 impl RunMetrics {
     /// Extract the metrics of a finished run.
-    pub fn extract(scenario: &Scenario, recorder: &Recorder, tcp: &TcpRunStats) -> Self {
+    pub fn extract(scenario: &Scenario, recorder: &Recorder, report: &TcpRunReport) -> Self {
+        let tcp = &report.aggregate;
         let endpoints = scenario.endpoints();
         let interception = summarize(
             recorder,
@@ -111,6 +164,46 @@ impl RunMetrics {
         } else {
             0.0
         };
+        // One row per scenario flow (flow index == connection id), joining
+        // the recorder's per-connection packet counters with the TCP
+        // endpoints' byte/completion accounting.
+        let per_flow: Vec<FlowMetrics> = scenario
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(idx, flow)| {
+                let conn = idx as u32;
+                let counters = recorder.flow_counter(ConnectionId(conn));
+                let endpoint = report.flows.get(&conn);
+                let bytes_delivered = endpoint.map_or(0, |f| f.bytes_delivered);
+                FlowMetrics {
+                    conn,
+                    src: flow.src,
+                    dst: flow.dst,
+                    packets_generated: counters.originated_data,
+                    packets_delivered: counters.delivered_data,
+                    delivery_rate: counters.delivery_rate(),
+                    mean_delay: if counters.delivered_data == 0 {
+                        0.0
+                    } else {
+                        counters.delay_sum_secs / counters.delivered_data as f64
+                    },
+                    bytes_delivered,
+                    goodput_bytes_per_sec: if duration > 0.0 {
+                        bytes_delivered as f64 / duration
+                    } else {
+                        0.0
+                    },
+                    completion_secs: endpoint.and_then(|f| f.completion_secs),
+                }
+            })
+            .collect();
+        let fairness_index = jain_fairness(
+            &per_flow
+                .iter()
+                .map(|f| f.goodput_bytes_per_sec)
+                .collect::<Vec<f64>>(),
+        );
         RunMetrics {
             participating_nodes: participating_nodes(recorder),
             mean_windowed_participants: recorder.mean_windowed_participants(10.0),
@@ -134,6 +227,8 @@ impl RunMetrics {
                 delivered as f64 / generated as f64
             },
             control_overhead: recorder.control_transmissions(),
+            per_flow,
+            fairness_index,
             data_packets_generated: generated,
             tcp_bytes_acked: tcp.bytes_acked,
             tcp_retransmissions: tcp.retransmissions,
@@ -152,6 +247,11 @@ impl RunMetrics {
 
     /// Average several runs' metrics component-wise (the paper averages five
     /// repetitions per point).
+    ///
+    /// Per-flow rows are averaged by flow index when every run carries the
+    /// same flow count (seeds of one scenario family); endpoint ids are taken
+    /// from the first run.  Mismatched flow counts leave `per_flow` empty —
+    /// averaging rows of different traffic matrices would be meaningless.
     pub fn average(runs: &[RunMetrics]) -> RunMetrics {
         if runs.is_empty() {
             return RunMetrics::default();
@@ -161,6 +261,42 @@ impl RunMetrics {
             (runs.iter().map(|r| f(r) as f64).sum::<f64>() / n).round() as u64
         };
         let avg_f = |f: &dyn Fn(&RunMetrics) -> f64| -> f64 { runs.iter().map(f).sum::<f64>() / n };
+        let flows = runs[0].per_flow.len();
+        let per_flow: Vec<FlowMetrics> = if runs.iter().all(|r| r.per_flow.len() == flows) {
+            (0..flows)
+                .map(|i| {
+                    let avg_fu = |f: &dyn Fn(&FlowMetrics) -> u64| -> u64 {
+                        (runs.iter().map(|r| f(&r.per_flow[i]) as f64).sum::<f64>() / n).round()
+                            as u64
+                    };
+                    let avg_ff = |f: &dyn Fn(&FlowMetrics) -> f64| -> f64 {
+                        runs.iter().map(|r| f(&r.per_flow[i])).sum::<f64>() / n
+                    };
+                    let completions: Vec<f64> = runs
+                        .iter()
+                        .filter_map(|r| r.per_flow[i].completion_secs)
+                        .collect();
+                    FlowMetrics {
+                        conn: runs[0].per_flow[i].conn,
+                        src: runs[0].per_flow[i].src,
+                        dst: runs[0].per_flow[i].dst,
+                        packets_generated: avg_fu(&|f| f.packets_generated),
+                        packets_delivered: avg_fu(&|f| f.packets_delivered),
+                        delivery_rate: avg_ff(&|f| f.delivery_rate),
+                        mean_delay: avg_ff(&|f| f.mean_delay),
+                        bytes_delivered: avg_fu(&|f| f.bytes_delivered),
+                        goodput_bytes_per_sec: avg_ff(&|f| f.goodput_bytes_per_sec),
+                        completion_secs: if completions.len() == runs.len() {
+                            Some(completions.iter().sum::<f64>() / n)
+                        } else {
+                            None
+                        },
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         RunMetrics {
             participating_nodes: (runs
                 .iter()
@@ -181,6 +317,8 @@ impl RunMetrics {
             throughput_bytes_per_sec: avg_f(&|r| r.throughput_bytes_per_sec),
             delivery_rate: avg_f(&|r| r.delivery_rate),
             control_overhead: avg_u(&|r| r.control_overhead),
+            per_flow,
+            fairness_index: avg_f(&|r| r.fairness_index),
             data_packets_generated: avg_u(&|r| r.data_packets_generated),
             tcp_bytes_acked: avg_u(&|r| r.tcp_bytes_acked),
             tcp_retransmissions: avg_u(&|r| r.tcp_retransmissions),
@@ -198,7 +336,7 @@ mod tests {
     use super::*;
     use crate::protocol::Protocol;
     use manet_netsim::{SimConfig, SimTime};
-    use manet_wire::{NodeId, PacketId};
+    use manet_wire::{ConnectionId, NodeId, PacketId};
 
     fn small_scenario() -> Scenario {
         let mut sim = SimConfig::default();
@@ -209,13 +347,14 @@ mod tests {
     fn recorder_with_traffic() -> Recorder {
         let mut rec = Recorder::new();
         for id in 0..10u64 {
-            rec.record_originated(PacketId(id), true, SimTime::ZERO);
+            rec.record_originated(PacketId(id), ConnectionId(0), true, SimTime::ZERO);
         }
         for id in 0..8u64 {
             rec.record_relay(NodeId(3), PacketId(id), true, SimTime::ZERO);
             rec.record_delivered(
                 NodeId(9),
                 PacketId(id),
+                ConnectionId(0),
                 true,
                 1000,
                 SimTime::from_secs(1.0 + id as f64 * 0.01),
@@ -229,11 +368,9 @@ mod tests {
     fn extraction_computes_paper_metrics() {
         let scenario = small_scenario();
         let rec = recorder_with_traffic();
-        let tcp = TcpRunStats {
-            bytes_acked: 8000,
-            ..Default::default()
-        };
-        let m = RunMetrics::extract(&scenario, &rec, &tcp);
+        let mut report = TcpRunReport::default();
+        report.aggregate.bytes_acked = 8000;
+        let m = RunMetrics::extract(&scenario, &rec, &report);
         assert_eq!(m.participating_nodes, 1);
         assert_eq!(m.throughput_packets, 8);
         assert!((m.delivery_rate - 0.8).abs() < 1e-12);
@@ -241,6 +378,73 @@ mod tests {
         assert!(m.mean_delay > 0.9);
         assert_eq!(m.tcp_bytes_acked, 8000);
         assert!(m.throughput_bytes_per_sec > 0.0);
+        // The single flow's row mirrors the aggregates; a single flow is
+        // perfectly fair by definition... but a zero-goodput report (no
+        // receiver bytes recorded here) pins fairness at 0.
+        assert_eq!(m.per_flow.len(), 1);
+        assert_eq!(m.per_flow[0].packets_delivered, 8);
+        assert!((m.per_flow[0].delivery_rate - 0.8).abs() < 1e-12);
+        assert_eq!(m.fairness_index, 0.0);
+    }
+
+    #[test]
+    fn per_flow_rows_join_recorder_and_tcp_report() {
+        let mut sim = SimConfig::default();
+        sim.num_nodes = 10;
+        let mut scenario = Scenario::from_sim(Protocol::Mts, sim);
+        scenario.flows = vec![
+            crate::scenario::TrafficFlow::bulk(NodeId(0), NodeId(9)),
+            crate::scenario::TrafficFlow::bulk(NodeId(1), NodeId(9)),
+        ];
+        scenario.eavesdropper = Some(NodeId(5));
+        let mut rec = Recorder::new();
+        for (conn, ids) in [(0u32, 0..4u64), (1u32, 100..108u64)] {
+            for id in ids {
+                rec.record_originated(PacketId(id), ConnectionId(conn), true, SimTime::ZERO);
+                rec.record_delivered(
+                    NodeId(9),
+                    PacketId(id),
+                    ConnectionId(conn),
+                    true,
+                    1000,
+                    SimTime::from_secs(1.0),
+                );
+            }
+        }
+        let mut report = TcpRunReport::default();
+        for (conn, bytes) in [(0u32, 4000u64), (1, 8000)] {
+            report.flows.insert(
+                conn,
+                crate::stack::FlowTcpStats {
+                    bytes_delivered: bytes,
+                    ..Default::default()
+                },
+            );
+        }
+        let m = RunMetrics::extract(&scenario, &rec, &report);
+        assert_eq!(m.per_flow.len(), 2);
+        assert_eq!(m.per_flow[0].packets_delivered, 4);
+        assert_eq!(m.per_flow[1].packets_delivered, 8);
+        assert_eq!(m.per_flow[0].bytes_delivered, 4000);
+        assert_eq!(m.per_flow[1].bytes_delivered, 8000);
+        assert!((m.per_flow[0].mean_delay - 1.0).abs() < 1e-12);
+        // Jain over goodputs (1:2 split of two flows) = 9/10.
+        assert!((m.fairness_index - 0.9).abs() < 1e-12);
+        // The per-flow packet counters sum to the aggregates.
+        assert_eq!(
+            m.per_flow.iter().map(|f| f.packets_delivered).sum::<u64>(),
+            m.throughput_packets
+        );
+    }
+
+    #[test]
+    fn jain_fairness_bounds() {
+        assert_eq!(jain_fairness(&[]), 0.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 0.0);
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        let skewed = jain_fairness(&[10.0, 1.0, 1.0]);
+        assert!(skewed > 0.0 && skewed < 1.0);
     }
 
     #[test]
@@ -249,18 +453,52 @@ mod tests {
             participating_nodes: 4,
             delivery_rate: 0.5,
             control_overhead: 100,
+            fairness_index: 0.6,
             ..Default::default()
         };
         let b = RunMetrics {
             participating_nodes: 8,
             delivery_rate: 1.0,
             control_overhead: 300,
+            fairness_index: 1.0,
             ..Default::default()
         };
         let avg = RunMetrics::average(&[a, b]);
         assert_eq!(avg.participating_nodes, 6);
         assert!((avg.delivery_rate - 0.75).abs() < 1e-12);
         assert_eq!(avg.control_overhead, 200);
+        assert!((avg.fairness_index - 0.8).abs() < 1e-12);
         assert_eq!(RunMetrics::average(&[]), RunMetrics::default());
+    }
+
+    #[test]
+    fn averaging_joins_per_flow_rows_by_index() {
+        let row = |goodput: f64, completion: Option<f64>| FlowMetrics {
+            conn: 0,
+            src: NodeId(0),
+            dst: NodeId(9),
+            packets_generated: 10,
+            packets_delivered: 8,
+            delivery_rate: 0.8,
+            mean_delay: 1.0,
+            bytes_delivered: 8000,
+            goodput_bytes_per_sec: goodput,
+            completion_secs: completion,
+        };
+        let a = RunMetrics {
+            per_flow: vec![row(100.0, Some(10.0))],
+            ..Default::default()
+        };
+        let b = RunMetrics {
+            per_flow: vec![row(300.0, Some(20.0))],
+            ..Default::default()
+        };
+        let avg = RunMetrics::average(&[a.clone(), b]);
+        assert_eq!(avg.per_flow.len(), 1);
+        assert!((avg.per_flow[0].goodput_bytes_per_sec - 200.0).abs() < 1e-12);
+        assert_eq!(avg.per_flow[0].completion_secs, Some(15.0));
+        // Mismatched flow counts leave the per-flow table empty.
+        let c = RunMetrics::default();
+        assert!(RunMetrics::average(&[a, c]).per_flow.is_empty());
     }
 }

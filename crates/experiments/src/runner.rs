@@ -9,12 +9,12 @@
 use crate::metrics::RunMetrics;
 use crate::protocol::Protocol;
 use crate::scenario::Scenario;
-use crate::stack::{ManetStack, SharedTcpStats, TcpRunStats};
+use crate::stack::{ManetStack, SharedTcpStats, TcpRunReport};
 use manet_adversary::{AttackKind, BlackholeStack, CorridorMobility};
 use manet_netsim::mobility::{MobilityModel, RandomWaypoint};
 use manet_netsim::{NodeStack, Recorder, Simulator};
 use manet_tcp::TcpConfig;
-use manet_wire::NodeId;
+use manet_wire::{ConnectionId, NodeId};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -37,22 +37,26 @@ pub fn run_scenario_traced(scenario: &Scenario) -> (RunMetrics, Recorder) {
 
 fn run_scenario_inner(scenario: &Scenario, trace: bool) -> (RunMetrics, Recorder) {
     scenario.validate().expect("invalid scenario");
-    let stats: SharedTcpStats = Arc::new(Mutex::new(TcpRunStats::default()));
+    let stats: SharedTcpStats = Arc::new(Mutex::new(TcpRunReport::default()));
     let tcp_config: TcpConfig = scenario.tcp;
     let stacks: Vec<Box<dyn NodeStack>> = (0..scenario.sim.num_nodes)
         .map(|i| {
             let me = NodeId(i);
             let agent = scenario.protocol.build_agent(me, scenario.mts);
-            let sender_to = scenario.flows.iter().find(|f| f.src == me).map(|f| f.dst);
-            let receiver_from = scenario.flows.iter().find(|f| f.dst == me).map(|f| f.src);
-            let stack = Box::new(ManetStack::new(
-                me,
-                agent,
-                sender_to,
-                receiver_from,
-                tcp_config,
-                Arc::clone(&stats),
-            )) as Box<dyn NodeStack>;
+            // Flow `idx` is connection `idx`: every endpoint the node
+            // terminates goes into its connection table (a node can hold any
+            // mix of senders and receivers concurrently).
+            let mut node_stack = ManetStack::new(me, agent, Arc::clone(&stats));
+            for (idx, flow) in scenario.flows.iter().enumerate() {
+                let conn = ConnectionId(idx as u32);
+                if flow.src == me {
+                    node_stack.add_sender(conn, flow.dst, tcp_config, flow.profile());
+                }
+                if flow.dst == me {
+                    node_stack.add_receiver(conn, flow.src);
+                }
+            }
+            let stack = Box::new(node_stack) as Box<dyn NodeStack>;
             // Hostile relays wrap the honest stack so they stay protocol-
             // conformant except for the forged replies and the data drops.
             if let AttackKind::Blackhole { drop_fraction, .. } = scenario.attack.kind {
@@ -91,8 +95,8 @@ fn run_scenario_inner(scenario: &Scenario, trace: bool) -> (RunMetrics, Recorder
         sim.enable_trace();
     }
     let recorder = sim.run();
-    let tcp_stats = *stats.lock();
-    let metrics = RunMetrics::extract(scenario, &recorder, &tcp_stats);
+    let tcp_report = stats.lock().clone();
+    let metrics = RunMetrics::extract(scenario, &recorder, &tcp_report);
     (metrics, recorder)
 }
 

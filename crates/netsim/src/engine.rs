@@ -1107,6 +1107,7 @@ impl Simulator {
                 self.world.recorder.record_delivered(
                     to,
                     dp.id,
+                    dp.segment.conn,
                     carries,
                     dp.segment.payload_len,
                     self.world.now,
@@ -1135,6 +1136,7 @@ impl Simulator {
                     self.world.recorder.record_delivered(
                         node,
                         dp.id,
+                        dp.segment.conn,
                         carries,
                         dp.segment.payload_len,
                         self.world.now,
@@ -1177,7 +1179,8 @@ mod tests {
                     TcpSegment::data(ConnectionId(0), 0, 0, 1000),
                 );
                 let now = ctx.now();
-                ctx.recorder().record_originated(dp.id, true, now);
+                ctx.recorder()
+                    .record_originated(dp.id, ConnectionId(0), true, now);
                 let next = NodeId(self.me.0 + 1);
                 ctx.send_unicast(next, NetPacket::Data(dp));
             }

@@ -266,6 +266,61 @@ mod tests {
         assert!(m.rx_intervals.is_empty());
     }
 
+    /// Regression pin for the PR 4 finding that the interval sweep's *timing*
+    /// is observable model behaviour, not just a size bound: the engine calls
+    /// [`MacState::gc_intervals`] eagerly — at the instant a new transmission
+    /// touches a node, *before* registering the new interval — so an interval
+    /// that has already ended is forgotten and can no longer collide with a
+    /// window it historically overlapped.  A "deferred sweep" optimisation
+    /// (batching the retain, sweeping at pop time, or sweeping after the
+    /// push) keeps such intervals visible and changes collision outcomes;
+    /// the full-run consequences are pinned byte-exactly by the golden-trace
+    /// digests in `tests/golden_trace.rs` (collision counts included), and
+    /// this test pins the local semantics the call sites rely on.
+    #[test]
+    fn eager_interval_sweep_is_part_of_the_collision_model() {
+        let t = |s: f64| SimTime::from_secs(s);
+        let mut m = MacState::new();
+        m.rx_intervals.push(RxInterval {
+            tx: TxId(1),
+            start: t(1.0),
+            end: t(2.0),
+        });
+        m.rx_intervals.push(RxInterval {
+            tx: TxId(2),
+            start: t(1.5),
+            end: t(4.0),
+        });
+        // Before any sweep, a window overlapping the ended interval collides.
+        assert!(m.reception_collided(TxId(9), t(1.2), t(1.4)));
+        // A new transmission touches the node at t = 2.5: the engine sweeps
+        // first (the ended interval [1.0, 2.0] is forgotten; the still-live
+        // [1.5, 4.0] is kept), then registers the new interval.
+        m.gc_intervals(t(2.5));
+        m.rx_intervals.push(RxInterval {
+            tx: TxId(3),
+            start: t(2.5),
+            end: t(3.0),
+        });
+        assert_eq!(m.rx_intervals.len(), 2, "ended interval swept eagerly");
+        // The historical overlap is gone: only the live intervals collide.
+        assert!(
+            !m.reception_collided(TxId(9), t(1.2), t(1.4)),
+            "a deferred sweep would still see the ended interval here"
+        );
+        assert!(m.reception_collided(TxId(9), t(1.6), t(1.7)));
+        // Boundary: an interval ending exactly at the sweep time is dropped
+        // (`retain(end > now)`), which is the edge a batched sweep would move.
+        let mut b = MacState::new();
+        b.rx_intervals.push(RxInterval {
+            tx: TxId(5),
+            start: t(0.0),
+            end: t(2.0),
+        });
+        b.gc_intervals(t(2.0));
+        assert!(b.rx_intervals.is_empty());
+    }
+
     #[test]
     fn half_duplex_detection() {
         let mut m = MacState::new();

@@ -30,6 +30,15 @@ impl TimerToken {
         TimerToken(((class as u64) << 48) | (payload & 0x0000_ffff_ffff_ffff))
     }
 
+    /// Build a token whose payload is split into a 16-bit `scope` (e.g. a
+    /// connection id on a node terminating many TCP flows) and a 32-bit
+    /// sequence/generation number.  `scoped(class, 0, seq)` is bit-identical
+    /// to `compose(class, seq)` for `seq < 2^32`, so single-scope users keep
+    /// their historical token values.
+    pub fn scoped(class: u16, scope: u16, seq: u64) -> Self {
+        Self::compose(class, ((scope as u64) << 32) | (seq & 0xffff_ffff))
+    }
+
     /// The class tag of this token.
     pub fn class(self) -> u16 {
         (self.0 >> 48) as u16
@@ -38,6 +47,16 @@ impl TimerToken {
     /// The payload value of this token.
     pub fn payload(self) -> u64 {
         self.0 & 0x0000_ffff_ffff_ffff
+    }
+
+    /// The scope half of a [`TimerToken::scoped`] payload.
+    pub fn scope(self) -> u16 {
+        (self.payload() >> 32) as u16
+    }
+
+    /// The sequence half of a [`TimerToken::scoped`] payload.
+    pub fn seq(self) -> u64 {
+        self.payload() & 0xffff_ffff
     }
 }
 
@@ -202,5 +221,21 @@ mod tests {
         let t = TimerToken::compose(1, u64::MAX);
         assert_eq!(t.class(), 1);
         assert_eq!(t.payload(), 0x0000_ffff_ffff_ffff);
+    }
+
+    #[test]
+    fn scoped_tokens_round_trip_and_scope_zero_matches_compose() {
+        let t = TimerToken::scoped(0x20, 7, 42);
+        assert_eq!(t.class(), 0x20);
+        assert_eq!(t.scope(), 7);
+        assert_eq!(t.seq(), 42);
+        // Scope 0 is bit-identical to the unscoped composition: the
+        // single-flow paper scenarios keep their historical token values.
+        assert_eq!(
+            TimerToken::scoped(0x20, 0, 42),
+            TimerToken::compose(0x20, 42)
+        );
+        // The sequence half is masked to 32 bits.
+        assert_eq!(TimerToken::scoped(1, 1, u64::MAX).seq(), 0xffff_ffff);
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::time::{Duration, SimTime};
-use manet_wire::{NetPacket, NodeId, PacketId};
+use manet_wire::{ConnectionId, NetPacket, NodeId, PacketId};
 use std::collections::BTreeSet;
 
 /// Reasons the MAC can drop a frame.
@@ -141,6 +141,37 @@ fn grow_to<T: Default>(v: &mut Vec<T>, i: usize) {
     }
 }
 
+/// Per-connection data-plane counters.
+///
+/// With the connection-table stack a run carries any number of concurrent TCP
+/// flows, so the recorder keys its flow accounting by [`ConnectionId`]
+/// instead of assuming the implicit single flow of the paper scenario.  The
+/// per-flow delivery/goodput/fairness metrics aggregate these.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlowCounters {
+    /// Data-carrying packets handed to the routing layer at the source
+    /// (retransmissions counted, like the aggregate).
+    pub originated_data: u64,
+    /// Unique data-carrying packets delivered to the flow's destination.
+    pub delivered_data: u64,
+    /// Payload bytes of the delivered unique packets.
+    pub delivered_bytes: u64,
+    /// Sum of end-to-end delays of this flow's delivered packets, seconds
+    /// (divide by `delivered_data` for the mean).
+    pub delay_sum_secs: f64,
+}
+
+impl FlowCounters {
+    /// Delivered / originated data packets (0 when nothing was originated).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.originated_data == 0 {
+            0.0
+        } else {
+            self.delivered_data as f64 / self.originated_data as f64
+        }
+    }
+}
+
 /// Everything recorded about one simulation run.
 #[derive(Debug, Default)]
 pub struct Recorder {
@@ -157,6 +188,8 @@ pub struct Recorder {
     delays: Vec<Duration>,
     /// (time, payload bytes) of each delivered data packet, for throughput curves.
     delivery_series: Vec<(SimTime, u32)>,
+    /// Per-connection origination/delivery counters (multi-flow runs).
+    flow_counters: FxHashMap<ConnectionId, FlowCounters>,
 
     // --- per-node participation / eavesdropping --------------------------------
     // Dense, lazily grown per-node tables (indexed by `NodeId::index`): the
@@ -217,11 +250,20 @@ impl Recorder {
 
     // ---- recording (called by the engine and by protocol stacks) -------------
 
-    /// A data packet was handed to the routing layer at its origin.
-    pub fn record_originated(&mut self, packet: PacketId, carries_data: bool, at: SimTime) {
+    /// A data packet was handed to the routing layer at its origin.  `conn`
+    /// keys the per-flow counters (every data packet carries exactly one TCP
+    /// segment, so the connection id is always known at the origin).
+    pub fn record_originated(
+        &mut self,
+        packet: PacketId,
+        conn: ConnectionId,
+        carries_data: bool,
+        at: SimTime,
+    ) {
         self.originated.entry(packet).or_insert(at);
         if carries_data {
             self.originated_data += 1;
+            self.flow_counters.entry(conn).or_default().originated_data += 1;
         }
     }
 
@@ -230,6 +272,7 @@ impl Recorder {
         &mut self,
         node: NodeId,
         packet: PacketId,
+        conn: ConnectionId,
         carries_data: bool,
         payload_bytes: u32,
         at: SimTime,
@@ -244,8 +287,18 @@ impl Recorder {
             self.delivered_data += 1;
             self.delivered_bytes += u64::from(payload_bytes);
             self.delivery_series.push((at, payload_bytes));
-            if let Some(&sent) = self.originated.get(&packet) {
-                self.delays.push(at.saturating_since(sent));
+            let delay = self
+                .originated
+                .get(&packet)
+                .map(|&sent| at.saturating_since(sent));
+            if let Some(delay) = delay {
+                self.delays.push(delay);
+            }
+            let flow = self.flow_counters.entry(conn).or_default();
+            flow.delivered_data += 1;
+            flow.delivered_bytes += u64::from(payload_bytes);
+            if let Some(delay) = delay {
+                flow.delay_sum_secs += delay.as_secs();
             }
         }
         if self.keep_trace {
@@ -404,6 +457,17 @@ impl Recorder {
     /// `(time, payload_bytes)` series of deliveries, in delivery order.
     pub fn delivery_series(&self) -> &[(SimTime, u32)] {
         &self.delivery_series
+    }
+
+    /// Per-connection origination/delivery counters (empty entries never
+    /// appear: a connection shows up once it originates or delivers data).
+    pub fn flow_counters(&self) -> &FxHashMap<ConnectionId, FlowCounters> {
+        &self.flow_counters
+    }
+
+    /// The counters of one connection (all-zero if it never carried data).
+    pub fn flow_counter(&self, conn: ConnectionId) -> FlowCounters {
+        self.flow_counters.get(&conn).copied().unwrap_or_default()
     }
 
     /// Data packets `node` relayed (β_i in the paper's Table I); O(1) from
@@ -617,11 +681,11 @@ mod tests {
     #[test]
     fn delivery_rate_inputs_count_unique_packets() {
         let mut r = Recorder::new();
-        r.record_originated(PacketId(1), true, t(0.0));
-        r.record_originated(PacketId(1), true, t(0.1)); // retransmission of same id keeps first time
-        r.record_originated(PacketId(2), true, t(0.2));
-        r.record_delivered(NodeId(9), PacketId(1), true, 1000, t(1.0));
-        r.record_delivered(NodeId(9), PacketId(1), true, 1000, t(1.5)); // duplicate ignored
+        r.record_originated(PacketId(1), ConnectionId(0), true, t(0.0));
+        r.record_originated(PacketId(1), ConnectionId(0), true, t(0.1)); // retransmission of same id keeps first time
+        r.record_originated(PacketId(2), ConnectionId(0), true, t(0.2));
+        r.record_delivered(NodeId(9), PacketId(1), ConnectionId(0), true, 1000, t(1.0));
+        r.record_delivered(NodeId(9), PacketId(1), ConnectionId(0), true, 1000, t(1.5)); // duplicate ignored
         assert_eq!(r.originated_data_packets(), 3); // each handoff counted
         assert_eq!(r.delivered_data_packets(), 1);
         assert_eq!(r.delivered_payload_bytes(), 1000);
@@ -698,7 +762,7 @@ mod tests {
         assert_eq!(r.relayed_set(NodeId(3)).unwrap().len(), 2);
         assert!(r.relayed_set(NodeId(5)).is_none());
         assert_eq!(r.heard_set(NodeId(3)).unwrap().len(), 3);
-        r.record_delivered(NodeId(9), PacketId(10), true, 100, t(1.0));
+        r.record_delivered(NodeId(9), PacketId(10), ConnectionId(0), true, 100, t(1.0));
         assert!(r.was_delivered(PacketId(10)));
         assert!(!r.was_delivered(PacketId(11)));
     }
@@ -711,7 +775,7 @@ mod tests {
 
         let mut loud = Recorder::with_trace();
         loud.record_tx(NodeId(0), "DATA", false, 100, t(0.0));
-        loud.record_delivered(NodeId(1), PacketId(1), true, 100, t(0.5));
+        loud.record_delivered(NodeId(1), PacketId(1), ConnectionId(0), true, 100, t(0.5));
         loud.record_link_failure(NodeId(0), NodeId(1), t(0.7));
         assert_eq!(loud.trace().len(), 3);
     }

@@ -53,7 +53,8 @@ impl NodeStack for Chatter {
             dst,
             TcpSegment::data(ConnectionId(0), 0, 0, 512),
         );
-        ctx.recorder().record_originated(id, true, now);
+        ctx.recorder()
+            .record_originated(id, ConnectionId(0), true, now);
         // Alternate broadcast and a one-hop unicast to the right neighbour.
         if self.next_packet.is_multiple_of(2) {
             ctx.send_broadcast(NetPacket::Data(dp));
@@ -266,7 +267,8 @@ fn unicast_chains_claim_payloads_without_a_single_deep_clone() {
                     TcpSegment::data(ConnectionId(0), 0, 0, 1000),
                 );
                 let now = ctx.now();
-                ctx.recorder().record_originated(dp.id, true, now);
+                ctx.recorder()
+                    .record_originated(dp.id, ConnectionId(0), true, now);
                 ctx.send_unicast(NodeId(1), NetPacket::Data(dp));
             }
         }

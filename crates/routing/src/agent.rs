@@ -28,6 +28,15 @@ impl TimerClass {
         TimerToken::compose(self as u16, payload)
     }
 
+    /// Build a connection-scoped token in this class: the payload carries a
+    /// 16-bit `scope` (the connection id on a node terminating many TCP
+    /// flows) and a 32-bit sequence/generation number.  Scope 0 is
+    /// bit-identical to [`TimerClass::token`], so the single-flow paper
+    /// scenarios keep their historical token values.
+    pub fn scoped_token(self, scope: u16, seq: u64) -> TimerToken {
+        TimerToken::scoped(self as u16, scope, seq)
+    }
+
     /// Does `token` belong to this class?
     pub fn owns(self, token: TimerToken) -> bool {
         token.class() == self as u16
@@ -128,6 +137,21 @@ mod tests {
         assert_eq!(r.payload(), 42);
         assert_eq!(t.payload(), 42);
         assert_ne!(r, t);
+    }
+
+    #[test]
+    fn scoped_tokens_namespace_connections_within_a_class() {
+        let a = TimerClass::Transport.scoped_token(1, 42);
+        let b = TimerClass::Transport.scoped_token(2, 42);
+        assert!(TimerClass::Transport.owns(a) && TimerClass::Transport.owns(b));
+        assert_ne!(a, b, "same generation on different connections differs");
+        assert_eq!(a.scope(), 1);
+        assert_eq!(a.seq(), 42);
+        // Connection 0 keeps the historical single-flow token values.
+        assert_eq!(
+            TimerClass::Transport.scoped_token(0, 42),
+            TimerClass::Transport.token(42)
+        );
     }
 
     #[test]

@@ -98,7 +98,8 @@ impl<A: RoutingAgent> HarnessStack<A> {
         );
         let pkt = DataPacket::new(id, flow.src, flow.dst, seg);
         let now = ctx.now();
-        ctx.recorder().record_originated(id, true, now);
+        ctx.recorder()
+            .record_originated(id, ConnectionId(0), true, now);
         self.counters.borrow_mut().originated += 1;
         self.agent.send_data(ctx, pkt);
         // Schedule the next emission.

@@ -93,7 +93,7 @@ impl EavesdropperReport {
 mod tests {
     use super::*;
     use manet_netsim::SimTime;
-    use manet_wire::PacketId;
+    use manet_wire::{ConnectionId, PacketId};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -173,8 +173,8 @@ mod tests {
         let t = SimTime::from_secs(1.0);
         // 4 packets delivered to node 9; node 3 heard 2 of them.
         for id in 0..4u64 {
-            rec.record_originated(PacketId(id), true, SimTime::ZERO);
-            rec.record_delivered(NodeId(9), PacketId(id), true, 1000, t);
+            rec.record_originated(PacketId(id), ConnectionId(0), true, SimTime::ZERO);
+            rec.record_delivered(NodeId(9), PacketId(id), ConnectionId(0), true, 1000, t);
         }
         rec.record_overheard(NodeId(3), PacketId(0), true);
         rec.record_relay(NodeId(3), PacketId(1), true, SimTime::ZERO);

@@ -91,15 +91,22 @@ pub fn summarize(
 mod tests {
     use super::*;
     use manet_netsim::SimTime;
-    use manet_wire::PacketId;
+    use manet_wire::{ConnectionId, PacketId};
 
     /// Build a recorder where node 9 receives `delivered` packets and each
     /// `(node, n)` pair relays (and therefore also hears) `n` unique packets.
     fn recorder_with(delivered: u64, relayed: &[(u16, u64)]) -> Recorder {
         let mut rec = Recorder::new();
         for id in 0..delivered {
-            rec.record_originated(PacketId(id), true, SimTime::ZERO);
-            rec.record_delivered(NodeId(9), PacketId(id), true, 1000, SimTime::from_secs(1.0));
+            rec.record_originated(PacketId(id), ConnectionId(0), true, SimTime::ZERO);
+            rec.record_delivered(
+                NodeId(9),
+                PacketId(id),
+                ConnectionId(0),
+                true,
+                1000,
+                SimTime::from_secs(1.0),
+            );
         }
         for &(node, n) in relayed {
             for id in 0..n {

@@ -3,7 +3,7 @@
 use manet_netsim::{Recorder, SimTime};
 use manet_security::interception::{highest_interception_ratio, interception_ratio};
 use manet_security::{participating_nodes, relay_distribution};
-use manet_wire::{NodeId, PacketId};
+use manet_wire::{ConnectionId, NodeId, PacketId};
 use proptest::prelude::*;
 
 /// Build a recorder from `(node, relay_count)` pairs plus `delivered` packets
@@ -11,10 +11,11 @@ use proptest::prelude::*;
 fn build_recorder(relays: &[(u16, u64)], delivered: u64) -> Recorder {
     let mut rec = Recorder::new();
     for id in 0..delivered {
-        rec.record_originated(PacketId(id), true, SimTime::ZERO);
+        rec.record_originated(PacketId(id), ConnectionId(0), true, SimTime::ZERO);
         rec.record_delivered(
             NodeId(999),
             PacketId(id),
+            ConnectionId(0),
             true,
             1000,
             SimTime::from_secs(1.0),

@@ -8,7 +8,9 @@
 //! * [`reno`] — the Reno congestion-control state machine (slow start,
 //!   congestion avoidance, fast retransmit, fast recovery);
 //! * [`sender`] — the sending endpoint: window management, retransmission
-//!   queue, duplicate-ACK counting, retransmission timer;
+//!   queue, duplicate-ACK counting, retransmission timer, plus the
+//!   [`FlowProfile`] traffic shaping (start time, byte budget, on-off and
+//!   request-response application patterns);
 //! * [`receiver`] — the receiving endpoint: cumulative ACK generation and an
 //!   out-of-order reassembly buffer (out-of-order arrivals are what punish
 //!   concurrent-multipath schemes, cf. the SMR discussion in the paper);
@@ -17,9 +19,9 @@
 //! The endpoints are *sans-io*: they never talk to the simulator directly.
 //! They consume events (`segment arrived`, `timer fired`, `time to send`) and
 //! return [`TcpOutcome`] values listing segments to transmit and the next
-//! retransmission deadline; the node stack in `manet-experiments` moves those
-//! segments through the routing layer.  This keeps the whole transport logic
-//! unit-testable without a simulator.
+//! retransmission deadline; the connection-table node stack in `manet-stack`
+//! moves those segments through the routing layer.  This keeps the whole
+//! transport logic unit-testable without a simulator.
 
 pub mod config;
 pub mod receiver;
@@ -27,7 +29,7 @@ pub mod reno;
 pub mod rto;
 pub mod sender;
 
-pub use config::TcpConfig;
+pub use config::{FlowProfile, FlowShape, TcpConfig};
 pub use receiver::TcpReceiver;
 pub use reno::{CongestionState, RenoController};
 pub use rto::RtoEstimator;

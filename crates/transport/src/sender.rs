@@ -3,11 +3,14 @@
 //! The sender is *sans-io*: the node stack calls it with events (`open the
 //! window`, `an ACK arrived`, `the retransmission timer fired`) and the sender
 //! answers with a [`TcpOutcome`] listing the segments to hand to the routing
-//! layer plus the retransmission deadline to (re)arm.  The traffic model is
-//! the paper's FTP-like bulk transfer: an unbounded backlog of application
-//! data.
+//! layer plus the retransmission deadline to (re)arm.  The default traffic
+//! model is the paper's FTP-like bulk transfer (an unbounded backlog of
+//! application data); a [`FlowProfile`] adds a start time, a byte budget and
+//! the on-off / request-response shapes used by multi-flow scenarios.  When a
+//! shape gates new data, the sender asks for an application wake-up
+//! ([`TcpOutcome::wakeup`]) instead of polling.
 
-use crate::config::TcpConfig;
+use crate::config::{FlowProfile, FlowShape, TcpConfig};
 use crate::reno::{CongestionState, RenoController};
 use crate::rto::RtoEstimator;
 use manet_netsim::{Duration, SimTime};
@@ -34,6 +37,11 @@ pub struct TcpOutcome {
     pub segments: Vec<TcpSegment>,
     /// Retransmission timer to arm (if any).
     pub timer: Option<TimerHandle>,
+    /// Application wake-up to schedule: call [`TcpSender::on_wakeup`] after
+    /// this delay (on-off phase changes, request-response think times).
+    /// Wake-ups are idempotent — a stale or duplicate firing produces no
+    /// segments — so the stack needs no generation bookkeeping for them.
+    pub wakeup: Option<Duration>,
 }
 
 /// Book-keeping for one in-flight segment.
@@ -49,6 +57,7 @@ struct InFlightSegment {
 pub struct TcpSender {
     conn: ConnectionId,
     config: TcpConfig,
+    profile: FlowProfile,
     reno: RenoController,
     rto: RtoEstimator,
     /// Next sequence number to send (bytes).
@@ -66,6 +75,17 @@ pub struct TcpSender {
     timer_generation: u64,
     /// Whether a timer is conceptually armed.
     timer_armed: bool,
+    // --- flow shaping -----------------------------------------------------
+    /// Request-response: bytes the application has released for sending so
+    /// far (ignored by the other shapes).
+    released: u64,
+    /// Request-response: when the next request is released (think timer).
+    next_release_at: Option<SimTime>,
+    /// Absolute time of the application wake-up currently scheduled, to
+    /// de-duplicate [`TcpOutcome::wakeup`] requests.
+    wakeup_at: Option<SimTime>,
+    /// When the whole byte budget was acknowledged (budgeted flows only).
+    completed_at: Option<SimTime>,
     // --- statistics -------------------------------------------------------
     segments_sent: u64,
     retransmissions: u64,
@@ -73,9 +93,18 @@ pub struct TcpSender {
 }
 
 impl TcpSender {
-    /// New bulk-transfer sender for connection `conn`.
+    /// New bulk-transfer sender for connection `conn` (the paper's unbounded
+    /// FTP source; equivalent to [`TcpSender::with_profile`] with the default
+    /// profile).
     pub fn new(conn: ConnectionId, config: TcpConfig) -> Self {
+        Self::with_profile(conn, config, FlowProfile::default())
+    }
+
+    /// New sender for connection `conn` with an explicit flow profile (start
+    /// time, byte budget, traffic shape).
+    pub fn with_profile(conn: ConnectionId, config: TcpConfig, profile: FlowProfile) -> Self {
         config.validate().expect("invalid TCP configuration");
+        profile.validate().expect("invalid flow profile");
         TcpSender {
             conn,
             reno: RenoController::new(
@@ -85,6 +114,7 @@ impl TcpSender {
             ),
             rto: RtoEstimator::new(config.min_rto, config.max_rto, config.max_backoff_exponent),
             config,
+            profile,
             snd_nxt: 0,
             snd_una: 0,
             in_flight: BTreeMap::new(),
@@ -92,6 +122,10 @@ impl TcpSender {
             recovery_point: 0,
             timer_generation: 0,
             timer_armed: false,
+            released: 0,
+            next_release_at: None,
+            wakeup_at: None,
+            completed_at: None,
             segments_sent: 0,
             retransmissions: 0,
             bytes_acked: 0,
@@ -101,6 +135,22 @@ impl TcpSender {
     /// The connection this sender belongs to.
     pub fn connection(&self) -> ConnectionId {
         self.conn
+    }
+
+    /// The flow profile this sender was built with.
+    pub fn profile(&self) -> FlowProfile {
+        self.profile
+    }
+
+    /// When the flow's whole byte budget was acknowledged end-to-end
+    /// (`None` while incomplete, and always `None` for unbounded flows).
+    pub fn completion_time(&self) -> Option<SimTime> {
+        self.completed_at
+    }
+
+    /// The flow's byte budget (`u64::MAX` when unbounded).
+    fn budget(&self) -> u64 {
+        self.profile.bytes.unwrap_or(u64::MAX)
     }
 
     /// Bytes acknowledged end-to-end so far.
@@ -161,15 +211,79 @@ impl TcpSender {
         })
     }
 
-    /// Fill the window with new data segments (bulk source: data never runs
-    /// out).  Call at connection start and whenever the window may have
-    /// opened.
+    /// Highest sequence number the application currently offers for
+    /// transmission, applying the byte budget and the flow shape's gate.
+    /// May request a wake-up into `out` when the gate is closed but more
+    /// data is due later.
+    fn offered_limit(&mut self, now: SimTime, out: &mut TcpOutcome) -> u64 {
+        let budget = self.budget();
+        match self.profile.shape {
+            FlowShape::Bulk => budget,
+            FlowShape::OnOff { on_secs, off_secs } => {
+                let elapsed = now.saturating_since(SimTime::from_secs(self.profile.start));
+                let cycle = on_secs + off_secs;
+                let cycles = (elapsed.as_secs() / cycle).floor();
+                let pos = elapsed.as_secs() - cycles * cycle;
+                if pos < on_secs {
+                    budget
+                } else {
+                    // Off phase: nothing new until the next on phase opens.
+                    if self.snd_nxt < budget {
+                        // The wake-up must be strictly in the future: exactly
+                        // at a cycle boundary, floating-point rounding of
+                        // `elapsed / cycle` can put `now` in the off phase
+                        // with a recomputed boundary equal to `now`, and a
+                        // zero-delay wake-up would re-enter this branch at
+                        // the same instant forever.
+                        let mut next_on =
+                            SimTime::from_secs(self.profile.start + (cycles + 1.0) * cycle);
+                        if next_on <= now {
+                            next_on =
+                                SimTime::from_secs(self.profile.start + (cycles + 2.0) * cycle);
+                        }
+                        self.request_wakeup(now, next_on, out);
+                    }
+                    self.snd_nxt
+                }
+            }
+            FlowShape::RequestResponse { request_bytes, .. } => {
+                if let Some(at) = self.next_release_at {
+                    if now >= at {
+                        self.next_release_at = None;
+                        self.released = self.released.saturating_add(request_bytes).min(budget);
+                    }
+                }
+                if self.released == 0 {
+                    // First request opens with the flow.
+                    self.released = request_bytes.min(budget);
+                }
+                self.released
+            }
+        }
+    }
+
+    /// Ask the stack for one application wake-up at `at`, de-duplicating
+    /// against an already-pending one at the same instant.
+    fn request_wakeup(&mut self, now: SimTime, at: SimTime, out: &mut TcpOutcome) {
+        if self.wakeup_at == Some(at) && at > now {
+            return; // already scheduled
+        }
+        self.wakeup_at = Some(at);
+        out.wakeup = Some(at.saturating_since(now));
+    }
+
+    /// Fill the window with new data segments up to the application's offered
+    /// limit (a plain bulk source never runs out).  Call at connection start
+    /// and whenever the window may have opened.
     pub fn pump(&mut self, now: SimTime) -> TcpOutcome {
         let mut out = TcpOutcome::default();
+        let offer = self.offered_limit(now, &mut out);
         let window_bytes = self.reno.usable_window() * u64::from(self.config.mss);
-        while self.flight_bytes() + u64::from(self.config.mss) <= window_bytes {
+        while self.flight_bytes() + u64::from(self.config.mss) <= window_bytes
+            && self.snd_nxt < offer
+        {
             let seq = self.snd_nxt;
-            let len = self.config.mss;
+            let len = (u64::from(self.config.mss).min(offer - seq)) as u32;
             let seg = TcpSegment::data(self.conn, seq, 0, len);
             self.in_flight.insert(
                 seq,
@@ -183,10 +297,34 @@ impl TcpSender {
             self.segments_sent += 1;
             out.segments.push(seg);
         }
+        // A request-response flow whose current request is fully acknowledged
+        // schedules the think-time release of the next one.
+        if let FlowShape::RequestResponse { think_secs, .. } = self.profile.shape {
+            if self.snd_una == self.released
+                && self.released < self.budget()
+                && self.next_release_at.is_none()
+            {
+                let at = now + Duration::from_secs(think_secs);
+                self.next_release_at = Some(at);
+                self.request_wakeup(now, at, &mut out);
+            }
+        }
         if !out.segments.is_empty() && !self.timer_armed {
             out.timer = self.arm_timer();
         }
         out
+    }
+
+    /// An application wake-up requested through [`TcpOutcome::wakeup`] fired.
+    /// Idempotent: a duplicate or stale firing finds the gate unchanged and
+    /// produces no segments.
+    pub fn on_wakeup(&mut self, now: SimTime) -> TcpOutcome {
+        // The pending wake-up (if this is it) has fired; forget it so a new
+        // one at the same instant is never de-duplicated against it.
+        if self.wakeup_at.is_some_and(|at| now >= at) {
+            self.wakeup_at = None;
+        }
+        self.pump(now)
     }
 
     /// Process an incoming (cumulative) acknowledgement.
@@ -216,6 +354,9 @@ impl TcpSender {
             }
             self.snd_una = ack;
             self.dupacks = 0;
+            if self.completed_at.is_none() && self.snd_una >= self.budget() {
+                self.completed_at = Some(now);
+            }
             if self.reno.state() == CongestionState::FastRecovery && ack < self.recovery_point {
                 // Partial ACK during recovery: retransmit the next missing
                 // segment straight away (NewReno-style partial-ACK handling
@@ -227,6 +368,7 @@ impl TcpSender {
             // Grow / refill the window.
             let mut pumped = self.pump(now);
             out.segments.append(&mut pumped.segments);
+            out.wakeup = out.wakeup.or(pumped.wakeup);
             // Re-arm the timer for remaining in-flight data.
             if self.flight_bytes() > 0 {
                 out.timer = self.arm_timer();
@@ -245,6 +387,7 @@ impl TcpSender {
                 self.reno.on_extra_dupack();
                 let mut pumped = self.pump(now);
                 out.segments.append(&mut pumped.segments);
+                out.wakeup = out.wakeup.or(pumped.wakeup);
             }
         }
         out
@@ -400,6 +543,148 @@ mod tests {
         let out = s.on_ack(&ack(0), t(0.0));
         assert!(out.segments.is_empty());
         assert_eq!(s.fast_retransmits(), 0);
+    }
+
+    #[test]
+    fn byte_budget_caps_the_transfer_and_reports_completion() {
+        let mss = u64::from(TcpConfig::default().mss);
+        let mut s = TcpSender::with_profile(
+            CONN,
+            TcpConfig::default(),
+            FlowProfile {
+                bytes: Some(2 * mss + 500),
+                ..Default::default()
+            },
+        );
+        // Drive to completion against an ideal receiver.
+        let mut now = 0.0;
+        let mut acked = 0u64;
+        let mut pending = s.pump(t(now)).segments;
+        for _ in 0..20 {
+            now += 0.05;
+            let highest = pending.iter().map(|g| g.end_seq()).max().unwrap_or(acked);
+            acked = acked.max(highest);
+            pending.clear();
+            pending.extend(s.on_ack(&ack(acked), t(now)).segments);
+        }
+        // Exactly the budget was sent (the last segment is the 500-byte tail)
+        // and the completion time is the ACK that covered the final byte.
+        assert_eq!(s.bytes_acked(), 2 * mss + 500);
+        assert_eq!(s.flight_bytes(), 0);
+        assert!(s.completion_time().is_some());
+        assert_eq!(s.retransmissions(), 0);
+        // An unbounded sender never completes.
+        let mut unbounded = sender();
+        let _ = unbounded.pump(t(0.0));
+        assert_eq!(unbounded.completion_time(), None);
+    }
+
+    #[test]
+    fn on_off_flow_gates_new_data_and_requests_a_wakeup() {
+        let mut s = TcpSender::with_profile(
+            CONN,
+            TcpConfig::default(),
+            FlowProfile {
+                shape: FlowShape::OnOff {
+                    on_secs: 1.0,
+                    off_secs: 2.0,
+                },
+                ..Default::default()
+            },
+        );
+        // On phase: sends like bulk.
+        let out = s.pump(t(0.5));
+        assert_eq!(out.segments.len(), 1);
+        assert!(out.wakeup.is_none());
+        let mss = u64::from(TcpConfig::default().mss);
+        // Off phase: the ACK opens the window but the gate is closed, so no
+        // new segments go out and a wake-up for the next on phase (t=3) is
+        // requested instead.
+        let out = s.on_ack(&ack(mss), t(1.5));
+        assert!(out.segments.is_empty());
+        let wake = out.wakeup.expect("off phase requests a wakeup");
+        assert!((wake.as_secs() - 1.5).abs() < 1e-9, "wake at t=3, now=1.5");
+        // Duplicate gate hits do not re-request the same wakeup.
+        assert!(s.pump(t(1.6)).wakeup.is_none());
+        // The wakeup fires in the next on phase and sending resumes.
+        let out = s.on_wakeup(t(3.0));
+        assert!(!out.segments.is_empty());
+    }
+
+    #[test]
+    fn on_off_wakeups_always_make_progress_at_cycle_boundaries() {
+        // Regression: floating-point rounding of `elapsed / cycle` exactly at
+        // a cycle boundary can classify `now` as off-phase with a recomputed
+        // boundary equal to `now`; the wake-up must then point at the *next*
+        // cycle, never at `now` itself (a zero-delay wake-up would loop the
+        // simulation forever at one instant).  Emulate the stack: follow
+        // every requested wake-up and require strictly positive delays while
+        // walking several thousand cycles.
+        let mut s = TcpSender::with_profile(
+            CONN,
+            TcpConfig::default(),
+            FlowProfile {
+                shape: FlowShape::OnOff {
+                    on_secs: 0.1,
+                    off_secs: 0.1,
+                },
+                ..Default::default()
+            },
+        );
+        let mut now = SimTime::ZERO;
+        let mut wakeups = 0u32;
+        let out = s.pump(now);
+        let mut pending = out.wakeup;
+        while wakeups < 5_000 {
+            let Some(delay) = pending else {
+                // No wake-up requested (on phase, window full): nudge time
+                // forward to the next off phase probe.
+                now += Duration::from_secs(0.15);
+                pending = s.on_wakeup(now).wakeup;
+                continue;
+            };
+            assert!(
+                delay > Duration::ZERO,
+                "zero-delay wake-up at t={now:?} would hang the event loop"
+            );
+            now += delay;
+            wakeups += 1;
+            pending = s.on_wakeup(now).wakeup;
+        }
+        assert!(
+            now.as_secs() > 100.0,
+            "the walk must advance simulated time"
+        );
+    }
+
+    #[test]
+    fn request_response_flow_thinks_between_requests() {
+        let mss = u64::from(TcpConfig::default().mss);
+        let mut s = TcpSender::with_profile(
+            CONN,
+            TcpConfig::default(),
+            FlowProfile {
+                shape: FlowShape::RequestResponse {
+                    request_bytes: mss,
+                    think_secs: 5.0,
+                },
+                ..Default::default()
+            },
+        );
+        // First request: one MSS.
+        let out = s.pump(t(0.0));
+        assert_eq!(out.segments.len(), 1);
+        // Fully acknowledged: nothing new, think timer requested.
+        let out = s.on_ack(&ack(mss), t(0.2));
+        assert!(out.segments.is_empty());
+        let wake = out.wakeup.expect("think time requests a wakeup");
+        assert!((wake.as_secs() - 5.0).abs() < 1e-9);
+        // Waking early keeps the gate shut; at the think deadline the next
+        // request is released.
+        assert!(s.on_wakeup(t(3.0)).segments.is_empty());
+        let out = s.on_wakeup(t(5.2));
+        assert_eq!(out.segments.len(), 1);
+        assert_eq!(out.segments[0].seq, mss);
     }
 
     #[test]

@@ -8,11 +8,11 @@
 //! cargo run --release --example route_discovery_trace
 //! ```
 
-use manet_experiments::stack::{ManetStack, SharedTcpStats, TcpRunStats};
+use manet_experiments::stack::{ManetStack, SharedTcpStats, TcpRunReport};
 use manet_netsim::mobility::StaticPlacement;
 use manet_netsim::{Duration, NodeStack, Position, Recorder, SimConfig, Simulator, TraceEvent};
-use manet_tcp::TcpConfig;
-use manet_wire::NodeId;
+use manet_tcp::{FlowProfile, TcpConfig};
+use manet_wire::{ConnectionId, NodeId};
 use mts_repro::prelude::*;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -33,21 +33,24 @@ fn main() {
     sim_cfg.duration = Duration::from_secs(12.0);
     sim_cfg.mobility.max_speed = 0.0;
 
-    let stats: SharedTcpStats = Arc::new(Mutex::new(TcpRunStats::default()));
+    let stats: SharedTcpStats = Arc::new(Mutex::new(TcpRunReport::default()));
     let stacks: Vec<Box<dyn NodeStack>> = (0..n)
         .map(|i| {
             let me = NodeId(i);
             let agent = Protocol::Mts.build_agent(me, MtsConfig::default());
-            let sender_to = (i == 0).then_some(NodeId(3));
-            let receiver_from = (i == 3).then_some(NodeId(0));
-            Box::new(ManetStack::new(
-                me,
-                agent,
-                sender_to,
-                receiver_from,
-                TcpConfig::default(),
-                Arc::clone(&stats),
-            )) as Box<dyn NodeStack>
+            let mut stack = ManetStack::new(me, agent, Arc::clone(&stats));
+            if i == 0 {
+                stack.add_sender(
+                    ConnectionId(0),
+                    NodeId(3),
+                    TcpConfig::default(),
+                    FlowProfile::bulk(),
+                );
+            }
+            if i == 3 {
+                stack.add_receiver(ConnectionId(0), NodeId(0));
+            }
+            Box::new(stack) as Box<dyn NodeStack>
         })
         .collect();
     let mut sim = Simulator::new(sim_cfg, Box::new(StaticPlacement::new(positions)), stacks);

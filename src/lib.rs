@@ -24,6 +24,7 @@ pub use manet_experiments as experiments;
 pub use manet_netsim as netsim;
 pub use manet_routing as routing;
 pub use manet_security as security;
+pub use manet_stack as stack;
 pub use manet_tcp as tcp;
 pub use manet_wire as wire;
 pub use mts_core as mts;
@@ -42,9 +43,11 @@ pub mod prelude {
     pub use manet_experiments::runner::{
         run_scenario, run_scenario_with_recorder, sweep, sweep_with, SweepSpec,
     };
-    pub use manet_experiments::{Protocol, RunMetrics, Scenario, TrafficFlow};
+    pub use manet_experiments::{FlowMetrics, Protocol, RunMetrics, Scenario, TrafficFlow};
     pub use manet_netsim::{Duration, JamTarget, RushConfig, SimConfig, SimTime, WormholeConfig};
-    pub use manet_wire::NodeId;
+    pub use manet_stack::{ManetStack, SharedTcpStats, TcpRunReport, TcpRunStats};
+    pub use manet_tcp::{FlowProfile, FlowShape};
+    pub use manet_wire::{ConnectionId, NodeId};
     pub use mts_core::{Mts, MtsConfig, RouteCheckConfig};
 }
 

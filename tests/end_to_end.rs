@@ -47,6 +47,54 @@ fn runs_are_deterministic_for_a_fixed_seed() {
     assert_eq!(a, b, "identical seeds must give identical runs");
     let c = short_run(Protocol::Mts, 10.0, 8, 15.0);
     assert_ne!(a, c, "different seeds should differ");
+    // The paper's single flow is the degenerate one-row case of the
+    // connection-table accounting.
+    assert_eq!(a.per_flow.len(), 1);
+    assert_eq!(
+        a.per_flow[0].packets_delivered, a.throughput_packets,
+        "the single flow carries the whole run"
+    );
+}
+
+/// The multi-flow stack holds the same determinism contract as the paper's
+/// single flow: a random-pairs traffic matrix produces identical runs across
+/// both event-queue backends, and the per-flow metrics are well-formed
+/// (goodput rows sum to the aggregate throughput, Jain's fairness in [0, 1]).
+/// The full-scale variant (n = 500, 50 flows, trace-diffed) runs in
+/// `bench_flows` / CI's perf-smoke job; this keeps a debug-build-sized copy
+/// in tier 1.
+#[test]
+fn multi_flow_runs_are_deterministic_across_queue_backends() {
+    use mts_repro::netsim::EventQueueKind;
+    let build = |queue: EventQueueKind| {
+        let mut scenario = Scenario::random_pairs(Protocol::Mts, 100, 10, 10.0, 3);
+        scenario.sim.duration = Duration::from_secs(10.0);
+        scenario.sim.event_queue = queue;
+        scenario
+    };
+    let calendar = run_scenario(&build(EventQueueKind::Calendar));
+    let heap = run_scenario(&build(EventQueueKind::Heap));
+    assert_eq!(
+        calendar, heap,
+        "multi-flow runs must be queue-backend identical"
+    );
+    assert_eq!(calendar.per_flow.len(), 10);
+    assert!(calendar.fairness_index >= 0.0 && calendar.fairness_index <= 1.0);
+    assert!(
+        calendar.per_flow.iter().any(|f| f.packets_delivered > 0),
+        "at least one flow must move data"
+    );
+    let summed: u64 = calendar.per_flow.iter().map(|f| f.packets_delivered).sum();
+    assert_eq!(
+        summed, calendar.throughput_packets,
+        "per-flow deliveries partition the aggregate"
+    );
+    let goodput: f64 = calendar
+        .per_flow
+        .iter()
+        .map(|f| f.goodput_bytes_per_sec)
+        .sum();
+    assert!(goodput > 0.0);
 }
 
 #[test]
