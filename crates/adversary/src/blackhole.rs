@@ -46,7 +46,7 @@ pub struct BlackholeStats {
 /// A [`NodeStack`] wrapper turning one node into a black/gray-hole relay.
 pub struct BlackholeStack {
     me: NodeId,
-    inner: Box<dyn NodeStack>,
+    inner: Box<dyn NodeStack + Send>,
     drop_fraction: f64,
     rng: SmallRng,
     stats: BlackholeStats,
@@ -57,7 +57,12 @@ impl BlackholeStack {
     ///
     /// `run_seed` is the scenario seed; the drop RNG is derived from it and
     /// the node id so coalitions of gray holes stay mutually independent.
-    pub fn new(me: NodeId, inner: Box<dyn NodeStack>, drop_fraction: f64, run_seed: u64) -> Self {
+    pub fn new(
+        me: NodeId,
+        inner: Box<dyn NodeStack + Send>,
+        drop_fraction: f64,
+        run_seed: u64,
+    ) -> Self {
         let salt = 0xb1ac_4041u64.wrapping_mul(u64::from(me.0) + 1);
         BlackholeStack {
             me,

@@ -15,15 +15,20 @@
 //! connection-table stack, measuring how engine throughput scales with
 //! offered load rather than node count.
 //!
+//! A fourth group sweeps the **execution axis**: the serial engine vs the
+//! sharded engine (8 spatial shards, 1 worker — the partition effect in
+//! isolation) at n = 2000.  The full ladder to n = 50 000 runs through
+//! `reproduce --bench-exec-scales` (too slow for a criterion loop).
+//!
 //! An events/sec summary plus the engine perf counters (neighbor queries,
 //! candidates scanned, queue occupancy, payload shares) is printed to stderr
 //! before the timed samples.  `reproduce --bench-json` emits the same
-//! trajectory as machine-readable JSON (committed as `BENCH_PR5.json`).
+//! trajectory as machine-readable JSON (committed as `BENCH_PR6.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use manet_experiments::runner::run_scenario_with_recorder;
 use manet_experiments::{Protocol, Scenario};
-use manet_netsim::{Duration, EventQueueKind, NeighborIndex, Recorder};
+use manet_netsim::{Duration, EventQueueKind, Execution, NeighborIndex, Recorder};
 use std::hint::black_box;
 
 /// Simulated seconds per run: long enough for discovery + steady-state data
@@ -43,6 +48,10 @@ const FLOWS: [u16; 4] = [1, 5, 25, 50];
 /// Node count of the flow-scaling group.
 const FLOW_NODES: u16 = 500;
 
+/// Node count of the execution-axis group (serial vs sharded): large enough
+/// that the partition effect is visible, small enough to stay benchable.
+const EXEC_NODES: u16 = 2000;
+
 fn scale_run(num_nodes: u16, index: NeighborIndex, queue: EventQueueKind) -> Recorder {
     let mut scenario = Scenario::scaled(Protocol::Mts, num_nodes, 10.0, 1);
     scenario.sim.duration = Duration::from_secs(BENCH_RUN_SECS);
@@ -55,6 +64,16 @@ fn flow_run(num_flows: u16, queue: EventQueueKind) -> Recorder {
     let mut scenario = Scenario::random_pairs(Protocol::Mts, FLOW_NODES, num_flows, 10.0, 1);
     scenario.sim.duration = Duration::from_secs(BENCH_RUN_SECS);
     scenario.sim.event_queue = queue;
+    run_scenario_with_recorder(&scenario).1
+}
+
+fn exec_run(execution: Execution) -> Recorder {
+    let mut scenario = Scenario::scaled(Protocol::Mts, EXEC_NODES, 10.0, 1);
+    // One simulated second: the execution axis compares engines, not
+    // protocols, and the sharded run replays the full field's mobility on
+    // every shard — keep the criterion loop affordable.
+    scenario.sim.duration = Duration::from_secs(1.0);
+    scenario.sim.execution = execution;
     run_scenario_with_recorder(&scenario).1
 }
 
@@ -175,6 +194,18 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(flow_run(flows, EventQueueKind::Calendar)))
         });
     }
+    group.bench_function(format!("serial_n{EXEC_NODES}"), |b| {
+        b.iter(|| black_box(exec_run(Execution::Serial)))
+    });
+    group.bench_function(format!("sharded_8s1w_n{EXEC_NODES}"), |b| {
+        b.iter(|| {
+            black_box(exec_run(Execution::Sharded {
+                shards: 8,
+                workers: 1,
+                window: None,
+            }))
+        })
+    });
     group.finish();
 }
 

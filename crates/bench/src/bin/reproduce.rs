@@ -46,13 +46,14 @@
 //! seconds per run (default 5).
 
 use bench::{
-    bench_flows, bench_points_json, bench_scales, BENCH_FLOWS, BENCH_FLOW_NODES, BENCH_SCALES,
-    BENCH_SIM_SECS,
+    bench_executions, bench_flows, bench_points_json, bench_scales, host_cores, parse_bench_trend,
+    render_bench_trend, TrendRow, BENCH_FLOWS, BENCH_FLOW_NODES, BENCH_SCALES, BENCH_SIM_SECS,
 };
 use manet_experiments::attacks::{attack_matrix, render_attack_matrix, AttackSweepSpec};
 use manet_experiments::figures::{table1_relay_table, FigureId};
 use manet_experiments::report::{render_figure, render_relay_table};
-use manet_experiments::runner::{sweep, SweepSpec};
+use manet_experiments::runner::{sweep_with, SweepSpec};
+use manet_netsim::Execution;
 
 #[derive(Debug)]
 struct Args {
@@ -65,8 +66,13 @@ struct Args {
     bench_json: Option<String>,
     bench_scales: Vec<u16>,
     bench_flows: Vec<u16>,
+    bench_exec_scales: Option<Vec<u16>>,
+    bench_exec_secs: Option<f64>,
     bench_secs: f64,
     bench_reps: u32,
+    bench_trend: bool,
+    shards: u16,
+    threads: Vec<u16>,
     all: bool,
 }
 
@@ -81,8 +87,13 @@ fn parse_args() -> Args {
         bench_json: None,
         bench_scales: BENCH_SCALES.to_vec(),
         bench_flows: BENCH_FLOWS.to_vec(),
+        bench_exec_scales: None,
+        bench_exec_secs: None,
         bench_secs: BENCH_SIM_SECS,
         bench_reps: 3,
+        bench_trend: false,
+        shards: 0,
+        threads: vec![1],
         all: true,
     };
     let mut it = std::env::args().skip(1);
@@ -171,6 +182,53 @@ fn parse_args() -> Args {
                     _ => usage("--bench-flows needs flow counts, e.g. 1,25 (or 0 to skip)"),
                 }
             }
+            "--bench-exec-scales" => {
+                let list = it.next().unwrap_or_else(|| {
+                    usage("--bench-exec-scales needs a comma-separated node-count list")
+                });
+                let scales: Option<Vec<u16>> = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<u16>().ok().filter(|v| *v > 0))
+                    .collect();
+                match scales {
+                    Some(s) if !s.is_empty() => args.bench_exec_scales = Some(s),
+                    _ => usage("--bench-exec-scales needs positive node counts, e.g. 200,1000"),
+                }
+            }
+            "--bench-exec-secs" => {
+                args.bench_exec_secs = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                        .unwrap_or_else(|| {
+                            usage("--bench-exec-secs needs a positive number of seconds")
+                        }),
+                );
+            }
+            "--bench-trend" => {
+                args.bench_trend = true;
+                args.all = false;
+            }
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &u16| *v > 0)
+                    .unwrap_or_else(|| usage("--shards needs a positive shard count"));
+            }
+            "--threads" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a comma-separated worker list"));
+                let threads: Option<Vec<u16>> = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<u16>().ok().filter(|v| *v > 0))
+                    .collect();
+                match threads {
+                    Some(t) if !t.is_empty() => args.threads = t,
+                    _ => usage("--threads needs positive worker counts, e.g. 1,2,4,8"),
+                }
+            }
             "--bench-reps" => {
                 args.bench_reps = it
                     .next()
@@ -200,10 +258,21 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: reproduce [--duration SECS] [--seeds N] \
+        "usage: reproduce [--duration SECS] [--seeds N] [--shards S [--threads W1,W2,..]] \
          [--figure 5..11 | --table 1 | --attacks [--speeds S1,S2,..] \
          | --bench-json FILE [--bench-scales N1,N2,..] [--bench-flows F1,F2,..] \
-         [--bench-secs S] | --all]\n\
+         [--bench-exec-scales N1,N2,..] [--bench-secs S] | --bench-trend | --all]\n\
+         \n\
+         --shards S selects the sharded engine (S spatial shards).  On the \
+         figure/table sweeps the first --threads value is the worker count; \
+         under --bench-json it adds the execution axis (serial vs sharded at \
+         every --threads worker count, over --bench-exec-scales or \
+         --bench-scales) with worker-independence and single-shard-vs-serial \
+         trace-identity checks.\n\
+         \n\
+         --bench-trend merges every committed BENCH_*.json in the current \
+         directory into one perf-trajectory table \
+         (n x queue x execution -> events/sec, one column per file).\n\
          \n\
          --bench-json runs the engine perf trajectory (scaled MTS scenario at \
          n in {{100, 200, 500, 1000, 2000}} under both event-queue backends, \
@@ -235,8 +304,41 @@ fn figure_by_number(n: u32) -> Option<FigureId> {
     }
 }
 
+/// Merge every `BENCH_*.json` in the current directory into trend rows.
+fn load_bench_trend() -> Vec<TrendRow> {
+    let mut files: Vec<String> = std::fs::read_dir(".")
+        .map(|dir| {
+            dir.filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    let mut rows = Vec::new();
+    for name in files {
+        match std::fs::read_to_string(&name) {
+            Ok(json) => {
+                let label = name.trim_end_matches(".json");
+                rows.extend(parse_bench_trend(label, &json));
+            }
+            Err(e) => eprintln!("warning: cannot read {name}: {e}"),
+        }
+    }
+    rows
+}
+
 fn main() {
     let args = parse_args();
+    if args.bench_trend {
+        let rows = load_bench_trend();
+        if rows.is_empty() {
+            eprintln!("error: no BENCH_*.json files found in the current directory");
+            std::process::exit(1);
+        }
+        print!("{}", render_bench_trend(&rows));
+        return;
+    }
     if let Some(path) = &args.bench_json {
         eprintln!(
             "# engine perf trajectory: scaled MTS scenario at n in {:?}, \
@@ -291,7 +393,50 @@ fn main() {
             }
             flow_points
         };
-        let json = bench_points_json(&points, &flow_points, args.bench_secs, 1);
+        let exec_points = if args.shards == 0 {
+            Vec::new()
+        } else {
+            let exec_scales = args
+                .bench_exec_scales
+                .clone()
+                .unwrap_or_else(|| args.bench_scales.clone());
+            let exec_secs = args.bench_exec_secs.unwrap_or(args.bench_secs);
+            eprintln!(
+                "# execution axis: scaled MTS scenario at n in {:?}, serial vs sharded \
+                 ({} shards, workers in {:?}), {} simulated seconds, {} host cores",
+                exec_scales,
+                args.shards,
+                args.threads,
+                exec_secs,
+                host_cores(),
+            );
+            let exec_points = bench_executions(
+                &exec_scales,
+                exec_secs,
+                1,
+                args.bench_reps,
+                args.shards,
+                &args.threads,
+            );
+            for p in &exec_points {
+                eprintln!(
+                    "n={:>5} {:>7} shards={} workers={}: {:>9.0} ev/s  ({} events, \
+                     {:.3} s wall, {} windows, {} cross-shard frames, {} announcements)",
+                    p.n,
+                    p.execution,
+                    p.shards,
+                    p.workers,
+                    p.events_per_sec,
+                    p.events,
+                    p.wall_secs,
+                    p.perf.windows,
+                    p.perf.cross_shard_frames,
+                    p.perf.cross_shard_announcements,
+                );
+            }
+            exec_points
+        };
+        let json = bench_points_json(&points, &flow_points, &exec_points, args.bench_secs, 1);
         std::fs::write(path, json).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);
@@ -335,7 +480,19 @@ fn main() {
     );
 
     if wants_sweep {
-        let outcome = sweep(&spec);
+        let execution = if args.shards == 0 {
+            Execution::Serial
+        } else {
+            Execution::Sharded {
+                shards: args.shards,
+                workers: args.threads[0],
+                window: None,
+            }
+        };
+        let outcome = sweep_with(&spec, |mut s| {
+            s.sim.execution = execution;
+            s
+        });
         match args.figure {
             Some(n) => {
                 let fig = figure_by_number(n).unwrap_or_else(|| usage("figure must be 5..=11"));

@@ -20,11 +20,17 @@ use manet_experiments::runner::{
     run_scenario_traced, run_scenario_with_recorder, sweep, SweepOutcome, SweepSpec,
 };
 use manet_experiments::{Protocol, Scenario};
-use manet_netsim::{Duration, EnginePerf, EventQueueKind};
+use manet_netsim::{Duration, EnginePerf, EventQueueKind, Execution};
 
 /// The canonical node-count scaling points of the perf trajectory
 /// (constant density; see `Scenario::scaled`).
 pub const BENCH_SCALES: [u16; 5] = [100, 200, 500, 1000, 2000];
+
+/// The large-scale extension of the ladder introduced with the sharded
+/// engine (constant density, like [`BENCH_SCALES`]).  These points are run
+/// with a shorter simulated duration — at n = 50 000 a single simulated
+/// second is tens of millions of events.
+pub const BENCH_SCALES_LARGE: [u16; 2] = [10_000, 50_000];
 
 /// The canonical flow-count axis of the perf trajectory: concurrent
 /// random-pair flows at [`BENCH_FLOW_NODES`] nodes
@@ -273,13 +279,177 @@ pub fn bench_flows(
     points
 }
 
+/// One measured point of the execution axis (serial vs sharded engine).
+#[derive(Debug, Clone)]
+pub struct ExecBenchPoint {
+    /// Node count of the scaled scenario.
+    pub n: u16,
+    /// Execution label (`"serial"` or `"sharded"`).
+    pub execution: &'static str,
+    /// Shard count (1 for serial).
+    pub shards: u16,
+    /// Worker-thread count (1 for serial).
+    pub workers: u16,
+    /// Simulated seconds of this point's run.
+    pub sim_secs: f64,
+    /// Wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// Events the engine processed (summed across shards).
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Unique data packets delivered.
+    pub delivered: u64,
+    /// Engine counters (queue + payload + grid + shard).
+    pub perf: EnginePerf,
+}
+
+/// Worker threads the host can actually run in parallel.  Recorded in the
+/// bench JSON so speedup numbers can be judged against the machine that
+/// produced them (a 1-core container cannot show an 8-worker speedup no
+/// matter how well the engine scales).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Run the execution axis of the perf trajectory: the scaled MTS scenario at
+/// each node count in `scales` under the serial engine and under the sharded
+/// engine with `shards` shards at each worker count in `workers_axis`.
+///
+/// Determinism checks ride along with the timing runs:
+/// * at `shards == 1` the sharded run must be **byte-identical** to the
+///   serial run (full recorder-trace diff at n ≤ 1000, counter identity
+///   everywhere) — this is the CI sharded-vs-serial gate;
+/// * at any shard count, every worker count must replay the **same** run
+///   (trace diff at n ≤ 1000, counter identity everywhere): workers are a
+///   pure parallelism knob.
+///
+/// `reps` timed repetitions per point, fastest wall clock reported, identity
+/// checks on the first repetition — as in [`bench_scales`].
+///
+/// # Panics
+/// Panics if an identity check fails, a scenario is invalid, `reps` is zero,
+/// or `shards` is zero.
+pub fn bench_executions(
+    scales: &[u16],
+    sim_secs: f64,
+    seed: u64,
+    reps: u32,
+    shards: u16,
+    workers_axis: &[u16],
+) -> Vec<ExecBenchPoint> {
+    assert!(reps > 0, "need at least one timed repetition");
+    assert!(shards > 0, "need at least one shard");
+    let workers_axis: Vec<u16> = if workers_axis.is_empty() {
+        vec![1]
+    } else {
+        workers_axis.to_vec()
+    };
+    let mut points = Vec::new();
+    for &n in scales {
+        let trace = n <= 1000;
+        // (label, shards, workers, recorder) of every run at this n, for the
+        // identity checks below.
+        let mut recorders: Vec<(&'static str, u16, u16, manet_netsim::Recorder)> = Vec::new();
+        let mut configs: Vec<(&'static str, u16, u16, Execution)> =
+            vec![("serial", 1, 1, Execution::Serial)];
+        for &workers in &workers_axis {
+            configs.push((
+                "sharded",
+                shards,
+                workers,
+                Execution::Sharded {
+                    shards,
+                    workers,
+                    window: None,
+                },
+            ));
+        }
+        for (execution, point_shards, workers, mode) in configs {
+            let mut scenario = Scenario::scaled(Protocol::Mts, n, 10.0, seed);
+            scenario.sim.duration = Duration::from_secs(sim_secs);
+            scenario.sim.execution = mode;
+            let mut wall_secs = f64::INFINITY;
+            let mut first: Option<manet_netsim::Recorder> = None;
+            for rep in 0..reps {
+                let with_trace = trace && rep == 0;
+                let t0 = std::time::Instant::now();
+                let (_, recorder) = if with_trace {
+                    run_scenario_traced(&scenario)
+                } else {
+                    run_scenario_with_recorder(&scenario)
+                };
+                if !with_trace || reps == 1 {
+                    wall_secs = wall_secs.min(t0.elapsed().as_secs_f64());
+                }
+                if first.is_none() {
+                    first = Some(recorder);
+                }
+            }
+            let recorder = first.expect("at least one repetition ran");
+            let perf = recorder.engine_perf();
+            points.push(ExecBenchPoint {
+                n,
+                execution,
+                shards: point_shards,
+                workers,
+                sim_secs,
+                wall_secs,
+                events: perf.events_processed,
+                events_per_sec: perf.events_processed as f64 / wall_secs,
+                delivered: recorder.delivered_data_packets(),
+                perf,
+            });
+            recorders.push((execution, point_shards, workers, recorder));
+        }
+        let serial = &recorders[0].3;
+        let reference_sharded = &recorders[1].3;
+        for (execution, point_shards, workers, recorder) in &recorders[1..] {
+            // Single-shard runs must replay the serial engine byte for byte;
+            // multi-shard runs must at least be worker-count independent.
+            let (against, what) = if *point_shards == 1 {
+                (serial, "the serial engine")
+            } else {
+                (reference_sharded, "the first worker count")
+            };
+            let label = format!("n={n} {execution} shards={point_shards} workers={workers}");
+            assert_eq!(
+                recorder.engine_perf().events_processed,
+                against.engine_perf().events_processed,
+                "{label}: event count diverged from {what}"
+            );
+            assert_eq!(
+                recorder.delivered_data_packets(),
+                against.delivered_data_packets(),
+                "{label}: deliveries diverged from {what}"
+            );
+            assert_eq!(
+                recorder.collisions(),
+                against.collisions(),
+                "{label}: collisions diverged from {what}"
+            );
+            if trace {
+                assert_eq!(
+                    recorder.trace(),
+                    against.trace(),
+                    "{label}: recorder trace diverged from {what}"
+                );
+            }
+        }
+    }
+    points
+}
+
 /// Render the perf trajectory as the machine-readable JSON committed as
-/// `BENCH_PR5.json` (hand-rolled: the offline build's serde is a no-op shim).
-/// `runs` is the node-scaling axis, `flow_runs` the flows-per-scenario axis
-/// (pass `&[]` to omit it).
+/// `BENCH_PR6.json` (hand-rolled: the offline build's serde is a no-op shim).
+/// `runs` is the node-scaling axis, `flow_runs` the flows-per-scenario axis,
+/// `execution_runs` the serial-vs-sharded axis (pass `&[]` to omit either).
 pub fn bench_points_json(
     points: &[BenchPoint],
     flow_points: &[FlowBenchPoint],
+    exec_points: &[ExecBenchPoint],
     sim_secs: f64,
     seed: u64,
 ) -> String {
@@ -289,6 +459,7 @@ pub fn bench_points_json(
     out.push_str("  \"protocol\": \"MTS\",\n");
     out.push_str(&format!("  \"sim_secs\": {sim_secs},\n"));
     out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
     out.push_str(&format!(
         "  \"baseline_pr1_n500_grid_events_per_sec\": {PR1_BASELINE_N500_EV_PER_SEC},\n"
     ));
@@ -341,7 +512,154 @@ pub fn bench_points_json(
             if i + 1 == flow_points.len() { "" } else { "," },
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"execution_runs\": [\n");
+    for (i, p) in exec_points.iter().enumerate() {
+        let e = &p.perf;
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"execution\": \"{}\", \"shards\": {}, \"workers\": {}, \
+             \"sim_secs\": {}, \"events\": {}, \"wall_secs\": {:.6}, \
+             \"events_per_sec\": {:.0}, \"delivered\": {}, \"windows\": {}, \
+             \"window_micros\": {}, \"cross_shard_frames\": {}, \
+             \"cross_shard_announcements\": {}, \"forwarded_events\": {}, \
+             \"shard_events_min\": {}, \"shard_events_max\": {}}}{}\n",
+            p.n,
+            p.execution,
+            p.shards,
+            p.workers,
+            p.sim_secs,
+            p.events,
+            p.wall_secs,
+            p.events_per_sec,
+            p.delivered,
+            e.windows,
+            e.window_micros,
+            e.cross_shard_frames,
+            e.cross_shard_announcements,
+            e.forwarded_events,
+            e.shard_events_min,
+            e.shard_events_max,
+            if i + 1 == exec_points.len() { "" } else { "," },
+        ));
+    }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// One (file, configuration) cell of the merged perf-trend table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRow {
+    /// Which bench JSON the row came from (file stem, e.g. `BENCH_PR5`).
+    pub label: String,
+    /// Node count.
+    pub n: u64,
+    /// Event-queue backend (`"calendar"` unless the run says otherwise).
+    pub queue: String,
+    /// Execution mode (`"serial"` unless the run says otherwise).
+    pub execution: String,
+    /// Shard count (1 for serial).
+    pub shards: u64,
+    /// Worker-thread count (1 for serial).
+    pub workers: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// Extract the raw value of `"key": value` from a single JSON line (the
+/// bench JSONs are written one run per line, so no real parser is needed —
+/// the offline build has no serde_json).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parse every node-scaling and execution run of one bench JSON into trend
+/// rows labelled `label`.  Flow-axis runs are skipped (the trend table is
+/// n × queue × execution); files written before the execution axis existed
+/// default to `serial` with one shard and one worker.
+pub fn parse_bench_trend(label: &str, json: &str) -> Vec<TrendRow> {
+    let mut rows = Vec::new();
+    for line in json.lines() {
+        if !line.trim_start().starts_with('{') || json_field(line, "flows").is_some() {
+            continue;
+        }
+        let (Some(n), Some(eps)) = (json_field(line, "n"), json_field(line, "events_per_sec"))
+        else {
+            continue;
+        };
+        let (Ok(n), Ok(events_per_sec)) = (n.parse::<u64>(), eps.parse::<f64>()) else {
+            continue;
+        };
+        let parse_u64 = |key: &str, default: u64| {
+            json_field(line, key)
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(default)
+        };
+        rows.push(TrendRow {
+            label: label.to_string(),
+            n,
+            queue: json_field(line, "queue").unwrap_or("calendar").to_string(),
+            execution: json_field(line, "execution")
+                .unwrap_or("serial")
+                .to_string(),
+            shards: parse_u64("shards", 1),
+            workers: parse_u64("workers", 1),
+            events_per_sec,
+        });
+    }
+    rows
+}
+
+/// Render the merged trend rows as one table: one row per
+/// (n, queue, execution) configuration, one events/sec column per source
+/// file, `-` where a file has no measurement for that configuration.
+pub fn render_bench_trend(rows: &[TrendRow]) -> String {
+    let mut labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    let mut configs: Vec<(u64, &str, String)> = rows
+        .iter()
+        .map(|r| {
+            let execution = if r.execution == "serial" {
+                r.execution.clone()
+            } else {
+                format!("{} {}s{}w", r.execution, r.shards, r.workers)
+            };
+            (r.n, r.queue.as_str(), execution)
+        })
+        .collect();
+    configs.sort();
+    configs.dedup();
+    let mut out = String::new();
+    out.push_str(&format!("{:>6}  {:<8}  {:<14}", "n", "queue", "execution"));
+    for label in &labels {
+        out.push_str(&format!("  {label:>12}"));
+    }
+    out.push('\n');
+    for (n, queue, execution) in &configs {
+        out.push_str(&format!("{n:>6}  {queue:<8}  {execution:<14}"));
+        for label in &labels {
+            let cell = rows
+                .iter()
+                .find(|r| {
+                    r.label == *label
+                        && r.n == *n
+                        && r.queue == *queue
+                        && (if r.execution == "serial" {
+                            r.execution == *execution
+                        } else {
+                            format!("{} {}s{}w", r.execution, r.shards, r.workers) == *execution
+                        })
+                })
+                .map(|r| format!("{:.0}", r.events_per_sec))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!("  {cell:>12}"));
+        }
+        out.push('\n');
+    }
     out
 }
 
@@ -372,5 +690,91 @@ mod tests {
         let outcome = smoke_sweep();
         // 3 protocols x 5 speeds.
         assert_eq!(outcome.points.len(), 15);
+    }
+
+    const SAMPLE_JSON: &str = r#"{
+  "benchmark": "sample",
+  "sim_secs": 5,
+  "runs": [
+    {"n": 100, "queue": "calendar", "events": 30557, "wall_secs": 0.0078, "events_per_sec": 3887041, "delivered": 614},
+    {"n": 100, "queue": "heap", "events": 30557, "wall_secs": 0.0099, "events_per_sec": 3066666, "delivered": 614}
+  ],
+  "flow_runs": [
+    {"n": 500, "flows": 25, "queue": "calendar", "events": 1, "wall_secs": 1.0, "events_per_sec": 99, "delivered": 1}
+  ],
+  "execution_runs": [
+    {"n": 10000, "execution": "sharded", "shards": 8, "workers": 4, "sim_secs": 1, "events": 9000000, "wall_secs": 6.0, "events_per_sec": 1500000, "delivered": 900, "windows": 4716, "window_micros": 212}
+  ]
+}
+"#;
+
+    #[test]
+    fn trend_parse_reads_runs_and_execution_runs_but_skips_flow_runs() {
+        let rows = parse_bench_trend("SAMPLE", SAMPLE_JSON);
+        assert_eq!(rows.len(), 3, "2 queue runs + 1 execution run: {rows:?}");
+        assert_eq!(rows[0].queue, "calendar");
+        assert_eq!(rows[0].execution, "serial");
+        assert_eq!(rows[0].events_per_sec, 3887041.0);
+        assert_eq!(rows[1].queue, "heap");
+        let exec = &rows[2];
+        assert_eq!(
+            (exec.n, exec.execution.as_str(), exec.shards, exec.workers),
+            (10_000, "sharded", 8, 4)
+        );
+        assert!(
+            rows.iter().all(|r| r.events_per_sec != 99.0),
+            "flow run leaked in"
+        );
+    }
+
+    #[test]
+    fn trend_parse_defaults_pre_execution_axis_files_to_serial() {
+        let rows = parse_bench_trend(
+            "OLD",
+            "  {\"n\": 100, \"queue\": \"calendar\", \"events_per_sec\": 12}\n",
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].execution, "serial");
+        assert_eq!((rows[0].shards, rows[0].workers), (1, 1));
+    }
+
+    #[test]
+    fn trend_table_merges_files_into_columns() {
+        let mut rows = parse_bench_trend("A", SAMPLE_JSON);
+        rows.extend(parse_bench_trend("B", SAMPLE_JSON));
+        let table = render_bench_trend(&rows);
+        let header = table.lines().next().unwrap();
+        assert!(header.contains('A') && header.contains('B'), "{header}");
+        // One line per configuration: 2 queue configs + 1 execution config.
+        assert_eq!(table.lines().count(), 4, "{table}");
+        assert!(table.contains("sharded 8s4w"), "{table}");
+        let serial_row = table
+            .lines()
+            .find(|l| l.contains("calendar") && l.contains("serial"))
+            .unwrap();
+        assert_eq!(serial_row.matches("3887041").count(), 2, "{serial_row}");
+    }
+
+    #[test]
+    fn bench_json_includes_the_execution_axis_and_host_cores() {
+        let exec = ExecBenchPoint {
+            n: 200,
+            execution: "sharded",
+            shards: 4,
+            workers: 2,
+            sim_secs: 5.0,
+            wall_secs: 0.5,
+            events: 1000,
+            events_per_sec: 2000.0,
+            delivered: 10,
+            perf: EnginePerf::default(),
+        };
+        let json = bench_points_json(&[], &[], &[exec], 5.0, 1);
+        assert!(json.contains("\"host_cores\":"), "{json}");
+        assert!(json.contains("\"execution\": \"sharded\""), "{json}");
+        // The JSON must round-trip through the trend parser.
+        let rows = parse_bench_trend("X", &json);
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].shards, rows[0].workers), (4, 2));
     }
 }

@@ -12,7 +12,7 @@ use crate::scenario::Scenario;
 use crate::stack::{ManetStack, SharedTcpStats, TcpRunReport};
 use manet_adversary::{AttackKind, BlackholeStack, CorridorMobility};
 use manet_netsim::mobility::{MobilityModel, RandomWaypoint};
-use manet_netsim::{NodeStack, Recorder, Simulator};
+use manet_netsim::{run_sharded, Execution, NodeStack, Recorder, Simulator};
 use manet_tcp::TcpConfig;
 use manet_wire::{ConnectionId, NodeId};
 use parking_lot::Mutex;
@@ -35,49 +35,57 @@ pub fn run_scenario_traced(scenario: &Scenario) -> (RunMetrics, Recorder) {
     run_scenario_inner(scenario, true)
 }
 
-fn run_scenario_inner(scenario: &Scenario, trace: bool) -> (RunMetrics, Recorder) {
-    scenario.validate().expect("invalid scenario");
-    let stats: SharedTcpStats = Arc::new(Mutex::new(TcpRunReport::default()));
+/// Build node `me`'s protocol stack for `scenario`: the connection-table
+/// stack, wrapped into a hostile relay when `me` is a configured attacker.
+/// `Send` so the same construction serves both the serial engine and the
+/// sharded engine's per-shard stack factory.
+fn build_stack(
+    scenario: &Scenario,
+    stats: &SharedTcpStats,
+    me: NodeId,
+) -> Box<dyn NodeStack + Send> {
     let tcp_config: TcpConfig = scenario.tcp;
-    let stacks: Vec<Box<dyn NodeStack>> = (0..scenario.sim.num_nodes)
-        .map(|i| {
-            let me = NodeId(i);
-            let agent = scenario.protocol.build_agent(me, scenario.mts);
-            // Flow `idx` is connection `idx`: every endpoint the node
-            // terminates goes into its connection table (a node can hold any
-            // mix of senders and receivers concurrently).
-            let mut node_stack = ManetStack::new(me, agent, Arc::clone(&stats));
-            for (idx, flow) in scenario.flows.iter().enumerate() {
-                let conn = ConnectionId(idx as u32);
-                if flow.src == me {
-                    node_stack.add_sender(conn, flow.dst, tcp_config, flow.profile());
-                }
-                if flow.dst == me {
-                    node_stack.add_receiver(conn, flow.src);
-                }
-            }
-            let stack = Box::new(node_stack) as Box<dyn NodeStack>;
-            // Hostile relays wrap the honest stack so they stay protocol-
-            // conformant except for the forged replies and the data drops.
-            if let AttackKind::Blackhole { drop_fraction, .. } = scenario.attack.kind {
-                if scenario.attackers.contains(&me) {
-                    return Box::new(BlackholeStack::new(
-                        me,
-                        stack,
-                        drop_fraction,
-                        scenario.sim.seed,
-                    )) as Box<dyn NodeStack>;
-                }
-            }
-            stack
-        })
-        .collect();
+    let agent = scenario.protocol.build_agent(me, scenario.mts);
+    // Flow `idx` is connection `idx`: every endpoint the node terminates
+    // goes into its connection table (a node can hold any mix of senders and
+    // receivers concurrently).
+    let mut node_stack = ManetStack::new(me, agent, Arc::clone(stats));
+    for (idx, flow) in scenario.flows.iter().enumerate() {
+        let conn = ConnectionId(idx as u32);
+        if flow.src == me {
+            node_stack.add_sender(conn, flow.dst, tcp_config, flow.profile());
+        }
+        if flow.dst == me {
+            node_stack.add_receiver(conn, flow.src);
+        }
+    }
+    let stack = Box::new(node_stack) as Box<dyn NodeStack + Send>;
+    // Hostile relays wrap the honest stack so they stay protocol-
+    // conformant except for the forged replies and the data drops.
+    if let AttackKind::Blackhole { drop_fraction, .. } = scenario.attack.kind {
+        if scenario.attackers.contains(&me) {
+            return Box::new(BlackholeStack::new(
+                me,
+                stack,
+                drop_fraction,
+                scenario.sim.seed,
+            ));
+        }
+    }
+    stack
+}
+
+/// Build the scenario's mobility model.  Called once per serial run and once
+/// per shard (plus the owner prepass) under sharded execution — every
+/// instance replays the same shard-invariant mobility RNG stream, so the
+/// replicas stay bit-identical.
+fn build_mobility(scenario: &Scenario) -> Box<dyn MobilityModel + Send> {
     let waypoint = RandomWaypoint::new(
         scenario.sim.field_width,
         scenario.sim.field_height,
         scenario.sim.mobility,
     );
-    let mobility: Box<dyn MobilityModel> = match (scenario.attack.kind, scenario.eavesdropper) {
+    match (scenario.attack.kind, scenario.eavesdropper) {
         (AttackKind::MobileEavesdropper { corridor_jitter_m }, Some(eve)) => {
             let flow = scenario.flows[0];
             Box::new(CorridorMobility::new(
@@ -89,12 +97,30 @@ fn run_scenario_inner(scenario: &Scenario, trace: bool) -> (RunMetrics, Recorder
             ))
         }
         _ => Box::new(waypoint),
-    };
-    let mut sim = Simulator::new(scenario.sim.clone(), mobility, stacks);
-    if trace {
-        sim.enable_trace();
     }
-    let recorder = sim.run();
+}
+
+fn run_scenario_inner(scenario: &Scenario, trace: bool) -> (RunMetrics, Recorder) {
+    scenario.validate().expect("invalid scenario");
+    let stats: SharedTcpStats = Arc::new(Mutex::new(TcpRunReport::default()));
+    let recorder = match scenario.sim.execution {
+        Execution::Serial => {
+            let stacks: Vec<Box<dyn NodeStack>> = (0..scenario.sim.num_nodes)
+                .map(|i| build_stack(scenario, &stats, NodeId(i)) as Box<dyn NodeStack>)
+                .collect();
+            let mut sim = Simulator::new(scenario.sim.clone(), build_mobility(scenario), stacks);
+            if trace {
+                sim.enable_trace();
+            }
+            sim.run()
+        }
+        Execution::Sharded { .. } => run_sharded(
+            scenario.sim.clone(),
+            || build_mobility(scenario),
+            |me| build_stack(scenario, &stats, me),
+            trace,
+        ),
+    };
     let tcp_report = stats.lock().clone();
     let metrics = RunMetrics::extract(scenario, &recorder, &tcp_report);
     (metrics, recorder)

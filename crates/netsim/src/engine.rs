@@ -53,6 +53,7 @@ use crate::node::{Ctx, NodeStack, TimerToken};
 use crate::radio::LinkDynamics;
 use crate::recorder::{DropReason, EnginePerf, Recorder};
 use crate::rng::RngStreams;
+use crate::shard::{DeliverRecord, ShardCtx, TxAnnouncement};
 use crate::time::{Duration, SimTime};
 use manet_wire::{Frame, MacDest, NetPacket, NodeId, SharedPacket};
 use rand::rngs::SmallRng;
@@ -152,12 +153,9 @@ impl PerfCells {
             position_cache_misses: self.position_cache_misses.get(),
             payload_clones_avoided: self.payload_clones_avoided.get(),
             payload_deep_clones: self.payload_deep_clones.get(),
-            // Filled in by `Simulator::run` from the event queue.
-            events_processed: 0,
-            queue_pushes: 0,
-            queue_pops: 0,
-            queue_max_occupancy: 0,
-            calendar_resizes: 0,
+            // Everything else (event-queue counters, shard counters) is
+            // filled in by `SimCore::finalize`.
+            ..EnginePerf::default()
         }
     }
 }
@@ -209,7 +207,7 @@ pub struct World {
     pub config: SimConfig,
     /// Current simulation time.
     pub now: SimTime,
-    queue: EventQueue,
+    pub(crate) queue: EventQueue,
     rngs: RngStreams,
     recorder: Recorder,
     motions: Vec<NodeMotion>,
@@ -217,9 +215,9 @@ pub struct World {
     /// [`Kinematics`]); the transmit-path candidate scan evaluates positions
     /// through this array without touching the position cache.
     kin: Vec<Kinematics>,
-    macs: Vec<MacState>,
+    pub(crate) macs: Vec<MacState>,
     link_dynamics: LinkDynamics,
-    mobility: Box<dyn MobilityModel>,
+    mobility: Box<dyn MobilityModel + Send>,
     next_tx_id: u64,
     events_processed: u64,
     /// Neighbor index (`None` under [`NeighborIndex::BruteForce`]).  Behind a
@@ -239,7 +237,14 @@ pub struct World {
     /// busy-set update of a transmission walks one contiguous 8-byte-per-node
     /// array inside the `&self` grid-query closure instead of scattering
     /// writes across the much larger per-node MAC structs.
-    busy: Vec<Cell<SimTime>>,
+    pub(crate) busy: Vec<Cell<SimTime>>,
+    /// Shard context when this world is one spatial shard of a sharded run
+    /// (`None` for the serial engine — every serial code path treats the
+    /// absence as "this shard owns every node" and pays nothing).
+    pub(crate) shard: Option<ShardCtx>,
+    /// Scratch for the carrier-sense-touched node list of one transmission
+    /// (only filled under sharded execution, for cross-shard announcements).
+    announce_scratch: Vec<NodeId>,
     /// Precomputed selective-jamming parameters (`None` when no jammer is
     /// configured — the common case pays nothing).
     jam: Option<JamState>,
@@ -511,18 +516,101 @@ impl World {
     pub fn events_processed(&self) -> u64 {
         self.events_processed
     }
+
+    /// True if this world owns `node` (always true for the serial engine;
+    /// under sharded execution, true only for nodes assigned to this shard —
+    /// non-owned nodes are mobility replicas whose stack and MAC events run
+    /// at their owner shard).
+    #[inline]
+    pub(crate) fn owns(&self, node: NodeId) -> bool {
+        match &self.shard {
+            None => true,
+            Some(s) => s.owner[node.index()] == s.id,
+        }
+    }
+
+    /// Under sharded execution, announce a starting transmission to the other
+    /// shards when it touches (carrier-senses or reaches) any node this shard
+    /// does not own, so their replicas learn the busy window and reception
+    /// interval at the next barrier.  No-op when serial or fully interior.
+    fn emit_announcement(
+        &mut self,
+        sender: NodeId,
+        tx: TxId,
+        start: SimTime,
+        end: SimTime,
+        receivers: &[NodeId],
+        busy_touched: &[NodeId],
+    ) {
+        let Some(shard) = self.shard.as_mut() else {
+            return;
+        };
+        let id = shard.id;
+        let crosses = busy_touched
+            .iter()
+            .chain(receivers)
+            .any(|n| shard.owner[n.index()] != id);
+        if crosses {
+            shard.counters.cross_shard_announcements += 1;
+            shard.announcements.push(TxAnnouncement {
+                sender,
+                tx,
+                start,
+                end,
+                busy: busy_touched.to_vec(),
+                rx: receivers.to_vec(),
+            });
+        }
+    }
 }
 
-/// The simulator: world + one protocol stack per node.
-pub struct Simulator {
+/// One slot of the simulator's per-node stack table.
+///
+/// The engine is generic over the slot type so one event-loop implementation
+/// drives both the serial simulator (plain `Box<dyn NodeStack>`, which keeps
+/// supporting non-`Send` test stacks built around `Rc`) and the sharded
+/// engine (`Box<dyn NodeStack + Send>`, required to move shards onto worker
+/// threads — see [`crate::shard`]).
+pub trait StackSlot {
+    /// Mutable access to the stack in this slot.
+    fn stack(&mut self) -> &mut dyn NodeStack;
+    /// Shared access to the stack in this slot.
+    fn stack_ref(&self) -> &dyn NodeStack;
+}
+
+impl StackSlot for Box<dyn NodeStack> {
+    fn stack(&mut self) -> &mut dyn NodeStack {
+        self.as_mut()
+    }
+    fn stack_ref(&self) -> &dyn NodeStack {
+        self.as_ref()
+    }
+}
+
+impl StackSlot for Box<dyn NodeStack + Send> {
+    fn stack(&mut self) -> &mut dyn NodeStack {
+        self.as_mut()
+    }
+    fn stack_ref(&self) -> &dyn NodeStack {
+        self.as_ref()
+    }
+}
+
+/// The simulator core: world + one protocol stack per node.  [`Simulator`]
+/// is the serial instantiation; the sharded engine instantiates it with
+/// `Send` stacks.
+pub struct SimCore<S: StackSlot> {
     world: World,
-    stacks: Vec<Box<dyn NodeStack>>,
+    stacks: Vec<S>,
     started: bool,
     finished: bool,
 }
 
+/// The serial simulator (the instantiation every existing caller uses).
+pub type Simulator = SimCore<Box<dyn NodeStack>>;
+
 impl Simulator {
-    /// Build a simulator.
+    /// Build a serial simulator.
     ///
     /// `stacks` must contain exactly `config.num_nodes` protocol stacks
     /// (index = node id).  `mobility` provides initial placement and movement.
@@ -531,8 +619,26 @@ impl Simulator {
     /// Panics if the configuration is invalid or the stack count mismatches.
     pub fn new(
         config: SimConfig,
-        mobility: Box<dyn MobilityModel>,
+        mobility: Box<dyn MobilityModel + Send>,
         stacks: Vec<Box<dyn NodeStack>>,
+    ) -> Self {
+        let rngs = RngStreams::new(config.seed);
+        SimCore::build(config, mobility, stacks, rngs, 0, None)
+    }
+}
+
+impl<S: StackSlot> SimCore<S> {
+    /// Shared constructor behind [`Simulator::new`] and the sharded engine:
+    /// the serial path passes `RngStreams::new(seed)`, tx-id base 0 and no
+    /// shard context, which reproduces the historical construction
+    /// byte-for-byte.
+    pub(crate) fn build(
+        config: SimConfig,
+        mobility: Box<dyn MobilityModel + Send>,
+        stacks: Vec<S>,
+        rngs: RngStreams,
+        first_tx_id: u64,
+        shard: Option<ShardCtx>,
     ) -> Self {
         config.validate().expect("invalid simulation configuration");
         assert_eq!(
@@ -540,7 +646,7 @@ impl Simulator {
             config.num_nodes as usize,
             "need exactly one stack per node"
         );
-        let mut rngs = RngStreams::new(config.seed);
+        let mut rngs = rngs;
         let mut mobility = mobility;
         let mut motions = Vec::with_capacity(config.num_nodes as usize);
         let mut queue = EventQueue::for_config(&config);
@@ -622,7 +728,7 @@ impl Simulator {
             macs,
             link_dynamics: LinkDynamics::new(),
             mobility,
-            next_tx_id: 0,
+            next_tx_id: first_tx_id,
             events_processed: 0,
             grid,
             pos_cache,
@@ -632,11 +738,13 @@ impl Simulator {
             busy: (0..config.num_nodes)
                 .map(|_| Cell::new(SimTime::ZERO))
                 .collect(),
+            shard,
+            announce_scratch: Vec::new(),
             jam,
             rush_mask,
             config,
         };
-        Simulator {
+        SimCore {
             world,
             stacks,
             started: false,
@@ -662,12 +770,12 @@ impl Simulator {
 
     /// Borrow a protocol stack (for post-run inspection in tests and metrics).
     pub fn stack(&self, node: NodeId) -> &dyn NodeStack {
-        self.stacks[node.index()].as_ref()
+        self.stacks[node.index()].stack_ref()
     }
 
     /// Mutably borrow a protocol stack (e.g. to configure it before `run`).
     pub fn stack_mut(&mut self, node: NodeId) -> &mut dyn NodeStack {
-        self.stacks[node.index()].as_mut()
+        self.stacks[node.index()].stack()
     }
 
     /// Run the simulation to completion and return the recorder.
@@ -688,6 +796,12 @@ impl Simulator {
                 other => self.dispatch(other),
             }
         }
+        self.finalize()
+    }
+
+    /// Publish the final perf counters to the recorder and return it
+    /// (the common tail of [`SimCore::run`] and the sharded window loop).
+    pub(crate) fn finalize(mut self) -> Recorder {
         if !self.finished {
             self.finish_stacks();
         }
@@ -698,8 +812,76 @@ impl Simulator {
         perf.queue_pops = queue.pops;
         perf.queue_max_occupancy = queue.max_occupancy;
         perf.calendar_resizes = queue.calendar_resizes;
+        if let Some(shard) = &self.world.shard {
+            perf.cross_shard_frames = shard.counters.cross_shard_frames;
+            perf.cross_shard_announcements = shard.counters.cross_shard_announcements;
+            perf.forwarded_events = shard.counters.forwarded_events;
+        }
         self.world.recorder.set_engine_perf(perf);
         self.world.recorder
+    }
+
+    /// True once the shard popped its `Stop` event (sharded execution).
+    pub(crate) fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Time of this shard's earliest pending event, if any.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.world.queue.peek_time()
+    }
+
+    /// Shared access to the world (sharded coordinator).
+    pub(crate) fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Make sure the stacks have started (first window of a sharded run).
+    pub(crate) fn ensure_started(&mut self) {
+        self.start_stacks();
+    }
+
+    /// Process every pending event strictly before `window_end` (one
+    /// conservative-lookahead window of a sharded run).  Mirrors the serial
+    /// [`SimCore::run`] loop exactly, with two additions: popping `Stop`
+    /// finishes the shard, and events targeting a node this shard does not
+    /// own (wormhole tunnel deliveries whose endpoint lives elsewhere) are
+    /// diverted to the owner shard's mailbox instead of dispatched.
+    pub(crate) fn run_window(&mut self, window_end: SimTime) {
+        debug_assert!(self.started, "ensure_started before the first window");
+        while let Some(t) = self.world.queue.peek_time() {
+            if t >= window_end || self.finished {
+                break;
+            }
+            let ev = self.world.queue.pop().expect("peeked non-empty");
+            debug_assert!(
+                ev.time >= self.world.now,
+                "event time must not go backwards"
+            );
+            self.world.now = ev.time;
+            self.world.events_processed += 1;
+            match ev.event {
+                Event::Stop => {
+                    self.finish_stacks();
+                    self.finished = true;
+                    return;
+                }
+                Event::TunnelDeliver { to, from, packet } if !self.world.owns(to) => {
+                    let at = ev.time;
+                    let shard = self
+                        .world
+                        .shard
+                        .as_mut()
+                        .expect("owns() false implies shard");
+                    shard.counters.forwarded_events += 1;
+                    let dest = shard.owner[to.index()] as usize;
+                    shard.mail[dest]
+                        .forwarded
+                        .push((at, Event::TunnelDeliver { to, from, packet }));
+                }
+                other => self.dispatch(other),
+            }
+        }
     }
 
     fn start_stacks(&mut self) {
@@ -713,7 +895,7 @@ impl Simulator {
                 world: &mut self.world,
                 node,
             };
-            self.stacks[i].start(&mut ctx);
+            self.stacks[i].stack().start(&mut ctx);
         }
     }
 
@@ -728,7 +910,7 @@ impl Simulator {
                 world: &mut self.world,
                 node,
             };
-            self.stacks[i].on_run_end(&mut ctx);
+            self.stacks[i].stack().on_run_end(&mut ctx);
         }
     }
 
@@ -739,12 +921,17 @@ impl Simulator {
                     world: &mut self.world,
                     node,
                 };
-                self.stacks[node.index()].on_timer(&mut ctx, token);
+                self.stacks[node.index()].stack().on_timer(&mut ctx, token);
             }
             Event::MacAttempt { node } => self.mac_attempt(node),
             Event::TxEnd { node, tx } => self.tx_end(node, tx),
             Event::WaypointReached { node, epoch } => self.waypoint_reached(node, epoch),
             Event::TunnelDeliver { to, from, packet } => self.tunnel_deliver(to, from, packet),
+            Event::RemoteDeliver {
+                to,
+                frame,
+                addressed,
+            } => self.remote_deliver(to, frame, addressed),
             Event::ChannelTick => { /* channel state is sampled lazily */ }
             Event::Stop => unreachable!("Stop handled in run()"),
         }
@@ -852,6 +1039,9 @@ impl Simulator {
         let cs_range = self.world.config.radio.carrier_sense_range();
         let cs_sq = cs_range * cs_range;
         let mut receivers = self.world.take_receiver_buf();
+        let sharded = self.world.shard.is_some();
+        let mut busy_touched = std::mem::take(&mut self.world.announce_scratch);
+        busy_touched.clear();
         {
             let world = &self.world;
             world.query_range(my_pos, cs_range, |other| {
@@ -868,6 +1058,9 @@ impl Simulator {
                     let b = &world.busy[other.index()];
                     if b.get() < end {
                         b.set(end);
+                    }
+                    if sharded {
+                        busy_touched.push(other);
                     }
                 }
                 if d_sq <= range_sq {
@@ -892,6 +1085,11 @@ impl Simulator {
                 end,
             });
         }
+        if sharded {
+            self.world
+                .emit_announcement(node, tx, now, end, &receivers, &busy_touched);
+        }
+        self.world.announce_scratch = busy_touched;
         let busy = &self.world.busy[idx];
         busy.set(busy.get().max(end));
         let mac = &mut self.world.macs[idx];
@@ -1018,19 +1216,46 @@ impl Simulator {
                 let mut payload = Some(queued.frame.payload);
                 let last_ok = outcomes.iter().rposition(|&(_, ok)| ok);
                 for (i, &(r, ok)) in outcomes.iter().enumerate() {
-                    if ok {
-                        self.account_reception(r, payload.as_ref().expect("payload present"), true);
-                        let packet = if Some(i) == last_ok {
-                            payload.take().expect("last receiver")
-                        } else {
-                            Arc::clone(payload.as_ref().expect("not last"))
-                        };
+                    if !ok {
+                        continue;
+                    }
+                    let packet = if Some(i) == last_ok {
+                        payload.take().expect("last receiver")
+                    } else {
+                        Arc::clone(payload.as_ref().expect("not last"))
+                    };
+                    if self.world.owns(r) {
+                        self.account_reception(r, &packet, true);
                         add(&self.world.perf.payload_clones_avoided, 1);
                         let mut ctx = Ctx {
                             world: &mut self.world,
                             node: r,
                         };
-                        self.stacks[r.index()].on_receive(&mut ctx, node, packet);
+                        self.stacks[r.index()]
+                            .stack()
+                            .on_receive(&mut ctx, node, packet);
+                    } else {
+                        // Cross-shard reception: the outcome is resolved here
+                        // (sender side); the receiver-side bookkeeping and
+                        // stack callback run at the owner shard after the
+                        // next barrier.
+                        let shard = self
+                            .world
+                            .shard
+                            .as_mut()
+                            .expect("non-owned receiver implies shard");
+                        shard.counters.cross_shard_frames += 1;
+                        let dest = shard.owner[r.index()] as usize;
+                        shard.mail[dest].deliveries.push(DeliverRecord {
+                            at: now,
+                            to: r,
+                            frame: Frame {
+                                mac_src: node,
+                                mac_dst: MacDest::Broadcast,
+                                payload: packet,
+                            },
+                            addressed: true,
+                        });
                     }
                 }
             }
@@ -1044,15 +1269,33 @@ impl Simulator {
                 // of whether the addressed receiver got it.
                 for (r, ok) in &outcomes {
                     if *ok && *r != dst {
-                        self.account_reception(*r, &queued.frame.payload, false);
-                        let mut ctx = Ctx {
-                            world: &mut self.world,
-                            node: *r,
-                        };
-                        self.stacks[r.index()].on_promiscuous(&mut ctx, &queued.frame);
+                        if self.world.owns(*r) {
+                            self.account_reception(*r, &queued.frame.payload, false);
+                            let mut ctx = Ctx {
+                                world: &mut self.world,
+                                node: *r,
+                            };
+                            self.stacks[r.index()]
+                                .stack()
+                                .on_promiscuous(&mut ctx, &queued.frame);
+                        } else {
+                            let shard = self
+                                .world
+                                .shard
+                                .as_mut()
+                                .expect("non-owned receiver implies shard");
+                            shard.counters.cross_shard_frames += 1;
+                            let dest = shard.owner[r.index()] as usize;
+                            shard.mail[dest].deliveries.push(DeliverRecord {
+                                at: now,
+                                to: *r,
+                                frame: queued.frame.clone(),
+                                addressed: false,
+                            });
+                        }
                     }
                 }
-                if delivered {
+                if delivered && self.world.owns(dst) {
                     self.world.macs[idx].tx_ok += 1;
                     self.world.macs[idx].reset_backoff();
                     self.account_reception(dst, &queued.frame.payload, true);
@@ -1065,7 +1308,27 @@ impl Simulator {
                         world: &mut self.world,
                         node: dst,
                     };
-                    self.stacks[dst.index()].on_receive(&mut ctx, node, packet);
+                    self.stacks[dst.index()]
+                        .stack()
+                        .on_receive(&mut ctx, node, packet);
+                } else if delivered {
+                    // Cross-shard unicast: the sender's MAC bookkeeping is
+                    // local, the delivery itself runs at dst's owner shard.
+                    self.world.macs[idx].tx_ok += 1;
+                    self.world.macs[idx].reset_backoff();
+                    let shard = self
+                        .world
+                        .shard
+                        .as_mut()
+                        .expect("non-owned receiver implies shard");
+                    shard.counters.cross_shard_frames += 1;
+                    let dest = shard.owner[dst.index()] as usize;
+                    shard.mail[dest].deliveries.push(DeliverRecord {
+                        at: now,
+                        to: dst,
+                        frame: queued.frame,
+                        addressed: true,
+                    });
                 } else {
                     let mut queued = queued;
                     queued.attempts += 1;
@@ -1082,7 +1345,9 @@ impl Simulator {
                             world: &mut self.world,
                             node,
                         };
-                        self.stacks[idx].on_link_failure(&mut ctx, dst, packet);
+                        self.stacks[idx]
+                            .stack()
+                            .on_link_failure(&mut ctx, dst, packet);
                     }
                 }
             }
@@ -1122,7 +1387,38 @@ impl Simulator {
             world: &mut self.world,
             node: to,
         };
-        self.stacks[to.index()].on_receive(&mut ctx, from, packet);
+        self.stacks[to.index()]
+            .stack()
+            .on_receive(&mut ctx, from, packet);
+    }
+
+    /// Run the receiver-side half of a cross-shard reception (sharded
+    /// execution only): the sender's shard already resolved the channel
+    /// outcome, so this only does the recorder bookkeeping and the stack
+    /// callback, exactly as the serial `tx_end` would have.
+    fn remote_deliver(&mut self, to: NodeId, frame: Frame, addressed: bool) {
+        debug_assert!(self.world.owns(to), "RemoteDeliver routed to owner shard");
+        let from = frame.mac_src;
+        if addressed {
+            self.account_reception(to, &frame.payload, true);
+            add(&self.world.perf.payload_clones_avoided, 1);
+            let mut ctx = Ctx {
+                world: &mut self.world,
+                node: to,
+            };
+            self.stacks[to.index()]
+                .stack()
+                .on_receive(&mut ctx, from, frame.payload);
+        } else {
+            self.account_reception(to, &frame.payload, false);
+            let mut ctx = Ctx {
+                world: &mut self.world,
+                node: to,
+            };
+            self.stacks[to.index()]
+                .stack()
+                .on_promiscuous(&mut ctx, &frame);
+        }
     }
 
     /// Update the recorder for a successful reception of `payload` at `node`.

@@ -21,13 +21,19 @@
 //! * [`node`] — the [`NodeStack`] trait implemented by protocol stacks and the
 //!   [`Ctx`] handle they use to talk to the simulator.
 //! * [`engine`] — the [`Simulator`] that owns the world and runs the event loop.
+//! * [`shard`] — the sharded parallel engine: spatial partitions advancing
+//!   under conservative lookahead with a deterministic cross-shard merge
+//!   (selected via [`config::Execution`]).
 //! * [`recorder`] — per-run transmission/delivery trace used by the metrics.
 //! * [`rng`] — deterministic, purpose-split random number streams.
 //! * [`config`] — simulation parameters (field size, ranges, MAC timing).
 //!
-//! The simulator is single-threaded and fully deterministic for a given
-//! [`config::SimConfig`] and seed; experiment sweeps parallelise across
-//! independent runs (see `manet-experiments`).
+//! The serial engine is single-threaded and fully deterministic for a given
+//! [`config::SimConfig`] and seed.  The sharded engine is deterministic for
+//! a given configuration too — its schedule never depends on thread timing —
+//! and a single-shard run is byte-identical to a serial run (see [`shard`]
+//! for the exact contract).  Experiment sweeps additionally parallelise
+//! across independent runs (see `manet-experiments`).
 
 pub mod calendar;
 pub mod config;
@@ -42,14 +48,16 @@ pub mod node;
 pub mod radio;
 pub mod recorder;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod topology;
 
 pub use calendar::CalendarQueue;
 pub use config::{
-    EventQueueKind, JamConfig, JamTarget, NeighborIndex, RushConfig, SimConfig, WormholeConfig,
+    EventQueueKind, Execution, JamConfig, JamTarget, NeighborIndex, RushConfig, SimConfig,
+    WormholeConfig,
 };
-pub use engine::Simulator;
+pub use engine::{SimCore, Simulator, StackSlot};
 pub use event::{Event, EventQueue, QueuePerf, ScheduledEvent};
 pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use geometry::{Position, Vector2};
@@ -60,6 +68,7 @@ pub use radio::{ChannelModel, RadioConfig};
 pub use recorder::EnginePerf;
 pub use recorder::{Recorder, TraceEvent};
 pub use rng::RngStreams;
+pub use shard::run_sharded;
 pub use time::{Duration, SimTime};
 
 pub use manet_wire as wire;

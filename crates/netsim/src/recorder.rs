@@ -99,6 +99,27 @@ pub struct EnginePerf {
     /// steady state: unicast deliveries hand over the sole reference, and
     /// broadcast-flood duplicates are inspected by reference and dropped.
     pub payload_deep_clones: u64,
+
+    // --- sharded execution (all zero for a serial run) ------------------------
+    /// Number of spatial shards the run was partitioned into (0 = serial).
+    pub shards: u64,
+    /// Conservative-lookahead windows executed (each window ends in one
+    /// barrier, so this is also the barrier count).
+    pub windows: u64,
+    /// Width of the lookahead window in microseconds.
+    pub window_micros: u64,
+    /// Frame receptions that crossed a shard boundary (delivered at the
+    /// receiver's owner shard after a barrier).
+    pub cross_shard_frames: u64,
+    /// Transmissions announced to other shards because their carrier-sense
+    /// or reception footprint touched non-owned nodes.
+    pub cross_shard_announcements: u64,
+    /// Events (wormhole tunnel deliveries) re-routed to their owner shard.
+    pub forwarded_events: u64,
+    /// Events processed by the least-loaded shard (shard-imbalance floor).
+    pub shard_events_min: u64,
+    /// Events processed by the most-loaded shard (shard-imbalance ceiling).
+    pub shard_events_max: u64,
 }
 
 impl EnginePerf {
@@ -172,6 +193,18 @@ impl FlowCounters {
     }
 }
 
+/// What the recorder remembers about one delivered packet.  The connection,
+/// data flag and byte count ride along so [`Recorder::merge`] can rebuild the
+/// derived delivery aggregates (series, delays, per-flow counters) after
+/// deduplicating deliveries across shards.
+#[derive(Debug, Clone, Copy)]
+struct DeliveredEntry {
+    at: SimTime,
+    conn: ConnectionId,
+    carries_data: bool,
+    bytes: u32,
+}
+
 /// Everything recorded about one simulation run.
 #[derive(Debug, Default)]
 pub struct Recorder {
@@ -182,7 +215,7 @@ pub struct Recorder {
     // --- data-plane accounting -------------------------------------------------
     originated: FxHashMap<PacketId, SimTime>,
     originated_data: u64,
-    delivered: FxHashMap<PacketId, SimTime>,
+    delivered: FxHashMap<PacketId, DeliveredEntry>,
     delivered_data: u64,
     delivered_bytes: u64,
     delays: Vec<Duration>,
@@ -282,7 +315,15 @@ impl Recorder {
             // the paper's metrics count unique packets.
             return;
         }
-        self.delivered.insert(packet, at);
+        self.delivered.insert(
+            packet,
+            DeliveredEntry {
+                at,
+                conn,
+                carries_data,
+                bytes: payload_bytes,
+            },
+        );
         if carries_data {
             self.delivered_data += 1;
             self.delivered_bytes += u64::from(payload_bytes);
@@ -422,6 +463,179 @@ impl Recorder {
     /// simulator at the end of the run).
     pub fn set_engine_perf(&mut self, perf: EnginePerf) {
         self.engine_perf = perf;
+    }
+
+    /// Time a trace event fired at (for the cross-shard trace merge).
+    fn trace_time(ev: &TraceEvent) -> SimTime {
+        match ev {
+            TraceEvent::TxStart { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::LinkFailure { at, .. } => *at,
+        }
+    }
+
+    /// Merge the per-shard recorders of one sharded run into a single
+    /// recorder, deterministically.  `parts` must be ordered by shard id.
+    ///
+    /// Merging a single recorder returns it unchanged, so a one-shard run's
+    /// recorder is byte-identical to a serial run's.  With several shards:
+    ///
+    /// * plain counters (transmissions, collisions, drops, relays, ...) sum;
+    /// * per-node sets (heard, relayed, participation seconds) union;
+    /// * originations keep the earliest record per packet id; deliveries
+    ///   deduplicate per packet id keeping the earliest (ties: lowest shard),
+    ///   and the derived delivery aggregates — series, delays, per-flow
+    ///   delivery counters — are rebuilt from the deduplicated set in
+    ///   `(time, packet id)` order, mirroring how the serial recorder builds
+    ///   them in delivery order;
+    /// * traces interleave by `(time, shard id)`, each shard's own FIFO order
+    ///   preserved (a stable sort extends the engine's sequence tie-break by
+    ///   shard id);
+    /// * engine perf counters sum (max for queue occupancy), and the
+    ///   per-shard event counts are folded into the min/max imbalance pair.
+    pub fn merge(parts: Vec<Recorder>) -> Recorder {
+        let mut parts = parts;
+        if parts.len() <= 1 {
+            return parts.pop().unwrap_or_default();
+        }
+        let mut out = Recorder::new();
+        out.keep_trace = parts.iter().any(|p| p.keep_trace);
+        let mut perf = EnginePerf {
+            shard_events_min: u64::MAX,
+            ..EnginePerf::default()
+        };
+        let mut delivered: FxHashMap<PacketId, (DeliveredEntry, usize)> = FxHashMap::default();
+        let mut trace: Vec<(SimTime, usize, TraceEvent)> = Vec::new();
+        for (s, part) in parts.into_iter().enumerate() {
+            // Data plane: earliest origination per packet, per-shard delivery
+            // candidates (deduplicated below), per-flow origination sums.
+            for (id, at) in part.originated {
+                out.originated
+                    .entry(id)
+                    .and_modify(|t| {
+                        if at < *t {
+                            *t = at;
+                        }
+                    })
+                    .or_insert(at);
+            }
+            out.originated_data += part.originated_data;
+            for (id, entry) in part.delivered {
+                use std::collections::hash_map::Entry;
+                match delivered.entry(id) {
+                    Entry::Vacant(v) => {
+                        v.insert((entry, s));
+                    }
+                    Entry::Occupied(mut o) => {
+                        let (cur, cs) = *o.get();
+                        if (entry.at, s) < (cur.at, cs) {
+                            o.insert((entry, s));
+                        }
+                    }
+                }
+            }
+            for (conn, fc) in part.flow_counters {
+                out.flow_counters.entry(conn).or_default().originated_data += fc.originated_data;
+            }
+            // Per-node tables: element-wise sum / union.
+            for (i, c) in part.relays.into_iter().enumerate() {
+                grow_to(&mut out.relays, i);
+                out.relays[i] += c;
+            }
+            for (i, set) in part.heard.into_iter().enumerate() {
+                grow_to(&mut out.heard, i);
+                out.heard[i].extend(set);
+            }
+            for (i, set) in part.relayed_ids.into_iter().enumerate() {
+                grow_to(&mut out.relayed_ids, i);
+                out.relayed_ids[i].extend(set);
+            }
+            for (i, set) in part.participation_secs.into_iter().enumerate() {
+                grow_to(&mut out.participation_secs, i);
+                out.participation_secs[i].extend(set);
+            }
+            // Adversary accounting.
+            out.adversary_drops += part.adversary_drops;
+            out.adversary_data_drops += part.adversary_data_drops;
+            for (node, c) in part.adversary_drops_by_node {
+                *out.adversary_drops_by_node.entry(node).or_insert(0) += c;
+            }
+            out.jammed_control += part.jammed_control;
+            out.jammed_data += part.jammed_data;
+            out.tunneled_frames += part.tunneled_frames;
+            out.tunneled_data.extend(part.tunneled_data);
+            // Control plane and MAC level.
+            out.control_tx += part.control_tx;
+            out.control_tx_bytes += part.control_tx_bytes;
+            for (kind, c) in part.control_tx_by_kind {
+                *out.control_tx_by_kind.entry(kind).or_insert(0) += c;
+            }
+            out.data_tx += part.data_tx;
+            for (reason, c) in part.mac_drops {
+                *out.mac_drops.entry(reason).or_insert(0) += c;
+            }
+            out.link_failures += part.link_failures;
+            out.collisions += part.collisions;
+            // Trace.
+            for ev in part.trace {
+                trace.push((Self::trace_time(&ev), s, ev));
+            }
+            // Engine perf.
+            let p = part.engine_perf;
+            perf.neighbor_queries += p.neighbor_queries;
+            perf.candidates_scanned += p.candidates_scanned;
+            perf.grid_rebinds += p.grid_rebinds;
+            perf.grid_refreshes += p.grid_refreshes;
+            perf.position_cache_hits += p.position_cache_hits;
+            perf.position_cache_misses += p.position_cache_misses;
+            perf.events_processed += p.events_processed;
+            perf.queue_pushes += p.queue_pushes;
+            perf.queue_pops += p.queue_pops;
+            perf.queue_max_occupancy = perf.queue_max_occupancy.max(p.queue_max_occupancy);
+            perf.calendar_resizes += p.calendar_resizes;
+            perf.payload_clones_avoided += p.payload_clones_avoided;
+            perf.payload_deep_clones += p.payload_deep_clones;
+            perf.cross_shard_frames += p.cross_shard_frames;
+            perf.cross_shard_announcements += p.cross_shard_announcements;
+            perf.forwarded_events += p.forwarded_events;
+            perf.shard_events_min = perf.shard_events_min.min(p.events_processed);
+            perf.shard_events_max = perf.shard_events_max.max(p.events_processed);
+        }
+        // Rebuild the derived delivery aggregates from the deduplicated set,
+        // in the order the serial recorder would have seen the deliveries.
+        let mut dedup: Vec<(PacketId, DeliveredEntry)> = delivered
+            .into_iter()
+            .map(|(id, (entry, _))| (id, entry))
+            .collect();
+        dedup.sort_by(|a, b| a.1.at.cmp(&b.1.at).then(a.0 .0.cmp(&b.0 .0)));
+        for (id, entry) in dedup {
+            if entry.carries_data {
+                out.delivered_data += 1;
+                out.delivered_bytes += u64::from(entry.bytes);
+                out.delivery_series.push((entry.at, entry.bytes));
+                let delay = out
+                    .originated
+                    .get(&id)
+                    .map(|&sent| entry.at.saturating_since(sent));
+                if let Some(delay) = delay {
+                    out.delays.push(delay);
+                }
+                let flow = out.flow_counters.entry(entry.conn).or_default();
+                flow.delivered_data += 1;
+                flow.delivered_bytes += u64::from(entry.bytes);
+                if let Some(delay) = delay {
+                    flow.delay_sum_secs += delay.as_secs();
+                }
+            }
+            out.delivered.insert(id, entry);
+        }
+        trace.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        out.trace = trace.into_iter().map(|(_, _, ev)| ev).collect();
+        if perf.shard_events_min == u64::MAX {
+            perf.shard_events_min = 0;
+        }
+        out.engine_perf = perf;
+        out
     }
 
     // ---- queries (used by the metrics layer) ----------------------------------
@@ -778,5 +992,107 @@ mod tests {
         loud.record_delivered(NodeId(1), PacketId(1), ConnectionId(0), true, 100, t(0.5));
         loud.record_link_failure(NodeId(0), NodeId(1), t(0.7));
         assert_eq!(loud.trace().len(), 3);
+    }
+
+    #[test]
+    fn merge_of_one_part_is_the_identity() {
+        let mut r = Recorder::with_trace();
+        r.record_originated(PacketId(1), ConnectionId(0), true, t(0.0));
+        r.record_delivered(NodeId(2), PacketId(1), ConnectionId(0), true, 512, t(0.4));
+        r.record_tx(NodeId(0), "DATA", false, 512, t(0.0));
+        let trace_len = r.trace().len();
+        let merged = Recorder::merge(vec![r]);
+        assert_eq!(merged.delivered_data_packets(), 1);
+        assert_eq!(merged.trace().len(), trace_len);
+        assert_eq!(merged.originated_data_packets(), 1);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_unions_sets() {
+        let mut a = Recorder::new();
+        a.record_originated(PacketId(1), ConnectionId(0), true, t(0.0));
+        a.record_relay(NodeId(3), PacketId(1), true, t(0.1));
+        a.record_tx(NodeId(0), "RREQ", true, 44, t(0.0));
+        a.record_collision();
+        let mut b = Recorder::new();
+        b.record_originated(PacketId(2), ConnectionId(1), true, t(0.2));
+        b.record_relay(NodeId(3), PacketId(2), true, t(0.3));
+        b.record_relay(NodeId(7), PacketId(2), true, t(0.3));
+        b.record_tx(NodeId(1), "RREQ", true, 44, t(0.1));
+        b.record_mac_drop(DropReason::RetryLimit);
+        let m = Recorder::merge(vec![a, b]);
+        assert_eq!(m.originated_data_packets(), 2);
+        assert_eq!(m.relay_counts()[&NodeId(3)], 2);
+        assert_eq!(m.relay_counts()[&NodeId(7)], 1);
+        assert_eq!(m.relayed_set(NodeId(3)).unwrap().len(), 2);
+        assert_eq!(m.control_transmissions(), 2);
+        assert_eq!(m.control_by_kind()["RREQ"], 2);
+        assert_eq!(m.collisions(), 1);
+        assert_eq!(m.mac_drops(DropReason::RetryLimit), 1);
+    }
+
+    #[test]
+    fn merge_deduplicates_deliveries_keeping_the_earliest() {
+        let mut a = Recorder::new();
+        a.record_originated(PacketId(1), ConnectionId(0), true, t(0.0));
+        a.record_delivered(NodeId(2), PacketId(1), ConnectionId(0), true, 512, t(1.0));
+        let mut b = Recorder::new();
+        // The same packet observed delivered on another shard, later.
+        b.record_delivered(NodeId(2), PacketId(1), ConnectionId(0), true, 512, t(0.5));
+        b.record_delivered(NodeId(4), PacketId(2), ConnectionId(0), true, 256, t(0.8));
+        let m = Recorder::merge(vec![a, b]);
+        assert_eq!(m.delivered_data_packets(), 2);
+        assert_eq!(m.delivered_payload_bytes(), 512 + 256);
+        // Delay computed against the merged origination map, using the
+        // earliest delivery time (0.5 s from shard b, not 1.0 s from shard a).
+        assert_eq!(m.delays().len(), 1);
+        assert!((m.delays()[0].as_secs() - 0.5).abs() < 1e-9);
+        // Series rebuilt in time order.
+        let series = m.delivery_series();
+        assert_eq!(series.len(), 2);
+        assert!(series[0].0 <= series[1].0);
+    }
+
+    #[test]
+    fn merge_interleaves_traces_by_time_then_shard() {
+        let mut a = Recorder::with_trace();
+        a.record_tx(NodeId(0), "DATA", false, 100, t(0.2));
+        a.record_tx(NodeId(0), "DATA", false, 100, t(0.6));
+        let mut b = Recorder::with_trace();
+        b.record_tx(NodeId(1), "DATA", false, 100, t(0.2));
+        b.record_tx(NodeId(1), "DATA", false, 100, t(0.4));
+        let m = Recorder::merge(vec![a, b]);
+        let nodes: Vec<u16> = m
+            .trace()
+            .iter()
+            .map(|ev| match ev {
+                TraceEvent::TxStart { node, .. } => node.0,
+                _ => panic!("unexpected trace event"),
+            })
+            .collect();
+        // t=0.2 ties break on shard id (a before b), then time order.
+        assert_eq!(nodes, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn merge_folds_engine_perf_including_shard_imbalance() {
+        let mut a = Recorder::new();
+        a.set_engine_perf(EnginePerf {
+            events_processed: 100,
+            queue_max_occupancy: 8,
+            ..EnginePerf::default()
+        });
+        let mut b = Recorder::new();
+        b.set_engine_perf(EnginePerf {
+            events_processed: 300,
+            queue_max_occupancy: 5,
+            ..EnginePerf::default()
+        });
+        let m = Recorder::merge(vec![a, b]);
+        let p = m.engine_perf();
+        assert_eq!(p.events_processed, 400);
+        assert_eq!(p.queue_max_occupancy, 8);
+        assert_eq!(p.shard_events_min, 100);
+        assert_eq!(p.shard_events_max, 300);
     }
 }

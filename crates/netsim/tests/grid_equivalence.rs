@@ -56,7 +56,7 @@ type SampleLog = Vec<(SimTime, NodeId, Vec<NodeId>)>;
 
 fn sample_run(
     config: SimConfig,
-    mobility: impl Fn() -> Box<dyn manet_netsim::MobilityModel>,
+    mobility: impl Fn() -> Box<dyn manet_netsim::MobilityModel + Send>,
     index: NeighborIndex,
 ) -> SampleLog {
     let mut config = config;
@@ -94,7 +94,7 @@ fn grid_matches_brute_force_across_random_waypoint_runs() {
                 1000.0,
                 1000.0,
                 SimConfig::default().mobility,
-            )) as Box<dyn manet_netsim::MobilityModel>
+            )) as Box<dyn manet_netsim::MobilityModel + Send>
         };
         // Both runs share the seed, so mobility histories are identical; the
         // sampled neighbourhoods must be too.
@@ -124,7 +124,7 @@ fn grid_matches_brute_force_with_small_slack_and_fast_nodes() {
             600.0,
             600.0,
             SimConfig::default().mobility,
-        )) as Box<dyn manet_netsim::MobilityModel>
+        )) as Box<dyn manet_netsim::MobilityModel + Send>
     };
     let grid = sample_run(config.clone(), mobility, NeighborIndex::Grid);
     let brute = sample_run(config, mobility, NeighborIndex::BruteForce);
@@ -161,7 +161,7 @@ fn grid_matches_brute_force_on_range_circle_boundaries() {
             let positions = positions.clone();
             move || {
                 Box::new(StaticPlacement::new(positions.clone()))
-                    as Box<dyn manet_netsim::MobilityModel>
+                    as Box<dyn manet_netsim::MobilityModel + Send>
             }
         };
         let grid = sample_run(config.clone(), &mobility, NeighborIndex::Grid);

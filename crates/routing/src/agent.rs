@@ -87,7 +87,11 @@ impl RoutingStats {
 ///
 /// `on_packet` returns the data packets that terminated at this node so the
 /// caller can hand them to the transport layer.
-pub trait RoutingAgent {
+///
+/// `Send` is a supertrait so stacks built around a `Box<dyn RoutingAgent>`
+/// can move onto worker threads under sharded execution; agents are plain
+/// per-node state, so the bound costs implementors nothing.
+pub trait RoutingAgent: Send {
     /// Protocol name ("DSR", "AODV", "MTS").
     fn name(&self) -> &'static str;
 

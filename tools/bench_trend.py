@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Merge every committed ``BENCH_*.json`` into one perf-trajectory table.
+
+Each bench JSON (written by ``reproduce --bench-json``) carries a node-scaling
+axis (``runs``: n x event-queue backend), an optional flow axis
+(``flow_runs``, skipped here) and — since the sharded engine — an optional
+execution axis (``execution_runs``: n x serial-vs-sharded x workers).  This
+script merges them into one table with a row per
+(n, queue, execution) configuration and an events/sec column per file, so the
+engine's throughput trajectory across PRs is readable at a glance.  Files
+written before the execution axis existed default to serial / 1 shard /
+1 worker.
+
+The same table is available from the Rust side as ``reproduce --bench-trend``
+(kept in sync by ``crates/bench/src/lib.rs``'s trend tests); this standalone
+copy exists so CI can print the trend without building the workspace.
+
+Usage: python3 tools/bench_trend.py [FILE.json ...]
+       (no arguments: every BENCH_*.json in the repository root)
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def repo_root() -> Path:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return Path(out.stdout.strip())
+
+
+def rows_of(label: str, doc: dict) -> list[dict]:
+    """Flatten one bench JSON into trend rows (node + execution axes)."""
+    rows = []
+    for run in doc.get("runs", []):
+        rows.append(
+            {
+                "label": label,
+                "n": run["n"],
+                "queue": run.get("queue", "calendar"),
+                "execution": run.get("execution", "serial"),
+                "shards": run.get("shards", 1),
+                "workers": run.get("workers", 1),
+                "events_per_sec": run["events_per_sec"],
+            }
+        )
+    for run in doc.get("execution_runs", []):
+        rows.append(
+            {
+                "label": label,
+                "n": run["n"],
+                "queue": run.get("queue", "calendar"),
+                "execution": run.get("execution", "serial"),
+                "shards": run.get("shards", 1),
+                "workers": run.get("workers", 1),
+                "events_per_sec": run["events_per_sec"],
+            }
+        )
+    return rows
+
+
+def execution_label(row: dict) -> str:
+    if row["execution"] == "serial":
+        return "serial"
+    return f"{row['execution']} {row['shards']}s{row['workers']}w"
+
+
+def render(rows: list[dict]) -> str:
+    labels = sorted({r["label"] for r in rows})
+    configs = sorted({(r["n"], r["queue"], execution_label(r)) for r in rows})
+    # First row wins on key collision (matches the Rust renderer): the
+    # canonical node-axis number takes priority over the execution axis'
+    # serial baseline re-measure at the same (n, queue).
+    cells: dict = {}
+    for r in rows:
+        cells.setdefault(
+            (r["label"], r["n"], r["queue"], execution_label(r)),
+            r["events_per_sec"],
+        )
+    lines = [
+        f"{'n':>6}  {'queue':<8}  {'execution':<14}"
+        + "".join(f"  {label:>12}" for label in labels)
+    ]
+    for n, queue, execution in configs:
+        cols = "".join(
+            f"  {cells.get((label, n, queue, execution), '-'):>12.0f}"
+            if (label, n, queue, execution) in cells
+            else f"  {'-':>12}"
+            for label in labels
+        )
+        lines.append(f"{n:>6}  {queue:<8}  {execution:<14}" + cols)
+    return "\n".join(lines)
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        files = [Path(a) for a in sys.argv[1:]]
+    else:
+        files = sorted(repo_root().glob("BENCH_*.json"))
+    if not files:
+        print("bench_trend: no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    rows = []
+    for path in files:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_trend: cannot read {path}: {e}", file=sys.stderr)
+            return 1
+        rows.extend(rows_of(path.stem, doc))
+    print(render(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
