@@ -22,7 +22,8 @@
 //! so attack runs are exactly reproducible and do not perturb the protocol
 //! random stream shared with honest nodes.
 
-use manet_netsim::{Ctx, NodeStack, TimerToken};
+use manet_netsim::telemetry::TelemetryEvent;
+use manet_netsim::{Ctx, DropReason, NodeStack, TimerToken};
 use manet_wire::{Frame, NetPacket, NodeId, RouteReply, SeqNo, SharedPacket};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -122,7 +123,33 @@ impl NodeStack for BlackholeStack {
                     self.stats.dropped_data += 1;
                     let node = self.me;
                     let carries = d.carries_data();
-                    ctx.recorder().record_adversary_drop(node, carries);
+                    let t = ctx.now().as_secs();
+                    let rec = ctx.recorder();
+                    rec.record_adversary_drop(node, carries);
+                    if rec.telemetry.enabled() {
+                        let conn = d.segment.conn.0;
+                        let seq = d.segment.seq;
+                        let shard = rec.telemetry.shard();
+                        rec.telemetry.emit(TelemetryEvent::Drop {
+                            t,
+                            shard,
+                            node: node.0,
+                            reason: DropReason::AdversaryDiscard,
+                            kind: "DATA",
+                            conn: carries.then_some(conn),
+                        });
+                        if rec.telemetry.traced(conn, seq, carries) {
+                            rec.telemetry.emit(TelemetryEvent::Provenance {
+                                t,
+                                shard,
+                                stage: "drop",
+                                node: node.0,
+                                conn,
+                                seq,
+                                kind: "DATA",
+                            });
+                        }
+                    }
                     // Swallowed: the upstream MAC saw a successful delivery,
                     // so no link failure or route error is triggered.
                 } else {

@@ -5,6 +5,9 @@
 //!           [--figure N | --table 1 | --attacks [--speeds S1,S2,..]
 //!            | --bench-json FILE [--bench-scales N1,N2,..]
 //!              [--bench-flows F1,F2,..] [--bench-secs S]
+//!              [--bench-telemetry-nodes N]
+//!            | --telemetry FILE [--telemetry-nodes N] [--telemetry-secs S]
+//!              [--trace-packet CONN:SEQ]
 //!            | --all]
 //! ```
 //!
@@ -43,17 +46,29 @@
 //! per-run aggregate goodput and Jain's fairness index in the JSON.
 //! `--bench-scales` narrows the node counts, `--bench-flows` the flow counts
 //! (`--bench-flows 0` skips the axis), `--bench-secs` changes the simulated
-//! seconds per run (default 5).
+//! seconds per run (default 5).  A telemetry-overhead axis (telemetry off vs
+//! on at `--bench-telemetry-nodes`, default 500) rides along and lands in the
+//! JSON as `telemetry_runs` — the committed `BENCH_PR7.json` pins the ≤ 5 %
+//! overhead acceptance number.
+//!
+//! `--telemetry FILE` runs one scaled MTS scenario with the structured
+//! telemetry stream enabled and writes it to FILE as NDJSON (schema in
+//! docs/OBSERVABILITY.md; summarise or schema-check with
+//! tools/trace_summary.py).  `--trace-packet CONN:SEQ` follows one tagged
+//! packet end-to-end as provenance events.
 
 use bench::{
-    bench_executions, bench_flows, bench_points_json, bench_scales, host_cores, parse_bench_trend,
-    render_bench_trend, TrendRow, BENCH_FLOWS, BENCH_FLOW_NODES, BENCH_SCALES, BENCH_SIM_SECS,
+    bench_executions, bench_flows, bench_points_json, bench_scales, bench_telemetry, host_cores,
+    parse_bench_trend, render_bench_trend, TrendRow, BENCH_FLOWS, BENCH_FLOW_NODES, BENCH_SCALES,
+    BENCH_SIM_SECS,
 };
 use manet_experiments::attacks::{attack_matrix, render_attack_matrix, AttackSweepSpec};
 use manet_experiments::figures::{table1_relay_table, FigureId};
 use manet_experiments::report::{render_figure, render_relay_table};
-use manet_experiments::runner::{sweep_with, SweepSpec};
-use manet_netsim::Execution;
+use manet_experiments::runner::{run_scenario_with_recorder, sweep_with, SweepSpec};
+use manet_experiments::{Protocol, Scenario};
+use manet_netsim::telemetry::{write_ndjson, WriteSink};
+use manet_netsim::{Duration, Execution, TelemetryConfig};
 
 #[derive(Debug)]
 struct Args {
@@ -71,6 +86,11 @@ struct Args {
     bench_secs: f64,
     bench_reps: u32,
     bench_trend: bool,
+    bench_telemetry_nodes: u16,
+    telemetry: Option<String>,
+    telemetry_nodes: u16,
+    telemetry_secs: f64,
+    trace_packet: Option<(u32, u64)>,
     shards: u16,
     threads: Vec<u16>,
     all: bool,
@@ -92,6 +112,11 @@ fn parse_args() -> Args {
         bench_secs: BENCH_SIM_SECS,
         bench_reps: 3,
         bench_trend: false,
+        bench_telemetry_nodes: 500,
+        telemetry: None,
+        telemetry_nodes: 200,
+        telemetry_secs: 10.0,
+        trace_packet: None,
         shards: 0,
         threads: vec![1],
         all: true,
@@ -209,6 +234,47 @@ fn parse_args() -> Args {
                 args.bench_trend = true;
                 args.all = false;
             }
+            "--bench-telemetry-nodes" => {
+                args.bench_telemetry_nodes =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        usage("--bench-telemetry-nodes needs a node count (0 skips the axis)")
+                    });
+            }
+            "--telemetry" => {
+                args.telemetry = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--telemetry needs an output NDJSON file path")),
+                );
+                args.all = false;
+            }
+            "--telemetry-nodes" => {
+                args.telemetry_nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &u16| *v > 0)
+                    .unwrap_or_else(|| usage("--telemetry-nodes needs a positive node count"));
+            }
+            "--telemetry-secs" => {
+                args.telemetry_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .unwrap_or_else(|| {
+                        usage("--telemetry-secs needs a positive number of seconds")
+                    });
+            }
+            "--trace-packet" => {
+                let spec = it
+                    .next()
+                    .unwrap_or_else(|| usage("--trace-packet needs a conn:seq pair, e.g. 0:1448"));
+                let parsed = spec.split_once(':').and_then(|(conn, seq)| {
+                    Some((conn.trim().parse().ok()?, seq.trim().parse().ok()?))
+                });
+                match parsed {
+                    Some(pair) => args.trace_packet = Some(pair),
+                    None => usage("--trace-packet needs a conn:seq pair, e.g. 0:1448"),
+                }
+            }
             "--shards" => {
                 args.shards = it
                     .next()
@@ -261,7 +327,18 @@ fn usage(msg: &str) -> ! {
         "usage: reproduce [--duration SECS] [--seeds N] [--shards S [--threads W1,W2,..]] \
          [--figure 5..11 | --table 1 | --attacks [--speeds S1,S2,..] \
          | --bench-json FILE [--bench-scales N1,N2,..] [--bench-flows F1,F2,..] \
-         [--bench-exec-scales N1,N2,..] [--bench-secs S] | --bench-trend | --all]\n\
+         [--bench-exec-scales N1,N2,..] [--bench-secs S] \
+         [--bench-telemetry-nodes N] | --bench-trend \
+         | --telemetry FILE [--telemetry-nodes N] [--telemetry-secs S] \
+         [--trace-packet CONN:SEQ] | --all]\n\
+         \n\
+         --telemetry FILE runs one scaled MTS scenario (default 200 nodes, 10 \
+         simulated seconds, 1 s sampler windows) with the full telemetry \
+         stream enabled and writes it as NDJSON to FILE (one event per line; \
+         schema in docs/OBSERVABILITY.md, summarise with \
+         tools/trace_summary.py).  --trace-packet CONN:SEQ additionally tags \
+         one packet and follows it end-to-end as provenance events.  \
+         --shards runs it under the sharded engine instead.\n\
          \n\
          --shards S selects the sharded engine (S spatial shards).  On the \
          figure/table sweeps the first --threads value is the worker count; \
@@ -278,7 +355,9 @@ fn usage(msg: &str) -> ! {
          n in {{100, 200, 500, 1000, 2000}} under both event-queue backends, \
          asserting trace identity) and writes the events/sec + counter table \
          as JSON to FILE; --bench-flows adds the flow-scaling axis (random-\
-         pairs scenario at n = 500, default flows 1,5,25,50; 0 skips it).\n\
+         pairs scenario at n = 500, default flows 1,5,25,50; 0 skips it); the \
+         telemetry-overhead axis (off vs on at --bench-telemetry-nodes, \
+         default 500, 0 skips it) rides along automatically.\n\
          \n\
          --attacks prints one table per (protocol, speed) block — protocols \
          DSR/AODV/MTS/MTS-H, speeds {{1, 10, 20}} m/s unless --speeds narrows \
@@ -337,6 +416,49 @@ fn main() {
             std::process::exit(1);
         }
         print!("{}", render_bench_trend(&rows));
+        return;
+    }
+    if let Some(path) = &args.telemetry {
+        let mut scenario = Scenario::scaled(Protocol::Mts, args.telemetry_nodes, 10.0, 1)
+            .with_telemetry(TelemetryConfig {
+                enabled: true,
+                window_secs: Some(1.0),
+                trace_packet: args.trace_packet,
+            });
+        scenario.sim.duration = Duration::from_secs(args.telemetry_secs);
+        if args.shards > 0 {
+            scenario.sim.execution = Execution::Sharded {
+                shards: args.shards,
+                workers: args.threads[0],
+                window: None,
+            };
+        }
+        eprintln!(
+            "# telemetry run: scaled MTS scenario, n={}, {} simulated seconds{}",
+            args.telemetry_nodes,
+            args.telemetry_secs,
+            match args.trace_packet {
+                Some((conn, seq)) => format!(", tracing packet {conn}:{seq}"),
+                None => String::new(),
+            }
+        );
+        let (_, recorder) = run_scenario_with_recorder(&scenario);
+        let events = recorder.telemetry.events();
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut sink = WriteSink(std::io::BufWriter::new(file));
+        write_ndjson(events, &mut sink).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        use std::io::Write as _;
+        sink.0.flush().unwrap_or_else(|e| {
+            eprintln!("error: cannot flush {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("# wrote {} telemetry events to {path}", events.len());
         return;
     }
     if let Some(path) = &args.bench_json {
@@ -436,7 +558,50 @@ fn main() {
             }
             exec_points
         };
-        let json = bench_points_json(&points, &flow_points, &exec_points, args.bench_secs, 1);
+        let tele_points = if args.bench_telemetry_nodes == 0 {
+            Vec::new()
+        } else {
+            eprintln!(
+                "# telemetry-overhead axis: scaled MTS scenario at n={}, telemetry off vs on \
+                 (event stream + 1 s sampler windows), {} simulated seconds (trace-diffed)",
+                args.bench_telemetry_nodes, args.bench_secs
+            );
+            let tele_points = bench_telemetry(
+                args.bench_telemetry_nodes,
+                args.bench_secs,
+                1,
+                args.bench_reps,
+            );
+            for p in &tele_points {
+                eprintln!(
+                    "n={:>4} telemetry={:>3}: {:>9.0} ev/s  ({} events, {:.3} s wall, \
+                     {} delivered, {} telemetry events)",
+                    p.n,
+                    p.mode,
+                    p.events_per_sec,
+                    p.events,
+                    p.wall_secs,
+                    p.delivered,
+                    p.telemetry_events,
+                );
+            }
+            if let [off, on] = &tele_points[..] {
+                eprintln!(
+                    "# telemetry overhead at n={}: {:+.1}% wall clock",
+                    off.n,
+                    (on.wall_secs / off.wall_secs - 1.0) * 100.0
+                );
+            }
+            tele_points
+        };
+        let json = bench_points_json(
+            &points,
+            &flow_points,
+            &exec_points,
+            &tele_points,
+            args.bench_secs,
+            1,
+        );
         std::fs::write(path, json).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);

@@ -20,7 +20,7 @@ use manet_experiments::runner::{
     run_scenario_traced, run_scenario_with_recorder, sweep, SweepOutcome, SweepSpec,
 };
 use manet_experiments::{Protocol, Scenario};
-use manet_netsim::{Duration, EnginePerf, EventQueueKind, Execution};
+use manet_netsim::{Duration, EnginePerf, EventQueueKind, Execution, TelemetryConfig};
 
 /// The canonical node-count scaling points of the perf trajectory
 /// (constant density; see `Scenario::scaled`).
@@ -442,14 +442,120 @@ pub fn bench_executions(
     points
 }
 
+/// One measured point of the telemetry-overhead axis (telemetry off vs on).
+#[derive(Debug, Clone)]
+pub struct TelemetryBenchPoint {
+    /// Node count of the scaled scenario.
+    pub n: u16,
+    /// Telemetry mode label (`"off"` or `"on"`).
+    pub mode: &'static str,
+    /// Wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// Events the engine processed.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Unique data packets delivered.
+    pub delivered: u64,
+    /// Telemetry events collected (0 in the `"off"` run by contract).
+    pub telemetry_events: u64,
+}
+
+/// Measure telemetry overhead: the scaled MTS scenario at `n` nodes run with
+/// telemetry off (the default) and on (event stream + 1 s sampler windows),
+/// asserting the two runs are **identical** apart from the collected events —
+/// telemetry observes, never perturbs.  At n ≤ 500 the full recorder trace is
+/// diffed; event counts and deliveries are checked everywhere.  The `off` run
+/// must collect zero telemetry events, the `on` run a non-empty stream.
+///
+/// `reps` timed repetitions per mode, fastest wall clock reported, identity
+/// checks on the first repetition — as in [`bench_scales`].
+///
+/// # Panics
+/// Panics if the runs diverge, the scenario is invalid, or `reps` is zero.
+pub fn bench_telemetry(n: u16, sim_secs: f64, seed: u64, reps: u32) -> Vec<TelemetryBenchPoint> {
+    assert!(reps > 0, "need at least one timed repetition");
+    let trace = n <= 500;
+    let mut points = Vec::new();
+    let mut recorders: Vec<manet_netsim::Recorder> = Vec::new();
+    for (mode, enabled) in [("off", false), ("on", true)] {
+        let mut scenario = Scenario::scaled(Protocol::Mts, n, 10.0, seed);
+        scenario.sim.duration = Duration::from_secs(sim_secs);
+        scenario.sim.telemetry = TelemetryConfig {
+            enabled,
+            window_secs: enabled.then_some(1.0),
+            trace_packet: None,
+        };
+        let mut wall_secs = f64::INFINITY;
+        let mut first: Option<manet_netsim::Recorder> = None;
+        for rep in 0..reps {
+            let with_trace = trace && rep == 0;
+            let t0 = std::time::Instant::now();
+            let (_, recorder) = if with_trace {
+                run_scenario_traced(&scenario)
+            } else {
+                run_scenario_with_recorder(&scenario)
+            };
+            if !with_trace || reps == 1 {
+                wall_secs = wall_secs.min(t0.elapsed().as_secs_f64());
+            }
+            if first.is_none() {
+                first = Some(recorder);
+            }
+        }
+        let recorder = first.expect("at least one repetition ran");
+        let perf = recorder.engine_perf();
+        points.push(TelemetryBenchPoint {
+            n,
+            mode,
+            wall_secs,
+            events: perf.events_processed,
+            events_per_sec: perf.events_processed as f64 / wall_secs,
+            delivered: recorder.delivered_data_packets(),
+            telemetry_events: recorder.telemetry.events().len() as u64,
+        });
+        recorders.push(recorder);
+    }
+    let (off, on) = (&recorders[0], &recorders[1]);
+    assert_eq!(
+        off.engine_perf().events_processed,
+        on.engine_perf().events_processed,
+        "n={n}: enabling telemetry changed the event stream"
+    );
+    assert_eq!(
+        off.delivered_data_packets(),
+        on.delivered_data_packets(),
+        "n={n}: enabling telemetry changed deliveries"
+    );
+    if trace {
+        assert_eq!(
+            off.trace(),
+            on.trace(),
+            "n={n}: enabling telemetry changed the recorder trace"
+        );
+    }
+    assert_eq!(
+        off.telemetry.events().len(),
+        0,
+        "n={n}: disabled telemetry collected events"
+    );
+    assert!(
+        !on.telemetry.events().is_empty(),
+        "n={n}: enabled telemetry collected nothing"
+    );
+    points
+}
+
 /// Render the perf trajectory as the machine-readable JSON committed as
-/// `BENCH_PR6.json` (hand-rolled: the offline build's serde is a no-op shim).
+/// `BENCH_PR7.json` (hand-rolled: the offline build's serde is a no-op shim).
 /// `runs` is the node-scaling axis, `flow_runs` the flows-per-scenario axis,
-/// `execution_runs` the serial-vs-sharded axis (pass `&[]` to omit either).
+/// `execution_runs` the serial-vs-sharded axis, `telemetry_runs` the
+/// telemetry-off-vs-on overhead axis (pass `&[]` to omit any of them).
 pub fn bench_points_json(
     points: &[BenchPoint],
     flow_points: &[FlowBenchPoint],
     exec_points: &[ExecBenchPoint],
+    tele_points: &[TelemetryBenchPoint],
     sim_secs: f64,
     seed: u64,
 ) -> String {
@@ -522,7 +628,9 @@ pub fn bench_points_json(
              \"events_per_sec\": {:.0}, \"delivered\": {}, \"windows\": {}, \
              \"window_micros\": {}, \"cross_shard_frames\": {}, \
              \"cross_shard_announcements\": {}, \"forwarded_events\": {}, \
-             \"shard_events_min\": {}, \"shard_events_max\": {}}}{}\n",
+             \"shard_events_min\": {}, \"shard_events_max\": {}, \
+             \"phase_execute_nanos\": {}, \"phase_barrier_nanos\": {}, \
+             \"phase_apply_nanos\": {}}}{}\n",
             p.n,
             p.execution,
             p.shards,
@@ -539,7 +647,26 @@ pub fn bench_points_json(
             e.forwarded_events,
             e.shard_events_min,
             e.shard_events_max,
+            e.phase_execute_nanos,
+            e.phase_barrier_nanos,
+            e.phase_apply_nanos,
             if i + 1 == exec_points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"telemetry_runs\": [\n");
+    for (i, p) in tele_points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"mode\": \"{}\", \"events\": {}, \"wall_secs\": {:.6}, \
+             \"events_per_sec\": {:.0}, \"delivered\": {}, \"telemetry_events\": {}}}{}\n",
+            p.n,
+            p.mode,
+            p.events,
+            p.wall_secs,
+            p.events_per_sec,
+            p.delivered,
+            p.telemetry_events,
+            if i + 1 == tele_points.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -577,13 +704,16 @@ fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// Parse every node-scaling and execution run of one bench JSON into trend
-/// rows labelled `label`.  Flow-axis runs are skipped (the trend table is
-/// n × queue × execution); files written before the execution axis existed
-/// default to `serial` with one shard and one worker.
+/// rows labelled `label`.  Flow-axis and telemetry-axis runs are skipped (the
+/// trend table is n × queue × execution); files written before the execution
+/// axis existed default to `serial` with one shard and one worker.
 pub fn parse_bench_trend(label: &str, json: &str) -> Vec<TrendRow> {
     let mut rows = Vec::new();
     for line in json.lines() {
-        if !line.trim_start().starts_with('{') || json_field(line, "flows").is_some() {
+        if !line.trim_start().starts_with('{')
+            || json_field(line, "flows").is_some()
+            || json_field(line, "mode").is_some()
+        {
             continue;
         }
         let (Some(n), Some(eps)) = (json_field(line, "n"), json_field(line, "events_per_sec"))
@@ -704,6 +834,9 @@ mod tests {
   ],
   "execution_runs": [
     {"n": 10000, "execution": "sharded", "shards": 8, "workers": 4, "sim_secs": 1, "events": 9000000, "wall_secs": 6.0, "events_per_sec": 1500000, "delivered": 900, "windows": 4716, "window_micros": 212}
+  ],
+  "telemetry_runs": [
+    {"n": 500, "mode": "on", "events": 1, "wall_secs": 1.0, "events_per_sec": 77, "delivered": 1, "telemetry_events": 12}
   ]
 }
 "#;
@@ -724,6 +857,10 @@ mod tests {
         assert!(
             rows.iter().all(|r| r.events_per_sec != 99.0),
             "flow run leaked in"
+        );
+        assert!(
+            rows.iter().all(|r| r.events_per_sec != 77.0),
+            "telemetry run leaked in"
         );
     }
 
@@ -769,12 +906,30 @@ mod tests {
             delivered: 10,
             perf: EnginePerf::default(),
         };
-        let json = bench_points_json(&[], &[], &[exec], 5.0, 1);
+        let json = bench_points_json(&[], &[], &[exec], &[], 5.0, 1);
         assert!(json.contains("\"host_cores\":"), "{json}");
         assert!(json.contains("\"execution\": \"sharded\""), "{json}");
+        assert!(json.contains("\"phase_execute_nanos\":"), "{json}");
         // The JSON must round-trip through the trend parser.
         let rows = parse_bench_trend("X", &json);
         assert_eq!(rows.len(), 1);
         assert_eq!((rows[0].shards, rows[0].workers), (4, 2));
+    }
+
+    #[test]
+    fn bench_json_telemetry_runs_stay_out_of_the_trend_table() {
+        let tele = TelemetryBenchPoint {
+            n: 500,
+            mode: "on",
+            wall_secs: 0.5,
+            events: 1000,
+            events_per_sec: 2000.0,
+            delivered: 10,
+            telemetry_events: 42,
+        };
+        let json = bench_points_json(&[], &[], &[], &[tele], 5.0, 1);
+        assert!(json.contains("\"mode\": \"on\""), "{json}");
+        assert!(json.contains("\"telemetry_events\": 42"), "{json}");
+        assert!(parse_bench_trend("X", &json).is_empty(), "{json}");
     }
 }

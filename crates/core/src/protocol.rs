@@ -44,10 +44,11 @@
 use crate::config::MtsConfig;
 use crate::path_set::PathSet;
 use crate::source_state::{CheckArrival, SourceRouteState};
+use manet_netsim::telemetry::TelemetryEvent;
 use manet_netsim::FxHashMap;
-use manet_netsim::{Ctx, Duration, SimTime, TimerToken};
+use manet_netsim::{Ctx, DropReason, Duration, SimTime, TimerToken};
 use manet_routing::agent::{RoutingAgent, RoutingStats, TimerClass};
-use manet_routing::common::{PacketBuffer, SeenTable};
+use manet_routing::common::{record_data_drop, PacketBuffer, SeenTable};
 use manet_routing::suspicion::SuspicionTable;
 use manet_routing::table::RoutingTable;
 use manet_wire::{
@@ -114,6 +115,11 @@ pub struct Mts {
     /// Quarantined suspicious replies awaiting cross-validation, per
     /// destination (source role only).
     quarantine: FxHashMap<NodeId, QuarantinedReplies>,
+    /// Suspicion penalties `(suspect, score after)` applied since the last
+    /// telemetry flush.  Some penalties land in helpers without an engine
+    /// context, so they queue here and the nearest ctx-bearing caller emits
+    /// the events (the queue is drained/cleared either way and stays tiny).
+    penalty_log: Vec<(NodeId, f64)>,
 }
 
 impl Mts {
@@ -137,6 +143,7 @@ impl Mts {
             suspicion: SuspicionTable::new(),
             credible_seqno: FxHashMap::default(),
             quarantine: FxHashMap::default(),
+            penalty_log: Vec::new(),
         }
     }
 
@@ -218,11 +225,41 @@ impl Mts {
                 for relay in q.relays {
                     if relay != from {
                         self.suspicion.penalize(relay, hard.forgery_penalty);
+                        self.penalty_log.push((relay, self.suspicion.score(relay)));
                     }
                 }
             }
         }
         false
+    }
+
+    /// Emit the queued suspicion-score telemetry events (hardened mode).
+    /// Clears the queue whether or not telemetry is enabled, so a disabled
+    /// run carries no per-penalty state beyond this call.
+    fn flush_suspicion_events(&mut self, ctx: &mut Ctx<'_>) {
+        if self.penalty_log.is_empty() {
+            return;
+        }
+        let t = ctx.now().as_secs();
+        let me = self.me.0;
+        let table = self.suspicion.tracked() as u32;
+        let rec = ctx.recorder();
+        if !rec.telemetry.enabled() {
+            self.penalty_log.clear();
+            return;
+        }
+        let shard = rec.telemetry.shard();
+        rec.telemetry.note_suspicion_size(t, table);
+        for (suspect, score) in self.penalty_log.drain(..) {
+            rec.telemetry.emit(TelemetryEvent::Suspicion {
+                t,
+                shard,
+                node: me,
+                suspect: suspect.0,
+                score,
+                table,
+            });
+        }
     }
 
     // ---- source side -----------------------------------------------------------
@@ -297,7 +334,9 @@ impl Mts {
                 ctx.send_unicast(next_hop, NetPacket::Data(packet));
             }
             None => {
-                self.buffer.push(dst, packet, now);
+                if let Some(evicted) = self.buffer.push(dst, packet, now) {
+                    record_data_drop(ctx, self.me, DropReason::NoRoute, &evicted);
+                }
                 self.start_discovery(ctx, dst);
             }
         }
@@ -305,7 +344,10 @@ impl Mts {
 
     fn flush_buffered(&mut self, ctx: &mut Ctx<'_>, dest: NodeId) {
         let now = ctx.now();
-        let packets = self.buffer.drain(dest, now);
+        let (packets, expired) = self.buffer.drain(dest, now);
+        for p in &expired {
+            record_data_drop(ctx, self.me, DropReason::DiscoveryFailed, p);
+        }
         for p in packets {
             self.originate_data(ctx, p);
         }
@@ -328,6 +370,7 @@ impl Mts {
                 // No forward route: report towards the source so it can
                 // rediscover (paper §III-E).
                 self.stats.data_dropped_no_route += 1;
+                record_data_drop(ctx, self.me, DropReason::NoRoute, &packet);
                 self.send_rerr_towards_source(ctx, packet.src, packet.dst);
             }
         }
@@ -464,8 +507,22 @@ impl Mts {
 
     fn handle_rrep(&mut self, ctx: &mut Ctx<'_>, from: NodeId, mut rrep: RouteReply) {
         let now = ctx.now();
-        if self.config.route_check.enabled && self.hardened_rrep_is_suspicious(from, &rrep) {
-            return;
+        if self.config.route_check.enabled {
+            if self.hardened_rrep_is_suspicious(from, &rrep) {
+                let rec = ctx.recorder();
+                if rec.telemetry.enabled() {
+                    let shard = rec.telemetry.shard();
+                    rec.telemetry.emit(TelemetryEvent::ForgedRrep {
+                        t: now.as_secs(),
+                        shard,
+                        node: self.me.0,
+                        from: from.0,
+                    });
+                }
+                return;
+            }
+            // A credible reply may have resolved quarantined claims.
+            self.flush_suspicion_events(ctx);
         }
         // Forward route to the destination through `from`.
         self.table.update(
@@ -527,6 +584,12 @@ impl Mts {
             // behaving recover one checking round at a time.
             self.suspicion
                 .decay_all(self.config.route_check.suspicion_decay);
+            let rec = ctx.recorder();
+            if rec.telemetry.enabled() {
+                // Periodic sampler feed: table size after the decay sweep.
+                rec.telemetry
+                    .note_suspicion_size(now.as_secs(), self.suspicion.tracked() as u32);
+            }
         }
         let Some(session) = self.sessions.get_mut(&source) else {
             return;
@@ -673,7 +736,9 @@ impl Mts {
                             let inters = inters.to_vec();
                             for n in inters {
                                 self.suspicion.penalize(n, share);
+                                self.penalty_log.push((n, self.suspicion.score(n)));
                             }
+                            self.flush_suspicion_events(ctx);
                         }
                     }
                     _ => {
@@ -824,7 +889,10 @@ impl RoutingAgent for Mts {
             self.pending.remove(&dest);
             self.holddown.insert(dest, now + Duration::from_secs(5.0));
             let dropped = self.buffer.discard(dest);
-            self.stats.data_dropped_no_route += dropped as u64;
+            self.stats.data_dropped_no_route += dropped.len() as u64;
+            for p in &dropped {
+                record_data_drop(ctx, self.me, DropReason::DiscoveryFailed, p);
+            }
             return;
         }
         self.timer_generation += 1;
@@ -853,11 +921,16 @@ impl RoutingAgent for Mts {
                         state.invalidate_via(next_hop);
                     }
                     let dst = d.dst;
-                    self.buffer.push(dst, d, now);
+                    if let Some(evicted) = self.buffer.push(dst, d, now) {
+                        record_data_drop(ctx, self.me, DropReason::NoRoute, &evicted);
+                    }
                     self.start_discovery(ctx, dst);
                 } else {
-                    // Intermediate: notify upstream towards the source.
+                    // Intermediate: notify upstream towards the source; the
+                    // packet itself cannot be salvaged here and dies with
+                    // the broken link.
                     self.send_rerr_towards_source(ctx, d.src, d.dst);
+                    record_data_drop(ctx, self.me, DropReason::SalvageFailed, &d);
                 }
             }
             NetPacket::Check(c) => {

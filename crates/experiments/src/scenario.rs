@@ -394,6 +394,17 @@ impl Scenario {
         self
     }
 
+    /// Enable structured telemetry for this run.  The collected events ride
+    /// on the recorder returned by
+    /// [`run_scenario_with_recorder`](crate::runner::run_scenario_with_recorder)
+    /// (`recorder.telemetry.events()`); telemetry observes the run without
+    /// perturbing it, so enabling it leaves every metric and trace digest
+    /// unchanged.
+    pub fn with_telemetry(mut self, telemetry: manet_netsim::TelemetryConfig) -> Self {
+        self.sim.telemetry = telemetry;
+        self
+    }
+
     /// Validate the scenario.
     pub fn validate(&self) -> Result<(), String> {
         self.sim.validate()?;

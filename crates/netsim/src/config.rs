@@ -9,6 +9,8 @@ use crate::time::Duration;
 use manet_wire::NodeId;
 use serde::{Deserialize, Serialize};
 
+pub use manet_telemetry::TelemetryConfig;
+
 /// MAC-layer timing and behaviour parameters (simplified 802.11 DCF).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MacConfig {
@@ -341,6 +343,11 @@ pub struct SimConfig {
     /// Engine execution strategy (serial reference engine by default; see
     /// [`Execution`]).
     pub execution: Execution,
+    /// Structured telemetry (event stream / sampler / provenance tracing).
+    /// Off by default, and purely observational when on: telemetry never
+    /// draws randomness or schedules events, so it cannot change a run (the
+    /// golden-trace suite asserts this).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SimConfig {
@@ -361,6 +368,7 @@ impl Default for SimConfig {
             wormhole: None,
             rush: None,
             execution: Execution::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -462,6 +470,7 @@ impl SimConfig {
                 }
             }
         }
+        self.telemetry.validate()?;
         if let ChannelModel::Shadowed {
             good_to_bad,
             bad_to_good,

@@ -55,7 +55,8 @@ use crate::recorder::{DropReason, EnginePerf, Recorder};
 use crate::rng::RngStreams;
 use crate::shard::{DeliverRecord, ShardCtx, TxAnnouncement};
 use crate::time::{Duration, SimTime};
-use manet_wire::{Frame, MacDest, NetPacket, NodeId, SharedPacket};
+use manet_telemetry::{Telemetry, TelemetryEvent};
+use manet_wire::{DataPacket, Frame, MacDest, NetPacket, NodeId, SharedPacket};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::cell::{Cell, RefCell};
@@ -466,10 +467,67 @@ impl World {
             }
         }
         let capacity = self.config.mac.queue_capacity;
+        // Telemetry reads the frame's headline facts before the MAC takes
+        // ownership; the events themselves fire after the enqueue decision.
+        let tele = self.recorder.telemetry.enabled();
+        let (kind, bytes, data) = if tele {
+            (
+                frame.payload.kind(),
+                frame.size_bytes(),
+                match &*frame.payload {
+                    NetPacket::Data(dp) => {
+                        Some((dp.segment.conn.0, dp.segment.seq, dp.carries_data()))
+                    }
+                    _ => None,
+                },
+            )
+        } else {
+            ("", 0, None)
+        };
         let accepted = self.macs[node.index()].enqueue(frame, capacity);
         if !accepted {
-            self.recorder.record_mac_drop(DropReason::QueueOverflow);
+            self.recorder.record_drop(DropReason::QueueOverflow);
+            if tele {
+                let t = self.now.as_secs();
+                let shard = self.recorder.telemetry.shard();
+                self.recorder.telemetry.emit(TelemetryEvent::Drop {
+                    t,
+                    shard,
+                    node: node.0,
+                    reason: DropReason::QueueOverflow,
+                    kind,
+                    conn: data.and_then(|(c, _, carries)| carries.then_some(c)),
+                });
+            }
             return;
+        }
+        if tele {
+            let t = self.now.as_secs();
+            let queue = self.macs[node.index()].queue.len() as u32;
+            let telemetry = &mut self.recorder.telemetry;
+            let shard = telemetry.shard();
+            telemetry.note_queue_len(t, queue);
+            telemetry.emit(TelemetryEvent::FrameEnqueue {
+                t,
+                shard,
+                node: node.0,
+                kind,
+                bytes,
+                queue,
+            });
+            if let Some((conn, seq, carries)) = data {
+                if telemetry.traced(conn, seq, carries) {
+                    telemetry.emit(TelemetryEvent::Provenance {
+                        t,
+                        shard,
+                        stage: "enqueue",
+                        node: node.0,
+                        conn,
+                        seq,
+                        kind,
+                    });
+                }
+            }
         }
         self.ensure_attempt(node, Duration::ZERO);
     }
@@ -560,6 +618,9 @@ impl World {
                 busy: busy_touched.to_vec(),
                 rx: receivers.to_vec(),
             });
+            if self.recorder.telemetry.enabled() {
+                self.recorder.telemetry.note_xshard(start.as_secs(), 1);
+            }
         }
     }
 }
@@ -718,11 +779,16 @@ impl<S: StackSlot> SimCore<S> {
                 mask
             }
         };
+        let mut recorder = Recorder::new();
+        recorder.telemetry = Telemetry::from_config(&config.telemetry);
+        if let Some(s) = &shard {
+            recorder.telemetry.set_shard(s.id);
+        }
         let world = World {
             now: SimTime::ZERO,
             queue,
             rngs,
-            recorder: Recorder::new(),
+            recorder,
             motions,
             kin,
             macs,
@@ -816,6 +882,14 @@ impl<S: StackSlot> SimCore<S> {
             perf.cross_shard_frames = shard.counters.cross_shard_frames;
             perf.cross_shard_announcements = shard.counters.cross_shard_announcements;
             perf.forwarded_events = shard.counters.forwarded_events;
+        }
+        if self.world.recorder.telemetry.enabled() {
+            // Close the sampler's trailing window with the final resize count
+            // before the stream is sealed for merging/serialisation.
+            let t = self.world.now.as_secs();
+            let telemetry = &mut self.world.recorder.telemetry;
+            telemetry.note_calendar_resizes(t, queue.calendar_resizes);
+            telemetry.finalize();
         }
         self.world.recorder.set_engine_perf(perf);
         self.world.recorder
@@ -1028,6 +1102,34 @@ impl<S: StackSlot> SimCore<S> {
             bytes,
             now,
         );
+        if self.world.recorder.telemetry.enabled() {
+            let t = now.as_secs();
+            let resizes = self.world.queue.perf().calendar_resizes;
+            let kind = queued.frame.payload.kind();
+            let telemetry = &mut self.world.recorder.telemetry;
+            let shard = telemetry.shard();
+            telemetry.note_calendar_resizes(t, resizes);
+            telemetry.emit(TelemetryEvent::TxStart {
+                t,
+                shard,
+                node: node.0,
+                kind,
+                bytes,
+            });
+            if let NetPacket::Data(dp) = &*queued.frame.payload {
+                if telemetry.traced(dp.segment.conn.0, dp.segment.seq, dp.carries_data()) {
+                    telemetry.emit(TelemetryEvent::Provenance {
+                        t,
+                        shard,
+                        stage: "tx_start",
+                        node: node.0,
+                        conn: dp.segment.conn.0,
+                        seq: dp.segment.seq,
+                        kind,
+                    });
+                }
+            }
+        }
 
         // Determine receivers (transmission range) and busy set (carrier-sense
         // range) in one fused pass over the grid candidates: each candidate's
@@ -1148,6 +1250,19 @@ impl<S: StackSlot> SimCore<S> {
             };
             if collided {
                 self.world.recorder.record_collision();
+                if self.world.recorder.telemetry.enabled() {
+                    let t = now.as_secs();
+                    let shard = self.world.recorder.telemetry.shard();
+                    self.world
+                        .recorder
+                        .telemetry
+                        .emit(TelemetryEvent::Collision {
+                            t,
+                            shard,
+                            node: r.0,
+                            from: node.0,
+                        });
+                }
             }
             let faded = {
                 let World {
@@ -1177,6 +1292,23 @@ impl<S: StackSlot> SimCore<S> {
             };
             if jammed && !collided && !faded && !lost {
                 self.world.recorder.record_jammed(is_control);
+                if self.world.recorder.telemetry.enabled() {
+                    let t = now.as_secs();
+                    let kind = queued.frame.payload.kind();
+                    let conn = match &*queued.frame.payload {
+                        NetPacket::Data(dp) if dp.carries_data() => Some(dp.segment.conn.0),
+                        _ => None,
+                    };
+                    let shard = self.world.recorder.telemetry.shard();
+                    self.world.recorder.telemetry.emit(TelemetryEvent::Drop {
+                        t,
+                        shard,
+                        node: r.0,
+                        reason: DropReason::Jammed,
+                        kind,
+                        conn,
+                    });
+                }
             }
             outcomes.push((r, !collided && !faded && !lost && !jammed));
         }
@@ -1225,7 +1357,7 @@ impl<S: StackSlot> SimCore<S> {
                         Arc::clone(payload.as_ref().expect("not last"))
                     };
                     if self.world.owns(r) {
-                        self.account_reception(r, &packet, true);
+                        self.account_reception(r, node, &packet, true);
                         add(&self.world.perf.payload_clones_avoided, 1);
                         let mut ctx = Ctx {
                             world: &mut self.world,
@@ -1270,7 +1402,7 @@ impl<S: StackSlot> SimCore<S> {
                 for (r, ok) in &outcomes {
                     if *ok && *r != dst {
                         if self.world.owns(*r) {
-                            self.account_reception(*r, &queued.frame.payload, false);
+                            self.account_reception(*r, node, &queued.frame.payload, false);
                             let mut ctx = Ctx {
                                 world: &mut self.world,
                                 node: *r,
@@ -1298,7 +1430,7 @@ impl<S: StackSlot> SimCore<S> {
                 if delivered && self.world.owns(dst) {
                     self.world.macs[idx].tx_ok += 1;
                     self.world.macs[idx].reset_backoff();
-                    self.account_reception(dst, &queued.frame.payload, true);
+                    self.account_reception(dst, node, &queued.frame.payload, true);
                     // Move the payload out of the finished frame: the
                     // receiving stack gets the sole reference and can take
                     // ownership without a copy.
@@ -1338,8 +1470,25 @@ impl<S: StackSlot> SimCore<S> {
                     } else {
                         self.world.macs[idx].retry_drops += 1;
                         self.world.macs[idx].reset_backoff();
-                        self.world.recorder.record_mac_drop(DropReason::RetryLimit);
+                        self.world.recorder.record_drop(DropReason::RetryLimit);
                         self.world.recorder.record_link_failure(node, dst, now);
+                        if self.world.recorder.telemetry.enabled() {
+                            let t = now.as_secs();
+                            let kind = queued.frame.payload.kind();
+                            let conn = match &*queued.frame.payload {
+                                NetPacket::Data(dp) if dp.carries_data() => Some(dp.segment.conn.0),
+                                _ => None,
+                            };
+                            let shard = self.world.recorder.telemetry.shard();
+                            self.world.recorder.telemetry.emit(TelemetryEvent::Drop {
+                                t,
+                                shard,
+                                node: node.0,
+                                reason: DropReason::RetryLimit,
+                                kind,
+                                conn,
+                            });
+                        }
                         let packet = self.world.claim_packet(queued.frame.payload);
                         let mut ctx = Ctx {
                             world: &mut self.world,
@@ -1366,23 +1515,12 @@ impl<S: StackSlot> SimCore<S> {
     /// stack sees an ordinary `on_receive` from the near endpoint, so honest
     /// routing logic treats the pair as direct neighbours.
     fn tunnel_deliver(&mut self, to: NodeId, from: NodeId, packet: SharedPacket) {
-        if let NetPacket::Data(dp) = &*packet {
-            let carries = dp.carries_data();
-            if dp.dst == to {
-                self.world.recorder.record_delivered(
-                    to,
-                    dp.id,
-                    dp.segment.conn,
-                    carries,
-                    dp.segment.payload_len,
-                    self.world.now,
-                );
-            } else {
-                self.world
-                    .recorder
-                    .record_relay(to, dp.id, carries, self.world.now);
+        if self.world.recorder.telemetry.enabled() {
+            if let NetPacket::Data(dp) = &*packet {
+                self.emit_stage_provenance("tunnel", to, dp);
             }
         }
+        self.account_reception(to, from, &packet, true);
         let mut ctx = Ctx {
             world: &mut self.world,
             node: to,
@@ -1399,8 +1537,13 @@ impl<S: StackSlot> SimCore<S> {
     fn remote_deliver(&mut self, to: NodeId, frame: Frame, addressed: bool) {
         debug_assert!(self.world.owns(to), "RemoteDeliver routed to owner shard");
         let from = frame.mac_src;
+        if self.world.recorder.telemetry.enabled() {
+            if let NetPacket::Data(dp) = &*frame.payload {
+                self.emit_stage_provenance("cross_shard", to, dp);
+            }
+        }
         if addressed {
-            self.account_reception(to, &frame.payload, true);
+            self.account_reception(to, from, &frame.payload, true);
             add(&self.world.perf.payload_clones_avoided, 1);
             let mut ctx = Ctx {
                 world: &mut self.world,
@@ -1410,7 +1553,7 @@ impl<S: StackSlot> SimCore<S> {
                 .stack()
                 .on_receive(&mut ctx, from, frame.payload);
         } else {
-            self.account_reception(to, &frame.payload, false);
+            self.account_reception(to, from, &frame.payload, false);
             let mut ctx = Ctx {
                 world: &mut self.world,
                 node: to,
@@ -1422,14 +1565,21 @@ impl<S: StackSlot> SimCore<S> {
     }
 
     /// Update the recorder for a successful reception of `payload` at `node`.
-    /// `addressed` is true when `node` was the MAC destination (or the frame
-    /// was a broadcast), false for promiscuous overhearing.
-    fn account_reception(&mut self, node: NodeId, payload: &NetPacket, addressed: bool) {
+    /// `from` is the transmitting (previous-hop) node; `addressed` is true
+    /// when `node` was the MAC destination (or the frame was a broadcast),
+    /// false for promiscuous overhearing.
+    fn account_reception(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        payload: &NetPacket,
+        addressed: bool,
+    ) {
         if let NetPacket::Data(dp) = payload {
             let carries = dp.carries_data();
             if addressed {
                 if dp.dst == node {
-                    self.world.recorder.record_delivered(
+                    let first = self.world.recorder.record_delivered(
                         node,
                         dp.id,
                         dp.segment.conn,
@@ -1437,14 +1587,77 @@ impl<S: StackSlot> SimCore<S> {
                         dp.segment.payload_len,
                         self.world.now,
                     );
+                    if first && self.world.recorder.telemetry.enabled() {
+                        self.emit_deliver_telemetry(node, from, dp);
+                    }
                 } else {
                     self.world
                         .recorder
                         .record_relay(node, dp.id, carries, self.world.now);
+                    if self.world.recorder.telemetry.enabled() {
+                        self.emit_stage_provenance("relay", node, dp);
+                    }
                 }
             } else {
                 self.world.recorder.record_overheard(node, dp.id, carries);
             }
+        }
+    }
+
+    /// Telemetry for a data packet's first arrival at its destination: the
+    /// `deliver` event, the goodput sample, and the provenance stage.
+    fn emit_deliver_telemetry(&mut self, node: NodeId, from: NodeId, dp: &DataPacket) {
+        let t = self.world.now.as_secs();
+        let conn = dp.segment.conn.0;
+        let seq = dp.segment.seq;
+        let carries = dp.carries_data();
+        let telemetry = &mut self.world.recorder.telemetry;
+        let shard = telemetry.shard();
+        if carries {
+            telemetry.note_goodput(t, conn, u64::from(dp.segment.payload_len));
+        }
+        telemetry.emit(TelemetryEvent::Deliver {
+            t,
+            shard,
+            node: node.0,
+            from: from.0,
+            kind: "DATA",
+            conn: Some(conn),
+            // Pure ACKs carry no sequence payload on the wire; leaving `seq`
+            // out keeps them outside the per-connection conservation ledger
+            // (only payload-carrying originations are counted there).
+            seq: carries.then_some(seq),
+        });
+        if telemetry.traced(conn, seq, carries) {
+            telemetry.emit(TelemetryEvent::Provenance {
+                t,
+                shard,
+                stage: "deliver",
+                node: node.0,
+                conn,
+                seq,
+                kind: "DATA",
+            });
+        }
+    }
+
+    /// Emit a provenance stage for `dp` at `node` if it is the tagged packet.
+    fn emit_stage_provenance(&mut self, stage: &'static str, node: NodeId, dp: &DataPacket) {
+        let t = self.world.now.as_secs();
+        let telemetry = &mut self.world.recorder.telemetry;
+        let conn = dp.segment.conn.0;
+        let seq = dp.segment.seq;
+        if telemetry.traced(conn, seq, dp.carries_data()) {
+            let shard = telemetry.shard();
+            telemetry.emit(TelemetryEvent::Provenance {
+                t,
+                shard,
+                stage,
+                node: node.0,
+                conn,
+                seq,
+                kind: "DATA",
+            });
         }
     }
 }
@@ -1542,7 +1755,7 @@ mod tests {
         assert!(log.borrow().is_empty());
         assert_eq!(rec.delivered_data_packets(), 0);
         assert_eq!(rec.link_failures(), 1);
-        assert_eq!(rec.mac_drops(DropReason::RetryLimit), 1);
+        assert_eq!(rec.drops(DropReason::RetryLimit), 1);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod topology;
 pub use calendar::CalendarQueue;
 pub use config::{
     EventQueueKind, Execution, JamConfig, JamTarget, NeighborIndex, RushConfig, SimConfig,
-    WormholeConfig,
+    TelemetryConfig, WormholeConfig,
 };
 pub use engine::{SimCore, Simulator, StackSlot};
 pub use event::{Event, EventQueue, QueuePerf, ScheduledEvent};
@@ -72,3 +72,6 @@ pub use shard::run_sharded;
 pub use time::{Duration, SimTime};
 
 pub use manet_wire as wire;
+
+pub use manet_telemetry as telemetry;
+pub use recorder::DropReason;

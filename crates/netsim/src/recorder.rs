@@ -9,17 +9,18 @@
 
 use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::time::{Duration, SimTime};
+use manet_telemetry::Telemetry;
 use manet_wire::{ConnectionId, NetPacket, NodeId, PacketId};
 use std::collections::BTreeSet;
 
-/// Reasons the MAC can drop a frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum DropReason {
-    /// The interface queue was full.
-    QueueOverflow,
-    /// The unicast retry limit was exhausted.
-    RetryLimit,
-}
+/// Why a frame or packet was discarded — the unified vocabulary shared by
+/// every layer's drop accounting and by the telemetry stream (it is
+/// [`manet_telemetry::DropKind`] re-exported under the name the engine has
+/// always used).  MAC-level reasons (`QueueOverflow`, `RetryLimit`,
+/// `Jammed`), adversarial discards and routing-layer reasons (`NoRoute`,
+/// `DiscoveryFailed`, `SalvageFailed`) all funnel through
+/// [`Recorder::record_drop`].
+pub use manet_telemetry::DropKind as DropReason;
 
 /// A single trace entry (kept optionally, for debugging and the trace example).
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +121,20 @@ pub struct EnginePerf {
     pub shard_events_min: u64,
     /// Events processed by the most-loaded shard (shard-imbalance ceiling).
     pub shard_events_max: u64,
+
+    // --- shard phase timers (wall clock; all zero for a serial run) ------------
+    // Summed across workers, these quantify where the sharded engine's wall
+    // time goes: executing windows, waiting at barriers, or applying
+    // cross-shard announcements/mail.  Wall-clock values are *not*
+    // deterministic — equivalence tests must compare EnginePerf with these
+    // masked (see [`EnginePerf::without_phase_timers`]).
+    /// Nanoseconds workers spent executing lookahead windows.
+    pub phase_execute_nanos: u64,
+    /// Nanoseconds workers spent parked at window barriers.
+    pub phase_barrier_nanos: u64,
+    /// Nanoseconds spent applying cross-shard announcements and mail at
+    /// barriers (a subset of the coordinator's serial section).
+    pub phase_apply_nanos: u64,
 }
 
 impl EnginePerf {
@@ -150,6 +165,18 @@ impl EnginePerf {
             0.0
         } else {
             self.payload_clones_avoided as f64 / total as f64
+        }
+    }
+
+    /// This perf record with the wall-clock phase timers zeroed — the
+    /// deterministic projection the equivalence tests compare (everything
+    /// else in `EnginePerf` is schedule-derived and reproducible).
+    pub fn without_phase_timers(&self) -> EnginePerf {
+        EnginePerf {
+            phase_execute_nanos: 0,
+            phase_barrier_nanos: 0,
+            phase_apply_nanos: 0,
+            ..*self
         }
     }
 }
@@ -258,13 +285,19 @@ pub struct Recorder {
     control_tx_by_kind: FxHashMap<&'static str, u64>,
     data_tx: u64,
 
-    // --- MAC level --------------------------------------------------------------
-    mac_drops: FxHashMap<DropReason, u64>,
+    // --- drops (unified across layers) -------------------------------------------
+    drops: FxHashMap<DropReason, u64>,
     link_failures: u64,
     collisions: u64,
 
     // --- engine internals --------------------------------------------------------
     engine_perf: EnginePerf,
+
+    /// Structured telemetry buffer (event stream, sampler, provenance tag).
+    /// Disabled by default; hook sites throughout the stack guard on
+    /// [`Telemetry::enabled`], so a disabled run pays one predictable branch
+    /// per site and records nothing.
+    pub telemetry: Telemetry,
 }
 
 impl Recorder {
@@ -300,7 +333,9 @@ impl Recorder {
         }
     }
 
-    /// A data packet reached its final destination.
+    /// A data packet reached its final destination.  Returns `true` if this
+    /// was the packet's *first* recorded delivery (telemetry hooks emit a
+    /// `deliver` event only then, matching the unique-packet metrics).
     pub fn record_delivered(
         &mut self,
         node: NodeId,
@@ -309,11 +344,11 @@ impl Recorder {
         carries_data: bool,
         payload_bytes: u32,
         at: SimTime,
-    ) {
+    ) -> bool {
         if self.delivered.contains_key(&packet) {
             // Duplicate delivery (e.g. a retransmission raced the original);
             // the paper's metrics count unique packets.
-            return;
+            return false;
         }
         self.delivered.insert(
             packet,
@@ -345,6 +380,7 @@ impl Recorder {
         if self.keep_trace {
             self.trace.push(TraceEvent::Delivered { node, packet, at });
         }
+        true
     }
 
     /// A node that is not the packet's final destination received a data
@@ -387,22 +423,26 @@ impl Recorder {
     }
 
     /// An adversarial node (black hole / gray hole) deliberately discarded a
-    /// packet it was supposed to forward.
+    /// packet it was supposed to forward.  Also counted under
+    /// [`DropReason::AdversaryDiscard`] in the unified drop map.
     pub fn record_adversary_drop(&mut self, node: NodeId, carries_data: bool) {
         self.adversary_drops += 1;
         if carries_data {
             self.adversary_data_drops += 1;
         }
         *self.adversary_drops_by_node.entry(node).or_insert(0) += 1;
+        *self.drops.entry(DropReason::AdversaryDiscard).or_insert(0) += 1;
     }
 
-    /// A reception was corrupted by a selective jammer.
+    /// A reception was corrupted by a selective jammer.  Also counted under
+    /// [`DropReason::Jammed`] in the unified drop map.
     pub fn record_jammed(&mut self, is_control: bool) {
         if is_control {
             self.jammed_control += 1;
         } else {
             self.jammed_data += 1;
         }
+        *self.drops.entry(DropReason::Jammed).or_insert(0) += 1;
     }
 
     /// A node overheard a data packet it was not the MAC destination of.
@@ -440,9 +480,13 @@ impl Recorder {
         }
     }
 
-    /// The MAC dropped a frame.
-    pub fn record_mac_drop(&mut self, reason: DropReason) {
-        *self.mac_drops.entry(reason).or_insert(0) += 1;
+    /// A frame or packet was discarded for `reason` — the single entry point
+    /// for every layer's drop accounting (MAC queue overflows and retry
+    /// exhaustion, routing-layer no-route/discovery/salvage failures).
+    /// Jamming and adversarial discards come in through their dedicated
+    /// record methods, which feed the same map.
+    pub fn record_drop(&mut self, reason: DropReason) {
+        *self.drops.entry(reason).or_insert(0) += 1;
     }
 
     /// A unicast frame exhausted its retry budget.
@@ -506,6 +550,8 @@ impl Recorder {
         };
         let mut delivered: FxHashMap<PacketId, (DeliveredEntry, usize)> = FxHashMap::default();
         let mut trace: Vec<(SimTime, usize, TraceEvent)> = Vec::new();
+        let mut telemetry_parts: Vec<Vec<manet_telemetry::TelemetryEvent>> = Vec::new();
+        let mut telemetry_enabled = false;
         for (s, part) in parts.into_iter().enumerate() {
             // Data plane: earliest origination per packet, per-shard delivery
             // candidates (deduplicated below), per-flow origination sums.
@@ -571,15 +617,18 @@ impl Recorder {
                 *out.control_tx_by_kind.entry(kind).or_insert(0) += c;
             }
             out.data_tx += part.data_tx;
-            for (reason, c) in part.mac_drops {
-                *out.mac_drops.entry(reason).or_insert(0) += c;
+            for (reason, c) in part.drops {
+                *out.drops.entry(reason).or_insert(0) += c;
             }
             out.link_failures += part.link_failures;
             out.collisions += part.collisions;
-            // Trace.
+            // Trace and telemetry (both interleave by (time, shard id)).
             for ev in part.trace {
                 trace.push((Self::trace_time(&ev), s, ev));
             }
+            let mut part_tel = part.telemetry;
+            telemetry_parts.push(part_tel.take_events());
+            telemetry_enabled |= part_tel.enabled();
             // Engine perf.
             let p = part.engine_perf;
             perf.neighbor_queries += p.neighbor_queries;
@@ -598,6 +647,9 @@ impl Recorder {
             perf.cross_shard_frames += p.cross_shard_frames;
             perf.cross_shard_announcements += p.cross_shard_announcements;
             perf.forwarded_events += p.forwarded_events;
+            perf.phase_execute_nanos += p.phase_execute_nanos;
+            perf.phase_barrier_nanos += p.phase_barrier_nanos;
+            perf.phase_apply_nanos += p.phase_apply_nanos;
             perf.shard_events_min = perf.shard_events_min.min(p.events_processed);
             perf.shard_events_max = perf.shard_events_max.max(p.events_processed);
         }
@@ -631,6 +683,17 @@ impl Recorder {
         }
         trace.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
         out.trace = trace.into_iter().map(|(_, _, ev)| ev).collect();
+        if telemetry_enabled {
+            // Each event already carries its shard stamp, so the merged
+            // buffer just needs the deterministic (time, shard) interleave.
+            out.telemetry = Telemetry::from_config(&manet_telemetry::TelemetryConfig {
+                enabled: true,
+                window_secs: None,
+                trace_packet: None,
+            });
+            out.telemetry
+                .set_events(manet_telemetry::merge_events(telemetry_parts));
+        }
         if perf.shard_events_min == u64::MAX {
             perf.shard_events_min = 0;
         }
@@ -858,9 +921,14 @@ impl Recorder {
         self.data_tx
     }
 
-    /// MAC drops by reason.
-    pub fn mac_drops(&self, reason: DropReason) -> u64 {
-        self.mac_drops.get(&reason).copied().unwrap_or(0)
+    /// Drops by reason, from the unified cross-layer drop map.
+    pub fn drops(&self, reason: DropReason) -> u64 {
+        self.drops.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Total drops across every reason.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
     }
 
     /// Unicast retry-limit link failures observed.
@@ -937,13 +1005,14 @@ mod tests {
     #[test]
     fn mac_level_counters() {
         let mut r = Recorder::new();
-        r.record_mac_drop(DropReason::QueueOverflow);
-        r.record_mac_drop(DropReason::RetryLimit);
-        r.record_mac_drop(DropReason::RetryLimit);
+        r.record_drop(DropReason::QueueOverflow);
+        r.record_drop(DropReason::RetryLimit);
+        r.record_drop(DropReason::RetryLimit);
         r.record_link_failure(NodeId(1), NodeId(2), t(3.0));
         r.record_collision();
-        assert_eq!(r.mac_drops(DropReason::QueueOverflow), 1);
-        assert_eq!(r.mac_drops(DropReason::RetryLimit), 2);
+        assert_eq!(r.drops(DropReason::QueueOverflow), 1);
+        assert_eq!(r.drops(DropReason::RetryLimit), 2);
+        assert_eq!(r.total_drops(), 3);
         assert_eq!(r.link_failures(), 1);
         assert_eq!(r.collisions(), 1);
     }
@@ -1019,7 +1088,7 @@ mod tests {
         b.record_relay(NodeId(3), PacketId(2), true, t(0.3));
         b.record_relay(NodeId(7), PacketId(2), true, t(0.3));
         b.record_tx(NodeId(1), "RREQ", true, 44, t(0.1));
-        b.record_mac_drop(DropReason::RetryLimit);
+        b.record_drop(DropReason::RetryLimit);
         let m = Recorder::merge(vec![a, b]);
         assert_eq!(m.originated_data_packets(), 2);
         assert_eq!(m.relay_counts()[&NodeId(3)], 2);
@@ -1028,7 +1097,7 @@ mod tests {
         assert_eq!(m.control_transmissions(), 2);
         assert_eq!(m.control_by_kind()["RREQ"], 2);
         assert_eq!(m.collisions(), 1);
-        assert_eq!(m.mac_drops(DropReason::RetryLimit), 1);
+        assert_eq!(m.drops(DropReason::RetryLimit), 1);
     }
 
     #[test]

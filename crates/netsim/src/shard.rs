@@ -75,6 +75,7 @@ use crate::time::{Duration, SimTime};
 use manet_wire::{Frame, NodeId, SharedPacket};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
 
 /// The engine instantiation a shard runs: stacks must be `Send` so shards
 /// can move across worker threads.
@@ -409,19 +410,31 @@ where
         core.lock().expect("shard mutex").ensure_started();
     }
 
+    // Wall-clock phase profiling: where worker time goes, split into shard
+    // execution, barrier waits, and the coordinator's barrier-merge
+    // (announcement/delivery apply).  Published via `EnginePerf`; these sums
+    // are the one nondeterministic part of the perf report.
+    let execute_nanos = AtomicU64::new(0);
+    let barrier_nanos = AtomicU64::new(0);
+    let mut apply_nanos: u64 = 0;
+
     let mut windows: u64 = 0;
     if workers <= 1 {
         // Single worker: the coordinator advances the shards itself.  Same
         // schedule as the pooled path (the schedule never depends on
-        // workers), without any thread machinery.
+        // workers), without any thread machinery (and no barrier waits).
         while let Some(window_end) = next_window_end(&cores, window) {
+            let t_exec = Instant::now();
             for core in &cores {
                 let mut c = core.lock().expect("shard mutex");
                 if !c.is_finished() {
                     c.run_window(window_end);
                 }
             }
+            execute_nanos.fetch_add(t_exec.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let t_apply = Instant::now();
             apply_barrier(&cores, window_end);
+            apply_nanos += t_apply.elapsed().as_nanos() as u64;
             windows += 1;
         }
     } else {
@@ -435,24 +448,36 @@ where
         let end_barrier = Barrier::new(workers as usize + 1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    start_barrier.wait();
-                    if done.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let window_end =
-                        SimTime::from_secs(f64::from_bits(window_bits.load(Ordering::Acquire)));
+                scope.spawn(|| {
+                    let mut execute: u64 = 0;
+                    let mut barrier: u64 = 0;
                     loop {
-                        let i = claim.fetch_add(1, Ordering::Relaxed);
-                        if i >= cores.len() {
+                        let t_wait = Instant::now();
+                        start_barrier.wait();
+                        barrier += t_wait.elapsed().as_nanos() as u64;
+                        if done.load(Ordering::Acquire) {
                             break;
                         }
-                        let mut c = cores[i].lock().expect("shard mutex");
-                        if !c.is_finished() {
-                            c.run_window(window_end);
+                        let window_end =
+                            SimTime::from_secs(f64::from_bits(window_bits.load(Ordering::Acquire)));
+                        let t_exec = Instant::now();
+                        loop {
+                            let i = claim.fetch_add(1, Ordering::Relaxed);
+                            if i >= cores.len() {
+                                break;
+                            }
+                            let mut c = cores[i].lock().expect("shard mutex");
+                            if !c.is_finished() {
+                                c.run_window(window_end);
+                            }
                         }
+                        execute += t_exec.elapsed().as_nanos() as u64;
+                        let t_wait = Instant::now();
+                        end_barrier.wait();
+                        barrier += t_wait.elapsed().as_nanos() as u64;
                     }
-                    end_barrier.wait();
+                    execute_nanos.fetch_add(execute, Ordering::Relaxed);
+                    barrier_nanos.fetch_add(barrier, Ordering::Relaxed);
                 });
             }
             while let Some(window_end) = next_window_end(&cores, window) {
@@ -460,7 +485,9 @@ where
                 claim.store(0, Ordering::Release);
                 start_barrier.wait();
                 end_barrier.wait();
+                let t_apply = Instant::now();
                 apply_barrier(&cores, window_end);
+                apply_nanos += t_apply.elapsed().as_nanos() as u64;
                 windows += 1;
             }
             done.store(true, Ordering::Release);
@@ -477,6 +504,9 @@ where
     perf.shards = u64::from(shards);
     perf.windows = windows;
     perf.window_micros = (window.as_secs() * 1e6).round() as u64;
+    perf.phase_execute_nanos = execute_nanos.into_inner();
+    perf.phase_barrier_nanos = barrier_nanos.into_inner();
+    perf.phase_apply_nanos = apply_nanos;
     recorder.set_engine_perf(perf);
     recorder
 }

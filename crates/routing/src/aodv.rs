@@ -8,10 +8,10 @@
 //! MAC-layer link-failure feedback.
 
 use crate::agent::{RoutingAgent, RoutingStats, TimerClass};
-use crate::common::{PacketBuffer, SeenTable};
+use crate::common::{record_data_drop, PacketBuffer, SeenTable};
 use crate::table::RoutingTable;
 use manet_netsim::FxHashMap;
-use manet_netsim::{Ctx, Duration, TimerToken};
+use manet_netsim::{Ctx, DropReason, Duration, TimerToken};
 use manet_wire::{
     BroadcastId, DataPacket, NetPacket, NodeId, RouteError, RouteReply, RouteRequest, SeqNo,
     SharedPacket,
@@ -163,10 +163,13 @@ impl Aodv {
         if self.table.lookup(dst, now).is_some() {
             self.forward_data_known(ctx, packet);
         } else if packet.src == self.me {
-            self.buffer.push(dst, packet, now);
+            if let Some(evicted) = self.buffer.push(dst, packet, now) {
+                record_data_drop(ctx, self.me, DropReason::NoRoute, &evicted);
+            }
             self.start_discovery(ctx, dst);
         } else {
             self.stats.data_dropped_no_route += 1;
+            record_data_drop(ctx, self.me, DropReason::NoRoute, &packet);
             self.send_rerr_for(ctx, dst);
         }
     }
@@ -290,7 +293,10 @@ impl Aodv {
             self.pending.remove(&rrep.destination);
             self.holddown.remove(&rrep.destination);
             self.stats.route_switches += 1;
-            let packets = self.buffer.drain(rrep.destination, now);
+            let (packets, expired) = self.buffer.drain(rrep.destination, now);
+            for p in &expired {
+                record_data_drop(ctx, self.me, DropReason::DiscoveryFailed, p);
+            }
             for p in packets {
                 self.route_or_buffer(ctx, p);
             }
@@ -405,7 +411,10 @@ impl RoutingAgent for Aodv {
             self.pending.remove(&dest);
             self.holddown.insert(dest, now + Duration::from_secs(5.0));
             let dropped = self.buffer.discard(dest);
-            self.stats.data_dropped_no_route += dropped as u64;
+            self.stats.data_dropped_no_route += dropped.len() as u64;
+            for p in &dropped {
+                record_data_drop(ctx, self.me, DropReason::DiscoveryFailed, p);
+            }
             return;
         }
         // Retry the flood.
@@ -440,8 +449,14 @@ impl RoutingAgent for Aodv {
         if let NetPacket::Data(d) = packet {
             if d.src == self.me {
                 let dst = d.dst;
-                self.buffer.push(dst, d, now);
+                if let Some(evicted) = self.buffer.push(dst, d, now) {
+                    record_data_drop(ctx, self.me, DropReason::NoRoute, &evicted);
+                }
                 self.start_discovery(ctx, dst);
+            } else {
+                // Intermediate: nothing to salvage with — the packet dies
+                // with the broken link.
+                record_data_drop(ctx, self.me, DropReason::SalvageFailed, &d);
             }
         }
     }

@@ -1,9 +1,48 @@
 //! Shared routing building blocks.
 
+use manet_netsim::telemetry::TelemetryEvent;
 use manet_netsim::FxHashMap;
 use manet_netsim::SimTime;
+use manet_netsim::{Ctx, DropReason};
 use manet_wire::{BroadcastId, DataPacket, NodeId};
 use std::collections::VecDeque;
+
+/// Record a routing-layer data-packet drop through the unified accounting:
+/// bump the recorder's per-reason drop counter and, when telemetry is
+/// enabled, emit a structured `drop` event (plus a provenance hop if this is
+/// the traced packet).  The `conn` field is attached only when the packet
+/// carries TCP payload — pure ACKs share the connection id but sit outside
+/// the conservation ledger.
+pub fn record_data_drop(ctx: &mut Ctx<'_>, me: NodeId, reason: DropReason, packet: &DataPacket) {
+    let t = ctx.now().as_secs();
+    let rec = ctx.recorder();
+    rec.record_drop(reason);
+    if !rec.telemetry.enabled() {
+        return;
+    }
+    let conn = packet.segment.conn.0;
+    let seq = packet.segment.seq;
+    let shard = rec.telemetry.shard();
+    rec.telemetry.emit(TelemetryEvent::Drop {
+        t,
+        shard,
+        node: me.0,
+        reason,
+        kind: "DATA",
+        conn: packet.carries_data().then_some(conn),
+    });
+    if rec.telemetry.traced(conn, seq, packet.carries_data()) {
+        rec.telemetry.emit(TelemetryEvent::Provenance {
+            t,
+            shard,
+            stage: "drop",
+            node: me.0,
+            conn,
+            seq,
+            kind: "DATA",
+        });
+    }
+}
 
 /// Duplicate-suppression table for flooded packets.
 ///
@@ -94,35 +133,51 @@ impl PacketBuffer {
         }
     }
 
-    /// Queue a packet for `dest`.
-    pub fn push(&mut self, dest: NodeId, packet: DataPacket, now: SimTime) {
+    /// Queue a packet for `dest`.  When the per-destination queue is full the
+    /// oldest packet is evicted and returned so the caller can account the
+    /// drop.
+    #[must_use = "the evicted packet (if any) must be accounted as a drop"]
+    pub fn push(&mut self, dest: NodeId, packet: DataPacket, now: SimTime) -> Option<DataPacket> {
         let q = self.queues.entry(dest).or_default();
-        if q.len() >= self.capacity_per_dest {
-            q.pop_front();
+        let evicted = if q.len() >= self.capacity_per_dest {
             self.dropped += 1;
-        }
+            q.pop_front().map(|(p, _)| p)
+        } else {
+            None
+        };
         q.push_back((packet, now));
+        evicted
     }
 
-    /// Take every still-fresh packet buffered for `dest`.
-    pub fn drain(&mut self, dest: NodeId, now: SimTime) -> Vec<DataPacket> {
+    /// Take everything buffered for `dest`, split into still-fresh packets
+    /// (first element, for the caller to re-route) and expired ones (second
+    /// element, for the caller to account as drops).
+    #[must_use = "expired packets (the second element) must be accounted as drops"]
+    pub fn drain(&mut self, dest: NodeId, now: SimTime) -> (Vec<DataPacket>, Vec<DataPacket>) {
         let max_age = self.max_age_secs;
-        match self.queues.remove(&dest) {
-            None => Vec::new(),
-            Some(q) => q
-                .into_iter()
-                .filter(|(_, queued_at)| now.saturating_since(*queued_at).as_secs() <= max_age)
-                .map(|(p, _)| p)
-                .collect(),
+        let (mut fresh, mut expired) = (Vec::new(), Vec::new());
+        if let Some(q) = self.queues.remove(&dest) {
+            for (p, queued_at) in q {
+                if now.saturating_since(queued_at).as_secs() <= max_age {
+                    fresh.push(p);
+                } else {
+                    expired.push(p);
+                }
+            }
         }
+        self.dropped += expired.len() as u64;
+        (fresh, expired)
     }
 
-    /// Discard everything buffered for `dest`, returning how many packets were
-    /// dropped.
-    pub fn discard(&mut self, dest: NodeId) -> usize {
-        let n = self.queues.remove(&dest).map_or(0, |q| q.len());
-        self.dropped += n as u64;
-        n
+    /// Discard everything buffered for `dest`, returning the dropped packets.
+    #[must_use = "discarded packets must be accounted as drops"]
+    pub fn discard(&mut self, dest: NodeId) -> Vec<DataPacket> {
+        let packets: Vec<DataPacket> = self
+            .queues
+            .remove(&dest)
+            .map_or_else(Vec::new, |q| q.into_iter().map(|(p, _)| p).collect());
+        self.dropped += packets.len() as u64;
+        packets
     }
 
     /// Number of packets currently buffered for `dest`.
@@ -185,36 +240,45 @@ mod tests {
     }
 
     #[test]
-    fn buffer_drains_fresh_packets_only() {
+    fn buffer_drain_splits_fresh_from_expired() {
         let mut b = PacketBuffer::new(10, 2.0);
-        b.push(NodeId(9), pkt(1), t(0.0));
-        b.push(NodeId(9), pkt(2), t(3.0));
-        let out = b.drain(NodeId(9), t(4.0));
-        // Packet 1 is 4 s old (> 2 s max age) and is discarded; packet 2 survives.
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].id, PacketId(2));
+        assert!(b.push(NodeId(9), pkt(1), t(0.0)).is_none());
+        assert!(b.push(NodeId(9), pkt(2), t(3.0)).is_none());
+        let (fresh, expired) = b.drain(NodeId(9), t(4.0));
+        // Packet 1 is 4 s old (> 2 s max age) and expires; packet 2 survives.
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].id, PacketId(2));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, PacketId(1));
+        assert_eq!(b.dropped(), 1);
         assert_eq!(b.len_for(NodeId(9)), 0);
     }
 
     #[test]
-    fn buffer_bounds_capacity_drop_oldest() {
+    fn buffer_bounds_capacity_returning_the_evicted_oldest() {
         let mut b = PacketBuffer::new(2, 100.0);
-        b.push(NodeId(9), pkt(1), t(0.0));
-        b.push(NodeId(9), pkt(2), t(0.1));
-        b.push(NodeId(9), pkt(3), t(0.2));
+        assert!(b.push(NodeId(9), pkt(1), t(0.0)).is_none());
+        assert!(b.push(NodeId(9), pkt(2), t(0.1)).is_none());
+        let evicted = b.push(NodeId(9), pkt(3), t(0.2));
+        assert_eq!(evicted.map(|p| p.id), Some(PacketId(1)));
         assert_eq!(b.len_for(NodeId(9)), 2);
         assert_eq!(b.dropped(), 1);
-        let out = b.drain(NodeId(9), t(0.3));
-        assert_eq!(out.iter().map(|p| p.id.0).collect::<Vec<_>>(), vec![2, 3]);
+        let (fresh, expired) = b.drain(NodeId(9), t(0.3));
+        assert_eq!(fresh.iter().map(|p| p.id.0).collect::<Vec<_>>(), vec![2, 3]);
+        assert!(expired.is_empty());
     }
 
     #[test]
-    fn buffer_discard_counts_drops() {
+    fn buffer_discard_returns_the_dropped_packets() {
         let mut b = PacketBuffer::default();
-        b.push(NodeId(4), pkt(1), t(0.0));
-        b.push(NodeId(4), pkt(2), t(0.0));
+        assert!(b.push(NodeId(4), pkt(1), t(0.0)).is_none());
+        assert!(b.push(NodeId(4), pkt(2), t(0.0)).is_none());
         assert!(b.has_packets_for(NodeId(4)));
-        assert_eq!(b.discard(NodeId(4)), 2);
+        let dropped = b.discard(NodeId(4));
+        assert_eq!(
+            dropped.iter().map(|p| p.id.0).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         assert_eq!(b.dropped(), 2);
         assert!(!b.has_packets_for(NodeId(4)));
     }

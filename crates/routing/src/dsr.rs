@@ -14,9 +14,9 @@
 
 use crate::agent::{RoutingAgent, RoutingStats, TimerClass};
 use crate::cache::RouteCache;
-use crate::common::{PacketBuffer, SeenTable};
+use crate::common::{record_data_drop, PacketBuffer, SeenTable};
 use manet_netsim::FxHashMap;
-use manet_netsim::{Ctx, Duration, TimerToken};
+use manet_netsim::{Ctx, DropReason, Duration, TimerToken};
 use manet_wire::{
     BroadcastId, DataPacket, NetPacket, NodeId, RouteError, RouteReply, RouteRequest, SeqNo,
     SharedPacket,
@@ -166,24 +166,26 @@ impl Dsr {
             routed.hop_count = packet.hop_count;
             self.forward_source_routed(ctx, routed);
         } else {
-            self.buffer.push(dst, packet, now);
+            if let Some(evicted) = self.buffer.push(dst, packet, now) {
+                record_data_drop(ctx, self.me, DropReason::NoRoute, &evicted);
+            }
             self.start_discovery(ctx, dst);
         }
     }
 
     /// Forward a source-routed data packet one hop along its embedded route.
     fn forward_source_routed(&mut self, ctx: &mut Ctx<'_>, mut packet: DataPacket) {
-        let Some(sr) = packet.source_route.as_mut() else {
-            // A DSR node received a packet without a source route (foreign
-            // protocol); drop it.
-            self.stats.data_dropped_no_route += 1;
-            return;
-        };
-        // Position the cursor at this node (robust to duplicate receptions).
-        if let Some(pos) = sr.route.iter().position(|&n| n == self.me) {
-            sr.cursor = pos;
-        }
-        match sr.next_hop() {
+        // Missing source route: a DSR node received a foreign-protocol packet.
+        // Malformed route: we are listed last but are not the destination.
+        // Either way there is no next hop and the packet dies here.
+        let next = packet.source_route.as_mut().and_then(|sr| {
+            // Position the cursor at this node (robust to duplicate receptions).
+            if let Some(pos) = sr.route.iter().position(|&n| n == self.me) {
+                sr.cursor = pos;
+            }
+            sr.next_hop()
+        });
+        match next {
             Some(next) => {
                 packet.hop_count += 1;
                 if packet.src != self.me {
@@ -192,9 +194,8 @@ impl Dsr {
                 ctx.send_unicast(next, NetPacket::Data(packet));
             }
             None => {
-                // Malformed route (we are listed last but are not the
-                // destination); drop.
                 self.stats.data_dropped_no_route += 1;
+                record_data_drop(ctx, self.me, DropReason::NoRoute, &packet);
             }
         }
     }
@@ -297,7 +298,10 @@ impl Dsr {
             self.pending.remove(&rrep.destination);
             self.holddown.remove(&rrep.destination);
             self.stats.route_switches += 1;
-            let packets = self.buffer.drain(rrep.destination, now);
+            let (packets, expired) = self.buffer.drain(rrep.destination, now);
+            for p in &expired {
+                record_data_drop(ctx, self.me, DropReason::DiscoveryFailed, p);
+            }
             for p in packets {
                 self.originate_data(ctx, p);
             }
@@ -325,7 +329,10 @@ impl Dsr {
         // raced a send), try again with whatever routes remain.
         let dests: Vec<NodeId> = rerr.unreachable.clone();
         for dest in dests {
-            let packets = self.buffer.drain(dest, now);
+            let (packets, expired) = self.buffer.drain(dest, now);
+            for p in &expired {
+                record_data_drop(ctx, self.me, DropReason::DiscoveryFailed, p);
+            }
             for p in packets {
                 self.originate_data(ctx, p);
             }
@@ -430,7 +437,10 @@ impl RoutingAgent for Dsr {
             self.pending.remove(&dest);
             self.holddown.insert(dest, now + Duration::from_secs(5.0));
             let dropped = self.buffer.discard(dest);
-            self.stats.data_dropped_no_route += dropped as u64;
+            self.stats.data_dropped_no_route += dropped.len() as u64;
+            for p in &dropped {
+                record_data_drop(ctx, self.me, DropReason::DiscoveryFailed, p);
+            }
             return;
         }
         self.timer_generation += 1;
@@ -456,16 +466,26 @@ impl RoutingAgent for Dsr {
             if d.src == self.me {
                 // Salvage locally: strip the stale source route and retry
                 // (possibly triggering a fresh discovery).
+                let dst = d.dst;
                 let plain = DataPacket::new(d.id, d.src, d.dst, d.segment);
-                self.buffer.push(plain.dst, plain, now);
-                if self.cache.best_route(d.dst, now).is_some() {
-                    let packets = self.buffer.drain(d.dst, now);
+                if let Some(evicted) = self.buffer.push(dst, plain, now) {
+                    record_data_drop(ctx, self.me, DropReason::NoRoute, &evicted);
+                }
+                if self.cache.best_route(dst, now).is_some() {
+                    let (packets, expired) = self.buffer.drain(dst, now);
+                    for p in &expired {
+                        record_data_drop(ctx, self.me, DropReason::DiscoveryFailed, p);
+                    }
                     for p in packets {
                         self.originate_data(ctx, p);
                     }
                 } else {
-                    self.start_discovery(ctx, d.dst);
+                    self.start_discovery(ctx, dst);
                 }
+            } else {
+                // Intermediate: nothing to salvage with — the packet dies
+                // with the broken link.
+                record_data_drop(ctx, self.me, DropReason::SalvageFailed, &d);
             }
         }
     }

@@ -24,6 +24,7 @@
 //! same node can never be confused.
 
 use manet_netsim::fasthash::FxHashMap;
+use manet_netsim::telemetry::TelemetryEvent;
 use manet_netsim::{Ctx, Duration, NodeStack, SimTime, TimerToken};
 use manet_routing::agent::{RoutingAgent, RoutingStats, TimerClass};
 use manet_tcp::{FlowProfile, TcpConfig, TcpOutcome, TcpReceiver, TcpSender};
@@ -222,9 +223,53 @@ impl ManetStack {
         let id = self.fresh_packet_id();
         let packet = DataPacket::new(id, self.me, dst, segment);
         let now = ctx.now();
-        ctx.recorder()
-            .record_originated(id, segment.conn, packet.carries_data(), now);
+        let rec = ctx.recorder();
+        rec.record_originated(id, segment.conn, packet.carries_data(), now);
+        if rec.telemetry.enabled() {
+            let t = now.as_secs();
+            let shard = rec.telemetry.shard();
+            rec.telemetry.emit(TelemetryEvent::Originate {
+                t,
+                shard,
+                node: self.me.0,
+                conn: segment.conn.0,
+                seq: segment.seq,
+                data: packet.carries_data(),
+                bytes: segment.payload_len,
+            });
+            if rec
+                .telemetry
+                .traced(segment.conn.0, segment.seq, packet.carries_data())
+            {
+                rec.telemetry.emit(TelemetryEvent::Provenance {
+                    t,
+                    shard,
+                    stage: "originate",
+                    node: self.me.0,
+                    conn: segment.conn.0,
+                    seq: segment.seq,
+                    kind: "DATA",
+                });
+            }
+        }
         self.agent.send_data(ctx, packet);
+    }
+
+    /// Telemetry hook: a protocol timer of `class` fired on this node.
+    fn note_timer(&mut self, ctx: &mut Ctx<'_>, class: &'static str, scope: u16) {
+        if !ctx.recorder().telemetry.enabled() {
+            return;
+        }
+        let t = ctx.now().as_secs();
+        let rec = ctx.recorder();
+        let shard = rec.telemetry.shard();
+        rec.telemetry.emit(TelemetryEvent::Timer {
+            t,
+            shard,
+            node: self.me.0,
+            class,
+            scope,
+        });
     }
 
     /// Apply a [`TcpOutcome`] of connection `conn`: transmit segments, arm the
@@ -260,8 +305,24 @@ impl ManetStack {
         let now = ctx.now();
         if let Some(TcpEndpoint::Sender { peer, sender }) = self.conns.get_mut(&conn) {
             let peer = *peer;
+            let was_complete = sender.completion_time().is_some();
             let outcome = drive(sender, now);
+            let just_completed = !was_complete && sender.completion_time().is_some();
+            let bytes = sender.bytes_acked();
             self.apply_outcome(ctx, conn, peer, outcome);
+            if just_completed {
+                let rec = ctx.recorder();
+                if rec.telemetry.enabled() {
+                    let shard = rec.telemetry.shard();
+                    rec.telemetry.emit(TelemetryEvent::FlowComplete {
+                        t: now.as_secs(),
+                        shard,
+                        node: self.me.0,
+                        conn: conn.0,
+                        bytes,
+                    });
+                }
+            }
         }
     }
 
@@ -315,12 +376,14 @@ impl NodeStack for ManetStack {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
         if TimerClass::Transport.owns(token) {
+            self.note_timer(ctx, "transport", token.scope());
             let conn = ConnectionId(u32::from(token.scope()));
             let generation = token.seq();
             self.drive_sender(ctx, conn, |s, now| s.on_timer(generation, now));
             return;
         }
         if TimerClass::Application.owns(token) {
+            self.note_timer(ctx, "application", token.scope());
             // Flow start or shape wake-up; both are an idempotent pump.
             let conn = ConnectionId(u32::from(token.scope()));
             self.drive_sender(ctx, conn, |s, now| s.on_wakeup(now));
@@ -328,6 +391,11 @@ impl NodeStack for ManetStack {
         }
         // Routing (and RoutingAux) timers go to the agent; unknown classes are
         // ignored.
+        if TimerClass::Routing.owns(token) {
+            self.note_timer(ctx, "routing", token.scope());
+        } else if TimerClass::RoutingAux.owns(token) {
+            self.note_timer(ctx, "routing_aux", token.scope());
+        }
         self.agent.on_timer(ctx, token);
     }
 

@@ -1,0 +1,512 @@
+//! The telemetry event vocabulary and its NDJSON encoding.
+//!
+//! Every event serialises to one JSON object per line with a fixed field
+//! order, and every line parses back (see [`crate::json`]) to an identical
+//! event — the round-trip is exact because label fields come from closed
+//! vocabularies interned to `&'static str` and numbers use Rust's
+//! shortest-round-trip formatting.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Why a frame or packet was discarded.  One vocabulary shared by the
+/// recorder's drop counters and the telemetry stream (the netsim recorder
+/// re-exports this as `DropReason`).
+///
+/// *Terminal* reasons consume the packet outright; the rest describe a lost
+/// copy the protocol may still retry or salvage (see
+/// [`DropKind::is_terminal`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DropKind {
+    /// MAC interface queue was full at enqueue time.
+    QueueOverflow,
+    /// Unicast retry limit exhausted (feeds link-failure salvage).
+    RetryLimit,
+    /// Reception destroyed by an adversarial jammer.
+    Jammed,
+    /// Discarded by an adversarial (blackhole/grayhole) relay.
+    AdversaryDiscard,
+    /// Routing had no route and could not buffer the packet.
+    NoRoute,
+    /// Route discovery gave up (send-buffer expiry / retry cap).
+    DiscoveryFailed,
+    /// Link-failure salvage found no alternate route.
+    SalvageFailed,
+}
+
+impl DropKind {
+    /// All reasons, in a fixed order (report rendering, tests).
+    pub const ALL: [DropKind; 7] = [
+        DropKind::QueueOverflow,
+        DropKind::RetryLimit,
+        DropKind::Jammed,
+        DropKind::AdversaryDiscard,
+        DropKind::NoRoute,
+        DropKind::DiscoveryFailed,
+        DropKind::SalvageFailed,
+    ];
+
+    /// Stable snake_case label used on the wire.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropKind::QueueOverflow => "queue_overflow",
+            DropKind::RetryLimit => "retry_limit",
+            DropKind::Jammed => "jammed",
+            DropKind::AdversaryDiscard => "adversary",
+            DropKind::NoRoute => "no_route",
+            DropKind::DiscoveryFailed => "discovery_failed",
+            DropKind::SalvageFailed => "salvage_failed",
+        }
+    }
+
+    /// Inverse of [`DropKind::label`].
+    pub fn from_label(label: &str) -> Option<DropKind> {
+        DropKind::ALL.into_iter().find(|r| r.label() == label)
+    }
+
+    /// Whether this reason consumes the packet outright (counts against the
+    /// per-connection conservation invariant).  `RetryLimit` feeds the
+    /// routing layer's salvage path and `Jammed` losses are re-sent by the
+    /// MAC retry machinery, so neither is terminal by itself.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, DropKind::RetryLimit | DropKind::Jammed)
+    }
+}
+
+/// Frame kind labels (`NetPacket::kind()` vocabulary).
+pub const FRAME_KINDS: [&str; 6] = ["RREQ", "RREP", "RERR", "CHECK", "CHECK_ERR", "DATA"];
+
+/// Provenance stage labels.
+pub const STAGES: [&str; 8] = [
+    "originate",
+    "enqueue",
+    "tx_start",
+    "relay",
+    "deliver",
+    "drop",
+    "tunnel",
+    "cross_shard",
+];
+
+/// Timer class labels.
+pub const TIMER_CLASSES: [&str; 4] = ["routing", "routing_aux", "transport", "application"];
+
+/// Intern `label` into a closed vocabulary.
+pub(crate) fn intern(label: &str, vocab: &[&'static str]) -> Option<&'static str> {
+    vocab.iter().find(|k| **k == label).copied()
+}
+
+/// One structured telemetry event.  All variants carry the simulation time
+/// `t` (seconds) and the `shard` that recorded them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A data segment entered the network at its source's routing layer.
+    Originate {
+        t: f64,
+        shard: u16,
+        node: u16,
+        conn: u32,
+        seq: u64,
+        /// `true` for payload-carrying segments, `false` for pure ACKs.
+        data: bool,
+        bytes: u32,
+    },
+    /// A frame joined a MAC interface queue.
+    FrameEnqueue {
+        t: f64,
+        shard: u16,
+        node: u16,
+        kind: &'static str,
+        bytes: u32,
+        /// Queue occupancy after the enqueue.
+        queue: u32,
+    },
+    /// A frame started transmitting on the air.
+    TxStart {
+        t: f64,
+        shard: u16,
+        node: u16,
+        kind: &'static str,
+        bytes: u32,
+    },
+    /// A reception was destroyed by a concurrent transmission.
+    Collision {
+        t: f64,
+        shard: u16,
+        /// Receiver whose reception collided.
+        node: u16,
+        from: u16,
+    },
+    /// A frame reached its addressed destination (first arrival only).
+    Deliver {
+        t: f64,
+        shard: u16,
+        node: u16,
+        from: u16,
+        kind: &'static str,
+        /// Connection id, for data frames.
+        conn: Option<u32>,
+        /// TCP sequence number, for data frames.
+        seq: Option<u64>,
+    },
+    /// A frame or packet was discarded.
+    Drop {
+        t: f64,
+        shard: u16,
+        node: u16,
+        reason: DropKind,
+        kind: &'static str,
+        /// Connection id, when the dropped frame carried a data packet.
+        conn: Option<u32>,
+    },
+    /// MTS rejected a route reply that failed source verification.
+    ForgedRrep {
+        t: f64,
+        shard: u16,
+        node: u16,
+        from: u16,
+    },
+    /// A suspicion score changed.
+    Suspicion {
+        t: f64,
+        shard: u16,
+        node: u16,
+        suspect: u16,
+        score: f64,
+        /// Tracked-peer count of the table after the change.
+        table: u32,
+    },
+    /// A protocol timer fired.
+    Timer {
+        t: f64,
+        shard: u16,
+        node: u16,
+        class: &'static str,
+        scope: u16,
+    },
+    /// A bounded flow acknowledged its whole byte budget.
+    FlowComplete {
+        t: f64,
+        shard: u16,
+        node: u16,
+        conn: u32,
+        bytes: u64,
+    },
+    /// The tagged packet (`--trace-packet conn:seq`) passed a pipeline stage.
+    Provenance {
+        t: f64,
+        shard: u16,
+        stage: &'static str,
+        node: u16,
+        conn: u32,
+        seq: u64,
+        kind: &'static str,
+    },
+    /// One closed sampler window (fixed simulated-time bucket).  `t` is the
+    /// window's *end* time so the per-shard stream stays monotone.
+    Window {
+        t: f64,
+        shard: u16,
+        /// Window index (`floor(event time / window width)`).
+        window: u64,
+        /// In-order bytes delivered per connection during the window.
+        goodput: BTreeMap<u32, u64>,
+        /// Peak MAC queue occupancy observed.
+        queue_peak: u32,
+        /// Calendar-queue resizes during the window.
+        cal_resizes: u64,
+        /// Peak suspicion-table size observed.
+        suspicion_peak: u32,
+        /// Cross-shard transmission announcements emitted.
+        xshard: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// Simulation time of the event, seconds.
+    pub fn time(&self) -> f64 {
+        match self {
+            TelemetryEvent::Originate { t, .. }
+            | TelemetryEvent::FrameEnqueue { t, .. }
+            | TelemetryEvent::TxStart { t, .. }
+            | TelemetryEvent::Collision { t, .. }
+            | TelemetryEvent::Deliver { t, .. }
+            | TelemetryEvent::Drop { t, .. }
+            | TelemetryEvent::ForgedRrep { t, .. }
+            | TelemetryEvent::Suspicion { t, .. }
+            | TelemetryEvent::Timer { t, .. }
+            | TelemetryEvent::FlowComplete { t, .. }
+            | TelemetryEvent::Provenance { t, .. }
+            | TelemetryEvent::Window { t, .. } => *t,
+        }
+    }
+
+    /// Shard that recorded the event.
+    pub fn shard(&self) -> u16 {
+        match self {
+            TelemetryEvent::Originate { shard, .. }
+            | TelemetryEvent::FrameEnqueue { shard, .. }
+            | TelemetryEvent::TxStart { shard, .. }
+            | TelemetryEvent::Collision { shard, .. }
+            | TelemetryEvent::Deliver { shard, .. }
+            | TelemetryEvent::Drop { shard, .. }
+            | TelemetryEvent::ForgedRrep { shard, .. }
+            | TelemetryEvent::Suspicion { shard, .. }
+            | TelemetryEvent::Timer { shard, .. }
+            | TelemetryEvent::FlowComplete { shard, .. }
+            | TelemetryEvent::Provenance { shard, .. }
+            | TelemetryEvent::Window { shard, .. } => *shard,
+        }
+    }
+
+    /// The `"ev"` discriminator on the wire.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TelemetryEvent::Originate { .. } => "originate",
+            TelemetryEvent::FrameEnqueue { .. } => "frame_enqueue",
+            TelemetryEvent::TxStart { .. } => "tx_start",
+            TelemetryEvent::Collision { .. } => "collision",
+            TelemetryEvent::Deliver { .. } => "deliver",
+            TelemetryEvent::Drop { .. } => "drop",
+            TelemetryEvent::ForgedRrep { .. } => "forged_rrep",
+            TelemetryEvent::Suspicion { .. } => "suspicion",
+            TelemetryEvent::Timer { .. } => "timer",
+            TelemetryEvent::FlowComplete { .. } => "flow_complete",
+            TelemetryEvent::Provenance { .. } => "provenance",
+            TelemetryEvent::Window { .. } => "window",
+        }
+    }
+
+    /// Encode as one NDJSON line (no trailing newline).
+    pub fn to_ndjson(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"ev\":\"{}\"", self.name());
+        match self {
+            TelemetryEvent::Originate {
+                t,
+                shard,
+                node,
+                conn,
+                seq,
+                data,
+                bytes,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_u64(&mut s, "node", u64::from(*node));
+                push_u64(&mut s, "conn", u64::from(*conn));
+                push_u64(&mut s, "seq", *seq);
+                let _ = write!(s, ",\"data\":{data}");
+                push_u64(&mut s, "bytes", u64::from(*bytes));
+            }
+            TelemetryEvent::FrameEnqueue {
+                t,
+                shard,
+                node,
+                kind,
+                bytes,
+                queue,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_u64(&mut s, "node", u64::from(*node));
+                push_str(&mut s, "kind", kind);
+                push_u64(&mut s, "bytes", u64::from(*bytes));
+                push_u64(&mut s, "queue", u64::from(*queue));
+            }
+            TelemetryEvent::TxStart {
+                t,
+                shard,
+                node,
+                kind,
+                bytes,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_u64(&mut s, "node", u64::from(*node));
+                push_str(&mut s, "kind", kind);
+                push_u64(&mut s, "bytes", u64::from(*bytes));
+            }
+            TelemetryEvent::Collision {
+                t,
+                shard,
+                node,
+                from,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_u64(&mut s, "node", u64::from(*node));
+                push_u64(&mut s, "from", u64::from(*from));
+            }
+            TelemetryEvent::Deliver {
+                t,
+                shard,
+                node,
+                from,
+                kind,
+                conn,
+                seq,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_u64(&mut s, "node", u64::from(*node));
+                push_u64(&mut s, "from", u64::from(*from));
+                push_str(&mut s, "kind", kind);
+                if let Some(c) = conn {
+                    push_u64(&mut s, "conn", u64::from(*c));
+                }
+                if let Some(q) = seq {
+                    push_u64(&mut s, "seq", *q);
+                }
+            }
+            TelemetryEvent::Drop {
+                t,
+                shard,
+                node,
+                reason,
+                kind,
+                conn,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_u64(&mut s, "node", u64::from(*node));
+                push_str(&mut s, "reason", reason.label());
+                push_str(&mut s, "kind", kind);
+                if let Some(c) = conn {
+                    push_u64(&mut s, "conn", u64::from(*c));
+                }
+            }
+            TelemetryEvent::ForgedRrep {
+                t,
+                shard,
+                node,
+                from,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_u64(&mut s, "node", u64::from(*node));
+                push_u64(&mut s, "from", u64::from(*from));
+            }
+            TelemetryEvent::Suspicion {
+                t,
+                shard,
+                node,
+                suspect,
+                score,
+                table,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_u64(&mut s, "node", u64::from(*node));
+                push_u64(&mut s, "suspect", u64::from(*suspect));
+                push_num(&mut s, "score", *score);
+                push_u64(&mut s, "table", u64::from(*table));
+            }
+            TelemetryEvent::Timer {
+                t,
+                shard,
+                node,
+                class,
+                scope,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_u64(&mut s, "node", u64::from(*node));
+                push_str(&mut s, "class", class);
+                push_u64(&mut s, "scope", u64::from(*scope));
+            }
+            TelemetryEvent::FlowComplete {
+                t,
+                shard,
+                node,
+                conn,
+                bytes,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_u64(&mut s, "node", u64::from(*node));
+                push_u64(&mut s, "conn", u64::from(*conn));
+                push_u64(&mut s, "bytes", *bytes);
+            }
+            TelemetryEvent::Provenance {
+                t,
+                shard,
+                stage,
+                node,
+                conn,
+                seq,
+                kind,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_str(&mut s, "stage", stage);
+                push_u64(&mut s, "node", u64::from(*node));
+                push_u64(&mut s, "conn", u64::from(*conn));
+                push_u64(&mut s, "seq", *seq);
+                push_str(&mut s, "kind", kind);
+            }
+            TelemetryEvent::Window {
+                t,
+                shard,
+                window,
+                goodput,
+                queue_peak,
+                cal_resizes,
+                suspicion_peak,
+                xshard,
+            } => {
+                push_num(&mut s, "t", *t);
+                push_u64(&mut s, "shard", u64::from(*shard));
+                push_u64(&mut s, "window", *window);
+                s.push_str(",\"goodput\":{");
+                let mut first = true;
+                for (conn, bytes) in goodput {
+                    if !first {
+                        s.push(',');
+                    }
+                    first = false;
+                    let _ = write!(s, "\"{conn}\":{bytes}");
+                }
+                s.push('}');
+                push_u64(&mut s, "queue_peak", u64::from(*queue_peak));
+                push_u64(&mut s, "cal_resizes", *cal_resizes);
+                push_u64(&mut s, "suspicion_peak", u64::from(*suspicion_peak));
+                push_u64(&mut s, "xshard", *xshard);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Append `,"key":<float>` using Rust's shortest-round-trip formatting
+/// (always valid JSON for finite values; telemetry never emits non-finite).
+fn push_num(s: &mut String, key: &str, v: f64) {
+    debug_assert!(v.is_finite(), "telemetry numbers must be finite");
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+/// Append `,"key":<integer>`.
+fn push_u64(s: &mut String, key: &str, v: u64) {
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+/// Append `,"key":"value"` (labels come from closed vocabularies that never
+/// need escaping, but escape defensively anyway).
+fn push_str(s: &mut String, key: &str, v: &str) {
+    let _ = write!(s, ",\"{key}\":\"");
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}

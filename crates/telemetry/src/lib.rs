@@ -1,0 +1,219 @@
+//! # manet-telemetry
+//!
+//! Structured observability for the MTS reproduction stack: a
+//! simulation-time event stream, a windowed metrics sampler, and packet
+//! provenance tracing, all emitted as NDJSON (one JSON object per line).
+//!
+//! The crate sits *below* `manet_netsim` in the workspace graph and has no
+//! dependencies, so every layer (engine, MAC, routing, transport, stack) can
+//! push events into the per-run [`Telemetry`] buffer carried by the
+//! simulator's recorder.  Identifiers are plain integers (`u16` node ids,
+//! `u32` connection ids, `u64` packet sequence numbers) — the wire-level
+//! newtypes unwrap at the hook sites.
+//!
+//! ## Determinism contract
+//!
+//! Telemetry **observes, never perturbs**: hooks fire after the simulation
+//! decision they describe, draw no random numbers and schedule no events, so
+//! enabling telemetry leaves golden-trace digests byte-identical.  When
+//! disabled (the default) every hook is a single predictable branch on
+//! [`Telemetry::enabled`] and the buffer stays empty.  Telemetry output is
+//! *outside* the trace digest: two runs with different telemetry settings
+//! must produce the same digest, but nothing pins the NDJSON bytes.
+//!
+//! ## Stream shape
+//!
+//! Events carry a simulation timestamp (`t`, seconds) and the shard that
+//! recorded them.  Within one shard the stream is monotone in `t`; the
+//! cross-shard merge interleaves by `(t, shard)` with a stable sort, so the
+//! merged stream is monotone too.  See `docs/OBSERVABILITY.md` for the full
+//! schema and [`check`] for the invariants the test-suite enforces.
+
+pub mod check;
+pub mod event;
+pub mod json;
+pub mod sampler;
+pub mod sink;
+
+pub use check::{
+    check_conservation, check_monotone_per_shard, validate_lines, ConnAccount, Conservation,
+};
+pub use event::{DropKind, TelemetryEvent};
+pub use sampler::Sampler;
+pub use sink::{write_ndjson, StringSink, TelemetrySink, WriteSink};
+
+/// Run-level telemetry settings.  The default is **off**: no events, no
+/// sampler state, no provenance matching — the hot path pays one predictable
+/// branch per hook site.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TelemetryConfig {
+    /// Master switch for the event stream (and the provenance/sampler
+    /// features below, which are refinements of it).
+    pub enabled: bool,
+    /// Fixed simulated-time bucket width (seconds) of the windowed metrics
+    /// sampler; `None` disables the sampler even when events are on.
+    pub window_secs: Option<f64>,
+    /// Follow one tagged packet — identified by `(connection id, TCP
+    /// sequence number)` — end-to-end as `provenance` events.
+    pub trace_packet: Option<(u32, u64)>,
+}
+
+impl TelemetryConfig {
+    /// Validate the configuration (sampler window must be positive and
+    /// finite).  Returns a human-readable complaint on bad input.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(w) = self.window_secs {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(format!(
+                    "telemetry window must be positive and finite (got {w})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-run (per-shard, under the sharded engine) telemetry buffer: the event
+/// vector, the optional metrics sampler, and the provenance tag.
+///
+/// Lives inside the simulator's recorder; hook sites guard on
+/// [`Telemetry::enabled`] so a disabled run never allocates.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    enabled: bool,
+    shard: u16,
+    trace: Option<(u32, u64)>,
+    sampler: Option<Sampler>,
+    events: Vec<TelemetryEvent>,
+}
+
+impl Telemetry {
+    /// Build the buffer for one run (or one shard of one run).
+    pub fn from_config(cfg: &TelemetryConfig) -> Self {
+        Telemetry {
+            enabled: cfg.enabled,
+            shard: 0,
+            trace: if cfg.enabled { cfg.trace_packet } else { None },
+            sampler: match (cfg.enabled, cfg.window_secs) {
+                (true, Some(w)) if w > 0.0 => Some(Sampler::new(w)),
+                _ => None,
+            },
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether any telemetry is being collected.  Hook sites check this
+    /// first; when it is `false` no other method is called.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Stamp the shard id recorded on every subsequent event.
+    pub fn set_shard(&mut self, shard: u16) {
+        self.shard = shard;
+    }
+
+    /// The shard id stamped on events.
+    pub fn shard(&self) -> u16 {
+        self.shard
+    }
+
+    /// Whether a payload-carrying segment `(conn, seq)` matches the
+    /// provenance tag.  `data` is the segment's `carries_data()`: pure ACKs
+    /// are never traced — the receiver's ACK stream reuses the sender's
+    /// connection id and a constant TCP sequence number, so matching ACKs
+    /// would tag thousands of unrelated frames instead of one packet.
+    #[inline]
+    pub fn traced(&self, conn: u32, seq: u64, data: bool) -> bool {
+        data && self.trace == Some((conn, seq))
+    }
+
+    /// Append an event, first flushing any sampler windows that closed
+    /// before its timestamp (keeps the per-shard stream monotone in `t`).
+    pub fn emit(&mut self, event: TelemetryEvent) {
+        if let Some(s) = &mut self.sampler {
+            s.roll_to(event.time(), self.shard, &mut self.events);
+        }
+        self.events.push(event);
+    }
+
+    /// Sampler: add `bytes` of in-order goodput for `conn` at time `t`.
+    pub fn note_goodput(&mut self, t: f64, conn: u32, bytes: u64) {
+        if let Some(s) = &mut self.sampler {
+            s.roll_to(t, self.shard, &mut self.events);
+            s.note_goodput(conn, bytes);
+        }
+    }
+
+    /// Sampler: a MAC queue reached `len` frames at time `t`.
+    pub fn note_queue_len(&mut self, t: f64, len: u32) {
+        if let Some(s) = &mut self.sampler {
+            s.roll_to(t, self.shard, &mut self.events);
+            s.note_queue_len(len);
+        }
+    }
+
+    /// Sampler: a suspicion table reached `size` tracked peers at time `t`.
+    pub fn note_suspicion_size(&mut self, t: f64, size: u32) {
+        if let Some(s) = &mut self.sampler {
+            s.roll_to(t, self.shard, &mut self.events);
+            s.note_suspicion_size(size);
+        }
+    }
+
+    /// Sampler: `n` cross-shard announcements were emitted at time `t`.
+    pub fn note_xshard(&mut self, t: f64, n: u64) {
+        if let Some(s) = &mut self.sampler {
+            s.roll_to(t, self.shard, &mut self.events);
+            s.note_xshard(n);
+        }
+    }
+
+    /// Sampler: the event queue's cumulative calendar-resize count is
+    /// `total` as of time `t` (the sampler differences it per window).
+    pub fn note_calendar_resizes(&mut self, t: f64, total: u64) {
+        if let Some(s) = &mut self.sampler {
+            s.roll_to(t, self.shard, &mut self.events);
+            s.note_calendar_resizes(total);
+        }
+    }
+
+    /// Flush the trailing sampler window at end of run.
+    pub fn finalize(&mut self) {
+        if let Some(s) = &mut self.sampler {
+            s.flush(self.shard, &mut self.events);
+        }
+    }
+
+    /// The collected events, in emission order.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// Drain the collected events (used by the cross-shard merge).
+    pub fn take_events(&mut self) -> Vec<TelemetryEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Replace the event vector (used by the cross-shard merge).
+    pub fn set_events(&mut self, events: Vec<TelemetryEvent>) {
+        self.events = events;
+    }
+}
+
+/// Deterministically interleave per-shard event streams: a stable sort by
+/// `(time, shard)`, so equal-time events keep shard order and each shard's
+/// internal order is preserved.
+pub fn merge_events(parts: Vec<Vec<TelemetryEvent>>) -> Vec<TelemetryEvent> {
+    let mut all: Vec<TelemetryEvent> = parts.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        a.time()
+            .total_cmp(&b.time())
+            .then_with(|| a.shard().cmp(&b.shard()))
+    });
+    all
+}
+
+#[cfg(test)]
+mod tests;

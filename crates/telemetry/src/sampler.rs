@@ -1,0 +1,138 @@
+//! Windowed metrics sampler: fixed simulated-time buckets accumulating
+//! per-flow goodput, queue occupancy peaks, calendar resizes, suspicion-table
+//! sizes and cross-shard announcement volume.
+//!
+//! Windows are emitted lazily: when the first observation at or past a
+//! window's end arrives, the closed window flushes as a
+//! [`TelemetryEvent::Window`] stamped with the window's *end* time (so the
+//! per-shard stream stays monotone).  Windows with no observations are
+//! skipped entirely — consumers treat a missing index as all-zero.
+
+use crate::event::TelemetryEvent;
+use std::collections::BTreeMap;
+
+/// Accumulator state of the current (not yet closed) window.
+#[derive(Debug, Default, Clone)]
+struct WindowAcc {
+    goodput: BTreeMap<u32, u64>,
+    queue_peak: u32,
+    suspicion_peak: u32,
+    xshard: u64,
+    /// Calendar-resize total at the window's start (differenced at flush).
+    cal_base: u64,
+    /// Latest cumulative calendar-resize observation.
+    cal_last: u64,
+    /// Whether anything was observed this window.
+    dirty: bool,
+}
+
+/// The sampler: bucket width plus the open window's accumulators.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    window_secs: f64,
+    /// Index of the open window (`None` until the first observation).
+    cur: Option<u64>,
+    acc: WindowAcc,
+}
+
+impl Sampler {
+    /// A sampler with `window_secs`-wide buckets (must be positive/finite).
+    pub fn new(window_secs: f64) -> Self {
+        assert!(
+            window_secs.is_finite() && window_secs > 0.0,
+            "sampler window must be positive and finite"
+        );
+        Sampler {
+            window_secs,
+            cur: None,
+            acc: WindowAcc::default(),
+        }
+    }
+
+    /// The bucket width, seconds.
+    pub fn window_secs(&self) -> f64 {
+        self.window_secs
+    }
+
+    fn index_of(&self, t: f64) -> u64 {
+        let idx = (t / self.window_secs).floor();
+        if idx <= 0.0 {
+            0
+        } else {
+            idx as u64
+        }
+    }
+
+    /// Advance to time `t`, flushing the open window into `out` if `t`
+    /// falls past its end.  Every observation (and every event emission)
+    /// rolls first, so window lines interleave correctly.
+    pub fn roll_to(&mut self, t: f64, shard: u16, out: &mut Vec<TelemetryEvent>) {
+        let idx = self.index_of(t);
+        match self.cur {
+            None => self.cur = Some(idx),
+            Some(cur) if idx > cur => {
+                self.close(cur, shard, out);
+                self.cur = Some(idx);
+            }
+            Some(_) => {}
+        }
+    }
+
+    fn close(&mut self, idx: u64, shard: u16, out: &mut Vec<TelemetryEvent>) {
+        let acc = std::mem::take(&mut self.acc);
+        // Carry the resize baseline into the next window.
+        self.acc.cal_base = acc.cal_last.max(acc.cal_base);
+        self.acc.cal_last = self.acc.cal_base;
+        if !acc.dirty {
+            return;
+        }
+        out.push(TelemetryEvent::Window {
+            t: (idx + 1) as f64 * self.window_secs,
+            shard,
+            window: idx,
+            goodput: acc.goodput,
+            queue_peak: acc.queue_peak,
+            cal_resizes: acc.cal_last.saturating_sub(acc.cal_base),
+            suspicion_peak: acc.suspicion_peak,
+            xshard: acc.xshard,
+        });
+    }
+
+    /// Record delivered in-order bytes for `conn` in the open window.
+    pub fn note_goodput(&mut self, conn: u32, bytes: u64) {
+        *self.acc.goodput.entry(conn).or_insert(0) += bytes;
+        self.acc.dirty = true;
+    }
+
+    /// Record a MAC queue occupancy observation.
+    pub fn note_queue_len(&mut self, len: u32) {
+        self.acc.queue_peak = self.acc.queue_peak.max(len);
+        self.acc.dirty = true;
+    }
+
+    /// Record a suspicion-table size observation.
+    pub fn note_suspicion_size(&mut self, size: u32) {
+        self.acc.suspicion_peak = self.acc.suspicion_peak.max(size);
+        self.acc.dirty = true;
+    }
+
+    /// Record `n` cross-shard announcements.
+    pub fn note_xshard(&mut self, n: u64) {
+        self.acc.xshard += n;
+        self.acc.dirty = true;
+    }
+
+    /// Record the cumulative calendar-resize counter (the per-window line
+    /// reports the delta against the previous window's last observation).
+    pub fn note_calendar_resizes(&mut self, total: u64) {
+        self.acc.cal_last = self.acc.cal_last.max(total);
+        self.acc.dirty = true;
+    }
+
+    /// Flush the trailing open window at end of run.
+    pub fn flush(&mut self, shard: u16, out: &mut Vec<TelemetryEvent>) {
+        if let Some(cur) = self.cur.take() {
+            self.close(cur, shard, out);
+        }
+    }
+}

@@ -1,0 +1,620 @@
+//! Unit and property tests for the telemetry crate: exact NDJSON
+//! round-trips, strict schema rejection, sampler window algebra, merge
+//! ordering and the conservation ledger.
+
+use crate::check::{check_conservation, check_monotone_per_shard, validate_lines};
+use crate::event::{DropKind, TelemetryEvent, FRAME_KINDS, STAGES, TIMER_CLASSES};
+use crate::json::parse_line;
+use crate::sink::{write_ndjson, StringSink};
+use crate::{merge_events, Telemetry, TelemetryConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// One exemplar of every event variant (optional fields populated).
+fn exemplars() -> Vec<TelemetryEvent> {
+    vec![
+        TelemetryEvent::Originate {
+            t: 0.125,
+            shard: 0,
+            node: 3,
+            conn: 1,
+            seq: 1448,
+            data: true,
+            bytes: 1448,
+        },
+        TelemetryEvent::FrameEnqueue {
+            t: 0.25,
+            shard: 1,
+            node: 7,
+            kind: "DATA",
+            bytes: 1500,
+            queue: 4,
+        },
+        TelemetryEvent::TxStart {
+            t: 0.3,
+            shard: 0,
+            node: 7,
+            kind: "RREQ",
+            bytes: 64,
+        },
+        TelemetryEvent::Collision {
+            t: 0.4,
+            shard: 2,
+            node: 9,
+            from: 11,
+        },
+        TelemetryEvent::Deliver {
+            t: 0.5,
+            shard: 0,
+            node: 20,
+            from: 19,
+            kind: "DATA",
+            conn: Some(1),
+            seq: Some(2896),
+        },
+        TelemetryEvent::Drop {
+            t: 0.6,
+            shard: 0,
+            node: 5,
+            reason: DropKind::QueueOverflow,
+            kind: "DATA",
+            conn: Some(1),
+        },
+        TelemetryEvent::ForgedRrep {
+            t: 0.7,
+            shard: 0,
+            node: 2,
+            from: 40,
+        },
+        TelemetryEvent::Suspicion {
+            t: 0.8,
+            shard: 0,
+            node: 2,
+            suspect: 40,
+            score: 1.5,
+            table: 3,
+        },
+        TelemetryEvent::Timer {
+            t: 0.9,
+            shard: 0,
+            node: 3,
+            class: "transport",
+            scope: 1,
+        },
+        TelemetryEvent::FlowComplete {
+            t: 1.0,
+            shard: 0,
+            node: 3,
+            conn: 1,
+            bytes: 5_000_000,
+        },
+        TelemetryEvent::Provenance {
+            t: 1.1,
+            shard: 1,
+            stage: "cross_shard",
+            node: 12,
+            conn: 1,
+            seq: 1448,
+            kind: "DATA",
+        },
+        TelemetryEvent::Window {
+            t: 2.0,
+            shard: 1,
+            window: 1,
+            goodput: BTreeMap::from([(1, 4096), (7, 512)]),
+            queue_peak: 9,
+            cal_resizes: 2,
+            suspicion_peak: 4,
+            xshard: 17,
+        },
+    ]
+}
+
+#[test]
+fn every_variant_round_trips_exactly() {
+    for ev in exemplars() {
+        let line = ev.to_ndjson();
+        let back = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(back, ev, "parse(encode(ev)) must be identity: {line}");
+        assert_eq!(back.to_ndjson(), line, "re-encode must be canonical");
+    }
+}
+
+#[test]
+fn optional_fields_may_be_absent() {
+    let ev = TelemetryEvent::Deliver {
+        t: 0.5,
+        shard: 0,
+        node: 20,
+        from: 19,
+        kind: "RREP",
+        conn: None,
+        seq: None,
+    };
+    let line = ev.to_ndjson();
+    assert!(!line.contains("conn"), "absent option must not serialise");
+    assert_eq!(parse_line(&line).unwrap(), ev);
+}
+
+#[test]
+fn large_packet_seq_stays_exact() {
+    // Packet ids embed the node id in the top bits: (node << 40) | counter
+    // exceeds 2^53, so float-path parsing would corrupt it.
+    let seq = (u64::from(u16::MAX) << 40) | 12345;
+    let ev = TelemetryEvent::Provenance {
+        t: 3.5,
+        shard: 0,
+        stage: "deliver",
+        node: 1,
+        conn: 9,
+        seq,
+        kind: "DATA",
+    };
+    match parse_line(&ev.to_ndjson()).unwrap() {
+        TelemetryEvent::Provenance { seq: back, .. } => assert_eq!(back, seq),
+        other => panic!("wrong variant: {other:?}"),
+    }
+}
+
+#[test]
+fn schema_is_strict() {
+    // Unknown event name.
+    assert!(parse_line(r#"{"ev":"bogus","t":1,"shard":0}"#).is_err());
+    // Missing field.
+    assert!(parse_line(r#"{"ev":"collision","t":1,"shard":0,"node":1}"#).is_err());
+    // Extra field.
+    assert!(parse_line(r#"{"ev":"collision","t":1,"shard":0,"node":1,"from":2,"zzz":3}"#).is_err());
+    // Label outside its vocabulary.
+    assert!(
+        parse_line(r#"{"ev":"tx_start","t":1,"shard":0,"node":1,"kind":"NOPE","bytes":8}"#)
+            .is_err()
+    );
+    // Integer overflow of the declared width.
+    assert!(parse_line(r#"{"ev":"collision","t":1,"shard":0,"node":70000,"from":2}"#).is_err());
+    // Repeated field.
+    assert!(parse_line(r#"{"ev":"collision","t":1,"t":2,"shard":0,"node":1,"from":2}"#).is_err());
+    // Not an object at all.
+    assert!(parse_line("[1,2,3]").is_err());
+}
+
+#[test]
+fn validate_lines_reports_offending_line() {
+    let doc = format!("{}\n\nnot json\n", exemplars()[0].to_ndjson());
+    let err = validate_lines(&doc).unwrap_err();
+    assert!(err.starts_with("line 3:"), "got: {err}");
+}
+
+#[test]
+fn string_sink_writes_one_line_per_event() {
+    let events = exemplars();
+    let mut sink = StringSink::default();
+    write_ndjson(&events, &mut sink).unwrap();
+    let parsed = validate_lines(&sink.0).unwrap();
+    assert_eq!(parsed, events);
+}
+
+#[test]
+fn disabled_telemetry_collects_nothing() {
+    let mut tel = Telemetry::from_config(&TelemetryConfig::default());
+    assert!(!tel.enabled());
+    // Hook sites guard on enabled(); even unguarded notes must stay inert.
+    tel.note_goodput(1.0, 1, 100);
+    tel.note_queue_len(1.0, 5);
+    tel.finalize();
+    assert!(tel.events().is_empty());
+    assert!(!tel.traced(1, 0, true));
+}
+
+#[test]
+fn sampler_buckets_and_skips_empty_windows() {
+    let cfg = TelemetryConfig {
+        enabled: true,
+        window_secs: Some(1.0),
+        trace_packet: None,
+    };
+    let mut tel = Telemetry::from_config(&cfg);
+    tel.set_shard(3);
+    tel.note_goodput(0.2, 1, 100);
+    tel.note_goodput(0.7, 1, 50);
+    tel.note_queue_len(0.8, 4);
+    // Windows 1 and 2 see nothing; window 3 gets one observation.
+    tel.note_goodput(3.1, 2, 7);
+    tel.note_calendar_resizes(3.2, 5);
+    tel.finalize();
+    let windows: Vec<_> = tel
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::Window {
+                t,
+                shard,
+                window,
+                goodput,
+                queue_peak,
+                cal_resizes,
+                ..
+            } => Some((
+                *t,
+                *shard,
+                *window,
+                goodput.clone(),
+                *queue_peak,
+                *cal_resizes,
+            )),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(windows.len(), 2, "empty windows must be skipped");
+    assert_eq!(windows[0].0, 1.0, "window line stamped with its end time");
+    assert_eq!(windows[0].1, 3);
+    assert_eq!(windows[0].2, 0);
+    assert_eq!(windows[0].3, BTreeMap::from([(1, 150)]));
+    assert_eq!(windows[0].4, 4);
+    assert_eq!(windows[1].2, 3);
+    assert_eq!(windows[1].3, BTreeMap::from([(2, 7)]));
+    assert_eq!(windows[1].5, 5, "resize delta against previous window");
+    check_monotone_per_shard(tel.events()).unwrap();
+}
+
+#[test]
+fn calendar_resizes_are_differenced_across_windows() {
+    let cfg = TelemetryConfig {
+        enabled: true,
+        window_secs: Some(1.0),
+        trace_packet: None,
+    };
+    let mut tel = Telemetry::from_config(&cfg);
+    tel.note_calendar_resizes(0.5, 4);
+    tel.note_calendar_resizes(1.5, 10);
+    tel.finalize();
+    let deltas: Vec<u64> = tel
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::Window { cal_resizes, .. } => Some(*cal_resizes),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(deltas, vec![4, 6]);
+}
+
+#[test]
+fn emit_rolls_the_sampler_first() {
+    // An event past the window boundary must flush the window *before*
+    // appending itself, or the per-shard stream goes non-monotone.
+    let cfg = TelemetryConfig {
+        enabled: true,
+        window_secs: Some(1.0),
+        trace_packet: None,
+    };
+    let mut tel = Telemetry::from_config(&cfg);
+    tel.note_goodput(0.5, 1, 10);
+    tel.emit(TelemetryEvent::Collision {
+        t: 1.5,
+        shard: 0,
+        node: 1,
+        from: 2,
+    });
+    tel.finalize();
+    assert_eq!(tel.events().len(), 2);
+    assert!(matches!(tel.events()[0], TelemetryEvent::Window { .. }));
+    check_monotone_per_shard(tel.events()).unwrap();
+}
+
+#[test]
+fn provenance_tag_matches_exactly() {
+    let cfg = TelemetryConfig {
+        enabled: true,
+        window_secs: None,
+        trace_packet: Some((7, 1448)),
+    };
+    let tel = Telemetry::from_config(&cfg);
+    assert!(tel.traced(7, 1448, true));
+    assert!(!tel.traced(7, 0, true));
+    assert!(!tel.traced(8, 1448, true));
+    // Pure ACKs never match, even on the tagged (conn, seq).
+    assert!(!tel.traced(7, 1448, false));
+}
+
+#[test]
+fn merge_is_stable_by_time_then_shard() {
+    let a = vec![
+        TelemetryEvent::Collision {
+            t: 1.0,
+            shard: 0,
+            node: 1,
+            from: 2,
+        },
+        TelemetryEvent::Collision {
+            t: 2.0,
+            shard: 0,
+            node: 3,
+            from: 4,
+        },
+    ];
+    let b = vec![
+        TelemetryEvent::Collision {
+            t: 1.0,
+            shard: 1,
+            node: 5,
+            from: 6,
+        },
+        TelemetryEvent::Collision {
+            t: 1.5,
+            shard: 1,
+            node: 7,
+            from: 8,
+        },
+    ];
+    let merged = merge_events(vec![b, a]);
+    let order: Vec<(f64, u16)> = merged.iter().map(|e| (e.time(), e.shard())).collect();
+    assert_eq!(order, vec![(1.0, 0), (1.0, 1), (1.5, 1), (2.0, 0)]);
+    check_monotone_per_shard(&merged).unwrap();
+}
+
+#[test]
+fn conservation_ledger_accounts_terminal_drops() {
+    let mk_orig = |conn: u32| TelemetryEvent::Originate {
+        t: 0.0,
+        shard: 0,
+        node: 1,
+        conn,
+        seq: 0,
+        data: true,
+        bytes: 1448,
+    };
+    let deliver = TelemetryEvent::Deliver {
+        t: 1.0,
+        shard: 0,
+        node: 2,
+        from: 1,
+        kind: "DATA",
+        conn: Some(1),
+        seq: Some(0),
+    };
+    let terminal = TelemetryEvent::Drop {
+        t: 1.0,
+        shard: 0,
+        node: 1,
+        reason: DropKind::NoRoute,
+        kind: "DATA",
+        conn: Some(2),
+    };
+    let non_terminal = TelemetryEvent::Drop {
+        t: 1.0,
+        shard: 0,
+        node: 1,
+        reason: DropKind::RetryLimit,
+        kind: "DATA",
+        conn: Some(2),
+    };
+    let ledger = check_conservation(&[
+        mk_orig(1),
+        mk_orig(2),
+        mk_orig(2),
+        deliver.clone(),
+        terminal,
+        non_terminal,
+    ])
+    .unwrap();
+    let c1 = ledger.per_conn[&1];
+    assert_eq!((c1.originated, c1.delivered, c1.residual()), (1, 1, 0));
+    let c2 = ledger.per_conn[&2];
+    assert_eq!(c2.terminal_drops, 1, "retry_limit drops are not terminal");
+    assert_eq!(c2.residual(), 1);
+    // Over-delivery (double accounting) must fail.
+    assert!(check_conservation(&[mk_orig(1), deliver.clone(), deliver]).is_err());
+}
+
+#[test]
+fn drop_kind_vocabulary_is_closed() {
+    for r in DropKind::ALL {
+        assert_eq!(DropKind::from_label(r.label()), Some(r));
+    }
+    assert_eq!(DropKind::from_label("whatever"), None);
+    assert!(!DropKind::RetryLimit.is_terminal());
+    assert!(!DropKind::Jammed.is_terminal());
+    assert!(DropKind::QueueOverflow.is_terminal());
+}
+
+#[test]
+fn config_validation_rejects_bad_windows() {
+    let mut cfg = TelemetryConfig::default();
+    cfg.validate().unwrap();
+    cfg.window_secs = Some(0.0);
+    assert!(cfg.validate().is_err());
+    cfg.window_secs = Some(f64::NAN);
+    assert!(cfg.validate().is_err());
+    cfg.window_secs = Some(0.5);
+    cfg.validate().unwrap();
+}
+
+/// Strategy-built events with randomised numeric fields, cycling through
+/// every label vocabulary entry.
+fn arbitrary_event(pick: u64, t: f64, shard: u16, node: u16, big: u64) -> TelemetryEvent {
+    let kind = FRAME_KINDS[(pick % FRAME_KINDS.len() as u64) as usize];
+    let stage = STAGES[(pick % STAGES.len() as u64) as usize];
+    let class = TIMER_CLASSES[(pick % TIMER_CLASSES.len() as u64) as usize];
+    let reason = DropKind::ALL[(pick % DropKind::ALL.len() as u64) as usize];
+    let conn = (pick % 97) as u32;
+    match pick % 12 {
+        0 => TelemetryEvent::Originate {
+            t,
+            shard,
+            node,
+            conn,
+            seq: big,
+            data: pick.is_multiple_of(2),
+            bytes: (big % 65536) as u32,
+        },
+        1 => TelemetryEvent::FrameEnqueue {
+            t,
+            shard,
+            node,
+            kind,
+            bytes: (big % 65536) as u32,
+            queue: (pick % 64) as u32,
+        },
+        2 => TelemetryEvent::TxStart {
+            t,
+            shard,
+            node,
+            kind,
+            bytes: (big % 65536) as u32,
+        },
+        3 => TelemetryEvent::Collision {
+            t,
+            shard,
+            node,
+            from: node.wrapping_add(1),
+        },
+        4 => TelemetryEvent::Deliver {
+            t,
+            shard,
+            node,
+            from: node.wrapping_add(1),
+            kind,
+            conn: pick.is_multiple_of(3).then_some(conn),
+            seq: pick.is_multiple_of(3).then_some(big),
+        },
+        5 => TelemetryEvent::Drop {
+            t,
+            shard,
+            node,
+            reason,
+            kind,
+            conn: pick.is_multiple_of(2).then_some(conn),
+        },
+        6 => TelemetryEvent::ForgedRrep {
+            t,
+            shard,
+            node,
+            from: node.wrapping_add(7),
+        },
+        7 => TelemetryEvent::Suspicion {
+            t,
+            shard,
+            node,
+            suspect: node.wrapping_add(7),
+            score: (pick % 1000) as f64 / 8.0,
+            table: (pick % 50) as u32,
+        },
+        8 => TelemetryEvent::Timer {
+            t,
+            shard,
+            node,
+            class,
+            scope: (pick % 500) as u16,
+        },
+        9 => TelemetryEvent::FlowComplete {
+            t,
+            shard,
+            node,
+            conn,
+            bytes: big,
+        },
+        10 => TelemetryEvent::Provenance {
+            t,
+            shard,
+            stage,
+            node,
+            conn,
+            seq: big,
+            kind,
+        },
+        _ => TelemetryEvent::Window {
+            t,
+            shard,
+            window: pick % 1000,
+            goodput: BTreeMap::from([(conn, big), (conn + 1, pick)]),
+            queue_peak: (pick % 64) as u32,
+            cal_resizes: pick % 10,
+            suspicion_peak: (pick % 50) as u32,
+            xshard: pick % 10_000,
+        },
+    }
+}
+
+proptest! {
+    /// Every line the encoder can produce round-trips the schema exactly.
+    #[test]
+    fn prop_round_trip(
+        pick in 0u64..1_000_000,
+        mantissa in 0u64..1_000_000_000,
+        shard in 0u16..64,
+        node in proptest::any::<u16>(),
+        big in proptest::any::<u64>(),
+    ) {
+        let t = mantissa as f64 / 4096.0;
+        let ev = arbitrary_event(pick, t, shard, node, big);
+        let line = ev.to_ndjson();
+        let back = parse_line(&line).map_err(proptest::TestCaseError::fail)?;
+        prop_assert_eq!(&back, &ev);
+        prop_assert_eq!(back.to_ndjson(), line);
+    }
+
+    /// Merging arbitrarily-sliced per-shard streams preserves per-shard
+    /// monotonicity and loses nothing.
+    #[test]
+    fn prop_merge_monotone(
+        seed in proptest::any::<u64>(),
+        lens in proptest::collection::vec(0usize..40, 1..5),
+    ) {
+        let mut parts = Vec::new();
+        let mut state = seed;
+        let mut total = 0usize;
+        for (shard, len) in lens.iter().enumerate() {
+            let mut t = 0.0f64;
+            let mut part = Vec::new();
+            for _ in 0..*len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t += (state % 1024) as f64 / 256.0;
+                part.push(arbitrary_event(state % 11, t, shard as u16, (state % 100) as u16, state));
+                total += 1;
+            }
+            parts.push(part);
+        }
+        let merged = merge_events(parts);
+        prop_assert_eq!(merged.len(), total);
+        check_monotone_per_shard(&merged).map_err(proptest::TestCaseError::fail)?;
+        // The merged stream is also globally monotone in t.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].time() <= w[1].time());
+        }
+    }
+
+    /// Synthetic flows where every origination is delivered or terminally
+    /// dropped satisfy conservation with the expected residual.
+    #[test]
+    fn prop_conservation(
+        outcomes in proptest::collection::vec(0u8..3, 1..200),
+        conns in proptest::collection::vec(1u32..6, 1..200),
+    ) {
+        let mut events = Vec::new();
+        let mut expected_residual: BTreeMap<u32, i64> = BTreeMap::new();
+        for (i, (o, conn)) in outcomes.iter().zip(&conns).enumerate() {
+            let seq = i as u64 * 1448;
+            events.push(TelemetryEvent::Originate {
+                t: i as f64, shard: 0, node: 1, conn: *conn, seq, data: true, bytes: 1448,
+            });
+            match o {
+                0 => events.push(TelemetryEvent::Deliver {
+                    t: i as f64 + 0.5, shard: 0, node: 2, from: 1, kind: "DATA",
+                    conn: Some(*conn), seq: Some(seq),
+                }),
+                1 => events.push(TelemetryEvent::Drop {
+                    t: i as f64 + 0.5, shard: 0, node: 1,
+                    reason: DropKind::NoRoute, kind: "DATA", conn: Some(*conn),
+                }),
+                _ => { *expected_residual.entry(*conn).or_insert(0) += 1; }
+            }
+        }
+        let ledger = check_conservation(&events).map_err(proptest::TestCaseError::fail)?;
+        for (conn, acc) in &ledger.per_conn {
+            prop_assert_eq!(
+                acc.residual(),
+                expected_residual.get(conn).copied().unwrap_or(0)
+            );
+        }
+    }
+}

@@ -168,3 +168,60 @@ fn paper_single_flow_runs_are_byte_identical_to_the_pre_refactor_stack() {
         );
     }
 }
+
+/// Telemetry observes, never perturbs (docs/OBSERVABILITY.md): running the
+/// same paper scenarios with the full telemetry stream ON — events, 1 s
+/// sampler windows and a provenance tag — must reproduce the **same** pinned
+/// digests as the telemetry-off golden rows above, while actually collecting
+/// a non-empty event stream.
+#[test]
+fn telemetry_enabled_runs_keep_the_golden_digests() {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        return; // the pinned rows are regenerated by the test above
+    }
+    for golden in &GOLDEN {
+        let mut scenario = Scenario::paper(golden.protocol, 10.0, 1).with_telemetry(
+            manet_netsim::TelemetryConfig {
+                enabled: true,
+                window_secs: Some(1.0),
+                trace_packet: Some((0, 0)),
+            },
+        );
+        scenario.sim.duration = Duration::from_secs(30.0);
+        let (metrics, recorder) = run_scenario_traced(&scenario);
+        let row = GoldenRow {
+            protocol: golden.protocol,
+            trace_digest: trace_digest(recorder.trace()),
+            trace_len: recorder.trace().len(),
+            originated: recorder.originated_data_packets(),
+            delivered: recorder.delivered_data_packets(),
+            control_tx: recorder.control_transmissions(),
+            collisions: recorder.collisions(),
+            link_failures: recorder.link_failures(),
+            bytes_acked: metrics.tcp_bytes_acked,
+            bytes_delivered: recorder.delivered_payload_bytes(),
+        };
+        assert_eq!(
+            &row, golden,
+            "{}: enabling telemetry changed the pinned golden trace",
+            golden.protocol
+        );
+        assert!(
+            !recorder.telemetry.events().is_empty(),
+            "{}: the telemetry-on run collected no events",
+            golden.protocol
+        );
+    }
+}
+
+/// The flip side of the contract: with telemetry at its default (off), the
+/// event buffer stays empty — the hot path pays one predictable branch per
+/// hook site and allocates nothing.
+#[test]
+fn disabled_telemetry_collects_nothing() {
+    let mut scenario = Scenario::paper(Protocol::Mts, 10.0, 1);
+    scenario.sim.duration = Duration::from_secs(10.0);
+    let (_, recorder) = run_scenario_traced(&scenario);
+    assert!(!recorder.telemetry.enabled());
+    assert!(recorder.telemetry.events().is_empty());
+}

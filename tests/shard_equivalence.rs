@@ -191,6 +191,79 @@ fn sharded_runs_report_coherent_shard_counters() {
     );
 }
 
+/// The determinism contract holds with telemetry ENABLED: telemetry is
+/// outside the trace digest — it observes, never perturbs.  A single-shard
+/// run collecting the full event stream still replays the telemetry-off
+/// serial engine byte for byte, a 4-shard telemetry-on run replays the
+/// 4-shard telemetry-off run byte for byte, and the wall-clock phase timers
+/// show up in [`manet_netsim::EnginePerf`] without entering the equivalence
+/// comparison (masked by `without_phase_timers`).
+#[test]
+fn telemetry_enabled_sharded_run_keeps_byte_identity_and_reports_phase_timers() {
+    let telemetry = manet_netsim::TelemetryConfig {
+        enabled: true,
+        window_secs: Some(1.0),
+        trace_packet: None,
+    };
+    let mut scenario = Scenario::paper(Protocol::Mts, 10.0, 1);
+    scenario.sim.duration = Duration::from_secs(10.0);
+    let serial_off = fingerprint(&with_execution(scenario.clone(), Execution::Serial));
+    let one_shard_on = fingerprint(&with_execution(
+        scenario.clone().with_telemetry(telemetry),
+        single_shard(2),
+    ));
+    assert_eq!(
+        one_shard_on, serial_off,
+        "telemetry-on single-shard run drifted from the telemetry-off serial run"
+    );
+    let four_shards = Execution::Sharded {
+        shards: 4,
+        workers: 2,
+        window: None,
+    };
+    let sharded_off = fingerprint(&with_execution(scenario.clone(), four_shards));
+    let sharded = with_execution(scenario.with_telemetry(telemetry), four_shards);
+    let (_, recorder) = run_scenario_traced(&sharded);
+    let fp = RunFingerprint {
+        trace_digest: trace_digest(recorder.trace()),
+        trace_len: recorder.trace().len(),
+        originated: recorder.originated_data_packets(),
+        delivered: recorder.delivered_data_packets(),
+        control_tx: recorder.control_transmissions(),
+        collisions: recorder.collisions(),
+        link_failures: recorder.link_failures(),
+        adversary_drops: recorder.adversary_drops(),
+    };
+    assert_eq!(
+        fp, sharded_off,
+        "enabling telemetry changed the 4-shard run"
+    );
+    assert!(
+        !recorder.telemetry.events().is_empty(),
+        "the sharded run collected no telemetry"
+    );
+    let perf = recorder.engine_perf();
+    assert!(
+        perf.phase_execute_nanos > 0,
+        "worker execute-phase timer is zero"
+    );
+    assert!(
+        perf.phase_barrier_nanos > 0,
+        "worker barrier-phase timer is zero"
+    );
+    // The timers are wall-clock (nondeterministic) and must vanish from the
+    // masked view used by equivalence comparisons.
+    let masked = perf.without_phase_timers();
+    assert_eq!(
+        (
+            masked.phase_execute_nanos,
+            masked.phase_barrier_nanos,
+            masked.phase_apply_nanos
+        ),
+        (0, 0, 0)
+    );
+}
+
 proptest! {
     /// Seed-randomized spot check of guarantee 1: whatever the seed and the
     /// node speed, a single-shard run replays the serial engine byte for
