@@ -8,6 +8,11 @@
 //!              [--bench-telemetry-nodes N]
 //!            | --telemetry FILE [--telemetry-nodes N] [--telemetry-secs S]
 //!              [--trace-packet CONN:SEQ]
+//!            | --explore [--explore-nodes N] [--explore-horizon H]
+//!              [--explore-interventions K] [--explore-budget RUNS]
+//!              [--explore-secs S] [--explore-seed SEED]
+//!              [--explore-invariant I] [--explore-bound F]
+//!              [--explore-kinds K1,K2,..] [--explore-ndjson FILE]
 //!            | --all]
 //! ```
 //!
@@ -56,6 +61,19 @@
 //! docs/OBSERVABILITY.md; summarise or schema-check with
 //! tools/trace_summary.py).  `--trace-packet CONN:SEQ` follows one tagged
 //! packet end-to-end as provenance events.
+//!
+//! `--explore` runs the bounded model checker (crates/mck, see
+//! docs/VERIFICATION.md) instead of Monte Carlo sweeps: it exhaustively
+//! searches adversarial delivery schedules (drop/delay interventions at the
+//! first `--explore-horizon` eligible receptions, at most
+//! `--explore-interventions` per schedule) on a small static blackhole
+//! corridor.  Two targets run back to back: a *hunt* on un-hardened MTS for
+//! a minimal schedule violating `--explore-invariant` (whose counterexample
+//! is replayed byte-identically, with telemetry on, and optionally written
+//! as NDJSON via `--explore-ndjson`), and a *proof* that hardened MTS keeps
+//! black-hole capture at or under `--explore-bound` for every schedule in
+//! the class at n ≤ 6.  Exits 1 if the hunt finds nothing, the replay
+//! diverges, or the proof fails.
 
 use bench::{
     bench_executions, bench_flows, bench_points_json, bench_scales, bench_telemetry, host_cores,
@@ -67,7 +85,11 @@ use manet_experiments::figures::{table1_relay_table, FigureId};
 use manet_experiments::report::{render_figure, render_relay_table};
 use manet_experiments::runner::{run_scenario_with_recorder, sweep_with, SweepSpec};
 use manet_experiments::{Protocol, Scenario};
-use manet_netsim::telemetry::{write_ndjson, WriteSink};
+use manet_mck::{
+    blackhole_corridor, explore, outcome_digest, run_with_trace, ExploreSpec, Invariant, Verdict,
+};
+use manet_netsim::telemetry::event::FRAME_KINDS;
+use manet_netsim::telemetry::{write_ndjson, TelemetryEvent, WriteSink};
 use manet_netsim::{Duration, Execution, TelemetryConfig};
 
 #[derive(Debug)]
@@ -93,8 +115,24 @@ struct Args {
     trace_packet: Option<(u32, u64)>,
     shards: u16,
     threads: Vec<u16>,
+    explore: bool,
+    explore_nodes: u16,
+    explore_horizon: u32,
+    explore_interventions: u32,
+    explore_budget: u64,
+    explore_secs: f64,
+    explore_seed: u64,
+    explore_invariant: String,
+    explore_bound: f64,
+    explore_kinds: Vec<String>,
+    explore_ndjson: Option<String>,
     all: bool,
 }
+
+/// Extra delivery delay a `delay` intervention adds (one reorder quantum —
+/// longer than any in-flight frame, far shorter than a retransmission
+/// timeout).
+const EXPLORE_DELAY_SECS: f64 = 0.002;
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -119,6 +157,17 @@ fn parse_args() -> Args {
         trace_packet: None,
         shards: 0,
         threads: vec![1],
+        explore: false,
+        explore_nodes: 8,
+        explore_horizon: 12,
+        explore_interventions: 2,
+        explore_budget: 2000,
+        explore_secs: 2.0,
+        explore_seed: 9,
+        explore_invariant: "capture<=0.65".to_string(),
+        explore_bound: 0.25,
+        explore_kinds: vec!["DATA".to_string()],
+        explore_ndjson: None,
         all: true,
     };
     let mut it = std::env::args().skip(1);
@@ -309,6 +358,88 @@ fn parse_args() -> Args {
                     .filter(|v: &f64| v.is_finite() && *v > 0.0)
                     .unwrap_or_else(|| usage("--bench-secs needs a positive number of seconds"));
             }
+            "--explore" => {
+                args.explore = true;
+                args.all = false;
+            }
+            "--explore-nodes" => {
+                args.explore_nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &u16| *v >= 4)
+                    .unwrap_or_else(|| usage("--explore-nodes needs a node count >= 4"));
+            }
+            "--explore-horizon" => {
+                args.explore_horizon = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &u32| *v > 0)
+                    .unwrap_or_else(|| {
+                        usage("--explore-horizon needs a positive choice-point count")
+                    });
+            }
+            "--explore-interventions" => {
+                args.explore_interventions =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        usage("--explore-interventions needs a maximum intervention count")
+                    });
+            }
+            "--explore-budget" => {
+                args.explore_budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &u64| *v > 0)
+                    .unwrap_or_else(|| usage("--explore-budget needs a positive run count"));
+            }
+            "--explore-secs" => {
+                args.explore_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .unwrap_or_else(|| usage("--explore-secs needs a positive number of seconds"));
+            }
+            "--explore-seed" => {
+                args.explore_seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--explore-seed needs an integer seed"));
+            }
+            "--explore-invariant" => {
+                let sel = it.next().unwrap_or_else(|| {
+                    usage("--explore-invariant needs no-capture, delivers-data, or capture<=F")
+                });
+                if Invariant::parse(&sel).is_none() {
+                    usage("--explore-invariant needs no-capture, delivers-data, or capture<=F");
+                }
+                args.explore_invariant = sel;
+            }
+            "--explore-bound" => {
+                args.explore_bound = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && (0.0..=1.0).contains(v))
+                    .unwrap_or_else(|| usage("--explore-bound needs a fraction in 0..=1"));
+            }
+            "--explore-kinds" => {
+                let list = it.next().unwrap_or_else(|| {
+                    usage("--explore-kinds needs a comma-separated frame-kind list")
+                });
+                let kinds: Vec<String> = list
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if kinds.is_empty() {
+                    usage("--explore-kinds needs at least one frame kind, e.g. RREP,DATA");
+                }
+                args.explore_kinds = kinds;
+            }
+            "--explore-ndjson" => {
+                args.explore_ndjson =
+                    Some(it.next().unwrap_or_else(|| {
+                        usage("--explore-ndjson needs an output NDJSON file path")
+                    }));
+            }
             "--all" => args.all = true,
             "--help" | "-h" => {
                 usage("");
@@ -330,7 +461,22 @@ fn usage(msg: &str) -> ! {
          [--bench-exec-scales N1,N2,..] [--bench-secs S] \
          [--bench-telemetry-nodes N] | --bench-trend \
          | --telemetry FILE [--telemetry-nodes N] [--telemetry-secs S] \
-         [--trace-packet CONN:SEQ] | --all]\n\
+         [--trace-packet CONN:SEQ] \
+         | --explore [--explore-nodes N] [--explore-horizon H] \
+         [--explore-interventions K] [--explore-budget RUNS] [--explore-secs S] \
+         [--explore-seed SEED] [--explore-invariant I] [--explore-bound F] \
+         [--explore-kinds K1,K2,..] [--explore-ndjson FILE] | --all]\n\
+         \n\
+         --explore runs the bounded model checker (docs/VERIFICATION.md) on a \
+         static blackhole corridor: first a hunt on un-hardened MTS for a \
+         minimal adversarial delivery schedule (drop/delay interventions at \
+         the first H eligible receptions of the --explore-kinds frames, at \
+         most K per schedule) violating --explore-invariant (no-capture | \
+         delivers-data | capture<=F), replaying the counterexample \
+         byte-identically with telemetry on (--explore-ndjson writes the \
+         stream); then an exhaustive proof that hardened MTS keeps black-hole \
+         capture <= --explore-bound at n <= 6.  Exits 1 when either target \
+         misses its expectation.\n\
          \n\
          --telemetry FILE runs one scaled MTS scenario (default 200 nodes, 10 \
          simulated seconds, 1 s sampler windows) with the full telemetry \
@@ -383,6 +529,207 @@ fn figure_by_number(n: u32) -> Option<FigureId> {
     }
 }
 
+/// Write a telemetry event stream to `path` as NDJSON, exiting on I/O errors.
+fn write_ndjson_file(events: &[TelemetryEvent], path: &str) {
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot create {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut sink = WriteSink(std::io::BufWriter::new(file));
+    write_ndjson(events, &mut sink).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    use std::io::Write as _;
+    sink.0.flush().unwrap_or_else(|e| {
+        eprintln!("error: cannot flush {path}: {e}");
+        std::process::exit(1);
+    });
+}
+
+/// Bounded model-checking mode (crates/mck): hunt a minimal adversarial
+/// schedule that breaks the chosen invariant on un-hardened MTS, replay the
+/// counterexample byte-identically with telemetry enabled, then exhaustively
+/// prove the capture bound on hardened MTS at n <= 6.  Exits 1 when either
+/// target misses its expectation, so CI can gate on the explorer.
+fn run_explore(args: &Args) {
+    let kinds: Vec<&'static str> = args
+        .explore_kinds
+        .iter()
+        .map(|k| {
+            FRAME_KINDS
+                .iter()
+                .copied()
+                .find(|known| known.eq_ignore_ascii_case(k))
+                .unwrap_or_else(|| {
+                    usage(&format!(
+                        "--explore-kinds: unknown frame kind {k:?} (expected one of {FRAME_KINDS:?})"
+                    ))
+                })
+        })
+        .collect();
+    let hunt_invariant = Invariant::parse(&args.explore_invariant).unwrap_or_else(|| {
+        usage("--explore-invariant needs no-capture, delivers-data, or capture<=F")
+    });
+    let bounds = format!(
+        "horizon {} eligible points, <= {} interventions, budget {} runs",
+        args.explore_horizon, args.explore_interventions, args.explore_budget
+    );
+    let spec_for = |scenario: Scenario, invariant: Invariant| ExploreSpec {
+        scenario,
+        horizon: args.explore_horizon,
+        max_interventions: args.explore_interventions,
+        budget: args.explore_budget,
+        delay: Duration::from_secs(EXPLORE_DELAY_SECS),
+        kinds: kinds.clone(),
+        invariant,
+    };
+    let mut failed = false;
+
+    // Target (a): a worst-case delivery/drop/reorder schedule against the
+    // un-hardened protocol's forged-RREP handling.
+    let hunt = blackhole_corridor(
+        Protocol::Mts,
+        args.explore_nodes,
+        args.explore_secs,
+        args.explore_seed,
+    );
+    eprintln!(
+        "# explore hunt: plain MTS blackhole corridor, n={}, flow endpoints {:?}, \
+         {} s simulated, seed {}; {}",
+        args.explore_nodes,
+        hunt.endpoints().iter().map(|n| n.0).collect::<Vec<_>>(),
+        args.explore_secs,
+        args.explore_seed,
+        bounds,
+    );
+    eprintln!(
+        "# hunting a schedule over {kinds:?} frames violating: {}",
+        hunt_invariant.describe()
+    );
+    let spec = spec_for(hunt.clone(), hunt_invariant);
+    let report = explore(&spec);
+    eprintln!(
+        "# hunt search: {} runs, {} distinct states, {} dedup hits, {} eligible points max",
+        report.runs, report.distinct_states, report.dedup_hits, report.max_eligible_seen
+    );
+    match report.verdict {
+        Verdict::Violated(v) => {
+            println!(
+                "counterexample: {} adversarial choice(s) break \"{}\"",
+                v.choice_count,
+                hunt_invariant.describe()
+            );
+            println!("  violation: {}", v.reason);
+            // Replay with the telemetry stream on; telemetry is observational,
+            // so the fingerprint recorded during the search must reappear.
+            let replayable = hunt.clone().with_telemetry(TelemetryConfig {
+                enabled: true,
+                window_secs: Some(1.0),
+                trace_packet: None,
+            });
+            let replay = run_with_trace(&replayable, &v.trace);
+            for p in &replay.log.points {
+                if let Some(action) = p.action {
+                    println!(
+                        "  slot {:>2}: t={:>10.6} s  {:>3} -> {:<3}  {:<9} ({})  => {}",
+                        p.slot,
+                        p.at.as_secs(),
+                        p.from.0,
+                        p.to.0,
+                        p.kind,
+                        if p.broadcast { "bcast" } else { "ucast" },
+                        action.label(),
+                    );
+                }
+            }
+            let digest = outcome_digest(&replay);
+            if digest == v.state_hash && spec.invariant.check(&replay.recorder).is_err() {
+                println!(
+                    "replay: reproduces the violating run byte-identically \
+                     (fingerprint {digest:#018x})"
+                );
+            } else {
+                eprintln!(
+                    "error: replay diverged — fingerprint {digest:#018x} vs recorded {:#018x}, \
+                     still violating: {}",
+                    v.state_hash,
+                    spec.invariant.check(&replay.recorder).is_err()
+                );
+                failed = true;
+            }
+            if let Some(path) = &args.explore_ndjson {
+                let events = replay.recorder.telemetry.events();
+                write_ndjson_file(events, path);
+                eprintln!("# wrote {} telemetry events to {path}", events.len());
+            }
+        }
+        Verdict::Proved => {
+            eprintln!(
+                "error: hunt found no violating schedule — un-hardened MTS is expected to \
+                 fall within these bounds (try a different --explore-seed or wider bounds)"
+            );
+            failed = true;
+        }
+        Verdict::BudgetExhausted => {
+            eprintln!(
+                "error: hunt budget ({} runs) exhausted without a verdict",
+                args.explore_budget
+            );
+            failed = true;
+        }
+    }
+
+    // Target (b): exhaustively prove the dispersion bound on hardened MTS.
+    let proof_n = args.explore_nodes.min(6);
+    let proof_invariant = Invariant::CaptureAtMost(args.explore_bound);
+    let proof = blackhole_corridor(
+        Protocol::MtsHardened,
+        proof_n,
+        args.explore_secs,
+        args.explore_seed,
+    );
+    eprintln!(
+        "# explore proof: hardened MTS blackhole corridor, n={proof_n}, seed {}; {}",
+        args.explore_seed, bounds
+    );
+    eprintln!("# proving: {}", proof_invariant.describe());
+    let report = explore(&spec_for(proof, proof_invariant));
+    match report.verdict {
+        Verdict::Proved => {
+            println!(
+                "proved: {} — for every schedule with <= {} interventions over the first {} \
+                 eligible {:?} points at n={} ({} runs, {} distinct states, {} dedup hits)",
+                proof_invariant.describe(),
+                args.explore_interventions,
+                args.explore_horizon,
+                kinds,
+                proof_n,
+                report.runs,
+                report.distinct_states,
+                report.dedup_hits,
+            );
+        }
+        Verdict::Violated(v) => {
+            eprintln!(
+                "error: proof target violated with {} choice(s): {}",
+                v.choice_count, v.reason
+            );
+            failed = true;
+        }
+        Verdict::BudgetExhausted => {
+            eprintln!(
+                "error: proof budget ({} runs) exhausted before the schedule class was",
+                args.explore_budget
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 /// Merge every `BENCH_*.json` in the current directory into trend rows.
 fn load_bench_trend() -> Vec<TrendRow> {
     let mut files: Vec<String> = std::fs::read_dir(".")
@@ -418,6 +765,10 @@ fn main() {
         print!("{}", render_bench_trend(&rows));
         return;
     }
+    if args.explore {
+        run_explore(&args);
+        return;
+    }
     if let Some(path) = &args.telemetry {
         let mut scenario = Scenario::scaled(Protocol::Mts, args.telemetry_nodes, 10.0, 1)
             .with_telemetry(TelemetryConfig {
@@ -444,20 +795,7 @@ fn main() {
         );
         let (_, recorder) = run_scenario_with_recorder(&scenario);
         let events = recorder.telemetry.events();
-        let file = std::fs::File::create(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot create {path}: {e}");
-            std::process::exit(1);
-        });
-        let mut sink = WriteSink(std::io::BufWriter::new(file));
-        write_ndjson(events, &mut sink).unwrap_or_else(|e| {
-            eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        use std::io::Write as _;
-        sink.0.flush().unwrap_or_else(|e| {
-            eprintln!("error: cannot flush {path}: {e}");
-            std::process::exit(1);
-        });
+        write_ndjson_file(events, path);
         eprintln!("# wrote {} telemetry events to {path}", events.len());
         return;
     }

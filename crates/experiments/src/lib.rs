@@ -18,12 +18,16 @@
 //! * [`attacks`] — the attack-aware matrix: protocol × attack × seed against
 //!   the `manet-adversary` attacker models (coalitions, black/gray holes,
 //!   mobile eavesdropper, selective jamming).
+//! * [`invariants`] — the shared attack-resilience predicates asserted by the
+//!   Monte Carlo attack tests and exhaustively checked by the bounded
+//!   model-checking explorer (`crates/mck`).
 //! * [`figures`] — one generator per paper figure/table, returning the same
 //!   rows/series the paper plots.
 //! * [`report`] — plain-text rendering of figures and sweep results.
 
 pub mod attacks;
 pub mod figures;
+pub mod invariants;
 pub mod metrics;
 pub mod protocol;
 pub mod report;
@@ -39,5 +43,7 @@ pub use manet_adversary::{AttackConfig, AttackKind, CoalitionPlacement, Coverage
 pub use manet_tcp::{FlowProfile, FlowShape};
 pub use metrics::{FlowMetrics, RunMetrics};
 pub use protocol::Protocol;
-pub use runner::{run_scenario, sweep, AggregatedPoint, SweepOutcome, SweepSpec};
+pub use runner::{
+    run_scenario, run_scenario_hooked, sweep, AggregatedPoint, SweepOutcome, SweepSpec,
+};
 pub use scenario::{Scenario, TrafficFlow};

@@ -12,7 +12,7 @@ use crate::scenario::Scenario;
 use crate::stack::{ManetStack, SharedTcpStats, TcpRunReport};
 use manet_adversary::{AttackKind, BlackholeStack, CorridorMobility};
 use manet_netsim::mobility::{MobilityModel, RandomWaypoint};
-use manet_netsim::{run_sharded, Execution, NodeStack, Recorder, Simulator};
+use manet_netsim::{run_sharded, DeliveryChoiceHook, Execution, NodeStack, Recorder, Simulator};
 use manet_tcp::TcpConfig;
 use manet_wire::{ConnectionId, NodeId};
 use parking_lot::Mutex;
@@ -129,6 +129,37 @@ fn run_scenario_inner(scenario: &Scenario, trace: bool) -> (RunMetrics, Recorder
 /// Execute one scenario and return its metrics.
 pub fn run_scenario(scenario: &Scenario) -> RunMetrics {
     run_scenario_with_recorder(scenario).0
+}
+
+/// Execute one scenario on the serial engine with an adversarial
+/// delivery-choice hook installed (bounded model checking; see
+/// `manet_netsim::choice` and `crates/mck`).  The trace is always kept —
+/// the explorer fingerprints it for state-hash deduplication and replay
+/// byte-identity.
+///
+/// # Panics
+/// Panics when the scenario requests sharded execution: choice injection is
+/// defined over the serial engine's total delivery order only.
+pub fn run_scenario_hooked(
+    scenario: &Scenario,
+    hook: Box<dyn DeliveryChoiceHook>,
+) -> (RunMetrics, Recorder) {
+    scenario.validate().expect("invalid scenario");
+    assert!(
+        matches!(scenario.sim.execution, Execution::Serial),
+        "delivery-choice hooks are serial-engine-only"
+    );
+    let stats: SharedTcpStats = Arc::new(Mutex::new(TcpRunReport::default()));
+    let stacks: Vec<Box<dyn NodeStack>> = (0..scenario.sim.num_nodes)
+        .map(|i| build_stack(scenario, &stats, NodeId(i)) as Box<dyn NodeStack>)
+        .collect();
+    let mut sim = Simulator::new(scenario.sim.clone(), build_mobility(scenario), stacks);
+    sim.enable_trace();
+    sim.set_choice_hook(hook);
+    let recorder = sim.run();
+    let tcp_report = stats.lock().clone();
+    let metrics = RunMetrics::extract(scenario, &recorder, &tcp_report);
+    (metrics, recorder)
 }
 
 /// Specification of a sweep over the paper's parameter grid.

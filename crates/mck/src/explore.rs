@@ -1,0 +1,248 @@
+//! The bounded exhaustive explorer.
+//!
+//! # State-space model
+//!
+//! One *state* is one complete deterministic run of the concrete engine
+//! under a [`ChoiceTrace`] script.  The explorer searches the tree of
+//! scripts: the root is the unforced schedule (zero interventions), and a
+//! child extends its parent by one intervention (drop or delay) at an
+//! eligible slot **strictly after** the parent's last intervention.  The
+//! engine is deterministic, so a run's prefix up to a slot does not depend
+//! on interventions at later slots — extending only rightward enumerates
+//! every intervention set exactly once (a canonical enumeration, not a
+//! heuristic pruning).
+//!
+//! The search deepens by intervention count (iterative deepening), so the
+//! first violation found carries a **minimal** number of adversarial
+//! choices.  Within the budget, exhausting the tree up to
+//! `max_interventions` over `horizon` slots proves the invariant for every
+//! delivery/drop/reorder schedule in that bounded class.
+//!
+//! State-hash deduplication (via `fasthash`) recognises runs whose full
+//! behaviour (recorder trace, counters, observed choice points) coincides;
+//! a duplicate's unexplored extensions are skipped only when its extension
+//! window is covered by the first occurrence, so the skip is exact, never
+//! heuristic.
+
+use crate::hook::{ChoiceTrace, RunLog, ScheduleAction, ScheduleHook};
+use crate::invariant::Invariant;
+use manet_experiments::runner::run_scenario_hooked;
+use manet_experiments::{RunMetrics, Scenario};
+use manet_netsim::fasthash::{FxHashMap, FxHasher};
+use manet_netsim::{Duration, Recorder};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// What to explore: scenario, bounds, and the property to check.
+#[derive(Debug, Clone)]
+pub struct ExploreSpec {
+    /// The (serial-execution) scenario driven through the choice hook.
+    pub scenario: Scenario,
+    /// Number of leading eligible choice points subject to intervention.
+    pub horizon: u32,
+    /// Maximum interventions per schedule (search depth).
+    pub max_interventions: u32,
+    /// Maximum number of engine runs before giving up.
+    pub budget: u64,
+    /// Extra delivery delay applied by delay interventions.
+    pub delay: Duration,
+    /// Frame kinds eligible for intervention.
+    pub kinds: Vec<&'static str>,
+    /// The property checked at every explored state.
+    pub invariant: Invariant,
+}
+
+/// The final state of one scripted run.
+pub struct RunOutcome {
+    /// Extracted per-run metrics.
+    pub metrics: RunMetrics,
+    /// The raw recorder (trace kept — fingerprints and invariants read it).
+    pub recorder: Recorder,
+    /// The choice points the script was offered.
+    pub log: RunLog,
+}
+
+/// Execute `scenario` under `trace` on the concrete engine.  This is both
+/// the explorer's step function and the counterexample replay path: same
+/// trace in, byte-identical run out.
+pub fn run_with_trace(scenario: &Scenario, trace: &ChoiceTrace) -> RunOutcome {
+    let (hook, log) = ScheduleHook::new(trace);
+    let (metrics, recorder) = run_scenario_hooked(scenario, Box::new(hook));
+    let log = match Arc::try_unwrap(log) {
+        Ok(m) => m.into_inner(),
+        Err(arc) => arc.lock().clone(),
+    };
+    RunOutcome {
+        metrics,
+        recorder,
+        log,
+    }
+}
+
+/// Full-run fingerprint: the recorder trace (every transmission, delivery
+/// and link event in order), the conservation counters, and the observed
+/// choice-point sequence (sans actions — those are script inputs, not
+/// behaviour).  Runs with equal fingerprints behaved identically.
+pub fn outcome_digest(outcome: &RunOutcome) -> u64 {
+    let mut h = FxHasher::default();
+    let mut buf = String::new();
+    for ev in outcome.recorder.trace() {
+        buf.clear();
+        use std::fmt::Write as _;
+        let _ = write!(buf, "{ev:?}");
+        buf.hash(&mut h);
+    }
+    outcome.recorder.originated_data_packets().hash(&mut h);
+    outcome.recorder.delivered_data_packets().hash(&mut h);
+    outcome.recorder.delivered_payload_bytes().hash(&mut h);
+    outcome.recorder.adversary_drops().hash(&mut h);
+    outcome.recorder.total_drops().hash(&mut h);
+    outcome.log.eligible_seen.hash(&mut h);
+    for p in &outcome.log.points {
+        p.slot.hash(&mut h);
+        p.at.as_secs().to_bits().hash(&mut h);
+        p.from.hash(&mut h);
+        p.to.hash(&mut h);
+        p.kind.hash(&mut h);
+        p.broadcast.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A found invariant violation, with its replayable script.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The complete decision script that reproduces the violation.
+    pub trace: ChoiceTrace,
+    /// Number of adversarial interventions (minimal by search order).
+    pub choice_count: u32,
+    /// Human-readable description of what was violated.
+    pub reason: String,
+    /// Fingerprint of the violating run (replay must reproduce it).
+    pub state_hash: u64,
+}
+
+/// The explorer's answer.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Every schedule in the bounded class satisfies the invariant.
+    Proved,
+    /// A schedule violating the invariant, minimal in choice count.
+    Violated(Violation),
+    /// The run budget ran out before the class was exhausted.
+    BudgetExhausted,
+}
+
+/// Search statistics alongside the verdict.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// The answer.
+    pub verdict: Verdict,
+    /// Engine runs executed.
+    pub runs: u64,
+    /// Distinct run fingerprints seen.
+    pub distinct_states: u64,
+    /// Runs whose extensions were skipped as exact duplicates.
+    pub dedup_hits: u64,
+    /// Largest number of eligible choice points any run exposed.
+    pub max_eligible_seen: u64,
+}
+
+/// Exhaustively explore `spec`'s schedule class (see the module docs).
+///
+/// Iterative deepening by intervention count: all zero-choice schedules
+/// first, then one-choice, then two-choice … so the first violation
+/// returned is minimal in the number of adversarial choices.
+pub fn explore(spec: &ExploreSpec) -> ExploreReport {
+    // state fingerprint -> smallest extension-window start already expanded
+    // from a run with this fingerprint.
+    let mut seen: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut runs = 0u64;
+    let mut dedup_hits = 0u64;
+    let mut max_eligible = 0u64;
+    let trace_of = |actions: &[(u32, ScheduleAction)]| ChoiceTrace {
+        actions: actions.to_vec(),
+        horizon: spec.horizon,
+        delay: spec.delay,
+        kinds: spec.kinds.clone(),
+    };
+    let report =
+        |verdict, runs, seen: &FxHashMap<u64, u32>, dedup_hits, max_eligible| ExploreReport {
+            verdict,
+            runs,
+            distinct_states: seen.len() as u64,
+            dedup_hits,
+            max_eligible_seen: max_eligible,
+        };
+
+    let mut frontier: Vec<Vec<(u32, ScheduleAction)>> = vec![Vec::new()];
+    for depth in 0..=spec.max_interventions {
+        let mut next: Vec<Vec<(u32, ScheduleAction)>> = Vec::new();
+        for plan in &frontier {
+            if runs >= spec.budget {
+                return report(
+                    Verdict::BudgetExhausted,
+                    runs,
+                    &seen,
+                    dedup_hits,
+                    max_eligible,
+                );
+            }
+            let trace = trace_of(plan);
+            let outcome = run_with_trace(&spec.scenario, &trace);
+            runs += 1;
+            max_eligible = max_eligible.max(outcome.log.eligible_seen);
+            let state_hash = outcome_digest(&outcome);
+            // The invariant is evaluated at every explored state, before any
+            // deduplication: the first violation at this depth is minimal.
+            if let Err(reason) = spec.invariant.check(&outcome.recorder) {
+                let violation = Violation {
+                    trace,
+                    choice_count: depth,
+                    reason,
+                    state_hash,
+                };
+                return report(
+                    Verdict::Violated(violation),
+                    runs,
+                    &seen,
+                    dedup_hits,
+                    max_eligible,
+                );
+            }
+            if depth == spec.max_interventions {
+                continue;
+            }
+            // Children intervene strictly after the parent's last slot, and
+            // only at slots this run actually exposed (beyond
+            // `eligible_seen` the script would never fire).
+            let start = plan.last().map_or(0, |&(s, _)| s + 1);
+            let limit = outcome.log.eligible_seen.min(u64::from(spec.horizon)) as u32;
+            // Exact dedup: a behaviourally identical run was already
+            // expanded from a window starting at or before ours, so every
+            // child state of this run was (or will be) reached from it.
+            match seen.get(&state_hash).copied() {
+                Some(prev) if prev <= start => {
+                    dedup_hits += 1;
+                    continue;
+                }
+                _ => {
+                    let entry = seen.entry(state_hash).or_insert(start);
+                    *entry = (*entry).min(start);
+                }
+            }
+            for slot in start..limit {
+                for action in [ScheduleAction::Drop, ScheduleAction::Delay] {
+                    let mut child = plan.clone();
+                    child.push((slot, action));
+                    next.push(child);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    report(Verdict::Proved, runs, &seen, dedup_hits, max_eligible)
+}

@@ -1,0 +1,27 @@
+//! Stock small topologies for the explorer's first targets.
+//!
+//! Model checking needs *small* state spaces: a handful of static nodes in a
+//! narrow corridor (so routes are multi-hop even at n ≤ 8 — the paper's
+//! square field at constant density would collapse to one hop), one bulk TCP
+//! flow, and one black hole drawn away from the endpoints.  Everything else
+//! (protocol stacks, MAC, TCP, the attacker) is the full concrete stack the
+//! Monte Carlo experiments run.
+
+use manet_experiments::{AttackConfig, Protocol, Scenario};
+use manet_netsim::{Duration, SimConfig};
+
+/// A static multi-hop corridor with one bulk flow and one black hole.
+///
+/// `n` nodes are placed (deterministically from `seed`) in a 900 m × 150 m
+/// corridor with the paper's 250 m radio range, zero mobility, and
+/// `secs` simulated seconds.  Flow endpoints and the attacker are drawn
+/// from the seed exactly as the paper-scale scenarios draw them.
+pub fn blackhole_corridor(protocol: Protocol, n: u16, secs: f64, seed: u64) -> Scenario {
+    assert!(n >= 4, "need at least endpoints + relay + attacker");
+    let mut sim = SimConfig::paper_environment(0.0, seed);
+    sim.num_nodes = n;
+    sim.field_width = 900.0;
+    sim.field_height = 150.0;
+    sim.duration = Duration::from_secs(secs);
+    Scenario::from_sim(protocol, sim).with_attack(AttackConfig::blackhole(1))
+}

@@ -43,6 +43,7 @@
 //! Counters for all of these are surfaced through
 //! [`Recorder::engine_perf`](crate::recorder::Recorder::engine_perf).
 
+use crate::choice::{ChoiceDecision, ChoicePoint, DeliveryChoiceHook};
 use crate::config::{NeighborIndex, SimConfig};
 use crate::event::{Event, EventQueue, TxId};
 use crate::geometry::Position;
@@ -63,6 +64,29 @@ use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+
+/// Snapshot of a payload's drop-telemetry fields, captured before the
+/// engine's payload reference may be handed away (a broadcast receiver late
+/// in the outcome list can be schedule-dropped after an earlier delivery took
+/// ownership of the packet).
+struct DropMeta {
+    kind: &'static str,
+    /// `(conn, seq, carries_data)` for data packets, `None` for control.
+    data: Option<(u32, u64, bool)>,
+}
+
+impl DropMeta {
+    fn of(payload: &NetPacket) -> Self {
+        let data = match payload {
+            NetPacket::Data(dp) => Some((dp.segment.conn.0, dp.segment.seq, dp.carries_data())),
+            _ => None,
+        };
+        DropMeta {
+            kind: payload.kind(),
+            data,
+        }
+    }
+}
 
 /// Per-node mobility bookkeeping.
 #[derive(Debug, Clone)]
@@ -252,6 +276,10 @@ pub struct World {
     /// Per-node rushing flags (empty when no rushing adversary is configured,
     /// so the lookup is a bounds-checked miss on the clean path).
     rush_mask: Vec<bool>,
+    /// Adversarial delivery-choice hook (bounded model checking; see
+    /// [`crate::choice`]).  `None` on every ordinary run — the hot path pays
+    /// one branch.  Serial engine only.
+    choice: Option<Box<dyn DeliveryChoiceHook>>,
 }
 
 impl World {
@@ -808,6 +836,7 @@ impl<S: StackSlot> SimCore<S> {
             announce_scratch: Vec::new(),
             jam,
             rush_mask,
+            choice: None,
             config,
         };
         SimCore {
@@ -822,6 +851,24 @@ impl<S: StackSlot> SimCore<S> {
     /// [`Simulator::run`]).
     pub fn enable_trace(&mut self) {
         self.world.recorder.keep_trace = true;
+    }
+
+    /// Install an adversarial delivery-choice hook (must be called before
+    /// [`Simulator::run`]; see [`crate::choice`]).  The engine offers every
+    /// addressed reception to the hook, which may deliver, omit or delay it —
+    /// the bounded model-checking explorer in `crates/mck` enumerates these
+    /// decisions.  A hook answering only [`ChoiceDecision::Deliver`] leaves
+    /// the run byte-identical to a hook-free run.
+    ///
+    /// # Panics
+    /// Panics on a shard of a sharded run: choice injection is defined over
+    /// the serial engine's total delivery order only.
+    pub fn set_choice_hook(&mut self, hook: Box<dyn DeliveryChoiceHook>) {
+        assert!(
+            self.world.shard.is_none(),
+            "delivery-choice hooks are serial-engine-only"
+        );
+        self.world.choice = Some(hook);
     }
 
     /// Borrow the world (e.g. to inspect positions in tests).
@@ -1346,16 +1393,77 @@ impl<S: StackSlot> SimCore<S> {
                 // receiver (and the last of many, once the earlier stacks
                 // dropped theirs) can take ownership without any copy.
                 let mut payload = Some(queued.frame.payload);
-                let last_ok = outcomes.iter().rposition(|&(_, ok)| ok);
+                // Bounded model checking: with a choice hook installed, every
+                // addressed reception is offered to it first.  Decisions are
+                // collected up front so the hand-off of the engine's own
+                // payload reference can be recomputed over the receptions
+                // that still need the payload (`Drop` needs none); an
+                // all-`Deliver` answer reproduces the hook-free hand-off
+                // byte-for-byte.
+                let decisions: Option<Vec<ChoiceDecision>> =
+                    self.world.choice.as_mut().map(|hook| {
+                        let p = payload.as_ref().expect("payload present");
+                        outcomes
+                            .iter()
+                            .map(|&(r, ok)| {
+                                if ok {
+                                    hook.decide(&ChoicePoint {
+                                        at: now,
+                                        from: node,
+                                        to: r,
+                                        broadcast: true,
+                                        payload: p,
+                                    })
+                                } else {
+                                    ChoiceDecision::Deliver
+                                }
+                            })
+                            .collect()
+                    });
+                let drop_meta = decisions
+                    .as_ref()
+                    .map(|_| DropMeta::of(payload.as_ref().expect("payload present")));
+                let last_needed = match &decisions {
+                    None => outcomes.iter().rposition(|&(_, ok)| ok),
+                    Some(ds) => outcomes
+                        .iter()
+                        .enumerate()
+                        .rposition(|(i, &(_, ok))| ok && ds[i] != ChoiceDecision::Drop),
+                };
                 for (i, &(r, ok)) in outcomes.iter().enumerate() {
                     if !ok {
                         continue;
                     }
-                    let packet = if Some(i) == last_ok {
+                    let decision = decisions
+                        .as_ref()
+                        .map_or(ChoiceDecision::Deliver, |ds| ds[i]);
+                    if decision == ChoiceDecision::Drop {
+                        self.record_schedule_drop(r, drop_meta.as_ref().expect("hook active"));
+                        continue;
+                    }
+                    let packet = if Some(i) == last_needed {
                         payload.take().expect("last receiver")
                     } else {
                         Arc::clone(payload.as_ref().expect("not last"))
                     };
+                    if let ChoiceDecision::Delay(by) = decision {
+                        // Hand the reception to the receiver-side-only
+                        // delivery path after the extra delay; the receiving
+                        // stack sees an ordinary `on_receive`.
+                        self.world.queue.schedule(
+                            now + by,
+                            Event::RemoteDeliver {
+                                to: r,
+                                frame: Frame {
+                                    mac_src: node,
+                                    mac_dst: MacDest::Broadcast,
+                                    payload: packet,
+                                },
+                                addressed: true,
+                            },
+                        );
+                        continue;
+                    }
                     if self.world.owns(r) {
                         self.account_reception(r, node, &packet, true);
                         add(&self.world.perf.payload_clones_avoided, 1);
@@ -1430,19 +1538,51 @@ impl<S: StackSlot> SimCore<S> {
                 if delivered && self.world.owns(dst) {
                     self.world.macs[idx].tx_ok += 1;
                     self.world.macs[idx].reset_backoff();
-                    self.account_reception(dst, node, &queued.frame.payload, true);
-                    // Move the payload out of the finished frame: the
-                    // receiving stack gets the sole reference and can take
-                    // ownership without a copy.
-                    let packet = queued.frame.payload;
-                    add(&self.world.perf.payload_clones_avoided, 1);
-                    let mut ctx = Ctx {
-                        world: &mut self.world,
-                        node: dst,
+                    // Bounded model checking: the addressed reception is
+                    // offered to the choice hook.  The sender's MAC already
+                    // saw success, so `Drop` is a pure receiver-side omission
+                    // (no retry, no link failure).
+                    let decision = match self.world.choice.as_mut() {
+                        None => ChoiceDecision::Deliver,
+                        Some(hook) => hook.decide(&ChoicePoint {
+                            at: now,
+                            from: node,
+                            to: dst,
+                            broadcast: false,
+                            payload: &queued.frame.payload,
+                        }),
                     };
-                    self.stacks[dst.index()]
-                        .stack()
-                        .on_receive(&mut ctx, node, packet);
+                    match decision {
+                        ChoiceDecision::Drop => {
+                            let meta = DropMeta::of(&queued.frame.payload);
+                            self.record_schedule_drop(dst, &meta);
+                        }
+                        ChoiceDecision::Delay(by) => {
+                            self.world.queue.schedule(
+                                now + by,
+                                Event::RemoteDeliver {
+                                    to: dst,
+                                    frame: queued.frame,
+                                    addressed: true,
+                                },
+                            );
+                        }
+                        ChoiceDecision::Deliver => {
+                            self.account_reception(dst, node, &queued.frame.payload, true);
+                            // Move the payload out of the finished frame: the
+                            // receiving stack gets the sole reference and can
+                            // take ownership without a copy.
+                            let packet = queued.frame.payload;
+                            add(&self.world.perf.payload_clones_avoided, 1);
+                            let mut ctx = Ctx {
+                                world: &mut self.world,
+                                node: dst,
+                            };
+                            self.stacks[dst.index()]
+                                .stack()
+                                .on_receive(&mut ctx, node, packet);
+                        }
+                    }
                 } else if delivered {
                     // Cross-shard unicast: the sender's MAC bookkeeping is
                     // local, the delivery itself runs at dst's owner shard.
@@ -1537,7 +1677,10 @@ impl<S: StackSlot> SimCore<S> {
     fn remote_deliver(&mut self, to: NodeId, frame: Frame, addressed: bool) {
         debug_assert!(self.world.owns(to), "RemoteDeliver routed to owner shard");
         let from = frame.mac_src;
-        if self.world.recorder.telemetry.enabled() {
+        // Only an actual shard crossing is provenance-worthy: the serial
+        // engine reaches here solely for hook-delayed re-deliveries
+        // (see [`crate::choice`]), which stay on one shard.
+        if self.world.shard.is_some() && self.world.recorder.telemetry.enabled() {
             if let NetPacket::Data(dp) = &*frame.payload {
                 self.emit_stage_provenance("cross_shard", to, dp);
             }
@@ -1638,6 +1781,43 @@ impl<S: StackSlot> SimCore<S> {
                 seq,
                 kind: "DATA",
             });
+        }
+    }
+
+    /// Account a schedule-controlled omission (see [`crate::choice`]): a
+    /// [`DropReason::ScheduleDrop`] drop counter tick, the telemetry `drop`
+    /// event, and — when the omitted packet is the traced one — a `drop`
+    /// provenance stage, mirroring how adversarial discards are recorded.
+    fn record_schedule_drop(&mut self, at: NodeId, meta: &DropMeta) {
+        self.world.recorder.record_drop(DropReason::ScheduleDrop);
+        if self.world.recorder.telemetry.enabled() {
+            let t = self.world.now.as_secs();
+            let telemetry = &mut self.world.recorder.telemetry;
+            let shard = telemetry.shard();
+            let conn = meta
+                .data
+                .and_then(|(conn, _, carries)| carries.then_some(conn));
+            telemetry.emit(TelemetryEvent::Drop {
+                t,
+                shard,
+                node: at.0,
+                reason: DropReason::ScheduleDrop,
+                kind: meta.kind,
+                conn,
+            });
+            if let Some((conn, seq, carries)) = meta.data {
+                if telemetry.traced(conn, seq, carries) {
+                    telemetry.emit(TelemetryEvent::Provenance {
+                        t,
+                        shard,
+                        stage: "drop",
+                        node: at.0,
+                        conn,
+                        seq,
+                        kind: meta.kind,
+                    });
+                }
+            }
         }
     }
 

@@ -9,6 +9,9 @@
 //!   (amortised O(1), the default; the binary heap remains selectable via
 //!   [`config::EventQueueKind`] and pops in the identical order).
 //! * [`fasthash`] — the FxHash-style hasher behind the hot-path maps.
+//! * [`choice`] — adversarial delivery-choice injection for the bounded
+//!   model-checking explorer (`crates/mck`): a hook the engine consults on
+//!   every addressed reception (deliver / drop / delay).
 //! * [`geometry`] — 2-D positions and vectors.
 //! * [`mobility`] — the random-waypoint mobility model (and fixed placements).
 //! * [`grid`] — the uniform spatial grid indexing node positions; the
@@ -36,6 +39,7 @@
 //! across independent runs (see `manet-experiments`).
 
 pub mod calendar;
+pub mod choice;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -53,6 +57,7 @@ pub mod time;
 pub mod topology;
 
 pub use calendar::CalendarQueue;
+pub use choice::{ChoiceDecision, ChoicePoint, DeliveryChoiceHook};
 pub use config::{
     EventQueueKind, Execution, JamConfig, JamTarget, NeighborIndex, RushConfig, SimConfig,
     TelemetryConfig, WormholeConfig,

@@ -32,11 +32,15 @@ pub enum DropKind {
     DiscoveryFailed,
     /// Link-failure salvage found no alternate route.
     SalvageFailed,
+    /// Omitted by the bounded model-checking schedule explorer: the sender's
+    /// MAC saw a successful transmission but the receiver never got the
+    /// frame (message-omission fault model; see `crates/mck`).
+    ScheduleDrop,
 }
 
 impl DropKind {
     /// All reasons, in a fixed order (report rendering, tests).
-    pub const ALL: [DropKind; 7] = [
+    pub const ALL: [DropKind; 8] = [
         DropKind::QueueOverflow,
         DropKind::RetryLimit,
         DropKind::Jammed,
@@ -44,6 +48,7 @@ impl DropKind {
         DropKind::NoRoute,
         DropKind::DiscoveryFailed,
         DropKind::SalvageFailed,
+        DropKind::ScheduleDrop,
     ];
 
     /// Stable snake_case label used on the wire.
@@ -56,6 +61,7 @@ impl DropKind {
             DropKind::NoRoute => "no_route",
             DropKind::DiscoveryFailed => "discovery_failed",
             DropKind::SalvageFailed => "salvage_failed",
+            DropKind::ScheduleDrop => "schedule_drop",
         }
     }
 

@@ -21,6 +21,7 @@
 
 pub use manet_adversary as adversary;
 pub use manet_experiments as experiments;
+pub use manet_mck as mck;
 pub use manet_netsim as netsim;
 pub use manet_routing as routing;
 pub use manet_security as security;

@@ -3,7 +3,13 @@
 //! the clean run at the same seed, k-colluder coalitions cover MTS's traffic
 //! no better than single-path DSR's, and the attack matrix is deterministic
 //! per seed.
+//!
+//! The properties themselves live in `manet_experiments::invariants`, shared
+//! with the bounded model-checking explorer (`manet_mck`): these tests sample
+//! them over seeds at paper scale, the explorer proves them exhaustively over
+//! adversarial schedules at small scale.
 
+use mts_repro::experiments::invariants;
 use mts_repro::prelude::*;
 
 /// One paper-environment run under an attack, at reduced duration.
@@ -38,21 +44,10 @@ fn grayhole_degrades_delivery_against_the_clean_run_at_the_same_seed() {
     for protocol in Protocol::ALL {
         let clean = attack_run(protocol, AttackConfig::none(), 1, 30.0);
         let gray = attack_run(protocol, AttackConfig::grayhole(2, 0.5), 1, 30.0);
-        assert!(
-            gray.throughput_packets < clean.throughput_packets,
-            "{}: gray hole must deliver fewer packets (clean {}, gray {})",
-            protocol.name(),
-            clean.throughput_packets,
-            gray.throughput_packets
-        );
-        assert!(
-            gray.delivery_rate < clean.delivery_rate,
-            "{}: gray hole must lower the delivery rate (clean {:.3}, gray {:.3})",
-            protocol.name(),
-            clean.delivery_rate,
-            gray.delivery_rate
-        );
-        assert_eq!(clean.adversary_drops, 0, "clean runs record no drops");
+        invariants::attack_degrades_delivery(&clean, &gray)
+            .unwrap_or_else(|e| panic!("{} gray hole: {e}", protocol.name()));
+        invariants::clean_run_sees_no_adversary(&clean)
+            .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
     }
 }
 
@@ -62,11 +57,7 @@ fn blackhole_hits_harder_than_grayhole() {
     // relays actually discard traffic (the route attraction works).
     let gray = attack_run(Protocol::Aodv, AttackConfig::grayhole(2, 0.5), 1, 30.0);
     let black = attack_run(Protocol::Aodv, AttackConfig::blackhole(2), 1, 30.0);
-    assert!(black.throughput_packets <= gray.throughput_packets);
-    assert!(
-        black.adversary_drops > 0,
-        "black holes must attract and drop"
-    );
+    invariants::blackhole_at_least_as_damaging(&gray, &black).unwrap_or_else(|e| panic!("{e}"));
 }
 
 #[test]
@@ -113,9 +104,7 @@ fn mts_coalition_coverage_not_worse_than_dsr() {
         );
     }
     // The curves are monotone in k (coalitions only ever gain members).
-    for w in mts.windows(2) {
-        assert!(w[1] >= w[0] - 1e-12);
-    }
+    invariants::monotone_nondecreasing(&mts).unwrap_or_else(|e| panic!("MTS coalition {e}"));
 }
 
 #[test]
@@ -126,11 +115,8 @@ fn coalition_attack_surfaces_in_run_metrics() {
         1,
         20.0,
     );
-    assert!(
-        m.coalition_interception_ratio > 0.0 && m.coalition_interception_ratio <= 1.0,
-        "coalition ratio {} out of range",
-        m.coalition_interception_ratio
-    );
+    invariants::capture_ratio_meaningful(m.coalition_interception_ratio, 0.0)
+        .unwrap_or_else(|e| panic!("coalition {e}"));
     // A bigger coalition can only see more.
     let bigger = attack_run(
         Protocol::Dsr,
@@ -138,7 +124,11 @@ fn coalition_attack_surfaces_in_run_metrics() {
         1,
         20.0,
     );
-    assert!(bigger.coalition_interception_ratio >= m.coalition_interception_ratio);
+    invariants::monotone_nondecreasing(&[
+        m.coalition_interception_ratio,
+        bigger.coalition_interception_ratio,
+    ])
+    .unwrap_or_else(|e| panic!("coalition size axis: {e}"));
 }
 
 #[test]
@@ -161,7 +151,7 @@ fn control_jamming_disturbs_routing_and_data_jamming_disturbs_data() {
     );
     assert!(data.jammed_frames > 0, "data jammers must corrupt frames");
     let clean = attack_run(Protocol::Aodv, AttackConfig::none(), 1, 20.0);
-    assert_eq!(clean.jammed_frames, 0);
+    invariants::clean_run_sees_no_adversary(&clean).unwrap_or_else(|e| panic!("{e}"));
     assert!(
         data.throughput_packets < clean.throughput_packets,
         "data jamming must cost throughput (clean {}, jammed {})",
@@ -201,19 +191,8 @@ fn hardened_mts_strictly_improves_delivery_under_black_holes_at_every_speed() {
             speed,
             30.0,
         );
-        assert!(
-            hard.delivery_rate > plain.delivery_rate,
-            "speed {speed}: hardened MTS must strictly improve delivery \
-             (plain {:.4}, hardened {:.4})",
-            plain.delivery_rate,
-            hard.delivery_rate
-        );
-        assert!(
-            hard.delivery_rate > 0.9,
-            "speed {speed}: hardening should nearly close the gap to clean \
-             (got {:.4})",
-            hard.delivery_rate
-        );
+        invariants::hardening_recovers_delivery(&plain, &hard, 0.9)
+            .unwrap_or_else(|e| panic!("speed {speed}: {e}"));
     }
 }
 
@@ -235,19 +214,14 @@ fn wormhole_captures_traffic_for_every_protocol() {
     // shortcut often even helps end-to-end delivery while it eavesdrops.
     for protocol in Protocol::ALL {
         let m = averaged(protocol, AttackConfig::wormhole(), 10.0, 30.0);
-        assert!(
-            m.attacker_capture_ratio > 0.05,
-            "{}: wormhole capture ratio {:.4} should be meaningful",
-            protocol.name(),
-            m.attacker_capture_ratio
-        );
+        invariants::capture_ratio_meaningful(m.attacker_capture_ratio, 0.05)
+            .unwrap_or_else(|e| panic!("{} wormhole: {e}", protocol.name()));
         assert!(
             m.delivery_rate > 0.8,
             "{}: the wormhole attracts, it does not drop (delivery {:.4})",
             protocol.name(),
             m.delivery_rate
         );
-        assert!(m.attacker_capture_ratio <= 1.0);
     }
 }
 
@@ -257,13 +231,10 @@ fn rushing_attracts_routes_and_stays_deterministic() {
     // moderate speed their capture of MTS traffic is small but real
     // (measured ~0.06 at 30 s x 2 seeds), and clean runs capture nothing.
     let rushed = averaged(Protocol::Mts, AttackConfig::rushing(2), 10.0, 30.0);
-    assert!(
-        rushed.attacker_capture_ratio > 0.0,
-        "rushing relays must capture some MTS traffic (got {:.4})",
-        rushed.attacker_capture_ratio
-    );
+    invariants::capture_ratio_meaningful(rushed.attacker_capture_ratio, 0.0)
+        .unwrap_or_else(|e| panic!("rushing: {e}"));
     let clean = averaged(Protocol::Mts, AttackConfig::none(), 10.0, 30.0);
-    assert_eq!(clean.attacker_capture_ratio, 0.0);
+    invariants::clean_run_sees_no_adversary(&clean).unwrap_or_else(|e| panic!("{e}"));
     // Determinism: same seed, same run.
     let a = attack_run(Protocol::Aodv, AttackConfig::rushing(2), 5, 15.0);
     let b = attack_run(Protocol::Aodv, AttackConfig::rushing(2), 5, 15.0);

@@ -1,0 +1,229 @@
+//! Replay contract of the bounded model checker (`manet_mck`, see
+//! docs/VERIFICATION.md).
+//!
+//! Four guarantees are pinned here, end to end through the full protocol
+//! stack:
+//!
+//! 1. Every counterexample the explorer emits **replays byte-identically**:
+//!    feeding the returned [`ChoiceTrace`] back through the concrete engine
+//!    reproduces the violating run's fingerprint — with telemetry off *and*
+//!    on (telemetry is observational, never causal).
+//! 2. The stock hunt's minimal counterexample is pinned as a **golden
+//!    regression**: the same schedule, choice count, violation and
+//!    fingerprint come back on every commit.  Regenerate after an
+//!    intentional engine change with
+//!    `GOLDEN_REGEN=1 cargo test --release --test explore -- --nocapture`.
+//! 3. A `Drop` intervention is the engine's message-omission fault: it is
+//!    accounted as a `schedule_drop` (never blamed on the MAC or the
+//!    adversary) and surfaces through the telemetry stream.
+//! 4. Zero adversarial choices means **zero perturbation**: an unforced
+//!    explored schedule is trace-identical to the plain serial engine run,
+//!    whatever the seed or horizon (property-tested).
+
+use manet_experiments::runner::run_scenario_traced;
+use manet_experiments::Protocol;
+use manet_mck::{
+    blackhole_corridor, explore, outcome_digest, run_with_trace, ChoiceTrace, ExploreSpec,
+    Invariant, ScheduleAction, Verdict,
+};
+use manet_netsim::telemetry::event::DropKind;
+use manet_netsim::{DropReason, Duration, TelemetryConfig, TraceEvent};
+use proptest::prelude::*;
+
+/// One reorder quantum, matching `reproduce --explore`.
+fn delay() -> Duration {
+    Duration::from_secs(0.002)
+}
+
+/// The stock hunt of `reproduce --explore`: plain MTS on the blackhole
+/// corridor, asking whether any schedule pushes the black hole's absorption
+/// past the bound the unforced run respects.
+fn hunt_spec() -> ExploreSpec {
+    ExploreSpec {
+        scenario: blackhole_corridor(Protocol::Mts, 8, 2.0, 9),
+        horizon: 12,
+        max_interventions: 2,
+        budget: 2000,
+        delay: delay(),
+        kinds: vec!["DATA"],
+        invariant: Invariant::CaptureAtMost(0.65),
+    }
+}
+
+/// FNV-1a over the Debug rendering of every trace event (same digest as
+/// `tests/golden_trace.rs`).
+fn trace_digest(trace: &[TraceEvent]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut buf = String::new();
+    for ev in trace {
+        buf.clear();
+        use std::fmt::Write as _;
+        let _ = write!(buf, "{ev:?}");
+        for b in buf.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// 1. + 2.  Counterexamples replay byte-identically; the minimal trace is a
+//          pinned golden regression.
+// ---------------------------------------------------------------------------
+
+/// The minimal counterexample of the stock hunt, measured at the PR that
+/// introduced the explorer: delaying the first two endpoint-to-endpoint DATA
+/// deliveries pushes TCP onto the forged route, raising the black hole's
+/// absorption from 0.55 (unforced) to 0.75.
+const GOLDEN_MIN_ACTIONS: [(u32, ScheduleAction); 2] =
+    [(0, ScheduleAction::Delay), (1, ScheduleAction::Delay)];
+const GOLDEN_FINGERPRINT: u64 = 0xc4de_25c2_4bc3_2428;
+
+#[test]
+fn stock_hunt_counterexample_is_minimal_pinned_and_replays_byte_identically() {
+    let spec = hunt_spec();
+    let report = explore(&spec);
+    let v = match report.verdict {
+        Verdict::Violated(v) => v,
+        other => panic!("stock hunt must find a violation, got {other:?}"),
+    };
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        println!("actions: {:?}", v.trace.actions);
+        println!("choice_count: {}", v.choice_count);
+        println!("fingerprint: {:#018x}", v.state_hash);
+        println!("reason: {}", v.reason);
+        return;
+    }
+    assert_eq!(
+        v.trace.actions, GOLDEN_MIN_ACTIONS,
+        "minimal schedule drifted"
+    );
+    assert_eq!(v.choice_count, 2);
+    assert_eq!(v.state_hash, GOLDEN_FINGERPRINT, "violating run drifted");
+
+    // Replay without telemetry: the explorer's own step function.
+    let plain = run_with_trace(&spec.scenario, &v.trace);
+    assert_eq!(
+        outcome_digest(&plain),
+        v.state_hash,
+        "plain replay diverged"
+    );
+    assert!(
+        spec.invariant.check(&plain.recorder).is_err(),
+        "replay must still violate the invariant"
+    );
+
+    // Replay with the telemetry stream on: observational, so the fingerprint
+    // must not move, and the NDJSON-renderable event stream must exist.
+    let traced = spec.scenario.clone().with_telemetry(TelemetryConfig {
+        enabled: true,
+        window_secs: Some(1.0),
+        trace_packet: None,
+    });
+    let observed = run_with_trace(&traced, &v.trace);
+    assert_eq!(
+        outcome_digest(&observed),
+        v.state_hash,
+        "telemetry-on replay diverged"
+    );
+    assert!(
+        !observed.recorder.telemetry.events().is_empty(),
+        "telemetry replay must emit the event stream"
+    );
+}
+
+#[test]
+fn stock_proof_holds_exhaustively_at_n6() {
+    let mut spec = hunt_spec();
+    spec.scenario = blackhole_corridor(Protocol::MtsHardened, 6, 2.0, 9);
+    spec.invariant = Invariant::CaptureAtMost(0.25);
+    let report = explore(&spec);
+    assert!(
+        matches!(report.verdict, Verdict::Proved),
+        "hardened MTS must keep the capture bound over the whole schedule class, got {:?}",
+        report.verdict
+    );
+    assert!(report.runs > 1, "a proof must actually explore the class");
+}
+
+// ---------------------------------------------------------------------------
+// 3.  Drop interventions are schedule drops, visible in telemetry.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn drop_intervention_is_accounted_as_schedule_drop() {
+    let scenario = blackhole_corridor(Protocol::Mts, 8, 2.0, 9).with_telemetry(TelemetryConfig {
+        enabled: true,
+        window_secs: None,
+        trace_packet: None,
+    });
+    let trace = ChoiceTrace {
+        actions: vec![(0, ScheduleAction::Drop)],
+        horizon: 12,
+        delay: delay(),
+        kinds: vec!["DATA"],
+    };
+    let outcome = run_with_trace(&scenario, &trace);
+    assert_eq!(
+        outcome.recorder.drops(DropReason::ScheduleDrop),
+        1,
+        "exactly the scripted omission must be recorded"
+    );
+    let schedule_drops = outcome
+        .recorder
+        .telemetry
+        .events()
+        .iter()
+        .filter(|ev| {
+            matches!(
+                ev,
+                manet_netsim::telemetry::TelemetryEvent::Drop {
+                    reason: DropKind::ScheduleDrop,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(schedule_drops, 1, "the omission must surface in telemetry");
+    assert_eq!(
+        outcome.log.points.first().map(|p| p.action),
+        Some(Some(ScheduleAction::Drop))
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 4.  Zero choices == zero perturbation (property-tested).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// An explored schedule with no interventions is byte-identical to the
+    /// plain serial engine run: same trace, same counters.  This is the
+    /// soundness anchor of the whole search — the root of every explore tree
+    /// IS the unforced run.
+    #[test]
+    fn unforced_schedule_matches_the_plain_engine(
+        seed in 1u64..200,
+        horizon in 0u32..32,
+        n in 4u16..9,
+    ) {
+        let scenario = blackhole_corridor(Protocol::Mts, n, 1.0, seed);
+        let (_, plain) = run_scenario_traced(&scenario);
+        let hooked = run_with_trace(
+            &scenario,
+            &ChoiceTrace::unforced(horizon, delay(), vec!["RREQ", "RREP", "DATA"]),
+        );
+        prop_assert_eq!(trace_digest(plain.trace()), trace_digest(hooked.recorder.trace()));
+        prop_assert_eq!(plain.trace().len(), hooked.recorder.trace().len());
+        prop_assert_eq!(
+            plain.originated_data_packets(),
+            hooked.recorder.originated_data_packets()
+        );
+        prop_assert_eq!(
+            plain.delivered_data_packets(),
+            hooked.recorder.delivered_data_packets()
+        );
+        prop_assert_eq!(plain.total_drops(), hooked.recorder.total_drops());
+        prop_assert_eq!(plain.collisions(), hooked.recorder.collisions());
+    }
+}

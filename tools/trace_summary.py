@@ -45,7 +45,7 @@ SCHEMA = {
 
 DROP_REASONS = {
     "queue_overflow", "retry_limit", "jammed", "adversary",
-    "no_route", "discovery_failed", "salvage_failed",
+    "no_route", "discovery_failed", "salvage_failed", "schedule_drop",
 }
 
 # Non-terminal losses are retried/salvaged and so excluded from the
