@@ -76,9 +76,10 @@
 //! diverges, or the proof fails.
 
 use bench::{
-    bench_executions, bench_flows, bench_points_json, bench_scales, bench_telemetry, host_cores,
-    parse_bench_trend, render_bench_trend, TrendRow, BENCH_FLOWS, BENCH_FLOW_NODES, BENCH_SCALES,
-    BENCH_SIM_SECS,
+    bench_executions, bench_flows, bench_fluid_scale, bench_hybrid, bench_points_json,
+    bench_scales, bench_telemetry, host_cores, parse_bench_trend, render_bench_trend,
+    HybridBenchPoint, TrendRow, BENCH_FLOWS, BENCH_FLOW_NODES, BENCH_HYBRID_FOREGROUND,
+    BENCH_SCALES, BENCH_SIM_SECS,
 };
 use manet_experiments::attacks::{attack_matrix, render_attack_matrix, AttackSweepSpec};
 use manet_experiments::figures::{table1_relay_table, FigureId};
@@ -109,6 +110,9 @@ struct Args {
     bench_reps: u32,
     bench_trend: bool,
     bench_telemetry_nodes: u16,
+    bench_hybrid: bool,
+    background: u32,
+    background_nodes: u16,
     telemetry: Option<String>,
     telemetry_nodes: u16,
     telemetry_secs: f64,
@@ -151,6 +155,9 @@ fn parse_args() -> Args {
         bench_reps: 3,
         bench_trend: false,
         bench_telemetry_nodes: 500,
+        bench_hybrid: false,
+        background: 0,
+        background_nodes: 10_000,
         telemetry: None,
         telemetry_nodes: 200,
         telemetry_secs: 10.0,
@@ -282,6 +289,23 @@ fn parse_args() -> Args {
             "--bench-trend" => {
                 args.bench_trend = true;
                 args.all = false;
+            }
+            "--bench-hybrid" => {
+                args.bench_hybrid = true;
+                args.all = false;
+            }
+            "--background" => {
+                args.background = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    usage("--background needs a generated fluid-flow count (0 skips the point)")
+                });
+                args.all = false;
+            }
+            "--background-nodes" => {
+                args.background_nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &u16| *v > 0)
+                    .unwrap_or_else(|| usage("--background-nodes needs a positive node count"));
             }
             "--bench-telemetry-nodes" => {
                 args.bench_telemetry_nodes =
@@ -459,7 +483,8 @@ fn usage(msg: &str) -> ! {
          [--figure 5..11 | --table 1 | --attacks [--speeds S1,S2,..] \
          | --bench-json FILE [--bench-scales N1,N2,..] [--bench-flows F1,F2,..] \
          [--bench-exec-scales N1,N2,..] [--bench-secs S] \
-         [--bench-telemetry-nodes N] | --bench-trend \
+         [--bench-telemetry-nodes N] \
+         [--bench-hybrid] [--background N [--background-nodes M]] | --bench-trend \
          | --telemetry FILE [--telemetry-nodes N] [--telemetry-secs S] \
          [--trace-packet CONN:SEQ] \
          | --explore [--explore-nodes N] [--explore-horizon H] \
@@ -504,6 +529,16 @@ fn usage(msg: &str) -> ! {
          pairs scenario at n = 500, default flows 1,5,25,50; 0 skips it); the \
          telemetry-overhead axis (off vs on at --bench-telemetry-nodes, \
          default 500, 0 skips it) rides along automatically.\n\
+         \n\
+         --bench-hybrid adds the hybrid axis: at every --bench-flows count, \
+         one pure-packet run and one hybrid run that keeps the 5 foreground \
+         flows at MAC fidelity and models the rest with the analytic fluid \
+         layer (docs/TRAFFIC.md) — equal offered load, trace-identical when \
+         no flow is converted.  --background N adds one large-scale point: \
+         the scaled scenario at --background-nodes (default 10000) carrying \
+         N generated fluid background flows.  Both land in the JSON as \
+         hybrid_runs; without --bench-json they run standalone and print \
+         only.\n\
          \n\
          --attacks prints one table per (protocol, speed) block — protocols \
          DSR/AODV/MTS/MTS-H, speeds {{1, 10, 20}} m/s unless --speeds narrows \
@@ -730,6 +765,57 @@ fn run_explore(args: &Args) {
     }
 }
 
+/// Run the hybrid axis (and, with `--background N`, the large-scale fluid
+/// point), printing one stderr row per run.
+fn run_hybrid_axis(args: &Args) -> Vec<HybridBenchPoint> {
+    let mut points = Vec::new();
+    if args.bench_hybrid && !args.bench_flows.is_empty() {
+        eprintln!(
+            "# hybrid axis: random-pairs MTS scenario at n={}, flows in {:?} \
+             (foreground cap {}, rest fluid), {} simulated seconds, packet vs hybrid",
+            BENCH_FLOW_NODES, args.bench_flows, BENCH_HYBRID_FOREGROUND, args.bench_secs
+        );
+        points = bench_hybrid(
+            BENCH_FLOW_NODES,
+            &args.bench_flows,
+            args.bench_secs,
+            1,
+            args.bench_reps,
+        );
+        for p in &points {
+            eprintln!(
+                "n={:>4} flows={:>3} bg={:>3} {:>6}: {:>9.0} ev/s  ({} events, {:.3} s wall, \
+                 {:.0} B/s goodput, fairness {:.3}, {} fluid bytes)",
+                p.n,
+                p.flows,
+                p.background,
+                p.mode,
+                p.events_per_sec,
+                p.events,
+                p.wall_secs,
+                p.goodput_bytes_per_sec,
+                p.fairness_index,
+                p.fluid_delivered_bytes,
+            );
+        }
+    }
+    if args.background > 0 {
+        eprintln!(
+            "# fluid scale point: scaled MTS scenario at n={}, {} generated background \
+             flows, {} simulated seconds",
+            args.background_nodes, args.background, args.bench_secs
+        );
+        let p = bench_fluid_scale(args.background_nodes, args.background, args.bench_secs, 1);
+        eprintln!(
+            "n={:>5} bg={:>5} hybrid: {:>9.0} ev/s  ({} events, {:.3} s wall, \
+             {} fluid bytes delivered)",
+            p.n, p.background, p.events_per_sec, p.events, p.wall_secs, p.fluid_delivered_bytes,
+        );
+        points.push(p);
+    }
+    points
+}
+
 /// Merge every `BENCH_*.json` in the current directory into trend rows.
 fn load_bench_trend() -> Vec<TrendRow> {
     let mut files: Vec<String> = std::fs::read_dir(".")
@@ -767,6 +853,11 @@ fn main() {
     }
     if args.explore {
         run_explore(&args);
+        return;
+    }
+    if (args.bench_hybrid || args.background > 0) && args.bench_json.is_none() {
+        // Standalone hybrid axis: run and print without writing a JSON file.
+        run_hybrid_axis(&args);
         return;
     }
     if let Some(path) = &args.telemetry {
@@ -932,11 +1023,13 @@ fn main() {
             }
             tele_points
         };
+        let hybrid_points = run_hybrid_axis(&args);
         let json = bench_points_json(
             &points,
             &flow_points,
             &exec_points,
             &tele_points,
+            &hybrid_points,
             args.bench_secs,
             1,
         );

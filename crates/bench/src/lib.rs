@@ -20,7 +20,7 @@ use manet_experiments::runner::{
     run_scenario_traced, run_scenario_with_recorder, sweep, SweepOutcome, SweepSpec,
 };
 use manet_experiments::{Protocol, Scenario};
-use manet_netsim::{Duration, EnginePerf, EventQueueKind, Execution, TelemetryConfig};
+use manet_netsim::{Duration, EnginePerf, EventQueueKind, Execution, FluidConfig, TelemetryConfig};
 
 /// The canonical node-count scaling points of the perf trajectory
 /// (constant density; see `Scenario::scaled`).
@@ -277,6 +277,233 @@ pub fn bench_flows(
         );
     }
     points
+}
+
+/// Foreground packet flows the hybrid axis keeps at paper fidelity; offered
+/// flows beyond this cap run through the analytic fluid layer.  Five is the
+/// PR 5 goodput peak — the flows actually under study.
+pub const BENCH_HYBRID_FOREGROUND: u16 = 5;
+
+/// The calibrated background configuration of the hybrid collapse-curve
+/// comparison (see `docs/TRAFFIC.md` for the methodology).  Demand and
+/// airtime overhead are tuned so a background flow's goodput and channel
+/// footprint mimic one collapsed PR 5 TCP flow: low per-flow demand (TCP
+/// flows past the peak are mostly starved) and a large per-byte airtime cost
+/// (multi-hop relaying, MAC framing, retries, transport acks).
+pub fn hybrid_background() -> FluidConfig {
+    FluidConfig {
+        flows: 0,
+        flow_bytes: 0,
+        demand_bytes_per_sec: 6_000.0,
+        capacity_share: 0.015,
+        busy_overhead: 45.0,
+        ..FluidConfig::default()
+    }
+}
+
+/// One measured point of the hybrid axis (pure-packet vs hybrid engine at
+/// equal offered load).
+#[derive(Debug, Clone)]
+pub struct HybridBenchPoint {
+    /// Node count of the scenario.
+    pub n: u16,
+    /// Offered concurrent flows (foreground + background).
+    pub flows: u16,
+    /// How many of the offered flows run through the analytic fluid layer
+    /// (0 in the pure-packet baseline).
+    pub background: u32,
+    /// `"packet"` (every flow at MAC fidelity) or `"hybrid"` (foreground
+    /// packet flows + fluid background).
+    pub mode: &'static str,
+    /// Wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// Events the engine processed.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Unique data packets delivered (packet flows only).
+    pub delivered: u64,
+    /// Aggregate goodput over all offered flows — packet goodput plus the
+    /// fluid flows' delivered-byte rate — application bytes per simulated
+    /// second.
+    pub goodput_bytes_per_sec: f64,
+    /// Jain's fairness index over all offered flows' goodputs.
+    pub fairness_index: f64,
+    /// Bytes delivered by the fluid layer (0 in the packet baseline).
+    pub fluid_delivered_bytes: u64,
+    /// Engine counters.
+    pub perf: EnginePerf,
+}
+
+/// Seeds averaged per hybrid-axis point.  A single 5-flow TCP sample is a
+/// chaotic observable (one timeout cascade moves Jain's index by ±0.1), so
+/// the collapse-curve comparison is defined over a small seed ensemble —
+/// the same protocol the paper uses for its own figures.
+pub const BENCH_HYBRID_SEEDS: u64 = 3;
+
+/// Run the hybrid axis of the perf trajectory: at each offered flow count in
+/// `flows`, one pure-packet run (every flow at MAC fidelity — the PR 5
+/// collapse curve) and one hybrid run keeping [`BENCH_HYBRID_FOREGROUND`]
+/// packet flows and pushing the rest through the fluid layer (config from
+/// [`hybrid_background`]).  The two runs offer the same load over the same
+/// seed-derived endpoint pairs, so the curves are directly comparable; at
+/// flow counts at or below the foreground cap the hybrid run has no fluid
+/// flows and is byte-identical to the packet run (the Off-means-identical
+/// contract, asserted here on the recorder trace).
+///
+/// Every point is the mean over [`BENCH_HYBRID_SEEDS`] consecutive seeds
+/// (events, deliveries, goodput, fairness, fluid bytes); `wall_secs` is the
+/// summed per-seed wall clock (fastest of `reps` repetitions each), so
+/// `events_per_sec` stays an honest throughput.  The identity check runs on
+/// the first seed.
+///
+/// # Panics
+/// Panics if a scenario is invalid, `reps` is zero, or a no-background hybrid
+/// run diverges from its packet twin.
+pub fn bench_hybrid(
+    num_nodes: u16,
+    flows: &[u16],
+    sim_secs: f64,
+    seed: u64,
+    reps: u32,
+) -> Vec<HybridBenchPoint> {
+    assert!(reps > 0, "need at least one timed repetition");
+    let mut points = Vec::new();
+    for &num_flows in flows {
+        let background = num_flows.saturating_sub(BENCH_HYBRID_FOREGROUND);
+        let mut traces: Vec<Option<Vec<manet_netsim::TraceEvent>>> = Vec::new();
+        for mode in ["packet", "hybrid"] {
+            let mut wall_sum = 0.0f64;
+            let mut events_sum = 0u64;
+            let mut delivered_sum = 0u64;
+            let mut goodput_sum = 0.0f64;
+            let mut fairness_sum = 0.0f64;
+            let mut fluid_sum = 0u64;
+            let mut first_perf: Option<EnginePerf> = None;
+            for s in 0..BENCH_HYBRID_SEEDS {
+                let mut scenario =
+                    Scenario::random_pairs(Protocol::Mts, num_nodes, num_flows, 10.0, seed + s);
+                scenario.sim.duration = Duration::from_secs(sim_secs);
+                if mode == "hybrid" {
+                    for flow in scenario
+                        .flows
+                        .iter_mut()
+                        .skip(BENCH_HYBRID_FOREGROUND as usize)
+                    {
+                        flow.fluid = true;
+                    }
+                    scenario = scenario.with_background(hybrid_background());
+                }
+                let keep_trace = background == 0 && s == 0;
+                let seed_reps = if s == 0 { reps } else { 1 };
+                let mut wall_secs = f64::INFINITY;
+                let mut first: Option<(manet_experiments::RunMetrics, manet_netsim::Recorder)> =
+                    None;
+                for rep in 0..seed_reps {
+                    let with_trace = keep_trace && rep == 0;
+                    let t0 = std::time::Instant::now();
+                    let run = if with_trace {
+                        run_scenario_traced(&scenario)
+                    } else {
+                        run_scenario_with_recorder(&scenario)
+                    };
+                    if !with_trace || seed_reps == 1 {
+                        wall_secs = wall_secs.min(t0.elapsed().as_secs_f64());
+                    }
+                    if first.is_none() {
+                        first = Some(run);
+                    }
+                }
+                let (metrics, recorder) = first.expect("at least one repetition ran");
+                let perf = recorder.engine_perf();
+                wall_sum += wall_secs;
+                events_sum += perf.events_processed;
+                delivered_sum += recorder.delivered_data_packets();
+                goodput_sum += metrics
+                    .per_flow
+                    .iter()
+                    .map(|f| f.goodput_bytes_per_sec)
+                    .sum::<f64>();
+                fairness_sum += metrics.fairness_index;
+                fluid_sum += metrics.fluid_delivered_bytes;
+                if first_perf.is_none() {
+                    first_perf = Some(perf);
+                }
+                if keep_trace {
+                    traces.push(Some(recorder.trace().to_vec()));
+                }
+            }
+            let ens = BENCH_HYBRID_SEEDS;
+            points.push(HybridBenchPoint {
+                n: num_nodes,
+                flows: num_flows,
+                background: if mode == "hybrid" {
+                    u32::from(background)
+                } else {
+                    0
+                },
+                mode,
+                wall_secs: wall_sum,
+                events: events_sum / ens,
+                events_per_sec: events_sum as f64 / wall_sum,
+                delivered: delivered_sum / ens,
+                goodput_bytes_per_sec: goodput_sum / ens as f64,
+                fairness_index: fairness_sum / ens as f64,
+                fluid_delivered_bytes: fluid_sum / ens,
+                perf: first_perf.expect("at least one seed ran"),
+            });
+        }
+        if let [Some(packet), Some(hybrid)] = &traces[..] {
+            assert_eq!(
+                packet, hybrid,
+                "flows={num_flows}: a hybrid run with no background flows \
+                 must be byte-identical to the packet run"
+            );
+        }
+    }
+    points
+}
+
+/// One large-scale fluid point: the scaled scenario at `n` nodes carrying
+/// `background` generated fluid flows next to its single foreground packet
+/// flow — the regime the pure packet engine cannot reach.  Returns a
+/// [`HybridBenchPoint`] for the `hybrid_runs` JSON section.
+///
+/// # Panics
+/// Panics if the scenario is invalid or the fluid ledger stays empty.
+pub fn bench_fluid_scale(n: u16, background: u32, sim_secs: f64, seed: u64) -> HybridBenchPoint {
+    let mut scenario = Scenario::scaled(Protocol::Mts, n, 10.0, seed);
+    scenario.sim.duration = Duration::from_secs(sim_secs);
+    scenario = scenario.with_background(FluidConfig {
+        flows: background,
+        ..hybrid_background()
+    });
+    let t0 = std::time::Instant::now();
+    let (metrics, recorder) = run_scenario_with_recorder(&scenario);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    assert!(
+        metrics.fluid_delivered_bytes > 0,
+        "n={n}: {background} background flows delivered nothing"
+    );
+    let perf = recorder.engine_perf();
+    HybridBenchPoint {
+        n,
+        flows: scenario.flows.len() as u16,
+        background,
+        mode: "hybrid",
+        wall_secs,
+        events: perf.events_processed,
+        events_per_sec: perf.events_processed as f64 / wall_secs,
+        delivered: recorder.delivered_data_packets(),
+        goodput_bytes_per_sec: metrics
+            .per_flow
+            .iter()
+            .map(|f| f.goodput_bytes_per_sec)
+            .sum(),
+        fairness_index: metrics.fairness_index,
+        fluid_delivered_bytes: metrics.fluid_delivered_bytes,
+        perf,
+    }
 }
 
 /// One measured point of the execution axis (serial vs sharded engine).
@@ -547,15 +774,17 @@ pub fn bench_telemetry(n: u16, sim_secs: f64, seed: u64, reps: u32) -> Vec<Telem
 }
 
 /// Render the perf trajectory as the machine-readable JSON committed as
-/// `BENCH_PR7.json` (hand-rolled: the offline build's serde is a no-op shim).
+/// `BENCH_PR9.json` (hand-rolled: the offline build's serde is a no-op shim).
 /// `runs` is the node-scaling axis, `flow_runs` the flows-per-scenario axis,
 /// `execution_runs` the serial-vs-sharded axis, `telemetry_runs` the
-/// telemetry-off-vs-on overhead axis (pass `&[]` to omit any of them).
+/// telemetry-off-vs-on overhead axis, `hybrid_runs` the packet-vs-hybrid
+/// axis (pass `&[]` to omit any of them).
 pub fn bench_points_json(
     points: &[BenchPoint],
     flow_points: &[FlowBenchPoint],
     exec_points: &[ExecBenchPoint],
     tele_points: &[TelemetryBenchPoint],
+    hybrid_points: &[HybridBenchPoint],
     sim_secs: f64,
     seed: u64,
 ) -> String {
@@ -669,6 +898,32 @@ pub fn bench_points_json(
             if i + 1 == tele_points.len() { "" } else { "," },
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"hybrid_runs\": [\n");
+    for (i, p) in hybrid_points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"flows\": {}, \"background\": {}, \"mode\": \"{}\", \
+             \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.0}, \
+             \"delivered\": {}, \"goodput_bytes_per_sec\": {:.0}, \
+             \"fairness_index\": {:.4}, \"fluid_delivered_bytes\": {}}}{}\n",
+            p.n,
+            p.flows,
+            p.background,
+            p.mode,
+            p.events,
+            p.wall_secs,
+            p.events_per_sec,
+            p.delivered,
+            p.goodput_bytes_per_sec,
+            p.fairness_index,
+            p.fluid_delivered_bytes,
+            if i + 1 == hybrid_points.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -688,8 +943,25 @@ pub struct TrendRow {
     pub shards: u64,
     /// Worker-thread count (1 for serial).
     pub workers: u64,
+    /// Offered flows of a hybrid-axis run (0 for the other axes).
+    pub flows: u64,
+    /// Background fluid flows of a hybrid-axis run (0 for the pure-packet
+    /// baseline and the other axes).
+    pub background: u64,
     /// Events per wall-clock second.
     pub events_per_sec: f64,
+}
+
+/// The configuration label a trend row sorts and merges under: `serial`,
+/// `sharded <S>s<W>w`, or — for the hybrid axis — `<mode> <F>fl+<B>bg`.
+fn trend_config_label(row: &TrendRow) -> String {
+    if row.flows > 0 {
+        format!("{} {}fl+{}bg", row.execution, row.flows, row.background)
+    } else if row.execution == "serial" {
+        row.execution.clone()
+    } else {
+        format!("{} {}s{}w", row.execution, row.shards, row.workers)
+    }
 }
 
 /// Extract the raw value of `"key": value` from a single JSON line (the
@@ -703,17 +975,20 @@ fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim().trim_matches('"'))
 }
 
-/// Parse every node-scaling and execution run of one bench JSON into trend
-/// rows labelled `label`.  Flow-axis and telemetry-axis runs are skipped (the
-/// trend table is n × queue × execution); files written before the execution
-/// axis existed default to `serial` with one shard and one worker.
+/// Parse every node-scaling, execution and hybrid run of one bench JSON into
+/// trend rows labelled `label`.  A `"background"` field marks a hybrid-axis
+/// run (its `mode` becomes the execution column); other flow-axis and
+/// telemetry-axis runs are skipped.  Files written before the execution axis
+/// existed default to `serial` with one shard and one worker.
 pub fn parse_bench_trend(label: &str, json: &str) -> Vec<TrendRow> {
     let mut rows = Vec::new();
     for line in json.lines() {
-        if !line.trim_start().starts_with('{')
-            || json_field(line, "flows").is_some()
-            || json_field(line, "mode").is_some()
-        {
+        if !line.trim_start().starts_with('{') {
+            continue;
+        }
+        // Hybrid-axis lines carry `flows` and `mode` too — check first.
+        let hybrid = json_field(line, "background").is_some();
+        if !hybrid && (json_field(line, "flows").is_some() || json_field(line, "mode").is_some()) {
             continue;
         }
         let (Some(n), Some(eps)) = (json_field(line, "n"), json_field(line, "events_per_sec"))
@@ -728,15 +1003,22 @@ pub fn parse_bench_trend(label: &str, json: &str) -> Vec<TrendRow> {
                 .and_then(|v| v.parse::<u64>().ok())
                 .unwrap_or(default)
         };
+        let execution = if hybrid {
+            json_field(line, "mode").unwrap_or("hybrid").to_string()
+        } else {
+            json_field(line, "execution")
+                .unwrap_or("serial")
+                .to_string()
+        };
         rows.push(TrendRow {
             label: label.to_string(),
             n,
             queue: json_field(line, "queue").unwrap_or("calendar").to_string(),
-            execution: json_field(line, "execution")
-                .unwrap_or("serial")
-                .to_string(),
+            execution,
             shards: parse_u64("shards", 1),
             workers: parse_u64("workers", 1),
+            flows: if hybrid { parse_u64("flows", 0) } else { 0 },
+            background: parse_u64("background", 0),
             events_per_sec,
         });
     }
@@ -752,14 +1034,7 @@ pub fn render_bench_trend(rows: &[TrendRow]) -> String {
     labels.dedup();
     let mut configs: Vec<(u64, &str, String)> = rows
         .iter()
-        .map(|r| {
-            let execution = if r.execution == "serial" {
-                r.execution.clone()
-            } else {
-                format!("{} {}s{}w", r.execution, r.shards, r.workers)
-            };
-            (r.n, r.queue.as_str(), execution)
-        })
+        .map(|r| (r.n, r.queue.as_str(), trend_config_label(r)))
         .collect();
     configs.sort();
     configs.dedup();
@@ -778,11 +1053,7 @@ pub fn render_bench_trend(rows: &[TrendRow]) -> String {
                     r.label == *label
                         && r.n == *n
                         && r.queue == *queue
-                        && (if r.execution == "serial" {
-                            r.execution == *execution
-                        } else {
-                            format!("{} {}s{}w", r.execution, r.shards, r.workers) == *execution
-                        })
+                        && trend_config_label(r) == *execution
                 })
                 .map(|r| format!("{:.0}", r.events_per_sec))
                 .unwrap_or_else(|| "-".to_string());
@@ -837,6 +1108,10 @@ mod tests {
   ],
   "telemetry_runs": [
     {"n": 500, "mode": "on", "events": 1, "wall_secs": 1.0, "events_per_sec": 77, "delivered": 1, "telemetry_events": 12}
+  ],
+  "hybrid_runs": [
+    {"n": 500, "flows": 50, "background": 0, "mode": "packet", "events": 1881112, "wall_secs": 0.8, "events_per_sec": 2351390, "delivered": 915, "goodput_bytes_per_sec": 174400, "fairness_index": 0.2277, "fluid_delivered_bytes": 0},
+    {"n": 500, "flows": 50, "background": 45, "mode": "hybrid", "events": 260000, "wall_secs": 0.1, "events_per_sec": 2600000, "delivered": 900, "goodput_bytes_per_sec": 170000, "fairness_index": 0.25, "fluid_delivered_bytes": 450000}
   ]
 }
 "#;
@@ -844,7 +1119,11 @@ mod tests {
     #[test]
     fn trend_parse_reads_runs_and_execution_runs_but_skips_flow_runs() {
         let rows = parse_bench_trend("SAMPLE", SAMPLE_JSON);
-        assert_eq!(rows.len(), 3, "2 queue runs + 1 execution run: {rows:?}");
+        assert_eq!(
+            rows.len(),
+            5,
+            "2 queue runs + 1 execution run + 2 hybrid runs: {rows:?}"
+        );
         assert_eq!(rows[0].queue, "calendar");
         assert_eq!(rows[0].execution, "serial");
         assert_eq!(rows[0].events_per_sec, 3887041.0);
@@ -882,9 +1161,12 @@ mod tests {
         let table = render_bench_trend(&rows);
         let header = table.lines().next().unwrap();
         assert!(header.contains('A') && header.contains('B'), "{header}");
-        // One line per configuration: 2 queue configs + 1 execution config.
-        assert_eq!(table.lines().count(), 4, "{table}");
+        // One line per configuration: 2 queue configs + 1 execution config
+        // + 2 hybrid configs.
+        assert_eq!(table.lines().count(), 6, "{table}");
         assert!(table.contains("sharded 8s4w"), "{table}");
+        assert!(table.contains("packet 50fl+0bg"), "{table}");
+        assert!(table.contains("hybrid 50fl+45bg"), "{table}");
         let serial_row = table
             .lines()
             .find(|l| l.contains("calendar") && l.contains("serial"))
@@ -906,7 +1188,7 @@ mod tests {
             delivered: 10,
             perf: EnginePerf::default(),
         };
-        let json = bench_points_json(&[], &[], &[exec], &[], 5.0, 1);
+        let json = bench_points_json(&[], &[], &[exec], &[], &[], 5.0, 1);
         assert!(json.contains("\"host_cores\":"), "{json}");
         assert!(json.contains("\"execution\": \"sharded\""), "{json}");
         assert!(json.contains("\"phase_execute_nanos\":"), "{json}");
@@ -927,9 +1209,37 @@ mod tests {
             delivered: 10,
             telemetry_events: 42,
         };
-        let json = bench_points_json(&[], &[], &[], &[tele], 5.0, 1);
+        let json = bench_points_json(&[], &[], &[], &[tele], &[], 5.0, 1);
         assert!(json.contains("\"mode\": \"on\""), "{json}");
         assert!(json.contains("\"telemetry_events\": 42"), "{json}");
         assert!(parse_bench_trend("X", &json).is_empty(), "{json}");
+    }
+
+    #[test]
+    fn bench_json_hybrid_runs_round_trip_through_the_trend_parser() {
+        let hybrid = HybridBenchPoint {
+            n: 500,
+            flows: 50,
+            background: 45,
+            mode: "hybrid",
+            wall_secs: 0.1,
+            events: 260_000,
+            events_per_sec: 2_600_000.0,
+            delivered: 900,
+            goodput_bytes_per_sec: 170_000.0,
+            fairness_index: 0.25,
+            fluid_delivered_bytes: 450_000,
+            perf: EnginePerf::default(),
+        };
+        let json = bench_points_json(&[], &[], &[], &[], &[hybrid], 5.0, 1);
+        assert!(json.contains("\"hybrid_runs\":"), "{json}");
+        assert!(json.contains("\"background\": 45"), "{json}");
+        assert!(json.contains("\"fluid_delivered_bytes\": 450000"), "{json}");
+        let rows = parse_bench_trend("X", &json);
+        assert_eq!(rows.len(), 1, "{rows:?}");
+        assert_eq!(rows[0].execution, "hybrid");
+        assert_eq!((rows[0].flows, rows[0].background), (50, 45));
+        let table = render_bench_trend(&rows);
+        assert!(table.contains("hybrid 50fl+45bg"), "{table}");
     }
 }

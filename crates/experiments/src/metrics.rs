@@ -107,6 +107,15 @@ pub struct RunMetrics {
     /// Jain's fairness index over the flows' goodputs, in [0, 1].
     pub fairness_index: f64,
 
+    // --- background fluid layer (hybrid runs) ------------------------------------
+    /// Total fluid flows the run carried (explicit scenario flows plus
+    /// generated background flows); 0 when the fluid layer is off.
+    pub fluid_flows: usize,
+    /// Bytes delivered by the analytic fluid layer.  Ledgered separately
+    /// from the packet counters above — never added into them, so packet
+    /// conservation invariants are unaffected by hybrid runs.
+    pub fluid_delivered_bytes: u64,
+
     // --- supporting detail -------------------------------------------------------
     /// Data packets generated at the source (including TCP retransmissions).
     pub data_packets_generated: u64,
@@ -229,6 +238,8 @@ impl RunMetrics {
             control_overhead: recorder.control_transmissions(),
             per_flow,
             fairness_index,
+            fluid_flows: recorder.fluid_flows().len(),
+            fluid_delivered_bytes: recorder.fluid_delivered_bytes(),
             data_packets_generated: generated,
             tcp_bytes_acked: tcp.bytes_acked,
             tcp_retransmissions: tcp.retransmissions,
@@ -319,6 +330,9 @@ impl RunMetrics {
             control_overhead: avg_u(&|r| r.control_overhead),
             per_flow,
             fairness_index: avg_f(&|r| r.fairness_index),
+            fluid_flows: (runs.iter().map(|r| r.fluid_flows as f64).sum::<f64>() / n).round()
+                as usize,
+            fluid_delivered_bytes: avg_u(&|r| r.fluid_delivered_bytes),
             data_packets_generated: avg_u(&|r| r.data_packets_generated),
             tcp_bytes_acked: avg_u(&|r| r.tcp_bytes_acked),
             tcp_retransmissions: avg_u(&|r| r.tcp_retransmissions),

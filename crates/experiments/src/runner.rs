@@ -52,11 +52,20 @@ fn build_stack(
     let mut node_stack = ManetStack::new(me, agent, Arc::clone(stats));
     for (idx, flow) in scenario.flows.iter().enumerate() {
         let conn = ConnectionId(idx as u32);
-        if flow.src == me {
-            node_stack.add_sender(conn, flow.dst, tcp_config, flow.profile());
-        }
-        if flow.dst == me {
-            node_stack.add_receiver(conn, flow.src);
+        if flow.fluid {
+            // Fluid flows run in the engine's analytic layer; the stack only
+            // keeps an inert endpoint at the source so the flow shows up in
+            // the TCP report alongside its packet siblings.
+            if flow.src == me {
+                node_stack.add_fluid(conn, flow.dst);
+            }
+        } else {
+            if flow.src == me {
+                node_stack.add_sender(conn, flow.dst, tcp_config, flow.profile());
+            }
+            if flow.dst == me {
+                node_stack.add_receiver(conn, flow.src);
+            }
         }
     }
     let stack = Box::new(node_stack) as Box<dyn NodeStack + Send>;
@@ -108,14 +117,15 @@ fn run_scenario_inner(scenario: &Scenario, trace: bool) -> (RunMetrics, Recorder
             let stacks: Vec<Box<dyn NodeStack>> = (0..scenario.sim.num_nodes)
                 .map(|i| build_stack(scenario, &stats, NodeId(i)) as Box<dyn NodeStack>)
                 .collect();
-            let mut sim = Simulator::new(scenario.sim.clone(), build_mobility(scenario), stacks);
+            let mut sim =
+                Simulator::new(scenario.effective_sim(), build_mobility(scenario), stacks);
             if trace {
                 sim.enable_trace();
             }
             sim.run()
         }
         Execution::Sharded { .. } => run_sharded(
-            scenario.sim.clone(),
+            scenario.effective_sim(),
             || build_mobility(scenario),
             |me| build_stack(scenario, &stats, me),
             trace,
@@ -153,7 +163,7 @@ pub fn run_scenario_hooked(
     let stacks: Vec<Box<dyn NodeStack>> = (0..scenario.sim.num_nodes)
         .map(|i| build_stack(scenario, &stats, NodeId(i)) as Box<dyn NodeStack>)
         .collect();
-    let mut sim = Simulator::new(scenario.sim.clone(), build_mobility(scenario), stacks);
+    let mut sim = Simulator::new(scenario.effective_sim(), build_mobility(scenario), stacks);
     sim.enable_trace();
     sim.set_choice_hook(hook);
     let recorder = sim.run();
@@ -325,6 +335,42 @@ mod tests {
             m.control_overhead > 0,
             "route discovery must produce control packets"
         );
+    }
+
+    #[test]
+    fn hybrid_run_carries_fluid_and_packet_flows_side_by_side() {
+        use manet_netsim::FluidConfig;
+        // One packet flow plus one fluid-marked scenario flow plus generated
+        // background flows — all three traffic kinds in a single short run.
+        let mut scenario = Scenario::paper(Protocol::Mts, 5.0, 1);
+        scenario.sim.duration = manet_netsim::Duration::from_secs(10.0);
+        scenario.eavesdropper = None; // avoid colliding with the flow endpoints
+        scenario
+            .flows
+            .push(crate::scenario::TrafficFlow::fluid(NodeId(10), NodeId(40)));
+        scenario = scenario.with_background(FluidConfig {
+            flows: 8,
+            ..FluidConfig::default()
+        });
+        scenario.validate().expect("hybrid scenario validates");
+        let m = run_scenario(&scenario);
+        assert!(
+            m.data_packets_generated > 0,
+            "the packet flow must still generate traffic"
+        );
+        assert_eq!(
+            m.fluid_flows, 9,
+            "1 explicit + 8 generated fluid flows in the ledger"
+        );
+        assert!(
+            m.fluid_delivered_bytes > 0,
+            "the fluid layer must deliver bytes"
+        );
+        // The explicit fluid flow surfaces as a per-flow row via its inert
+        // stack endpoint, with bytes from the fluid ledger.
+        let row = &m.per_flow[1];
+        assert_eq!(row.packets_generated, 0, "fluid flows move no packets");
+        assert!(row.bytes_delivered > 0, "fluid bytes reach the flow row");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::protocol::Protocol;
 use manet_adversary::{AttackConfig, AttackKind};
 use manet_netsim::rng::RngStreams;
-use manet_netsim::SimConfig;
+use manet_netsim::{Duration, FluidConfig, FluidFlowSpec, SimConfig};
 use manet_security::select_eavesdropper;
 use manet_tcp::{FlowProfile, FlowShape, TcpConfig};
 use manet_wire::NodeId;
@@ -33,6 +33,11 @@ pub struct TrafficFlow {
     pub pattern: FlowShape,
     /// Total byte budget (`None` sends for the whole run).
     pub bytes: Option<u64>,
+    /// Run this flow through the engine's analytic fluid model instead of
+    /// the packet-level TCP pipeline (hybrid traffic engine).  Fluid flows
+    /// cost O(epochs), not O(packets); use them for background load whose
+    /// per-segment dynamics the experiment does not study.
+    pub fluid: bool,
 }
 
 impl TrafficFlow {
@@ -44,6 +49,18 @@ impl TrafficFlow {
             start: 0.0,
             pattern: FlowShape::Bulk,
             bytes: None,
+            fluid: false,
+        }
+    }
+
+    /// An analytic fluid flow (unbounded, from time 0): modelled by the
+    /// engine's background fluid layer rather than packet-level TCP.  Its
+    /// demand rate comes from the scenario's [`FluidConfig`] (see
+    /// [`Scenario::with_background`]); defaults apply when none is set.
+    pub fn fluid(src: NodeId, dst: NodeId) -> Self {
+        TrafficFlow {
+            fluid: true,
+            ..TrafficFlow::bulk(src, dst)
         }
     }
 
@@ -405,9 +422,47 @@ impl Scenario {
         self
     }
 
+    /// Enable the background fluid-traffic layer for this run (hybrid
+    /// engine; see [`manet_netsim::fluid`]).  Generated background flows
+    /// come from `background.flows`; scenario flows marked
+    /// [`TrafficFlow::fluid`] additionally run through the same model (they
+    /// are injected as explicit fluid specs by [`Scenario::effective_sim`]).
+    pub fn with_background(mut self, background: FluidConfig) -> Self {
+        self.sim.background = Some(background);
+        self
+    }
+
+    /// The simulator configuration the run actually executes: `sim` with
+    /// every fluid-marked scenario flow injected into the background layer's
+    /// explicit flow list (connection id = flow index, matching the
+    /// packet-flow convention).  Without fluid flows this is a plain clone —
+    /// scenarios that never touch the hybrid engine are unaffected.
+    pub fn effective_sim(&self) -> SimConfig {
+        let mut sim = self.sim.clone();
+        if self.flows.iter().any(|f| f.fluid) {
+            let bg = sim.background.get_or_insert_with(|| FluidConfig {
+                flows: 0,
+                ..FluidConfig::default()
+            });
+            for (idx, flow) in self.flows.iter().enumerate().filter(|(_, f)| f.fluid) {
+                bg.explicit.push(FluidFlowSpec {
+                    conn: idx as u32,
+                    src: flow.src,
+                    dst: flow.dst,
+                    start: Duration::from_secs(flow.start),
+                    bytes: flow.bytes.unwrap_or(0),
+                    demand_bytes_per_sec: bg.demand_bytes_per_sec,
+                });
+            }
+        }
+        sim
+    }
+
     /// Validate the scenario.
     pub fn validate(&self) -> Result<(), String> {
-        self.sim.validate()?;
+        // Validate the *effective* configuration so fluid-marked flows are
+        // checked as the explicit fluid specs they become.
+        self.effective_sim().validate()?;
         self.mts.validate()?;
         self.tcp.validate()?;
         if self.flows.is_empty() {

@@ -4,6 +4,7 @@
 //! a 1000 m × 1000 m field, 250 m radio range, IEEE 802.11b MAC, random
 //! waypoint mobility with a 1 s pause, 200 s per run.
 
+use crate::fluid::FluidConfig;
 use crate::radio::{ChannelModel, RadioConfig};
 use crate::time::Duration;
 use manet_wire::NodeId;
@@ -348,6 +349,11 @@ pub struct SimConfig {
     /// draws randomness or schedules events, so it cannot change a run (the
     /// golden-trace suite asserts this).
     pub telemetry: TelemetryConfig,
+    /// Analytic background traffic (the hybrid fluid/packet engine; see
+    /// [`crate::fluid`]).  `None` — the default — takes no branches, draws
+    /// no randomness and schedules no events, so runs stay byte-identical
+    /// to pre-hybrid traces (golden-trace suite asserts this).
+    pub background: Option<FluidConfig>,
 }
 
 impl Default for SimConfig {
@@ -369,6 +375,7 @@ impl Default for SimConfig {
             rush: None,
             execution: Execution::default(),
             telemetry: TelemetryConfig::default(),
+            background: None,
         }
     }
 }
@@ -470,6 +477,9 @@ impl SimConfig {
                 }
             }
         }
+        if let Some(background) = &self.background {
+            background.validate(self.num_nodes)?;
+        }
         self.telemetry.validate()?;
         if let ChannelModel::Shadowed {
             good_to_bad,
@@ -529,6 +539,20 @@ mod tests {
         assert_eq!(c.field_height, 1000.0);
         assert_eq!(c.radio.range_m, 250.0);
         assert_eq!(c.duration, Duration::from_secs(200.0));
+    }
+
+    #[test]
+    fn background_fluid_config_is_validated() {
+        let mut c = SimConfig::default();
+        let mut fluid = FluidConfig::default();
+        fluid.flows = 100;
+        c.background = Some(fluid);
+        c.validate().expect("a sane fluid config must validate");
+        c.background.as_mut().unwrap().capacity_share = 1.5;
+        assert!(c.validate().is_err(), "capacity_share > 1 must be rejected");
+        c.background.as_mut().unwrap().capacity_share = 0.25;
+        c.background.as_mut().unwrap().max_epoch_gap = Duration::ZERO;
+        assert!(c.validate().is_err(), "zero epoch gap must be rejected");
     }
 
     #[test]

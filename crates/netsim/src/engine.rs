@@ -46,13 +46,14 @@
 use crate::choice::{ChoiceDecision, ChoicePoint, DeliveryChoiceHook};
 use crate::config::{NeighborIndex, SimConfig};
 use crate::event::{Event, EventQueue, TxId};
+use crate::fluid::{EpochOutcome, FluidCompletion, FluidState};
 use crate::geometry::Position;
 use crate::grid::SpatialGrid;
 use crate::mac::{airtime, InFlight, MacState, RxInterval};
 use crate::mobility::{MobilityModel, Waypoint};
 use crate::node::{Ctx, NodeStack, TimerToken};
 use crate::radio::LinkDynamics;
-use crate::recorder::{DropReason, EnginePerf, Recorder};
+use crate::recorder::{DropReason, EnginePerf, FluidFlowTotals, Recorder};
 use crate::rng::RngStreams;
 use crate::shard::{DeliverRecord, ShardCtx, TxAnnouncement};
 use crate::time::{Duration, SimTime};
@@ -280,6 +281,11 @@ pub struct World {
     /// [`crate::choice`]).  `None` on every ordinary run — the hot path pays
     /// one branch.  Serial engine only.
     choice: Option<Box<dyn DeliveryChoiceHook>>,
+    /// Background fluid-traffic state (`None` unless
+    /// [`SimConfig::background`] is set — the common case pays one branch on
+    /// the carrier-sense path and nothing else; see [`crate::fluid`]).
+    /// Boxed so the rare feature does not inflate the `World` struct.
+    pub(crate) fluid: Option<Box<FluidState>>,
 }
 
 impl World {
@@ -632,10 +638,21 @@ impl World {
             return;
         };
         let id = shard.id;
-        let crosses = busy_touched
-            .iter()
-            .chain(receivers)
-            .any(|n| shard.owner[n.index()] != id);
+        // Destination mask: the owner shards of every touched node.  The
+        // barrier applies the announcement only at shards in the mask — the
+        // rest skip it (and count the skip), instead of the old all-to-all
+        // fan-out.  64+ shards would overflow the bitmask; fall back to
+        // all-ones there (apply everywhere, still correct).
+        let mut dst_mask = 0u64;
+        let mut crosses = false;
+        for n in busy_touched.iter().chain(receivers) {
+            let owner = shard.owner[n.index()];
+            crosses |= owner != id;
+            dst_mask |= 1u64 << (u32::from(owner) & 63);
+        }
+        if shard.mail.len() > 64 {
+            dst_mask = u64::MAX;
+        }
         if crosses {
             shard.counters.cross_shard_announcements += 1;
             shard.announcements.push(TxAnnouncement {
@@ -645,6 +662,7 @@ impl World {
                 end,
                 busy: busy_touched.to_vec(),
                 rx: receivers.to_vec(),
+                dst_mask,
             });
             if self.recorder.telemetry.enabled() {
                 self.recorder.telemetry.note_xshard(start.as_secs(), 1);
@@ -754,6 +772,18 @@ impl<S: StackSlot> SimCore<S> {
             motions.push(NodeMotion { leg, epoch: 0 });
         }
         queue.schedule(SimTime::ZERO + config.duration, Event::Stop);
+        // Background fluid layer: built only when configured with at least
+        // one flow; the first epoch (generation 0) runs at t = 0.  With
+        // `background: None` no event is scheduled and no state exists, so
+        // runs are byte-identical to pre-hybrid traces.
+        let fluid = config
+            .background
+            .as_ref()
+            .filter(|bg| bg.total_flows() > 0)
+            .map(|bg| Box::new(FluidState::new(bg, &config)));
+        if fluid.is_some() {
+            queue.schedule(SimTime::ZERO, Event::FluidEpoch { gen: 0 });
+        }
         let kin = motions.iter().map(|m| Kinematics::of(&m.leg)).collect();
         let macs = (0..config.num_nodes).map(|_| MacState::new()).collect();
         let grid = match config.neighbor_index {
@@ -837,6 +867,7 @@ impl<S: StackSlot> SimCore<S> {
             jam,
             rush_mask,
             choice: None,
+            fluid,
             config,
         };
         SimCore {
@@ -929,6 +960,7 @@ impl<S: StackSlot> SimCore<S> {
             perf.cross_shard_frames = shard.counters.cross_shard_frames;
             perf.cross_shard_announcements = shard.counters.cross_shard_announcements;
             perf.forwarded_events = shard.counters.forwarded_events;
+            perf.announcements_skipped = shard.counters.announcements_skipped;
         }
         if self.world.recorder.telemetry.enabled() {
             // Close the sampler's trailing window with the final resize count
@@ -1025,6 +1057,7 @@ impl<S: StackSlot> SimCore<S> {
             return;
         }
         self.finished = true;
+        self.flush_fluid();
         for i in 0..self.stacks.len() {
             let node = NodeId(i as u16);
             let mut ctx = Ctx {
@@ -1053,6 +1086,7 @@ impl<S: StackSlot> SimCore<S> {
                 frame,
                 addressed,
             } => self.remote_deliver(to, frame, addressed),
+            Event::FluidEpoch { gen } => self.fluid_epoch(gen),
             Event::ChannelTick => { /* channel state is sampled lazily */ }
             Event::Stop => unreachable!("Stop handled in run()"),
         }
@@ -1095,6 +1129,122 @@ impl<S: StackSlot> SimCore<S> {
         // re-anchor the node in the grid for the new leg's drift profile.
         self.world.pos_cache[idx].set(None);
         self.world.grid_rebin_for_new_leg(node);
+        // A fluid endpoint changed legs: its region path is stale, so force a
+        // reallocation now.  Bumping the generation invalidates the epoch
+        // already scheduled for the old geometry.
+        let bumped = self.world.fluid.as_deref_mut().and_then(|fluid| {
+            fluid.is_endpoint(node).then(|| {
+                fluid.gen += 1;
+                fluid.gen
+            })
+        });
+        if let Some(gen) = bumped {
+            let now = self.world.now;
+            self.world.queue.schedule(now, Event::FluidEpoch { gen });
+        }
+    }
+
+    // ---- background fluid layer ----------------------------------------------
+
+    /// Run one fluid epoch: advance the analytic ledgers to `now`, admit
+    /// arrivals, recompute the max-min fair allocation against residual
+    /// capacity, and schedule the next epoch.  Stale generations (superseded
+    /// by an endpoint leg change) are dropped, mirroring the waypoint
+    /// stale-epoch guard.
+    fn fluid_epoch(&mut self, gen: u64) {
+        let Some(mut fluid) = self.world.fluid.take() else {
+            return;
+        };
+        if fluid.gen != gen {
+            self.world.fluid = Some(fluid);
+            return; // superseded by a forced reallocation
+        }
+        let now = self.world.now;
+        let out = {
+            let world = &self.world;
+            fluid.epoch(now, |n| world.position_of(n))
+        };
+        self.world.fluid = Some(fluid);
+        self.emit_fluid_completions(&out.completions);
+        self.note_fluid_window(&out);
+        if let Some(next) = out.next {
+            self.world
+                .queue
+                .schedule(next.max(now), Event::FluidEpoch { gen });
+        }
+    }
+
+    /// Emit `FlowComplete` telemetry for fluid completions.  Each completion
+    /// is reported once, by the shard owning the flow's source, stamped at
+    /// the current simulation time (epochs fire at the analytic completion
+    /// instant, so the stamp and the analytic time normally coincide; the
+    /// exact analytic time always lands in the recorder ledger).
+    fn emit_fluid_completions(&mut self, completions: &[FluidCompletion]) {
+        if completions.is_empty() || !self.world.recorder.telemetry.enabled() {
+            return;
+        }
+        let t = self.world.now.as_secs();
+        for c in completions {
+            if !self.world.owns(c.src) {
+                continue;
+            }
+            let telemetry = &mut self.world.recorder.telemetry;
+            let shard = telemetry.shard();
+            telemetry.emit(TelemetryEvent::FlowComplete {
+                t,
+                shard,
+                node: c.src.0,
+                conn: c.conn,
+                bytes: c.delivered,
+            });
+        }
+    }
+
+    /// Fold the epoch's per-region demand/allocation rates into the windowed
+    /// sampler.  Shard 0 only: the fluid state is replicated per shard, so
+    /// letting every shard report would multi-count on merge.
+    fn note_fluid_window(&mut self, out: &EpochOutcome) {
+        if out.region_rates.is_empty() || !self.world.recorder.telemetry.enabled() {
+            return;
+        }
+        if self.world.shard.as_ref().is_some_and(|s| s.id != 0) {
+            return;
+        }
+        let t = self.world.now.as_secs();
+        let telemetry = &mut self.world.recorder.telemetry;
+        for &(region, demand, alloc) in &out.region_rates {
+            telemetry.note_fluid(t, region, demand, alloc);
+        }
+    }
+
+    /// Final fluid bookkeeping at `Stop`: advance the ledgers to the stop
+    /// instant, emit trailing completions, and write one recorder row per
+    /// owned-source flow so fluid bytes stay in a ledger separate from the
+    /// packet byte counters (conservation invariants remain exact).
+    fn flush_fluid(&mut self) {
+        let Some(mut fluid) = self.world.fluid.take() else {
+            return;
+        };
+        let now = self.world.now;
+        let completions = fluid.flush_completions(now);
+        let rows = fluid.final_rows(now);
+        self.world.fluid = Some(fluid);
+        self.emit_fluid_completions(&completions);
+        for row in rows {
+            if !self.world.owns(row.src) {
+                continue;
+            }
+            self.world.recorder.record_fluid_flow(
+                row.conn,
+                FluidFlowTotals {
+                    src: row.src,
+                    dst: row.dst,
+                    offered_bytes: row.offered,
+                    delivered_bytes: row.delivered,
+                    completion_secs: row.completed_at.map(|t| t.as_secs()),
+                },
+            );
+        }
     }
 
     // ---- MAC ------------------------------------------------------------------
@@ -1109,9 +1259,18 @@ impl<S: StackSlot> SimCore<S> {
             return;
         }
         let now = self.world.now;
-        // Carrier sense: defer while the medium is busy.
-        if self.world.busy[idx].get() > now {
-            let wait = self.world.busy[idx].get().since(now);
+        // Carrier sense: defer while the medium is busy — either a real
+        // in-flight transmission or the background fluid layer's virtual
+        // busy pulse (see [`crate::fluid`]).
+        let mut busy_until = self.world.busy[idx].get();
+        if let Some(fluid) = self.world.fluid.as_deref() {
+            let fb = fluid.busy_until(self.world.position_of(node), now);
+            if fb > busy_until {
+                busy_until = fb;
+            }
+        }
+        if busy_until > now {
+            let wait = busy_until.since(now);
             self.world.macs[idx].attempt_pending = true;
             // Rushing attackers re-attempt the instant the medium frees up.
             let backoff = if self.world.is_rusher(node) {
@@ -1184,6 +1343,11 @@ impl<S: StackSlot> SimCore<S> {
         // dense `busy` array (`Cell`-based, so the whole pass runs inside the
         // `&self` query closure with no intermediate candidate buffer).
         let my_pos = self.world.position_of(node);
+        // Foreground load feedback: the fluid layer subtracts measured packet
+        // throughput from each region's capacity at the next epoch.
+        if let Some(fluid) = self.world.fluid.as_deref_mut() {
+            fluid.note_foreground(my_pos, u64::from(bytes));
+        }
         let range_sq = self.world.config.radio.range_m * self.world.config.radio.range_m;
         let cs_range = self.world.config.radio.carrier_sense_range();
         let cs_sq = cs_range * cs_range;

@@ -54,6 +54,15 @@ pub enum Event {
         /// Waypoint epoch the event belongs to (guards against stale events).
         epoch: u64,
     },
+    /// Recompute the background fluid-flow allocation (arrival, analytic
+    /// completion, endpoint leg change, or the periodic cap; see
+    /// [`crate::fluid`]).  Only scheduled when
+    /// [`crate::config::SimConfig::background`] is set.
+    FluidEpoch {
+        /// Fluid generation the event was scheduled under (guards against
+        /// stale events after an endpoint's leg changed).
+        gen: u64,
+    },
     /// A wormhole's out-of-band tunnel delivers a packet at the far endpoint
     /// (see [`crate::config::WormholeConfig`]).  Only scheduled when a
     /// wormhole is configured.

@@ -1,0 +1,970 @@
+//! Analytic fluid model for background traffic (the hybrid engine's third
+//! abstraction level, alongside `neighbor_index` and `event_queue`).
+//!
+//! Foreground flows keep full per-frame MAC fidelity; *background* flows are
+//! modelled as fluid demands routed over the same topology snapshots the
+//! engine already maintains.  The field is partitioned into a grid of
+//! carrier-sense-sized regions; each fluid flow claims bandwidth along the
+//! straight-line corridor of regions between its (moving) endpoints, and the
+//! per-region channel capacity is split across the flows crossing it by
+//! iterative max-min fair sharing ([`max_min_allocate`]).
+//!
+//! Allocations are recomputed **lazily on epoch events** — flow arrivals,
+//! analytic completions, endpoint waypoint changes, and a periodic cap
+//! ([`FluidConfig::max_epoch_gap`]) — never per frame, which is what lets the
+//! hybrid engine carry thousands of background flows for a handful of events
+//! each.
+//!
+//! Coupling is bidirectional:
+//!
+//! * **fluid → packet**: each region's allocated fluid rate becomes a busy
+//!   *fraction* of the channel, surfaced to the MAC as a deterministic
+//!   periodic busy pulse (`FluidState::busy_until`) that carrier sense
+//!   treats exactly like a neighbour's transmission.  No randomness is
+//!   drawn, so runs stay reproducible and `background: None` takes no
+//!   branches at all (the Off-means-identical contract).
+//! * **packet → fluid**: foreground transmissions are tallied per region
+//!   (`FluidState::note_foreground`); at each epoch the allocatable
+//!   capacity is `min(capacity_share × channel_rate, channel_rate −
+//!   foreground_rate)` — the fluid layer owns a reserved slice of the
+//!   channel and is squeezed only once the foreground crowds the whole
+//!   channel, so saturating foreground load pushes the background out.
+
+use crate::config::SimConfig;
+use crate::geometry::Position;
+use crate::time::{Duration, SimTime};
+use manet_wire::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// First connection id used for generated background flows.  Foreground
+/// (scenario) connections are indices below `u16::MAX`, and the stack asserts
+/// that bound, so generated fluid flows can never collide with them.
+pub const FLUID_CONN_BASE: u32 = 1 << 16;
+
+/// One explicitly placed background flow (used by the experiment runner to
+/// route scenario flows through the fluid engine; generated flows draw their
+/// endpoints from the seed instead).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FluidFlowSpec {
+    /// Connection id.  Explicit flows use scenario connection ids (below
+    /// [`FLUID_CONN_BASE`]) so stack reports and metrics line up.
+    pub conn: u32,
+    /// Sending endpoint.
+    pub src: NodeId,
+    /// Receiving endpoint.
+    pub dst: NodeId,
+    /// Arrival time, as an offset from the start of the run.
+    pub start: Duration,
+    /// Bytes to transfer; `0` means unbounded (the flow runs until the end
+    /// of the simulation and never completes).
+    pub bytes: u64,
+    /// Per-flow demand cap, bytes per second.
+    pub demand_bytes_per_sec: f64,
+}
+
+/// Background fluid-traffic parameters ([`SimConfig::background`]).
+///
+/// `None` disables the fluid layer entirely: the engine takes no extra
+/// branches, draws no randomness and schedules no events, so runs are
+/// byte-identical to pre-hybrid traces (asserted by the golden-trace suite).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FluidConfig {
+    /// Number of generated background flows (seed-derived random endpoint
+    /// pairs, arrivals spread evenly over [`FluidConfig::arrival_spread`]).
+    pub flows: u32,
+    /// Bytes each generated flow transfers; `0` means unbounded.
+    pub flow_bytes: u64,
+    /// Per-flow demand cap for generated flows, bytes per second.
+    pub demand_bytes_per_sec: f64,
+    /// Fraction of the raw channel rate (in `(0, 1]`) the fluid layer may
+    /// claim per region.  Foreground traffic squeezes this slice only once
+    /// it crowds the whole channel: the allocatable capacity per region is
+    /// `min(capacity_share × channel_rate, channel_rate − foreground_rate)`.
+    pub capacity_share: f64,
+    /// Airtime a region loses per delivered fluid byte, as a multiple of the
+    /// byte's own serialisation time (`≥ 0`; `0` disables the fluid → packet
+    /// coupling).  End-to-end fluid bytes are cheap on the allocation ledger
+    /// but expensive on the air: every byte is relayed across several hops
+    /// and wrapped in MAC framing, RTS/CTS, link-layer retries and transport
+    /// acks, so the busy fraction foreground carrier sense observes is
+    /// `allocated_rate × busy_overhead / channel_rate` (capped below 1).
+    pub busy_overhead: f64,
+    /// Period of the deterministic busy pulse the MAC sees.  Each region is
+    /// "busy" for the first `busy_fraction × pulse_period` of every period.
+    pub pulse_period: Duration,
+    /// Upper bound on the time between allocation recomputations.
+    pub max_epoch_gap: Duration,
+    /// Generated-flow arrivals are spread evenly over this window.
+    pub arrival_spread: Duration,
+    /// Explicitly placed flows, in addition to the generated ones.
+    pub explicit: Vec<FluidFlowSpec>,
+}
+
+impl Default for FluidConfig {
+    fn default() -> Self {
+        FluidConfig {
+            flows: 0,
+            flow_bytes: 0,
+            demand_bytes_per_sec: 16_000.0,
+            capacity_share: 0.25,
+            busy_overhead: 1.0,
+            pulse_period: Duration::from_millis(20.0),
+            max_epoch_gap: Duration::from_secs(1.0),
+            arrival_spread: Duration::from_secs(1.0),
+            explicit: Vec::new(),
+        }
+    }
+}
+
+impl FluidConfig {
+    /// Validate invariants the fluid engine relies on.
+    pub fn validate(&self, num_nodes: u16) -> Result<(), String> {
+        if self.flows > 0 || !self.explicit.is_empty() {
+            if !(self.capacity_share > 0.0 && self.capacity_share <= 1.0) {
+                return Err("fluid capacity_share must be in (0, 1]".into());
+            }
+            if !(self.busy_overhead >= 0.0 && self.busy_overhead.is_finite()) {
+                return Err("fluid busy_overhead must be finite and non-negative".into());
+            }
+            if self.pulse_period <= Duration::ZERO {
+                return Err("fluid pulse_period must be positive".into());
+            }
+            if self.max_epoch_gap <= Duration::ZERO {
+                return Err("fluid max_epoch_gap must be positive".into());
+            }
+        }
+        if self.flows > 0 {
+            if num_nodes < 2 {
+                return Err("fluid background flows need at least 2 nodes".into());
+            }
+            if !(self.demand_bytes_per_sec > 0.0 && self.demand_bytes_per_sec.is_finite()) {
+                return Err("fluid demand_bytes_per_sec must be finite and positive".into());
+            }
+        }
+        for spec in &self.explicit {
+            if spec.src == spec.dst {
+                return Err(format!("fluid flow {} has src == dst", spec.conn));
+            }
+            if spec.src.index() >= num_nodes as usize || spec.dst.index() >= num_nodes as usize {
+                return Err(format!("fluid flow {} endpoint out of range", spec.conn));
+            }
+            if spec.conn >= FLUID_CONN_BASE {
+                return Err(format!(
+                    "explicit fluid conn {} collides with the generated-flow id space",
+                    spec.conn
+                ));
+            }
+            if !(spec.demand_bytes_per_sec > 0.0 && spec.demand_bytes_per_sec.is_finite()) {
+                return Err(format!(
+                    "fluid flow {} demand must be finite and positive",
+                    spec.conn
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of fluid flows this configuration creates.
+    pub fn total_flows(&self) -> usize {
+        self.flows as usize + self.explicit.len()
+    }
+}
+
+/// Iterative max-min fair sharing by progressive filling.
+///
+/// `capacity[r]` is the available rate of resource (region) `r`; `paths[f]`
+/// lists the resources flow `f` crosses; `demands[f]` caps its rate.  All
+/// unfrozen flows are raised in lockstep until one hits its demand or some
+/// resource is exhausted; exhausted resources freeze every flow crossing
+/// them.  The result is the unique max-min fair allocation, so it is
+/// independent of flow order, monotone in demand, and sums to at most the
+/// capacity on every resource (the property tests below assert all three).
+pub fn max_min_allocate(capacity: &[f64], paths: &[Vec<usize>], demands: &[f64]) -> Vec<f64> {
+    assert_eq!(paths.len(), demands.len());
+    let n = paths.len();
+    let mut alloc = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    // Flows with an empty path (degenerate: both endpoints in one region —
+    // the region still carries them) are given a synthetic single-hop path
+    // upstream; here an empty path just means "unconstrained by capacity".
+    let mut remaining: Vec<f64> = capacity.to_vec();
+    let mut load: Vec<u32> = vec![0; capacity.len()];
+    for (f, path) in paths.iter().enumerate() {
+        if demands[f] <= 0.0 {
+            frozen[f] = true;
+            continue;
+        }
+        for &r in path {
+            load[r] += 1;
+        }
+    }
+    loop {
+        let active = frozen.iter().filter(|&&z| !z).count();
+        if active == 0 {
+            break;
+        }
+        // Largest uniform increment every unfrozen flow can take: the
+        // tightest per-resource fair share, or the smallest remaining demand.
+        let mut delta = f64::INFINITY;
+        for (r, &rem) in remaining.iter().enumerate() {
+            if load[r] > 0 {
+                delta = delta.min(rem / f64::from(load[r]));
+            }
+        }
+        for f in 0..n {
+            if !frozen[f] {
+                delta = delta.min(demands[f] - alloc[f]);
+            }
+        }
+        if !delta.is_finite() {
+            // No flow crosses any finite-capacity resource: everyone gets
+            // their full demand.
+            for f in 0..n {
+                if !frozen[f] {
+                    alloc[f] = demands[f];
+                    frozen[f] = true;
+                }
+            }
+            break;
+        }
+        let delta = delta.max(0.0);
+        for f in 0..n {
+            if frozen[f] {
+                continue;
+            }
+            alloc[f] += delta;
+            for &r in &paths[f] {
+                remaining[r] -= delta;
+            }
+        }
+        // Freeze flows that hit their demand or cross an exhausted resource.
+        let mut progressed = false;
+        for f in 0..n {
+            if frozen[f] {
+                continue;
+            }
+            let done =
+                alloc[f] >= demands[f] - 1e-9 || paths[f].iter().any(|&r| remaining[r] <= 1e-9);
+            if done {
+                frozen[f] = true;
+                for &r in &paths[f] {
+                    load[r] -= 1;
+                }
+                progressed = true;
+            }
+        }
+        if !progressed && delta <= 0.0 {
+            break; // numerical stall guard; cannot happen with positive slack
+        }
+    }
+    alloc
+}
+
+/// Lifecycle of one fluid flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowPhase {
+    Pending,
+    Active,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    conn: u32,
+    src: NodeId,
+    dst: NodeId,
+    start: SimTime,
+    /// Total bytes to transfer; `f64::INFINITY` for unbounded flows.
+    total: f64,
+    demand: f64,
+    delivered: f64,
+    rate: f64,
+    phase: FlowPhase,
+}
+
+/// A flow that analytically finished during an epoch advance.
+#[derive(Debug, Clone)]
+pub(crate) struct FluidCompletion {
+    pub conn: u32,
+    pub src: NodeId,
+    pub delivered: u64,
+    pub at: SimTime,
+}
+
+/// Result of one epoch recomputation.
+#[derive(Debug, Default)]
+pub(crate) struct EpochOutcome {
+    /// Flows that completed since the previous epoch, in completion order.
+    pub completions: Vec<FluidCompletion>,
+    /// When the next epoch should run (`None` once every flow is done).
+    pub next: Option<SimTime>,
+    /// Per-region `(region, demand, allocated)` rates in bytes/sec, nonzero
+    /// regions only, for the telemetry window sampler.
+    pub region_rates: Vec<(u32, u64, u64)>,
+}
+
+/// Snapshot of one flow's byte ledger (recorder rows, metrics, endpoints).
+#[derive(Debug, Clone)]
+pub(crate) struct FluidLedgerRow {
+    pub conn: u32,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub offered: u64,
+    pub delivered: u64,
+    pub completed_at: Option<SimTime>,
+}
+
+/// Slack on bounded-flow completion, in bytes.  Large enough to absorb the
+/// f64 rounding between a scheduled completion instant and the bytes moved
+/// by the elapsed interval (~1e-12 B at simulation scales), small enough to
+/// be invisible in the u64 byte ledgers.
+const COMPLETION_EPS_BYTES: f64 = 1e-6;
+
+/// Runtime state of the fluid layer (lives in `World.fluid`).
+#[derive(Debug)]
+pub(crate) struct FluidState {
+    cfg: FluidConfig,
+    cols: usize,
+    rows: usize,
+    cell_m: f64,
+    /// Raw channel rate, bytes per second.
+    channel_rate: f64,
+    /// Fluid capacity per region before foreground subtraction, bytes/sec.
+    region_capacity: f64,
+    /// All flows, sorted by `(start, conn)`.
+    flows: Vec<Flow>,
+    /// Index of the first flow not yet activated.
+    next_arrival: usize,
+    /// Epoch generation; bumped when an endpoint's leg changes so stale
+    /// scheduled epochs can be recognised and dropped.
+    pub(crate) gen: u64,
+    /// Time of the last analytic advance.
+    last_advance: SimTime,
+    /// Per-node flag: is this node an endpoint of any fluid flow?
+    endpoint: Vec<bool>,
+    /// Per-region fluid busy fraction in `[0, capacity_share]`.
+    busy_frac: Vec<f64>,
+    /// Foreground bytes transmitted per region since the last epoch.
+    fg_bytes: Vec<u64>,
+    /// Estimated foreground rate per region, bytes/sec.
+    fg_rate: Vec<f64>,
+    /// When the foreground counters were last reset.
+    fg_since: SimTime,
+    /// Completion times of flows that finished (conn order mirrors `flows`).
+    completed_at: Vec<Option<SimTime>>,
+}
+
+impl FluidState {
+    /// Build the fluid layer for a run.  Generated flows draw their endpoint
+    /// pairs from a dedicated seed-derived stream (SplitMix64 mixing, same
+    /// scheme as `crate::rng`) that is **not** shard-salted: every shard of a
+    /// sharded run replays the identical flow population, exactly like the
+    /// replicated mobility stream.
+    pub(crate) fn new(cfg: &FluidConfig, sim: &SimConfig) -> Self {
+        let cell_m = sim.radio.carrier_sense_range().max(1.0);
+        let cols = (sim.field_width / cell_m).ceil().max(1.0) as usize;
+        let rows = (sim.field_height / cell_m).ceil().max(1.0) as usize;
+        let channel_rate = sim.mac.data_rate_bps / 8.0;
+        let region_capacity = channel_rate * cfg.capacity_share;
+        let mut flows = Vec::with_capacity(cfg.total_flows());
+        for spec in &cfg.explicit {
+            flows.push(Flow {
+                conn: spec.conn,
+                src: spec.src,
+                dst: spec.dst,
+                start: SimTime::ZERO + spec.start,
+                total: if spec.bytes == 0 {
+                    f64::INFINITY
+                } else {
+                    spec.bytes as f64
+                },
+                demand: spec.demand_bytes_per_sec,
+                delivered: 0.0,
+                rate: 0.0,
+                phase: FlowPhase::Pending,
+            });
+        }
+        // Seed-derived endpoint draws, shard-invariant by construction.
+        let mut z = sim.seed ^ 0x666c_7569u64.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let mut rng = SmallRng::seed_from_u64(z);
+        let n = sim.num_nodes;
+        let spread = cfg.arrival_spread.as_secs();
+        for k in 0..cfg.flows {
+            let src = NodeId(rng.gen_range(0..n));
+            let dst = loop {
+                let d = NodeId(rng.gen_range(0..n));
+                if d != src {
+                    break d;
+                }
+            };
+            // Deterministic even arrival spacing keeps epochs spread out
+            // without extra randomness.
+            let start = spread * (f64::from(k) + 0.5) / f64::from(cfg.flows.max(1));
+            flows.push(Flow {
+                conn: FLUID_CONN_BASE + k,
+                src,
+                dst,
+                start: SimTime::from_secs(start),
+                total: if cfg.flow_bytes == 0 {
+                    f64::INFINITY
+                } else {
+                    cfg.flow_bytes as f64
+                },
+                demand: cfg.demand_bytes_per_sec,
+                delivered: 0.0,
+                rate: 0.0,
+                phase: FlowPhase::Pending,
+            });
+        }
+        flows.sort_by(|a, b| a.start.cmp(&b.start).then(a.conn.cmp(&b.conn)));
+        let mut endpoint = vec![false; n as usize];
+        for f in &flows {
+            endpoint[f.src.index()] = true;
+            endpoint[f.dst.index()] = true;
+        }
+        let regions = cols * rows;
+        let completed_at = vec![None; flows.len()];
+        FluidState {
+            cfg: cfg.clone(),
+            cols,
+            rows,
+            cell_m,
+            channel_rate,
+            region_capacity,
+            flows,
+            next_arrival: 0,
+            gen: 0,
+            last_advance: SimTime::ZERO,
+            endpoint,
+            busy_frac: vec![0.0; regions],
+            fg_bytes: vec![0; regions],
+            fg_rate: vec![0.0; regions],
+            fg_since: SimTime::ZERO,
+            completed_at,
+        }
+    }
+
+    /// Region index of a position (positions outside the field clamp to the
+    /// border regions).
+    #[inline]
+    fn region_of(&self, pos: Position) -> usize {
+        let col = ((pos.x / self.cell_m) as isize).clamp(0, self.cols as isize - 1) as usize;
+        let row = ((pos.y / self.cell_m) as isize).clamp(0, self.rows as isize - 1) as usize;
+        row * self.cols + col
+    }
+
+    /// True if `node` is an endpoint of any fluid flow (its waypoint changes
+    /// trigger an epoch).
+    #[inline]
+    pub(crate) fn is_endpoint(&self, node: NodeId) -> bool {
+        self.endpoint.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Tally foreground bytes transmitted at `pos` (packet → fluid coupling).
+    #[inline]
+    pub(crate) fn note_foreground(&mut self, pos: Position, bytes: u64) {
+        let r = self.region_of(pos);
+        self.fg_bytes[r] += bytes;
+    }
+
+    /// Fluid → packet coupling: until when the medium at `pos` is virtually
+    /// busy with background traffic.  The allocated fluid rate of the region
+    /// is rendered as a deterministic periodic pulse — the first
+    /// `busy_fraction` of every [`FluidConfig::pulse_period`] is busy — so
+    /// carrier sense defers foreground frames for exactly that fraction of
+    /// airtime, with no randomness drawn.
+    #[inline]
+    pub(crate) fn busy_until(&self, pos: Position, now: SimTime) -> SimTime {
+        let frac = self.busy_frac[self.region_of(pos)];
+        if frac <= 0.0 {
+            return SimTime::ZERO;
+        }
+        let period = self.cfg.pulse_period.as_secs();
+        let k = (now.as_secs() / period).floor();
+        let busy_end = k * period + frac * period;
+        if now.as_secs() < busy_end {
+            SimTime::from_secs(busy_end)
+        } else {
+            SimTime::ZERO
+        }
+    }
+
+    /// Straight-line corridor of regions between two positions, in region
+    /// units of the carrier-sense grid.  Sampled at half-cell steps; a
+    /// straight segment never revisits a region, so the linear dedup holds.
+    fn path_between(&self, a: Position, b: Position, out: &mut Vec<usize>) {
+        out.clear();
+        let dist = a.distance_to(b);
+        let steps = ((dist / (self.cell_m * 0.5)).ceil() as usize).max(1);
+        for s in 0..=steps {
+            let t = s as f64 / steps as f64;
+            let p = Position::new(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t);
+            let r = self.region_of(p);
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+    }
+
+    /// Advance every active flow analytically to `now`, collecting flows
+    /// that completed on the way (with their exact analytic completion
+    /// times).
+    ///
+    /// Completion is checked with `COMPLETION_EPS_BYTES` of slack: a
+    /// bounded flow's completion epoch is scheduled at `now +
+    /// remaining/rate` in f64 seconds, so when it fires, `rate × dt` can
+    /// fall short of `remaining` by rounding error.  Without the slack the
+    /// re-scheduled epoch lands on the *same* f64 timestamp (`dt == 0`),
+    /// the flow never finishes, and the engine spins at constant simulated
+    /// time.
+    fn advance(&mut self, now: SimTime, completions: &mut Vec<FluidCompletion>) {
+        let dt = now.as_secs() - self.last_advance.as_secs();
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            if f.phase != FlowPhase::Active || f.rate <= 0.0 {
+                continue;
+            }
+            let remaining = f.total - f.delivered;
+            let moved = f.rate * dt;
+            if moved >= remaining - COMPLETION_EPS_BYTES {
+                let at = SimTime::from_secs(
+                    (self.last_advance.as_secs() + (remaining / f.rate).max(0.0))
+                        .min(now.as_secs()),
+                );
+                f.delivered = f.total;
+                f.phase = FlowPhase::Done;
+                self.completed_at[i] = Some(at);
+                completions.push(FluidCompletion {
+                    conn: f.conn,
+                    src: f.src,
+                    delivered: f.total as u64,
+                    at,
+                });
+            } else {
+                f.delivered += moved;
+            }
+        }
+        // Completion order = analytic completion time, ties by conn.
+        completions.sort_by(|x, y| x.at.cmp(&y.at).then(x.conn.cmp(&y.conn)));
+        self.last_advance = now;
+    }
+
+    /// One epoch: advance the ledgers, admit arrivals, re-estimate the
+    /// foreground load, recompute the max-min fair allocation from the
+    /// current endpoint positions, and report when the next epoch is due.
+    ///
+    /// `position` must resolve a node's position at `now` (the engine passes
+    /// the memoised `World::position_of`).
+    pub(crate) fn epoch(
+        &mut self,
+        now: SimTime,
+        mut position: impl FnMut(NodeId) -> Position,
+    ) -> EpochOutcome {
+        let mut out = EpochOutcome::default();
+        self.advance(now, &mut out.completions);
+        while self.next_arrival < self.flows.len() && self.flows[self.next_arrival].start <= now {
+            if self.flows[self.next_arrival].phase == FlowPhase::Pending {
+                self.flows[self.next_arrival].phase = FlowPhase::Active;
+            }
+            self.next_arrival += 1;
+        }
+        // Foreground rate estimate over the elapsed interval (kept from the
+        // previous epoch when no time has passed).
+        let fg_dt = now.as_secs() - self.fg_since.as_secs();
+        if fg_dt > 0.0 {
+            for (r, rate) in self.fg_rate.iter_mut().enumerate() {
+                *rate = self.fg_bytes[r] as f64 / fg_dt;
+            }
+            self.fg_bytes.iter_mut().for_each(|b| *b = 0);
+            self.fg_since = now;
+        }
+        // Max-min fair shares over the residual capacity.
+        let mut paths: Vec<Vec<usize>> = Vec::new();
+        let mut demands: Vec<f64> = Vec::new();
+        let mut active_idx: Vec<usize> = Vec::new();
+        let mut scratch = Vec::new();
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.phase != FlowPhase::Active {
+                continue;
+            }
+            self.path_between(position(f.src), position(f.dst), &mut scratch);
+            paths.push(scratch.clone());
+            demands.push(f.demand);
+            active_idx.push(i);
+        }
+        // Fluid flows own a reserved slice (`region_capacity`) of the channel;
+        // foreground squeezes that slice only once it crowds the *whole*
+        // channel, not byte-for-byte — otherwise any corridor with live packet
+        // traffic would zero the background there and the coupling would never
+        // touch the very regions the foreground occupies.
+        let residual: Vec<f64> = self
+            .fg_rate
+            .iter()
+            .map(|&fg| self.region_capacity.min((self.channel_rate - fg).max(0.0)))
+            .collect();
+        let alloc = max_min_allocate(&residual, &paths, &demands);
+        let mut region_demand = vec![0.0f64; self.busy_frac.len()];
+        let mut region_alloc = vec![0.0f64; self.busy_frac.len()];
+        for f in self.busy_frac.iter_mut() {
+            *f = 0.0;
+        }
+        for (k, &i) in active_idx.iter().enumerate() {
+            self.flows[i].rate = alloc[k];
+            for &r in &paths[k] {
+                region_demand[r] += demands[k];
+                region_alloc[r] += alloc[k];
+            }
+        }
+        for (r, &a) in region_alloc.iter().enumerate() {
+            // Every fluid byte costs `busy_overhead` bytes of airtime (hops,
+            // framing, retries); the cap keeps a sliver of every pulse period
+            // idle so foreground frames can never be starved outright.
+            self.busy_frac[r] = (a * self.cfg.busy_overhead / self.channel_rate).min(0.95);
+        }
+        for r in 0..region_alloc.len() {
+            if region_demand[r] > 0.0 || region_alloc[r] > 0.0 {
+                out.region_rates.push((
+                    r as u32,
+                    region_demand[r].round() as u64,
+                    region_alloc[r].round() as u64,
+                ));
+            }
+        }
+        // Next epoch: the earliest of next arrival, earliest analytic
+        // completion, and the periodic cap — none once everything is done.
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            next = Some(match next {
+                None => t,
+                Some(cur) => cur.min(t),
+            });
+        };
+        if self.next_arrival < self.flows.len() {
+            consider(self.flows[self.next_arrival].start.max(now));
+        }
+        let mut any_active = false;
+        for f in &self.flows {
+            if f.phase != FlowPhase::Active {
+                continue;
+            }
+            any_active = true;
+            if f.rate > 0.0 && f.total.is_finite() {
+                // Floor the wait at 1 µs: a nearly-done flow must never
+                // round its next epoch onto the current f64 timestamp, or
+                // the engine would spin without advancing time.
+                let wait = ((f.total - f.delivered).max(0.0) / f.rate).max(1e-6);
+                consider(SimTime::from_secs(now.as_secs() + wait));
+            }
+        }
+        if any_active {
+            consider(now + self.cfg.max_epoch_gap);
+        }
+        out.next = next;
+        out
+    }
+
+    /// Final analytic advance at the end of the run: close the ledgers and
+    /// return one row per flow (delivered bytes, completion time if any).
+    /// Unstarted flows report zero bytes.
+    pub(crate) fn final_rows(&mut self, now: SimTime) -> Vec<FluidLedgerRow> {
+        let mut completions = Vec::new();
+        self.advance(now, &mut completions);
+        let mut rows: Vec<FluidLedgerRow> = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FluidLedgerRow {
+                conn: f.conn,
+                src: f.src,
+                dst: f.dst,
+                offered: if f.total.is_finite() {
+                    f.total as u64
+                } else {
+                    f.delivered as u64
+                },
+                delivered: f.delivered as u64,
+                completed_at: self.completed_at[i],
+            })
+            .collect();
+        rows.sort_by_key(|r| r.conn);
+        rows
+    }
+
+    /// Flows that complete between the last epoch and `now`.  The engine
+    /// calls this just before [`FluidState::final_rows`] at the end of the
+    /// run so the trailing `flow_complete` telemetry is still emitted; the
+    /// subsequent `final_rows` call at the same instant advances by zero
+    /// time and cannot double-count.
+    pub(crate) fn flush_completions(&mut self, now: SimTime) -> Vec<FluidCompletion> {
+        let mut completions = Vec::new();
+        self.advance(now, &mut completions);
+        completions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn equal_flows_split_a_single_link_evenly() {
+        let alloc = max_min_allocate(&[9.0], &[vec![0], vec![0], vec![0]], &[100.0, 100.0, 100.0]);
+        assert!(alloc.iter().all(|&a| close(a, 3.0)), "{alloc:?}");
+    }
+
+    #[test]
+    fn small_demand_frees_capacity_for_the_rest() {
+        let alloc = max_min_allocate(&[9.0], &[vec![0], vec![0]], &[1.0, 100.0]);
+        assert!(close(alloc[0], 1.0), "{alloc:?}");
+        assert!(close(alloc[1], 8.0), "{alloc:?}");
+    }
+
+    #[test]
+    fn bottleneck_freezes_crossing_flows_only() {
+        // Flow 0 crosses regions 0 and 1; flow 1 only region 1.  Region 0 is
+        // the bottleneck for flow 0, letting flow 1 take the rest of 1.
+        let alloc = max_min_allocate(&[2.0, 10.0], &[vec![0, 1], vec![1]], &[100.0, 100.0]);
+        assert!(close(alloc[0], 2.0), "{alloc:?}");
+        assert!(close(alloc[1], 8.0), "{alloc:?}");
+    }
+
+    #[test]
+    fn unconstrained_flows_get_their_demand() {
+        let alloc = max_min_allocate(&[5.0], &[vec![], vec![0]], &[7.0, 2.0]);
+        assert!(close(alloc[0], 7.0), "{alloc:?}");
+        assert!(close(alloc[1], 2.0), "{alloc:?}");
+    }
+
+    #[test]
+    fn zero_demand_flows_stay_at_zero() {
+        let alloc = max_min_allocate(&[5.0], &[vec![0], vec![0]], &[0.0, 10.0]);
+        assert!(close(alloc[0], 0.0));
+        assert!(close(alloc[1], 5.0));
+    }
+
+    /// Strategy: a small random sharing problem (3 regions, up to 6 flows).
+    fn problems() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>, Vec<f64>)> {
+        let caps = proptest::collection::vec(0.1f64..50.0, 3..4);
+        let flows = proptest::collection::vec(
+            (proptest::collection::vec(0usize..3, 1..3), 0.1f64..40.0),
+            1..6,
+        );
+        (caps, flows).prop_map(|(caps, flows)| {
+            let mut paths = Vec::new();
+            let mut demands = Vec::new();
+            for (mut path, d) in flows {
+                path.sort_unstable();
+                path.dedup();
+                paths.push(path);
+                demands.push(d);
+            }
+            (caps, paths, demands)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn allocations_sum_to_at_most_capacity(problem in problems()) {
+            let (caps, paths, demands) = problem;
+            let alloc = max_min_allocate(&caps, &paths, &demands);
+            for (r, &cap) in caps.iter().enumerate() {
+                let used: f64 = alloc
+                    .iter()
+                    .zip(&paths)
+                    .filter(|(_, p)| p.contains(&r))
+                    .map(|(a, _)| a)
+                    .sum();
+                prop_assert!(used <= cap + 1e-6, "region {r}: used {used} > cap {cap}");
+            }
+            for (f, &a) in alloc.iter().enumerate() {
+                prop_assert!(a >= 0.0 && a <= demands[f] + 1e-6);
+            }
+        }
+
+        #[test]
+        fn allocation_is_monotone_in_demand(problem in problems()) {
+            let (caps, paths, demands) = problem;
+            let base = max_min_allocate(&caps, &paths, &demands);
+            let mut raised = demands.clone();
+            raised[0] *= 2.0;
+            let more = max_min_allocate(&caps, &paths, &raised);
+            // Raising one flow's demand never lowers that flow's allocation.
+            prop_assert!(more[0] >= base[0] - 1e-6, "{} < {}", more[0], base[0]);
+        }
+
+        #[test]
+        fn allocation_is_order_independent(problem in problems()) {
+            let (caps, paths, demands) = problem;
+            let forward = max_min_allocate(&caps, &paths, &demands);
+            let rev_paths: Vec<Vec<usize>> = paths.iter().rev().cloned().collect();
+            let rev_demands: Vec<f64> = demands.iter().rev().cloned().collect();
+            let backward = max_min_allocate(&caps, &rev_paths, &rev_demands);
+            for (f, &a) in forward.iter().enumerate() {
+                let b = backward[backward.len() - 1 - f];
+                prop_assert!(close(a, b), "flow {f}: {a} vs {b}");
+            }
+        }
+    }
+
+    fn sim_for(nodes: u16) -> SimConfig {
+        let mut sim = SimConfig::default();
+        sim.num_nodes = nodes;
+        sim
+    }
+
+    #[test]
+    fn generated_flows_are_seed_deterministic_and_in_the_reserved_id_space() {
+        let mut cfg = FluidConfig::default();
+        cfg.flows = 10;
+        cfg.flow_bytes = 50_000;
+        let a = FluidState::new(&cfg, &sim_for(20));
+        let b = FluidState::new(&cfg, &sim_for(20));
+        assert_eq!(a.flows.len(), 10);
+        for (x, y) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(
+                (x.conn, x.src, x.dst, x.start),
+                (y.conn, y.src, y.dst, y.start)
+            );
+            assert!(x.conn >= FLUID_CONN_BASE);
+            assert_ne!(x.src, x.dst);
+        }
+    }
+
+    #[test]
+    fn epoch_allocates_and_completes_flows_analytically() {
+        let mut cfg = FluidConfig::default();
+        cfg.explicit.push(FluidFlowSpec {
+            conn: 1,
+            src: NodeId(0),
+            dst: NodeId(1),
+            start: Duration::ZERO,
+            bytes: 10_000,
+            demand_bytes_per_sec: 10_000.0,
+        });
+        let mut fluid = FluidState::new(&cfg, &sim_for(2));
+        let pos = |n: NodeId| Position::new(100.0 + 300.0 * f64::from(n.0), 100.0);
+        let out = fluid.epoch(SimTime::ZERO, pos);
+        assert!(out.completions.is_empty());
+        // Uncontended: the flow gets its full demand, so it finishes in 1 s.
+        let next = out.next.expect("an active flow schedules a next epoch");
+        assert!(close(next.as_secs(), 1.0), "{next}");
+        assert!(!out.region_rates.is_empty());
+        let out = fluid.epoch(next, pos);
+        assert_eq!(out.completions.len(), 1);
+        assert_eq!(out.completions[0].conn, 1);
+        assert_eq!(out.completions[0].delivered, 10_000);
+        assert!(close(out.completions[0].at.as_secs(), 1.0));
+        assert!(out.next.is_none(), "no flows left, no more epochs");
+        let rows = fluid.final_rows(SimTime::from_secs(2.0));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].delivered, 10_000);
+        assert!(rows[0].completed_at.is_some());
+    }
+
+    #[test]
+    fn foreground_load_squeezes_fluid_allocation() {
+        let mut cfg = FluidConfig::default();
+        cfg.capacity_share = 0.1; // 137.5 kB/s per region at 11 Mb/s
+        cfg.explicit.push(FluidFlowSpec {
+            conn: 1,
+            src: NodeId(0),
+            dst: NodeId(1),
+            start: Duration::ZERO,
+            bytes: 0,
+            demand_bytes_per_sec: 1e9,
+        });
+        let mut fluid = FluidState::new(&cfg, &sim_for(2));
+        let pos = |_: NodeId| Position::new(100.0, 100.0);
+        let free = fluid.epoch(SimTime::ZERO, pos);
+        let free_alloc = free.region_rates[0].2;
+        // The fluid slice is *reserved*: moderate foreground (well under
+        // channel − region_capacity) must leave it untouched…
+        fluid.note_foreground(Position::new(100.0, 100.0), 100_000);
+        let light = fluid.epoch(SimTime::from_secs(1.0), pos);
+        assert_eq!(
+            light.region_rates[0].2, free_alloc,
+            "light foreground load must not dent the reserved fluid slice"
+        );
+        // …but foreground crowding the whole channel (1.3 MB/s of a
+        // 1.375 MB/s channel) squeezes the slice down to what is left.
+        fluid.note_foreground(Position::new(100.0, 100.0), 1_300_000);
+        let loaded = fluid.epoch(SimTime::from_secs(2.0), pos);
+        let loaded_alloc = loaded.region_rates[0].2;
+        assert!(
+            loaded_alloc < free_alloc,
+            "saturating foreground load must shrink the fluid share \
+             ({loaded_alloc} vs {free_alloc})"
+        );
+    }
+
+    #[test]
+    fn busy_pulse_is_deterministic_and_bounded() {
+        let mut cfg = FluidConfig::default();
+        cfg.capacity_share = 0.5;
+        cfg.explicit.push(FluidFlowSpec {
+            conn: 1,
+            src: NodeId(0),
+            dst: NodeId(1),
+            start: Duration::ZERO,
+            bytes: 0,
+            demand_bytes_per_sec: 1e9,
+        });
+        let mut fluid = FluidState::new(&cfg, &sim_for(2));
+        let pos = |_: NodeId| Position::new(100.0, 100.0);
+        fluid.epoch(SimTime::ZERO, pos);
+        let p = Position::new(100.0, 100.0);
+        let period = cfg.pulse_period.as_secs();
+        // At the start of a period the medium is virtually busy...
+        let b = fluid.busy_until(p, SimTime::from_secs(10.0 * period));
+        assert!(b > SimTime::from_secs(10.0 * period));
+        // ... for at most capacity_share of the period ...
+        assert!(b.as_secs() <= (10.0 + cfg.capacity_share) * period + 1e-9);
+        // ... and idle at the end of the period.
+        let idle = fluid.busy_until(p, SimTime::from_secs((10.0 + 0.9) * period));
+        assert_eq!(idle, SimTime::ZERO);
+        // A region with no fluid routed through it is never busy.
+        let far = Position::new(900.0, 900.0);
+        assert_eq!(
+            fluid.busy_until(far, SimTime::from_secs(1.0)),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let sim = sim_for(10);
+        let mut cfg = FluidConfig::default();
+        cfg.flows = 4;
+        assert!(cfg.validate(sim.num_nodes).is_ok());
+        cfg.capacity_share = 0.0;
+        assert!(cfg.validate(sim.num_nodes).is_err());
+        cfg.capacity_share = 0.25;
+        cfg.demand_bytes_per_sec = 0.0;
+        assert!(cfg.validate(sim.num_nodes).is_err());
+        cfg.demand_bytes_per_sec = 1000.0;
+        cfg.explicit.push(FluidFlowSpec {
+            conn: FLUID_CONN_BASE,
+            src: NodeId(0),
+            dst: NodeId(1),
+            start: Duration::ZERO,
+            bytes: 1,
+            demand_bytes_per_sec: 1.0,
+        });
+        assert!(cfg.validate(sim.num_nodes).is_err(), "reserved conn id");
+        cfg.explicit[0].conn = 3;
+        cfg.explicit[0].dst = NodeId(0);
+        assert!(cfg.validate(sim.num_nodes).is_err(), "src == dst");
+        cfg.explicit[0].dst = NodeId(1);
+        assert!(cfg.validate(sim.num_nodes).is_ok());
+        assert!(cfg.validate(1).is_err(), "2 nodes needed");
+    }
+}

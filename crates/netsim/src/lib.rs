@@ -9,6 +9,10 @@
 //!   (amortised O(1), the default; the binary heap remains selectable via
 //!   [`config::EventQueueKind`] and pops in the identical order).
 //! * [`fasthash`] — the FxHash-style hasher behind the hot-path maps.
+//! * [`fluid`] — the analytic fluid model for background traffic: max-min
+//!   fair bandwidth sharing over carrier-sense-sized regions, recomputed
+//!   lazily on epoch events and coupled into the MAC as a deterministic
+//!   busy fraction (selected via [`config::SimConfig::background`]).
 //! * [`choice`] — adversarial delivery-choice injection for the bounded
 //!   model-checking explorer (`crates/mck`): a hook the engine consults on
 //!   every addressed reception (deliver / drop / delay).
@@ -44,6 +48,7 @@ pub mod config;
 pub mod engine;
 pub mod event;
 pub mod fasthash;
+pub mod fluid;
 pub mod geometry;
 pub mod grid;
 pub mod mac;
@@ -65,13 +70,14 @@ pub use config::{
 pub use engine::{SimCore, Simulator, StackSlot};
 pub use event::{Event, EventQueue, QueuePerf, ScheduledEvent};
 pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use fluid::{max_min_allocate, FluidConfig, FluidFlowSpec, FLUID_CONN_BASE};
 pub use geometry::{Position, Vector2};
 pub use grid::SpatialGrid;
 pub use mobility::{MobilityModel, RandomWaypoint, Waypoint};
 pub use node::{Ctx, NodeStack, TimerToken};
 pub use radio::{ChannelModel, RadioConfig};
 pub use recorder::EnginePerf;
-pub use recorder::{Recorder, TraceEvent};
+pub use recorder::{FluidFlowTotals, Recorder, TraceEvent};
 pub use rng::RngStreams;
 pub use shard::run_sharded;
 pub use time::{Duration, SimTime};

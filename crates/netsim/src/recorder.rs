@@ -11,7 +11,7 @@ use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::time::{Duration, SimTime};
 use manet_telemetry::Telemetry;
 use manet_wire::{ConnectionId, NetPacket, NodeId, PacketId};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Why a frame or packet was discarded — the unified vocabulary shared by
 /// every layer's drop accounting and by the telemetry stream (it is
@@ -117,6 +117,11 @@ pub struct EnginePerf {
     pub cross_shard_announcements: u64,
     /// Events (wormhole tunnel deliveries) re-routed to their owner shard.
     pub forwarded_events: u64,
+    /// Cross-shard announcements a shard skipped applying because the
+    /// announcement's destination mask proved none of this shard's nodes
+    /// were touched (the fan-out fix in [`crate::shard`]; all-to-all
+    /// broadcast would make this 0).
+    pub announcements_skipped: u64,
     /// Events processed by the least-loaded shard (shard-imbalance floor).
     pub shard_events_min: u64,
     /// Events processed by the most-loaded shard (shard-imbalance ceiling).
@@ -220,6 +225,29 @@ impl FlowCounters {
     }
 }
 
+/// Byte ledger of one background fluid flow (see [`crate::fluid`]).
+///
+/// Fluid bytes are ledgered **separately** from the packet-level delivery
+/// counters: `delivered_payload_bytes` and the per-connection
+/// [`FlowCounters`] stay exact packet conservation ledgers, and the fluid
+/// totals add an independent analytic ledger with its own conservation
+/// invariant (`delivered_bytes <= offered_bytes`, equality exactly when the
+/// flow completed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidFlowTotals {
+    /// Sending endpoint.
+    pub src: NodeId,
+    /// Receiving endpoint.
+    pub dst: NodeId,
+    /// Bytes the flow set out to transfer (for unbounded flows: the bytes it
+    /// actually moved by the end of the run).
+    pub offered_bytes: u64,
+    /// Bytes analytically delivered by the end of the run.
+    pub delivered_bytes: u64,
+    /// Analytic completion time in seconds, if the flow finished.
+    pub completion_secs: Option<f64>,
+}
+
 /// What the recorder remembers about one delivered packet.  The connection,
 /// data flag and byte count ride along so [`Recorder::merge`] can rebuild the
 /// derived delivery aggregates (series, delays, per-flow counters) after
@@ -250,6 +278,11 @@ pub struct Recorder {
     delivery_series: Vec<(SimTime, u32)>,
     /// Per-connection origination/delivery counters (multi-flow runs).
     flow_counters: FxHashMap<ConnectionId, FlowCounters>,
+    /// Byte ledgers of background fluid flows, keyed by connection id
+    /// (ordered so reports and merges are deterministic).  Under sharded
+    /// execution each flow is ledgered by the shard owning its source node,
+    /// so the per-shard maps are disjoint and merge by union.
+    fluid_flows: BTreeMap<u32, FluidFlowTotals>,
 
     // --- per-node participation / eavesdropping --------------------------------
     // Dense, lazily grown per-node tables (indexed by `NodeId::index`): the
@@ -410,6 +443,13 @@ impl Recorder {
     #[inline]
     fn slot(node: NodeId) -> usize {
         node.index()
+    }
+
+    /// Record (or update) the byte ledger of one background fluid flow.  The
+    /// engine writes every flow once at the end of the run — and, under
+    /// sharded execution, only at the shard owning the flow's source node.
+    pub fn record_fluid_flow(&mut self, conn: u32, totals: FluidFlowTotals) {
+        self.fluid_flows.insert(conn, totals);
     }
 
     /// A packet crossed a wormhole's out-of-band tunnel (either direction).
@@ -583,6 +623,9 @@ impl Recorder {
             for (conn, fc) in part.flow_counters {
                 out.flow_counters.entry(conn).or_default().originated_data += fc.originated_data;
             }
+            // Fluid ledgers are disjoint across shards (each flow is written
+            // only by its source's owner shard), so union is exact.
+            out.fluid_flows.extend(part.fluid_flows);
             // Per-node tables: element-wise sum / union.
             for (i, c) in part.relays.into_iter().enumerate() {
                 grow_to(&mut out.relays, i);
@@ -647,6 +690,7 @@ impl Recorder {
             perf.cross_shard_frames += p.cross_shard_frames;
             perf.cross_shard_announcements += p.cross_shard_announcements;
             perf.forwarded_events += p.forwarded_events;
+            perf.announcements_skipped += p.announcements_skipped;
             perf.phase_execute_nanos += p.phase_execute_nanos;
             perf.phase_barrier_nanos += p.phase_barrier_nanos;
             perf.phase_apply_nanos += p.phase_apply_nanos;
@@ -745,6 +789,27 @@ impl Recorder {
     /// The counters of one connection (all-zero if it never carried data).
     pub fn flow_counter(&self, conn: ConnectionId) -> FlowCounters {
         self.flow_counters.get(&conn).copied().unwrap_or_default()
+    }
+
+    /// Byte ledgers of the background fluid flows, by connection id (empty
+    /// when the run had no fluid layer).
+    pub fn fluid_flows(&self) -> &BTreeMap<u32, FluidFlowTotals> {
+        &self.fluid_flows
+    }
+
+    /// The byte ledger of one background fluid flow, if it exists.
+    pub fn fluid_flow(&self, conn: u32) -> Option<FluidFlowTotals> {
+        self.fluid_flows.get(&conn).copied()
+    }
+
+    /// Total bytes analytically delivered by background fluid flows.
+    pub fn fluid_delivered_bytes(&self) -> u64 {
+        self.fluid_flows.values().map(|f| f.delivered_bytes).sum()
+    }
+
+    /// Total bytes background fluid flows set out to transfer.
+    pub fn fluid_offered_bytes(&self) -> u64 {
+        self.fluid_flows.values().map(|f| f.offered_bytes).sum()
     }
 
     /// Data packets `node` relayed (β_i in the paper's Table I); O(1) from

@@ -98,6 +98,11 @@ pub(crate) struct TxAnnouncement {
     pub(crate) busy: Vec<NodeId>,
     /// Nodes within transmission range at `start`.
     pub(crate) rx: Vec<NodeId>,
+    /// Bitmask of shards owning at least one touched node (`busy` ∪ `rx`).
+    /// The barrier applies the announcement only at shards in the mask
+    /// instead of fanning out all-to-all; shards ≥ 64 fall back to the
+    /// all-ones mask (apply everywhere — correct, just not filtered).
+    pub(crate) dst_mask: u64,
 }
 
 /// A resolved cross-shard reception awaiting replay at the receiver's owner.
@@ -133,6 +138,10 @@ pub(crate) struct ShardCounters {
     pub(crate) cross_shard_announcements: u64,
     /// Popped events re-routed to their owner shard.
     pub(crate) forwarded_events: u64,
+    /// Announcements this shard did *not* have to apply because its owned
+    /// nodes were outside the transmission's footprint (the destination-mask
+    /// fan-out fix; proves the reduction vs. all-to-all).
+    pub(crate) announcements_skipped: u64,
 }
 
 /// Everything a [`World`] needs to know about being one shard of a sharded
@@ -268,19 +277,32 @@ fn apply_barrier(cores: &[Mutex<ShardCore>], window_end: SimTime) {
         anns.push(std::mem::take(&mut shard.announcements));
         mails.push(shard.mail.iter_mut().map(std::mem::take).collect());
     }
-    // Announcements: every shard applies all other shards' transmissions to
-    // its replicas.  Source order is shard id; the per-shard lists are in
-    // each source's own event order.
+    // Announcements: each shard applies other shards' transmissions to its
+    // replicas — but only the transmissions whose footprint touches a node
+    // it owns (`dst_mask`).  Skipping the rest does not change any owned
+    // node's MAC state: busy windows and reception intervals on *replica*
+    // (non-owned) nodes are never read, because carrier sense and collision
+    // resolution only run at a node's owner shard.  Source order is shard
+    // id; the per-shard lists are in each source's own event order.
     for (dst, core) in cores.iter().enumerate() {
         let mut c = core.lock().expect("shard mutex");
         let world = c.world_mut();
+        let dst_bit = 1u64 << (dst as u32 & 63);
+        let mut skipped = 0u64;
         for (src, list) in anns.iter().enumerate() {
             if src == dst {
                 continue;
             }
             for ann in list {
+                if ann.dst_mask & dst_bit == 0 {
+                    skipped += 1;
+                    continue;
+                }
                 apply_announcement(world, ann);
             }
+        }
+        if let Some(shard) = world.shard.as_mut() {
+            shard.counters.announcements_skipped += skipped;
         }
     }
     // Deliveries and forwarded events: scheduled on the destination queue in

@@ -126,6 +126,11 @@ enum TcpEndpoint {
         peer: NodeId,
         receiver: Box<TcpReceiver>,
     },
+    /// Analytic background flow towards `peer` (hybrid engine): no segments,
+    /// no timers, no per-packet state — the flow's bytes move through the
+    /// engine's fluid model and the endpoint only copies the fluid ledger
+    /// into the run report at run end.
+    Fluid { peer: NodeId },
 }
 
 /// The full protocol stack of one node.
@@ -200,6 +205,14 @@ impl ManetStack {
                 receiver: Box::new(TcpReceiver::new(conn)),
             },
         );
+    }
+
+    /// Terminate the sending side of a *fluid* (analytic background) flow of
+    /// `conn` at this node.  The flow itself runs inside the engine's fluid
+    /// model ([`manet_netsim::FluidConfig::explicit`]); this lightweight
+    /// endpoint only surfaces its ledger row in the TCP run report.
+    pub fn add_fluid(&mut self, conn: ConnectionId, peer: NodeId) {
+        self.insert(conn, TcpEndpoint::Fluid { peer });
     }
 
     /// Number of TCP endpoints terminated at this node.
@@ -415,7 +428,7 @@ impl NodeStack for ManetStack {
         self.agent.on_link_failure(ctx, next_hop, packet);
     }
 
-    fn on_run_end(&mut self, _ctx: &mut Ctx<'_>) {
+    fn on_run_end(&mut self, ctx: &mut Ctx<'_>) {
         let mut report = self.stats.lock();
         let mut any_sender = false;
         for conn in &self.order {
@@ -446,6 +459,23 @@ impl NodeStack for ManetStack {
                     flow.bytes_delivered = r.bytes_delivered;
                     flow.segments_received = r.segments_received;
                     flow.out_of_order = r.out_of_order;
+                }
+                TcpEndpoint::Fluid { peer } => {
+                    // Copy the engine's fluid ledger row (the engine flushes
+                    // it before run end).  Fluid bytes deliberately stay out
+                    // of the aggregate TCP counters: they never crossed the
+                    // packet pipeline, so folding them in would break the
+                    // per-segment conservation invariants.
+                    let peer = *peer;
+                    let totals = ctx.recorder().fluid_flow(conn.0);
+                    let flow = report.flow_mut(*conn);
+                    flow.src = self.me;
+                    flow.dst = peer;
+                    if let Some(t) = totals {
+                        flow.bytes_acked = t.delivered_bytes;
+                        flow.bytes_delivered = t.delivered_bytes;
+                        flow.completion_secs = t.completion_secs;
+                    }
                 }
             }
         }

@@ -225,6 +225,12 @@ pub enum TelemetryEvent {
         suspicion_peak: u32,
         /// Cross-shard transmission announcements emitted.
         xshard: u64,
+        /// Background fluid demand per region, bytes/s at the last epoch in
+        /// the window (empty unless the hybrid engine is on; shard 0 only).
+        fluid_demand: BTreeMap<u32, u64>,
+        /// Background fluid allocated rate per region, bytes/s (max-min fair
+        /// share of residual capacity; keys mirror `fluid_demand`).
+        fluid_alloc: BTreeMap<u32, u64>,
     },
 }
 
@@ -460,24 +466,19 @@ impl TelemetryEvent {
                 cal_resizes,
                 suspicion_peak,
                 xshard,
+                fluid_demand,
+                fluid_alloc,
             } => {
                 push_num(&mut s, "t", *t);
                 push_u64(&mut s, "shard", u64::from(*shard));
                 push_u64(&mut s, "window", *window);
-                s.push_str(",\"goodput\":{");
-                let mut first = true;
-                for (conn, bytes) in goodput {
-                    if !first {
-                        s.push(',');
-                    }
-                    first = false;
-                    let _ = write!(s, "\"{conn}\":{bytes}");
-                }
-                s.push('}');
+                push_u64_map(&mut s, "goodput", goodput);
                 push_u64(&mut s, "queue_peak", u64::from(*queue_peak));
                 push_u64(&mut s, "cal_resizes", *cal_resizes);
                 push_u64(&mut s, "suspicion_peak", u64::from(*suspicion_peak));
                 push_u64(&mut s, "xshard", *xshard);
+                push_u64_map(&mut s, "fluid_demand", fluid_demand);
+                push_u64_map(&mut s, "fluid_alloc", fluid_alloc);
             }
         }
         s.push('}');
@@ -495,6 +496,20 @@ fn push_num(s: &mut String, key: &str, v: f64) {
 /// Append `,"key":<integer>`.
 fn push_u64(s: &mut String, key: &str, v: u64) {
     let _ = write!(s, ",\"{key}\":{v}");
+}
+
+/// Append `,"key":{"k":v,...}` for an integer-keyed counter map.
+fn push_u64_map(s: &mut String, key: &str, map: &BTreeMap<u32, u64>) {
+    let _ = write!(s, ",\"{key}\":{{");
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "\"{k}\":{v}");
+    }
+    s.push('}');
 }
 
 /// Append `,"key":"value"` (labels come from closed vocabularies that never

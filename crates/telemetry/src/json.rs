@@ -118,11 +118,13 @@ pub fn parse_line(line: &str) -> Result<TelemetryEvent, String> {
             t: f.take_f64("t")?,
             shard: f.take_u16("shard")?,
             window: f.take_u64("window")?,
-            goodput: f.take_goodput("goodput")?,
+            goodput: f.take_u64_map("goodput")?,
             queue_peak: f.take_u32("queue_peak")?,
             cal_resizes: f.take_u64("cal_resizes")?,
             suspicion_peak: f.take_u32("suspicion_peak")?,
             xshard: f.take_u64("xshard")?,
+            fluid_demand: f.take_u64_map("fluid_demand")?,
+            fluid_alloc: f.take_u64_map("fluid_alloc")?,
         },
         other => return Err(format!("unknown event name {other:?}")),
     };
@@ -215,19 +217,19 @@ impl Fields {
         }
     }
 
-    fn take_goodput(&mut self, key: &str) -> Result<BTreeMap<u32, u64>, String> {
+    fn take_u64_map(&mut self, key: &str) -> Result<BTreeMap<u32, u64>, String> {
         match self.take(key) {
             Some(Val::Map(pairs)) => {
                 let mut map = BTreeMap::new();
                 for (k, raw) in pairs {
-                    let conn: u32 = k
+                    let id: u32 = k
                         .parse()
-                        .map_err(|_| format!("goodput key {k:?} is not a connection id"))?;
-                    let bytes: u64 = raw
+                        .map_err(|_| format!("{key} key {k:?} is not an unsigned id"))?;
+                    let count: u64 = raw
                         .parse()
-                        .map_err(|_| format!("goodput value {raw:?} is not a byte count"))?;
-                    if map.insert(conn, bytes).is_some() {
-                        return Err(format!("goodput key {k:?} repeated"));
+                        .map_err(|_| format!("{key} value {raw:?} is not a count"))?;
+                    if map.insert(id, count).is_some() {
+                        return Err(format!("{key} key {k:?} repeated"));
                     }
                 }
                 Ok(map)

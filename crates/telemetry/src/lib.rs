@@ -170,6 +170,16 @@ impl Telemetry {
         }
     }
 
+    /// Sampler: a fluid epoch at time `t` set `region`'s background demand
+    /// and max-min allocation rates (bytes/s).  Later epochs in the same
+    /// window overwrite earlier ones — the window reports last-known rates.
+    pub fn note_fluid(&mut self, t: f64, region: u32, demand: u64, alloc: u64) {
+        if let Some(s) = &mut self.sampler {
+            s.roll_to(t, self.shard, &mut self.events);
+            s.note_fluid(region, demand, alloc);
+        }
+    }
+
     /// Sampler: the event queue's cumulative calendar-resize count is
     /// `total` as of time `t` (the sampler differences it per window).
     pub fn note_calendar_resizes(&mut self, t: f64, total: u64) {

@@ -18,6 +18,10 @@ struct WindowAcc {
     queue_peak: u32,
     suspicion_peak: u32,
     xshard: u64,
+    /// Latest per-region fluid demand rate observed this window (bytes/s).
+    fluid_demand: BTreeMap<u32, u64>,
+    /// Latest per-region fluid allocated rate observed this window (bytes/s).
+    fluid_alloc: BTreeMap<u32, u64>,
     /// Calendar-resize total at the window's start (differenced at flush).
     cal_base: u64,
     /// Latest cumulative calendar-resize observation.
@@ -95,6 +99,8 @@ impl Sampler {
             cal_resizes: acc.cal_last.saturating_sub(acc.cal_base),
             suspicion_peak: acc.suspicion_peak,
             xshard: acc.xshard,
+            fluid_demand: acc.fluid_demand,
+            fluid_alloc: acc.fluid_alloc,
         });
     }
 
@@ -119,6 +125,15 @@ impl Sampler {
     /// Record `n` cross-shard announcements.
     pub fn note_xshard(&mut self, n: u64) {
         self.acc.xshard += n;
+        self.acc.dirty = true;
+    }
+
+    /// Record one region's fluid demand/allocation rates (bytes/s) from a
+    /// fluid epoch.  Later epochs in the same window overwrite earlier ones:
+    /// the window reports the last-known allocation, not a sum of rates.
+    pub fn note_fluid(&mut self, region: u32, demand: u64, alloc: u64) {
+        self.acc.fluid_demand.insert(region, demand);
+        self.acc.fluid_alloc.insert(region, alloc);
         self.acc.dirty = true;
     }
 

@@ -106,6 +106,8 @@ fn exemplars() -> Vec<TelemetryEvent> {
             cal_resizes: 2,
             suspicion_peak: 4,
             xshard: 17,
+            fluid_demand: BTreeMap::from([(0, 16_000), (3, 8_000)]),
+            fluid_alloc: BTreeMap::from([(0, 12_500), (3, 8_000)]),
         },
     ]
 }
@@ -531,6 +533,8 @@ fn arbitrary_event(pick: u64, t: f64, shard: u16, node: u16, big: u64) -> Teleme
             cal_resizes: pick % 10,
             suspicion_peak: (pick % 50) as u32,
             xshard: pick % 10_000,
+            fluid_demand: BTreeMap::from([(pick as u32 % 97, big % 1_000_000)]),
+            fluid_alloc: BTreeMap::from([(pick as u32 % 97, pick % 1_000_000)]),
         },
     }
 }

@@ -214,6 +214,44 @@ fn telemetry_enabled_runs_keep_the_golden_digests() {
     }
 }
 
+/// The fluid layer's Off-means-identical contract against the pinned
+/// digests: a `background` config with **zero** fluid flows builds no fluid
+/// state, draws no RNG and schedules no epoch events, so the paper runs
+/// must reproduce the same golden rows byte for byte (docs/TRAFFIC.md).
+#[test]
+fn zero_flow_background_keeps_the_golden_digests() {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        return; // the pinned rows are regenerated by the test above
+    }
+    for golden in &GOLDEN {
+        let mut scenario =
+            Scenario::paper(golden.protocol, 10.0, 1).with_background(manet_netsim::FluidConfig {
+                flows: 0,
+                ..manet_netsim::FluidConfig::default()
+            });
+        scenario.sim.duration = Duration::from_secs(30.0);
+        let (metrics, recorder) = run_scenario_traced(&scenario);
+        let row = GoldenRow {
+            protocol: golden.protocol,
+            trace_digest: trace_digest(recorder.trace()),
+            trace_len: recorder.trace().len(),
+            originated: recorder.originated_data_packets(),
+            delivered: recorder.delivered_data_packets(),
+            control_tx: recorder.control_transmissions(),
+            collisions: recorder.collisions(),
+            link_failures: recorder.link_failures(),
+            bytes_acked: metrics.tcp_bytes_acked,
+            bytes_delivered: recorder.delivered_payload_bytes(),
+        };
+        assert_eq!(
+            &row, golden,
+            "{}: a zero-flow fluid background changed the pinned golden trace",
+            golden.protocol
+        );
+        assert!(recorder.fluid_flows().is_empty());
+    }
+}
+
 /// The flip side of the contract: with telemetry at its default (off), the
 /// event buffer stays empty — the hot path pays one predictable branch per
 /// hook site and allocates nothing.

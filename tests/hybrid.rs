@@ -1,0 +1,192 @@
+//! Acceptance tests of the hybrid fluid/packet traffic engine
+//! (`manet_netsim::fluid`, `docs/TRAFFIC.md`).
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Off means identical.**  A `background` config with zero fluid flows
+//!    builds no fluid state, draws no RNG and schedules no epoch events: the
+//!    run is byte-identical to one with `background: None`.
+//! 2. **The collapse curve survives the abstraction.**  Replacing every
+//!    offered flow beyond the PR 5 goodput peak with an analytic fluid flow
+//!    must reproduce the congestion-collapse shape within the documented
+//!    tolerance — peak location exact at 5 flows, Jain fairness within ±0.1
+//!    of the equal-load packet run at every point — while processing a small
+//!    fraction of the packet engine's events.
+//!
+//! The curve comparison needs the release-scale packet reference runs
+//! (~3M events per seed at 50 flows), so it no-ops under debug builds; CI
+//! runs it via `cargo test --release --test hybrid`.
+
+use bench::{bench_hybrid, hybrid_background, BENCH_HYBRID_FOREGROUND};
+use manet_experiments::runner::run_scenario_traced;
+use manet_experiments::{Protocol, Scenario, TrafficFlow};
+use manet_netsim::{Duration, FluidConfig};
+use manet_wire::NodeId;
+
+/// The PR 5 flow axis: the goodput peak sits at 5 concurrent flows.
+const FLOW_AXIS: [u16; 4] = [1, 5, 25, 50];
+
+#[test]
+fn zero_flow_background_is_byte_identical_to_no_background() {
+    let mut baseline = Scenario::paper(Protocol::Mts, 10.0, 1);
+    baseline.sim.duration = Duration::from_secs(10.0);
+    let mut with_empty_background = baseline.clone().with_background(FluidConfig {
+        flows: 0,
+        ..hybrid_background()
+    });
+    with_empty_background.sim.duration = Duration::from_secs(10.0);
+
+    let (_, base) = run_scenario_traced(&baseline);
+    let (fluid_metrics, fluid) = run_scenario_traced(&with_empty_background);
+    assert_eq!(
+        base.trace(),
+        fluid.trace(),
+        "a zero-flow background config must not perturb the packet run"
+    );
+    assert_eq!(
+        base.delivered_data_packets(),
+        fluid.delivered_data_packets()
+    );
+    assert_eq!(fluid_metrics.fluid_flows, 0);
+    assert_eq!(fluid_metrics.fluid_delivered_bytes, 0);
+    assert!(fluid.fluid_flows().is_empty());
+}
+
+#[test]
+fn fluid_ledger_conserves_bytes_and_completes_bounded_flows() {
+    let mut scenario = Scenario::paper(Protocol::Mts, 10.0, 1);
+    scenario.eavesdropper = None; // avoid colliding with the flow endpoints
+    scenario
+        .flows
+        .push(TrafficFlow::fluid(NodeId(10), NodeId(40)));
+    scenario.sim.duration = Duration::from_secs(10.0);
+    scenario = scenario.with_background(FluidConfig {
+        flows: 8,
+        flow_bytes: 20_000,
+        ..hybrid_background()
+    });
+    let (metrics, recorder) = run_scenario_traced(&scenario);
+
+    assert_eq!(
+        metrics.fluid_flows, 9,
+        "8 generated + 1 explicit fluid flow"
+    );
+    let mut completed = 0;
+    for (conn, totals) in recorder.fluid_flows() {
+        assert!(
+            totals.delivered_bytes <= totals.offered_bytes,
+            "conn {conn}: delivered {} > offered {}",
+            totals.delivered_bytes,
+            totals.offered_bytes
+        );
+        // A flow's rate never exceeds its demand, so its ledger never
+        // exceeds demand x duration.
+        let cap = (hybrid_background().demand_bytes_per_sec * 10.0).ceil() as u64;
+        assert!(
+            totals.delivered_bytes <= cap,
+            "conn {conn}: delivered {} exceeds demand x duration {cap}",
+            totals.delivered_bytes
+        );
+        if totals.completion_secs.is_some() {
+            completed += 1;
+            assert_eq!(
+                totals.delivered_bytes, totals.offered_bytes,
+                "conn {conn}: completed flows must have moved every offered byte"
+            );
+        }
+    }
+    assert!(
+        completed > 0,
+        "bounded 20 kB flows at 6 kB/s demand should complete within 10 s"
+    );
+    // The analytic ledger stays separate from the exact packet ledger: the
+    // recorder's aggregate equals the per-flow fluid sum, not the packet one.
+    assert_eq!(
+        metrics.fluid_delivered_bytes,
+        recorder
+            .fluid_flows()
+            .values()
+            .map(|f| f.delivered_bytes)
+            .sum::<u64>()
+    );
+    assert!(metrics.fluid_delivered_bytes > 0);
+}
+
+#[test]
+fn hybrid_collapse_curve_stays_within_documented_tolerance() {
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "skipping: the packet reference runs are release-scale \
+             (CI runs `cargo test --release --test hybrid`)"
+        );
+        return;
+    }
+    // Byte-identity of the no-background hybrid runs (flows <= foreground
+    // cap) is asserted inside bench_hybrid itself.
+    let points = bench_hybrid(500, &FLOW_AXIS, 5.0, 1, 1);
+    let packet: Vec<_> = points.iter().filter(|p| p.mode == "packet").collect();
+    let hybrid: Vec<_> = points.iter().filter(|p| p.mode == "hybrid").collect();
+    assert_eq!(packet.len(), FLOW_AXIS.len());
+    assert_eq!(hybrid.len(), FLOW_AXIS.len());
+
+    // Goodput peak location exact: 5 flows, on both curves.
+    let hybrid_peak = hybrid
+        .iter()
+        .max_by(|a, b| {
+            a.goodput_bytes_per_sec
+                .partial_cmp(&b.goodput_bytes_per_sec)
+                .expect("goodput is finite")
+        })
+        .expect("non-empty axis");
+    assert_eq!(
+        hybrid_peak.flows,
+        5,
+        "the hybrid curve's goodput peak moved off the 5-flow point: {:?}",
+        hybrid
+            .iter()
+            .map(|p| (p.flows, p.goodput_bytes_per_sec.round()))
+            .collect::<Vec<_>>()
+    );
+
+    // Jain fairness within +-0.1 of the equal-load packet run, per point.
+    for (p, h) in packet.iter().zip(&hybrid) {
+        assert_eq!(p.flows, h.flows, "axes out of step");
+        let dj = (p.fairness_index - h.fairness_index).abs();
+        assert!(
+            dj <= 0.1,
+            "flows={}: fairness drifted by {dj:.3} (packet {:.3}, hybrid {:.3}) \
+             — outside the documented +-0.1 tolerance",
+            p.flows,
+            p.fairness_index,
+            h.fairness_index
+        );
+    }
+
+    // Event-count budget: <= 25% of the pure-packet engine at 50 flows.
+    let p50 = packet
+        .iter()
+        .find(|p| p.flows == 50)
+        .expect("50-flow point");
+    let h50 = hybrid
+        .iter()
+        .find(|p| p.flows == 50)
+        .expect("50-flow point");
+    assert!(
+        h50.events * 4 <= p50.events,
+        "hybrid processed {} events at 50 flows — more than 25% of the \
+         packet engine's {}",
+        h50.events,
+        p50.events
+    );
+
+    // The fluid layer actually carried the background load.
+    for h in &hybrid {
+        if h.flows > BENCH_HYBRID_FOREGROUND {
+            assert!(
+                h.fluid_delivered_bytes > 0,
+                "flows={}: the fluid background delivered nothing",
+                h.flows
+            );
+        }
+    }
+}

@@ -189,6 +189,16 @@ fn sharded_runs_report_coherent_shard_counters() {
         perf.cross_shard_announcements > 0,
         "a 50-node paper run must announce transmissions across stripes"
     );
+    // The destination-mask fan-out fix: on a 4-stripe field wider than the
+    // carrier-sense range, most transmissions cannot touch the far stripes,
+    // so the barrier must skip (announcements × shards) applications vs the
+    // old all-to-all broadcast.  The counter proves the reduction happened.
+    assert!(
+        perf.announcements_skipped > 0,
+        "narrow transmissions must be skipped at out-of-footprint shards \
+         ({} announcements, 0 skipped)",
+        perf.cross_shard_announcements
+    );
 }
 
 /// The determinism contract holds with telemetry ENABLED: telemetry is

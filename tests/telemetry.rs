@@ -102,6 +102,63 @@ fn sharded_blackhole_multiflow_run_satisfies_the_stream_invariants() {
 }
 
 #[test]
+fn hybrid_run_windows_carry_the_fluid_ledger() {
+    let mut scenario = Scenario::paper(Protocol::Mts, 10.0, 1).with_telemetry(telemetry_on(None));
+    scenario.sim.duration = Duration::from_secs(10.0);
+    scenario = scenario.with_background(manet_netsim::FluidConfig {
+        flows: 6,
+        flow_bytes: 15_000,
+        demand_bytes_per_sec: 4_000.0,
+        ..manet_netsim::FluidConfig::default()
+    });
+    let recorder = run(scenario);
+    assert_stream_invariants(&recorder, "hybrid paper run");
+    let events = recorder.telemetry.events();
+    // The sampler windows surface the fluid layer's per-region epoch state.
+    let fluid_windows = events
+        .iter()
+        .filter(|ev| {
+            matches!(
+                ev,
+                TelemetryEvent::Window { fluid_demand, fluid_alloc, .. }
+                    if !fluid_demand.is_empty() && !fluid_alloc.is_empty()
+            )
+        })
+        .count();
+    assert!(
+        fluid_windows > 0,
+        "no sampler window carried fluid demand/alloc maps"
+    );
+    // Analytic completions emit the same flow_complete events TCP flows do,
+    // tagged with the fluid connection id and the bytes the ledger moved.
+    let completions: Vec<_> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TelemetryEvent::FlowComplete { conn, bytes, .. }
+                if *conn >= manet_netsim::FLUID_CONN_BASE =>
+            {
+                Some((*conn, *bytes))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !completions.is_empty(),
+        "bounded 15 kB fluid flows at 4 kB/s should complete within 10 s"
+    );
+    for (conn, bytes) in completions {
+        let totals = recorder
+            .fluid_flow(conn)
+            .unwrap_or_else(|| panic!("no ledger for completed fluid conn {conn}"));
+        assert_eq!(
+            bytes, totals.delivered_bytes,
+            "conn {conn}: flow_complete bytes disagree with the fluid ledger"
+        );
+        assert!(totals.completion_secs.is_some());
+    }
+}
+
+#[test]
 fn tagged_packet_walks_the_pipeline_in_order() {
     let mut scenario =
         Scenario::paper(Protocol::Mts, 10.0, 1).with_telemetry(telemetry_on(Some((0, 0))));

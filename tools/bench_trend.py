@@ -3,13 +3,14 @@
 
 Each bench JSON (written by ``reproduce --bench-json``) carries a node-scaling
 axis (``runs``: n x event-queue backend), an optional flow axis
-(``flow_runs``, skipped here) and — since the sharded engine — an optional
-execution axis (``execution_runs``: n x serial-vs-sharded x workers).  This
-script merges them into one table with a row per
-(n, queue, execution) configuration and an events/sec column per file, so the
-engine's throughput trajectory across PRs is readable at a glance.  Files
-written before the execution axis existed default to serial / 1 shard /
-1 worker.
+(``flow_runs``, skipped here), an optional execution axis
+(``execution_runs``: n x serial-vs-sharded x workers) and — since the fluid
+engine — an optional hybrid axis (``hybrid_runs``: packet vs hybrid at equal
+offered load, labelled ``{mode} {flows}fl+{background}bg``).  This script
+merges them into one table with a row per (n, queue, config) combination and
+an events/sec column per file, so the engine's throughput trajectory across
+PRs is readable at a glance.  Files written before the execution axis existed
+default to serial / 1 shard / 1 worker.
 
 The same table is available from the Rust side as ``reproduce --bench-trend``
 (kept in sync by ``crates/bench/src/lib.rs``'s trend tests); this standalone
@@ -62,10 +63,28 @@ def rows_of(label: str, doc: dict) -> list[dict]:
                 "events_per_sec": run["events_per_sec"],
             }
         )
+    # Hybrid axis (since the fluid engine): packet-vs-hybrid at equal
+    # offered load; "mode" takes the execution slot of the config label.
+    for run in doc.get("hybrid_runs", []):
+        rows.append(
+            {
+                "label": label,
+                "n": run["n"],
+                "queue": run.get("queue", "calendar"),
+                "execution": run.get("mode", "hybrid"),
+                "shards": 1,
+                "workers": 1,
+                "flows": run.get("flows", 0),
+                "background": run.get("background", 0),
+                "events_per_sec": run["events_per_sec"],
+            }
+        )
     return rows
 
 
 def execution_label(row: dict) -> str:
+    if row.get("flows", 0) > 0:
+        return f"{row['execution']} {row['flows']}fl+{row['background']}bg"
     if row["execution"] == "serial":
         return "serial"
     return f"{row['execution']} {row['shards']}s{row['workers']}w"

@@ -38,7 +38,7 @@ SCHEMA = {
     "provenance": ({"t", "shard", "stage", "node", "conn", "seq", "kind"}, set()),
     "window": (
         {"t", "shard", "window", "goodput", "queue_peak", "cal_resizes",
-         "suspicion_peak", "xshard"},
+         "suspicion_peak", "xshard", "fluid_demand", "fluid_alloc"},
         set(),
     ),
 }
@@ -170,7 +170,8 @@ def summarise(events: list[dict]) -> str:
         lines.append("sampler windows (aggregated across shards):")
         agg: dict[int, dict] = defaultdict(
             lambda: {"goodput": 0, "queue_peak": 0, "suspicion_peak": 0,
-                     "cal_resizes": 0, "xshard": 0}
+                     "cal_resizes": 0, "xshard": 0,
+                     "fluid_demand": 0, "fluid_alloc": 0}
         )
         for ev in windows:
             w = agg[ev["window"]]
@@ -179,15 +180,25 @@ def summarise(events: list[dict]) -> str:
             w["suspicion_peak"] = max(w["suspicion_peak"], ev["suspicion_peak"])
             w["cal_resizes"] += ev["cal_resizes"]
             w["xshard"] += ev["xshard"]
-        lines.append(f"  {'window':>6}  {'goodput B':>10}  {'queue peak':>10}"
-                     f"  {'suspicion':>9}  {'resizes':>7}  {'xshard':>6}")
+            w["fluid_demand"] += sum(ev.get("fluid_demand", {}).values())
+            w["fluid_alloc"] += sum(ev.get("fluid_alloc", {}).values())
+        has_fluid = any(w["fluid_demand"] or w["fluid_alloc"]
+                        for w in agg.values())
+        header = (f"  {'window':>6}  {'goodput B':>10}  {'queue peak':>10}"
+                  f"  {'suspicion':>9}  {'resizes':>7}  {'xshard':>6}")
+        if has_fluid:
+            header += f"  {'fluid dem':>10}  {'fluid alloc':>11}"
+        lines.append(header)
         for idx in sorted(agg):
             w = agg[idx]
-            lines.append(
+            row = (
                 f"  {idx:>6}  {w['goodput']:>10}  {w['queue_peak']:>10}"
                 f"  {w['suspicion_peak']:>9}  {w['cal_resizes']:>7}"
                 f"  {w['xshard']:>6}"
             )
+            if has_fluid:
+                row += f"  {w['fluid_demand']:>10}  {w['fluid_alloc']:>11}"
+            lines.append(row)
 
     trail = [ev for ev in events if ev["ev"] == "provenance"]
     if trail:
